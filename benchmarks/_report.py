@@ -1,0 +1,9 @@
+"""Report emission helper shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def emit(title: str, body: str) -> None:
+    """Print a clearly delimited experiment report block (run with -s)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

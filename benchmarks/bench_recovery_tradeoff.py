@@ -1,0 +1,67 @@
+"""E13 — the recovery price of relaxed atomicity.
+
+The paper's model lets transactions observe each other mid-flight;
+classical recovery theory (recoverable / avoids-cascading-aborts /
+strict) prices that visibility.  This experiment quantifies the
+trade-off the Section 5 discussion of altruistic locking [SGMA87]
+gestures at: as atomic units shrink and the accepted class grows, the
+share of accepted schedules retaining each recovery guarantee falls.
+"""
+
+from benchmarks._report import emit
+from repro.analysis.recovery_tradeoff import recovery_tradeoff_sweep
+from repro.analysis.tables import format_table
+from repro.core.recovery import recovery_profile
+from repro.paper import figure1
+
+
+def test_bench_recovery_profile(benchmark):
+    sra = figure1().schedule("Sra")
+    profile = benchmark(recovery_profile, sra)
+    # Sra trades every recovery guarantee for its concurrency.
+    assert profile == {"rc": False, "aca": False, "st": False}
+
+
+def test_report_recovery_tradeoff(benchmark):
+    def compute():
+        return recovery_tradeoff_sweep(
+            n_transactions=3,
+            ops_per_transaction=4,
+            n_objects=3,
+            unit_sizes=(4, 3, 2, 1),
+            samples=200,
+            seed=11,
+        )
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    # Shape: absolute accepts the least, finest accepts everything, and
+    # the strict share among accepted schedules is highest at absolute
+    # units.  (Intermediate unit sizes are not nested cut sets, so only
+    # the endpoints are provably ordered.)
+    acceptance = [row.acceptance_rate for row in rows]
+    assert all(acceptance[0] <= rate <= acceptance[-1] for rate in acceptance)
+    assert acceptance[-1] == 1.0
+    strict_rates = [row.strict for row in rows if row.accepted]
+    assert strict_rates[0] == max(strict_rates)
+    assert strict_rates[-1] == min(strict_rates)
+    table = [
+        [
+            row.unit_size,
+            row.accepted,
+            f"{row.acceptance_rate:.3f}",
+            f"{row.recoverable:.3f}",
+            f"{row.aca:.3f}",
+            f"{row.strict:.3f}",
+        ]
+        for row in rows
+    ]
+    emit(
+        "E13 — recovery classes among RSG-accepted schedules, by "
+        "atomic-unit granularity (200 random schedules)",
+        format_table(
+            ["unit size", "accepted", "acceptance", "RC", "ACA", "strict"],
+            table,
+        )
+        + "\nfiner units admit more schedules but fewer of them keep "
+        "recovery guarantees",
+    )

@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Every module in this directory regenerates one experiment from
+DESIGN.md's index (E1-E12).  Conventions:
+
+* functions named ``test_bench_*`` time a kernel with pytest-benchmark;
+* functions named ``test_report_*`` *also* run under ``--benchmark-only``
+  (they use the fixture once) and print the experiment's reproduced
+  rows — run with ``-s`` to see the tables that EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+
+def emit(title: str, body: str) -> None:
+    """Print a clearly delimited experiment report block."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Collaborative CAD teams with multilevel atomicity (Sections 1 and 5).
+
+Designers are grouped into teams: teammates may interleave freely, other
+teams observe a designer only at *part boundaries* (each part edit is an
+atomic unit).  The specification is written in Lynch's multilevel style
+and expanded to the paper's general relative atomicity model.
+
+The demo:
+
+1. builds the team hierarchy and shows the expanded per-pair views;
+2. shows a cross-team interleaving accepted at a part boundary and one
+   rejected inside a part edit;
+3. races the four online protocols on the workload.
+
+Run:  python examples/cad_collaboration.py
+"""
+
+from repro import RelativeSerializationGraph, Schedule
+from repro.analysis.protocol_comparison import compare_protocols
+from repro.analysis.tables import format_table
+from repro.workloads.cad import CadWorkload
+
+
+def main() -> None:
+    workload = CadWorkload(
+        n_teams=2,
+        designers_per_team=2,
+        parts_per_team=2,
+        edits_per_designer=2,
+        seed=0,
+    )
+    bundle = workload.build()
+    team_of = bundle.metadata["team_of"]
+    print("designers:")
+    for tx in bundle.transactions:
+        print(f"  {tx}   [team {team_of[tx.tx_id]}]")
+
+    print("\nexpanded relative atomicity views (multilevel -> pairwise):")
+    for tx, observer in bundle.spec.pairs():
+        view = bundle.spec.atomicity(tx, observer)
+        relation = (
+            "teammate" if team_of[tx] == team_of[observer] else "cross-team"
+        )
+        rendered = view.render(bundle.spec.transactions[tx])
+        print(f"  T{tx} as seen by T{observer} ({relation}): {rendered}")
+
+    # Pick one designer per team.
+    team0 = [tx for tx in bundle.transactions if team_of[tx.tx_id] == 0][0]
+    team1 = [tx for tx in bundle.transactions if team_of[tx.tx_id] == 1][0]
+    others = [
+        tx
+        for tx in bundle.transactions
+        if tx.tx_id not in (team0.tx_id, team1.tx_id)
+    ]
+
+    # --- Accepted: the outsider slips in at a part boundary (after the
+    # first read+write edit pair).
+    order = (
+        list(team0.operations[:2])
+        + list(team1.operations)
+        + list(team0.operations[2:])
+        + [op for tx in others for op in tx]
+    )
+    at_boundary = Schedule(bundle.transactions, order)
+    rsg = RelativeSerializationGraph(at_boundary, bundle.spec)
+    print(f"\ncross-team interleaving at a part boundary: "
+          f"relatively serializable = {rsg.is_acyclic}")
+
+    # --- Rejected: the outsider edits the same part *inside* another
+    # team's read+write pair, creating a dependency into the open unit.
+    # Craft it explicitly: T_a reads part p, T_b writes p, T_a writes p.
+    from repro.core.transactions import Transaction
+    from repro.core.atomicity import RelativeAtomicitySpec
+
+    alice = Transaction.from_notation(1, "r[p] w[p]")
+    bob = Transaction.from_notation(2, "w[p]")
+    spec = RelativeAtomicitySpec(
+        [alice, bob],
+        {
+            # Alice's edit is atomic to the other team; Bob is a single
+            # operation.
+            (1, 2): "r[p] w[p]",
+            (2, 1): "w[p]",
+        },
+    )
+    torn_edit = Schedule.from_notation([alice, bob], "r1[p] w2[p] w1[p]")
+    rsg = RelativeSerializationGraph(torn_edit, spec)
+    print(f"cross-team write inside an open part edit ({torn_edit}): "
+          f"relatively serializable = {rsg.is_acyclic}")
+    assert not rsg.is_acyclic
+
+    # --- Protocol race.
+    rows = compare_protocols(
+        lambda seed: CadWorkload(
+            n_teams=2,
+            designers_per_team=2,
+            parts_per_team=2,
+            edits_per_designer=2,
+            seed=seed,
+        ).build(),
+        seeds=(0, 1, 2, 3),
+        short_role="designer",
+    )
+    print("\nprotocol comparison (4 seeds):")
+    print(
+        format_table(
+            ["protocol", "makespan", "designer resp", "restarts",
+             "verified"],
+            [
+                [row.protocol, f"{row.mean_makespan:.1f}",
+                 f"{row.mean_response:.1f}", row.total_restarts,
+                 row.all_correct]
+                for row in rows
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

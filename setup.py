@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` keeps working in offline environments where the
+``wheel`` package (needed by PEP 660 editable builds) is unavailable:
+``pip install -e . --no-build-isolation --no-use-pep517`` falls back to the
+legacy ``setup.py develop`` path through this shim.
+"""
+
+from setuptools import setup
+
+setup()

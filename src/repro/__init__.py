@@ -1,0 +1,104 @@
+"""repro — Relative Serializability for relaxed transaction atomicity.
+
+A full reproduction of *"Relative Serializability: An Approach for
+Relaxing the Atomicity of Transactions"* (D. Agrawal, J. L. Bruno,
+A. El Abbadi, V. Krishnaswamy — PODS 1994).
+
+Quick tour::
+
+    from repro import (
+        Transaction, Schedule, RelativeAtomicitySpec,
+        RelativeSerializationGraph, is_relatively_serializable, classify,
+    )
+
+    t1 = Transaction.from_notation(1, "r[x] w[x] w[z] r[y]")
+    t2 = Transaction.from_notation(2, "r[y] w[y] r[x]")
+    spec = RelativeAtomicitySpec([t1, t2], {
+        (1, 2): "r[x] w[x] | w[z] r[y]",   # "|" = atomic-unit boundary
+        (2, 1): "r[y] | w[y] r[x]",
+    })
+    s = Schedule.from_notation([t1, t2],
+                               "r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] r1[y]")
+    is_relatively_serializable(s, spec)        # Theorem 1 (RSG acyclicity)
+    RelativeSerializationGraph(s, spec).equivalent_relatively_serial_schedule()
+
+Layers:
+
+* :mod:`repro.core` — the theory (model, specs, depends-on, RSG,
+  checkers, classifier);
+* :mod:`repro.specs` — spec builders (absolute / finest / breakpoints /
+  Garcia-Molina compatibility sets / Lynch multilevel atomicity);
+* :mod:`repro.paper` — the paper's Figures 1-4 as fixtures;
+* :mod:`repro.protocols` + :mod:`repro.sim` — online schedulers (2PL,
+  SGT, RSGT, altruistic locking) and the simulator that drives them;
+* :mod:`repro.engine` — a transactional key-value store + executor;
+* :mod:`repro.workloads` / :mod:`repro.analysis` — scenario generators
+  and the experiment harnesses;
+* :mod:`repro.io` — notation parser, JSON, DOT export.
+"""
+
+from repro.core.atomicity import Atomicity, AtomicUnit, RelativeAtomicitySpec
+from repro.core.checkers import (
+    is_relatively_atomic,
+    is_relatively_serial,
+    is_serial,
+)
+from repro.core.classify import ClassificationReport, ScheduleClass, classify
+from repro.core.consistent import is_relatively_consistent
+from repro.core.dependency import DependencyRelation
+from repro.core.operations import Operation, OpType, read, write
+from repro.core.recovery import (
+    avoids_cascading_aborts,
+    is_recoverable,
+    is_strict,
+    recovery_profile,
+)
+from repro.core.rsg import (
+    ArcKind,
+    RelativeSerializationGraph,
+    is_relatively_serializable,
+)
+from repro.core.schedules import Schedule, conflict_equivalent, conflicts
+from repro.core.serializability import (
+    equivalent_serial_schedule,
+    is_conflict_serializable,
+    serialization_graph,
+)
+from repro.core.transactions import Transaction
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "Operation",
+    "OpType",
+    "read",
+    "write",
+    "Transaction",
+    "Schedule",
+    "conflicts",
+    "conflict_equivalent",
+    "AtomicUnit",
+    "Atomicity",
+    "RelativeAtomicitySpec",
+    "DependencyRelation",
+    "ArcKind",
+    "RelativeSerializationGraph",
+    "is_relatively_serializable",
+    "is_serial",
+    "is_relatively_atomic",
+    "is_relatively_serial",
+    "is_relatively_consistent",
+    "is_conflict_serializable",
+    "is_recoverable",
+    "avoids_cascading_aborts",
+    "is_strict",
+    "recovery_profile",
+    "serialization_graph",
+    "equivalent_serial_schedule",
+    "ScheduleClass",
+    "ClassificationReport",
+    "classify",
+]

@@ -1,0 +1,45 @@
+"""Analysis toolkit: experiments over schedule classes and protocols.
+
+* :mod:`~repro.analysis.classes` — class census over schedule sets
+  (exhaustive or sampled);
+* :mod:`~repro.analysis.containment` — machine-check the Figure 5
+  containments and find proper-inclusion witnesses;
+* :mod:`~repro.analysis.acceptance` — acceptance-rate sweeps (E9);
+* :mod:`~repro.analysis.inference` — infer the minimal relaxation that
+  legalizes a set of desired interleavings;
+* :mod:`~repro.analysis.complexity` — RSG vs. NP-complete baseline
+  runtime scaling (E8);
+* :mod:`~repro.analysis.protocol_comparison` — protocol benchmark driver
+  (E10);
+* :mod:`~repro.analysis.recovery_tradeoff` — recovery cost of relaxation
+  (E13);
+* :mod:`~repro.analysis.tables` — fixed-width ASCII tables for the
+  benchmark harness output.
+"""
+
+from repro.analysis.acceptance import AcceptanceRow, acceptance_sweep
+from repro.analysis.classes import ClassCensus, census
+from repro.analysis.complexity import ComplexityRow, complexity_sweep
+from repro.analysis.containment import ContainmentReport, check_containments
+from repro.analysis.inference import infer_spec, required_breakpoints
+from repro.analysis.protocol_comparison import ProtocolRow, compare_protocols
+from repro.analysis.recovery_tradeoff import RecoveryRow, recovery_tradeoff_sweep
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "ClassCensus",
+    "census",
+    "ContainmentReport",
+    "check_containments",
+    "infer_spec",
+    "required_breakpoints",
+    "AcceptanceRow",
+    "acceptance_sweep",
+    "ComplexityRow",
+    "complexity_sweep",
+    "ProtocolRow",
+    "compare_protocols",
+    "RecoveryRow",
+    "recovery_tradeoff_sweep",
+    "format_table",
+]

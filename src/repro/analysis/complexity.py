@@ -1,0 +1,125 @@
+"""Runtime scaling: polynomial RSG test vs. the NP-complete baseline (E8).
+
+The paper's central complexity claim: recognizing relatively consistent
+schedules is NP-complete [KB92], while RSG acyclicity recognizes the
+*larger* relatively serializable class in polynomial time.  This sweep
+times both recognizers on the same growing instances — adversarial ones
+built so the backtracking search must explore many orderings — and
+reports the per-size medians.  The shape to reproduce: near-polynomial
+growth for the RSG column, explosive growth (or budget exhaustion) for
+the RC column.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.consistent import (
+    SearchBudgetExceeded,
+    find_equivalent_relatively_atomic,
+)
+from repro.core.rsg import RelativeSerializationGraph
+from repro.core.schedules import Schedule
+from repro.core.transactions import Transaction
+from repro.core.operations import read, write
+from repro.specs.builders import uniform_spec
+from repro.workloads.random_schedules import random_interleaving
+
+__all__ = ["ComplexityRow", "complexity_sweep", "adversarial_instance"]
+
+
+@dataclass(frozen=True, slots=True)
+class ComplexityRow:
+    """One sweep point.
+
+    ``rc_seconds`` is ``None`` when every trial exhausted its budget;
+    ``rc_budget_exhausted`` counts such trials.
+    """
+
+    n_transactions: int
+    n_operations: int
+    rsg_seconds: float
+    rc_seconds: float | None
+    rc_budget_exhausted: int
+    trials: int
+
+
+def adversarial_instance(
+    n_transactions: int, seed: int = 0
+) -> tuple[list[Transaction], Schedule]:
+    """An instance family that stresses the relative-consistency search.
+
+    Each transaction writes a private object, then a shared object, then
+    its private object again; the shared object serializes everyone while
+    the private bookends keep many interleavings conflict-equivalent, so
+    the backtracking search faces a large extension space.
+    """
+    transactions = []
+    for tx_id in range(1, n_transactions + 1):
+        private = f"p{tx_id}"
+        transactions.append(
+            Transaction(
+                tx_id,
+                [
+                    read(private),
+                    write("shared"),
+                    read("shared"),
+                    write(private),
+                ],
+            )
+        )
+    schedule = random_interleaving(transactions, seed=seed)
+    return transactions, schedule
+
+
+def complexity_sweep(
+    sizes: Sequence[int] = (2, 3, 4, 5, 6),
+    trials: int = 3,
+    rc_budget: int = 500_000,
+    unit_size: int = 2,
+) -> list[ComplexityRow]:
+    """Time both recognizers across instance sizes.
+
+    Args:
+        sizes: transaction counts to sweep.
+        trials: instances per size (different seeds); medians reported.
+        rc_budget: step budget for the relative-consistency search.
+        unit_size: granularity of the uniform spec used for both tests.
+    """
+    rows = []
+    for size in sizes:
+        rsg_times: list[float] = []
+        rc_times: list[float] = []
+        exhausted = 0
+        for trial in range(trials):
+            transactions, schedule = adversarial_instance(size, seed=trial)
+            spec = uniform_spec(transactions, unit_size)
+
+            start = time.perf_counter()
+            RelativeSerializationGraph(schedule, spec).is_acyclic
+            rsg_times.append(time.perf_counter() - start)
+
+            start = time.perf_counter()
+            try:
+                find_equivalent_relatively_atomic(
+                    schedule, spec, max_steps=rc_budget
+                )
+                rc_times.append(time.perf_counter() - start)
+            except SearchBudgetExceeded:
+                exhausted += 1
+        rows.append(
+            ComplexityRow(
+                n_transactions=size,
+                n_operations=size * 4,
+                rsg_seconds=statistics.median(rsg_times),
+                rc_seconds=(
+                    statistics.median(rc_times) if rc_times else None
+                ),
+                rc_budget_exhausted=exhausted,
+                trials=trials,
+            )
+        )
+    return rows

@@ -1,0 +1,126 @@
+"""Specification inference: the coarsest relaxation accepting a workload.
+
+The paper observes that relative atomicity specifications "are given a
+priori and ... tend to be conservative".  This module inverts the
+problem: given interleavings the users *want* legal, compute breakpoints
+that make them so — the minimum relaxation of absolute atomicity under
+which every desired schedule is relatively **serial** (hence relatively
+serializable).
+
+The algorithm rests on a converse of the paper's Lemma 2, checkable on
+this code base (property-tested in the suite):
+
+    A schedule ``S`` is relatively serial **iff** every arc of
+    ``RSG(S)`` is consistent with ``S`` (points forward).
+
+  *If relatively serial:* Lemma 2's proof shows all arcs forward.
+  *If all arcs forward:* a Definition 2 violation — an operation ``o``
+  interleaved in a unit with a dependency — always produces a backward
+  arc: ``o`` depending on an earlier unit operation gives the F-arc
+  ``unit-end -> o`` with the unit end after ``o``; a later unit
+  operation depending on ``o`` gives the B-arc ``o -> unit-start`` with
+  the unit start before ``o``.
+
+So to make ``S`` relatively serial it suffices to cut units until every
+F/B arc points forward, and because operations of one transaction occupy
+increasing positions, the minimal cut for each offending dependency is
+determined exactly:
+
+* for a dependency ``a -> b`` (``b`` depends on ``a``, different
+  transactions), the unit of ``a`` relative to ``T_b`` must end before
+  ``b``: cut ``Atomicity(T_a, T_b)`` at the first index of ``T_a``
+  whose operation follows ``b`` in ``S``;
+* symmetrically, the unit of ``b`` relative to ``T_a`` must start after
+  ``a``: cut ``Atomicity(T_b, T_a)`` at the first index of ``T_b``
+  whose operation follows ``a`` in ``S``.
+
+Multiple desired schedules compose by the specification lattice's join
+(cut-set union), under which acceptance is monotone.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.dependency import DependencyRelation
+from repro.core.schedules import Schedule
+from repro.core.transactions import Transaction, as_transaction_map
+from repro.errors import InvalidScheduleError
+
+__all__ = ["required_breakpoints", "infer_spec"]
+
+
+def required_breakpoints(
+    schedule: Schedule,
+) -> dict[tuple[int, int], set[int]]:
+    """The per-pair cuts that make ``schedule`` relatively serial.
+
+    Each returned cut is placed at the latest position its forcing
+    dependency allows; removing a cut without replacing it by an
+    earlier one in the same unit leaves a backward F- or B-arc for
+    that dependency.
+    """
+    dependency = DependencyRelation(schedule)
+    transactions = schedule.transactions
+    cuts: dict[tuple[int, int], set[int]] = {}
+    for earlier, later in dependency.cross_transaction_pairs():
+        # Unit of `earlier` relative to T_later must end before `later`.
+        cut = _first_index_after(
+            transactions[earlier.tx], schedule, schedule.position(later)
+        )
+        if cut is not None and cut > 0:
+            cuts.setdefault((earlier.tx, later.tx), set()).add(cut)
+        # Unit of `later` relative to T_earlier must start after
+        # `earlier`.
+        cut = _first_index_after(
+            transactions[later.tx], schedule, schedule.position(earlier)
+        )
+        if cut is not None and cut > 0:
+            cuts.setdefault((later.tx, earlier.tx), set()).add(cut)
+    return cuts
+
+
+def _first_index_after(
+    transaction: Transaction, schedule: Schedule, position: int
+) -> int | None:
+    """First program index of ``transaction`` scheduled after ``position``
+    (``None`` when the whole transaction precedes it)."""
+    for index, op in enumerate(transaction):
+        if schedule.position(op) > position:
+            return index
+    return None
+
+
+def infer_spec(
+    transactions: Sequence[Transaction],
+    must_accept: Iterable[Schedule],
+) -> RelativeAtomicitySpec:
+    """A canonical minimal refinement accepting every given schedule.
+
+    Starts from absolute atomicity and joins in exactly the breakpoints
+    each desired schedule forces, placing each cut as late as the
+    forcing dependency allows (the coarsest unit for that dependency).
+    Every returned cut is justified by a dependency in one of the
+    inputs; a strictly coarser accepting spec cannot exist, though
+    *incomparable* ones can (a single earlier cut may serve several
+    dependencies at once — optimal interval stabbing — at the price of
+    splitting some unit earlier than necessary).
+
+    Raises:
+        InvalidScheduleError: when a schedule is not over
+            ``transactions``.
+    """
+    by_id = as_transaction_map(list(transactions))
+    combined: dict[tuple[int, int], set[int]] = {}
+    for schedule in must_accept:
+        if set(schedule.transactions) != set(by_id) or any(
+            schedule.transactions[tx_id] != by_id[tx_id]
+            for tx_id in by_id
+        ):
+            raise InvalidScheduleError(
+                "schedule is not over the given transaction set"
+            )
+        for pair, cuts in required_breakpoints(schedule).items():
+            combined.setdefault(pair, set()).update(cuts)
+    return RelativeAtomicitySpec(list(transactions), combined)

@@ -1,0 +1,132 @@
+"""Protocol comparison driver (experiment E10).
+
+Runs a workload bundle through each protocol over several seeds and
+aggregates throughput / response-time / restart statistics, verifying
+every committed history offline (2PL, SGT, and altruistic must be
+conflict serializable; RSGT must be relatively serializable under the
+workload's spec).  The shape to reproduce, per the paper's Section 5
+discussion: on long-lived mixes, protocols that exploit relative
+atomicity (RSGT; altruistic to a lesser degree) beat strict 2PL on short-
+transaction response time and overall makespan.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core.rsg import is_relatively_serializable
+from repro.core.serializability import is_conflict_serializable
+from repro.errors import SimulationError
+from repro.protocols import (
+    AltruisticLockingScheduler,
+    RelativeLockingScheduler,
+    RSGTScheduler,
+    SGTScheduler,
+    Scheduler,
+    TwoPhaseLockingScheduler,
+)
+from repro.sim.runner import simulate_bundle
+from repro.workloads.base import WorkloadBundle
+
+__all__ = ["ProtocolRow", "compare_protocols", "default_protocols"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProtocolRow:
+    """Aggregated results of one protocol over all seeds of a workload."""
+
+    protocol: str
+    runs: int
+    mean_makespan: float
+    mean_throughput: float
+    mean_response: float
+    mean_short_response: float | None
+    total_restarts: int
+    total_waits: int
+    all_correct: bool
+
+
+def default_protocols(
+    bundle: WorkloadBundle,
+) -> list[tuple[str, Callable[[], Scheduler]]]:
+    """The five protocols of experiment E10 for one workload."""
+    return [
+        ("strict-2pl", TwoPhaseLockingScheduler),
+        ("sgt", SGTScheduler),
+        ("altruistic", AltruisticLockingScheduler),
+        ("rel-locking", lambda: RelativeLockingScheduler(bundle.spec)),
+        ("rsgt", lambda: RSGTScheduler(bundle.spec)),
+    ]
+
+
+def compare_protocols(
+    make_bundle: Callable[[int], WorkloadBundle],
+    seeds: Sequence[int] = tuple(range(5)),
+    backoff: int = 2,
+    short_role: str = "short",
+) -> list[ProtocolRow]:
+    """Run every protocol over every seed of a workload family.
+
+    Args:
+        make_bundle: seed -> workload bundle (a fresh bundle per seed so
+            transaction programs vary).
+        seeds: the seeds to run.
+        backoff: restart backoff passed to the simulator.
+        short_role: role whose response time is reported separately
+            (``None`` row cell when the role is absent).
+    """
+    per_protocol: dict[str, list] = {}
+    correctness: dict[str, bool] = {}
+
+    for seed in seeds:
+        bundle = make_bundle(seed)
+        for name, factory in default_protocols(bundle):
+            try:
+                result = simulate_bundle(
+                    bundle, factory(), backoff=backoff
+                )
+            except SimulationError:
+                correctness[name] = False
+                continue
+            if name in ("rsgt", "rel-locking"):
+                ok = is_relatively_serializable(result.schedule, bundle.spec)
+            else:
+                ok = is_conflict_serializable(result.schedule)
+            correctness[name] = correctness.get(name, True) and ok
+            per_protocol.setdefault(name, []).append(result)
+
+    rows = []
+    for name, results in per_protocol.items():
+        short_means = [
+            value
+            for value in (
+                result.mean_response_time_of(short_role) for result in results
+            )
+            if value is not None
+        ]
+        rows.append(
+            ProtocolRow(
+                protocol=name,
+                runs=len(results),
+                mean_makespan=statistics.mean(
+                    result.makespan for result in results
+                ),
+                mean_throughput=statistics.mean(
+                    result.throughput for result in results
+                ),
+                mean_response=statistics.mean(
+                    result.mean_response_time for result in results
+                ),
+                mean_short_response=(
+                    statistics.mean(short_means) if short_means else None
+                ),
+                total_restarts=sum(
+                    result.total_restarts for result in results
+                ),
+                total_waits=sum(result.total_waits for result in results),
+                all_correct=correctness.get(name, False),
+            )
+        )
+    return rows

@@ -1,0 +1,78 @@
+"""Fixed-width ASCII tables.
+
+The benchmark harness prints the rows each experiment reproduces;
+:func:`format_table` keeps that output aligned and diff-friendly without
+pulling in a formatting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table"]
+
+
+def _render_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Floats are shown with four significant digits, booleans as yes/no,
+    and ``None`` as ``-``.  Numeric-looking columns are right-aligned.
+    """
+    rendered = [[_render_cell(value) for value in row] for row in rows]
+    columns = len(headers)
+    for row in rendered:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row}"
+            )
+
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def _is_numeric(column: int) -> bool:
+        cells = [row[column] for row in rendered if row[column] != "-"]
+        if not cells:
+            return False
+        return all(
+            cell.replace(".", "", 1)
+            .replace("-", "", 1)
+            .replace("e", "", 1)
+            .replace("+", "", 1)
+            .isdigit()
+            for cell in cells
+        )
+
+    numeric = [_is_numeric(index) for index in range(columns)]
+
+    def _format_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if numeric[index]:
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(_format_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(_format_row(row) for row in rendered)
+    return "\n".join(lines)

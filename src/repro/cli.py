@@ -1,0 +1,387 @@
+"""Command-line interface (``relser`` / ``python -m repro``).
+
+Subcommands:
+
+* ``classify FILE [--schedule NAME]`` — classify the schedules of a
+  problem file into the Figure 5 hierarchy;
+* ``rsg FILE --schedule NAME [--dot]`` — build the relative
+  serialization graph, report acyclicity and the arc census, optionally
+  emitting Graphviz DOT;
+* ``witness FILE --schedule NAME`` — extract the equivalent relatively
+  serial schedule (Theorem 1's constructive half);
+* ``demo [--figure N]`` — replay the paper's figures end to end;
+* ``census FILE`` — exhaustive class census over all interleavings of
+  the file's transactions (small inputs only);
+* ``simulate FILE --protocol NAME`` — drive the file's transactions
+  through an online protocol (2pl / sgt / altruistic / rel-locking /
+  rsgt) and report the committed history, metrics, and the offline
+  verification verdict;
+* ``infer FILE`` — compute the minimal relative atomicity relaxation
+  under which every schedule in the file is relatively serial, printed
+  as ``atomicity`` lines ready to paste back into a problem file;
+* ``chop FILE`` — compute a finest correct transaction chopping
+  [SSV92] of the file's transactions and print it as ``atomicity``
+  lines (the chopping embedded into the relative model).
+
+The problem-file format is documented in :mod:`repro.io.notation`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.classes import census_exhaustive
+from repro.analysis.tables import format_table
+from repro.core.recovery import recovery_profile
+from repro.core.classify import classify
+from repro.core.rsg import ArcKind, RelativeSerializationGraph
+from repro.errors import CycleError, ReproError
+from repro.io.dot import rsg_to_dot
+from repro.io.notation import Problem, parse_problem
+from repro.paper import figure1, figure2, figure3, figure4
+from repro.workloads.enumerate import count_interleavings
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {1: figure1, 2: figure2, 3: figure3, 4: figure4}
+
+
+def _make_protocol(name, spec):
+    from repro.protocols import (
+        AltruisticLockingScheduler,
+        RelativeLockingScheduler,
+        RSGTScheduler,
+        SGTScheduler,
+        TwoPhaseLockingScheduler,
+    )
+
+    factories = {
+        "2pl": TwoPhaseLockingScheduler,
+        "sgt": SGTScheduler,
+        "altruistic": AltruisticLockingScheduler,
+        "rel-locking": lambda: RelativeLockingScheduler(spec),
+        "rsgt": lambda: RSGTScheduler(spec),
+    }
+    return factories[name]()
+
+
+_PROTOCOLS = ("2pl", "sgt", "altruistic", "rel-locking", "rsgt")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="relser",
+        description=(
+            "Relative serializability tools (Agrawal et al., PODS 1994)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    classify_cmd = commands.add_parser(
+        "classify", help="classify schedules of a problem file"
+    )
+    classify_cmd.add_argument("file", type=Path)
+    classify_cmd.add_argument(
+        "--schedule", help="classify only this named schedule"
+    )
+    classify_cmd.add_argument(
+        "--budget",
+        type=int,
+        default=200_000,
+        help="step budget for the NP-complete relative-consistency test",
+    )
+
+    rsg_cmd = commands.add_parser(
+        "rsg", help="build and inspect a relative serialization graph"
+    )
+    rsg_cmd.add_argument("file", type=Path)
+    rsg_cmd.add_argument("--schedule", required=True)
+    rsg_cmd.add_argument(
+        "--dot", action="store_true", help="emit Graphviz DOT instead"
+    )
+
+    witness_cmd = commands.add_parser(
+        "witness",
+        help="extract the equivalent relatively serial schedule",
+    )
+    witness_cmd.add_argument("file", type=Path)
+    witness_cmd.add_argument("--schedule", required=True)
+
+    demo_cmd = commands.add_parser(
+        "demo", help="replay the paper's figures"
+    )
+    demo_cmd.add_argument(
+        "--figure", type=int, choices=sorted(_FIGURES), default=None
+    )
+
+    census_cmd = commands.add_parser(
+        "census",
+        help="exhaustive class census over all interleavings (small inputs)",
+    )
+    census_cmd.add_argument("file", type=Path)
+    census_cmd.add_argument(
+        "--limit",
+        type=int,
+        default=50_000,
+        help="refuse to enumerate more interleavings than this",
+    )
+
+    simulate_cmd = commands.add_parser(
+        "simulate",
+        help="drive the transactions through an online protocol",
+    )
+    simulate_cmd.add_argument("file", type=Path)
+    simulate_cmd.add_argument(
+        "--protocol",
+        choices=sorted(_PROTOCOLS),
+        default="rsgt",
+    )
+    simulate_cmd.add_argument(
+        "--backoff", type=int, default=2, help="restart backoff base"
+    )
+
+    infer_cmd = commands.add_parser(
+        "infer",
+        help="infer the minimal spec legalizing the file's schedules",
+    )
+    infer_cmd.add_argument("file", type=Path)
+
+    chop_cmd = commands.add_parser(
+        "chop",
+        help="finest correct transaction chopping [SSV92], as a spec",
+    )
+    chop_cmd.add_argument("file", type=Path)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "classify":
+            return _cmd_classify(args)
+        if args.command == "rsg":
+            return _cmd_rsg(args)
+        if args.command == "witness":
+            return _cmd_witness(args)
+        if args.command == "demo":
+            return _cmd_demo(args)
+        if args.command == "census":
+            return _cmd_census(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "infer":
+            return _cmd_infer(args)
+        if args.command == "chop":
+            return _cmd_chop(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _load(path: Path) -> Problem:
+    return parse_problem(path.read_text())
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    problem = _load(args.file)
+    names = [args.schedule] if args.schedule else sorted(problem.schedules)
+    for name in names:
+        schedule = problem.schedule(name)
+        report = classify(
+            schedule, problem.spec, consistency_budget=args.budget
+        )
+        print(f"schedule {name}: {schedule}")
+        print(report.describe())
+        print()
+    return 0
+
+
+def _cmd_rsg(args: argparse.Namespace) -> int:
+    problem = _load(args.file)
+    schedule = problem.schedule(args.schedule)
+    rsg = RelativeSerializationGraph(schedule, problem.spec)
+    if args.dot:
+        print(rsg_to_dot(rsg), end="")
+        return 0
+    print(f"schedule: {schedule}")
+    print(f"vertices: {rsg.graph.node_count}")
+    for kind in ArcKind:
+        print(f"{kind.name.lower():>14} arcs: {len(rsg.arcs(kind))}")
+    if rsg.is_acyclic:
+        print("acyclic: yes (relatively serializable)")
+    else:
+        cycle = " -> ".join(op.label for op in rsg.cycle)
+        print(f"acyclic: no (cycle: {cycle})")
+    return 0
+
+
+def _cmd_witness(args: argparse.Namespace) -> int:
+    problem = _load(args.file)
+    schedule = problem.schedule(args.schedule)
+    rsg = RelativeSerializationGraph(schedule, problem.spec)
+    try:
+        witness = rsg.equivalent_relatively_serial_schedule()
+    except CycleError as exc:
+        cycle = " -> ".join(op.label for op in exc.cycle or [])
+        print(
+            "not relatively serializable "
+            f"(RSG cycle: {cycle})",
+            file=sys.stderr,
+        )
+        return 1
+    print(witness)
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    numbers = [args.figure] if args.figure else sorted(_FIGURES)
+    for number in numbers:
+        figure = _FIGURES[number]()
+        print(f"=== {figure.name} ===")
+        for transaction in figure.transactions:
+            print(transaction)
+        print(figure.spec.render())
+        for name, schedule in figure.schedules.items():
+            print(f"\nschedule {name}: {schedule}")
+            print(classify(schedule, figure.spec).describe())
+        print()
+    return 0
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    problem = _load(args.file)
+    total = count_interleavings(problem.transactions)
+    if total > args.limit:
+        print(
+            f"error: {total} interleavings exceed --limit {args.limit}",
+            file=sys.stderr,
+        )
+        return 2
+    result = census_exhaustive(problem.transactions, problem.spec)
+    rows = [(name, count, rate) for name, count, rate in result.as_rows()]
+    print(
+        format_table(
+            ["class", "schedules", "fraction"],
+            rows,
+            title=f"census over {result.total} interleavings",
+        )
+    )
+    if result.undecided_consistent:
+        print(
+            f"(relative consistency undecided for "
+            f"{result.undecided_consistent} schedules)"
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.rsg import is_relatively_serializable
+    from repro.core.serializability import is_conflict_serializable
+    from repro.sim.runner import simulate
+
+    problem = _load(args.file)
+    scheduler = _make_protocol(args.protocol, problem.spec)
+    result = simulate(
+        problem.transactions, scheduler, backoff=args.backoff
+    )
+    print(f"protocol: {result.protocol}")
+    print(f"committed history: {result.schedule}")
+    rows = [
+        [
+            outcome.tx_id,
+            outcome.arrival,
+            outcome.commit_tick,
+            outcome.response_time,
+            outcome.restarts,
+            outcome.waits,
+        ]
+        for outcome in result.outcomes.values()
+    ]
+    print(
+        format_table(
+            ["tx", "arrival", "commit", "response", "restarts", "waits"],
+            rows,
+        )
+    )
+    print(
+        f"makespan {result.makespan}, throughput "
+        f"{result.throughput:.3f} tx/tick"
+    )
+    if args.protocol in ("rsgt", "rel-locking"):
+        verified = is_relatively_serializable(result.schedule, problem.spec)
+        print(f"relatively serializable (offline RSG test): "
+              f"{'yes' if verified else 'NO'}")
+    else:
+        verified = is_conflict_serializable(result.schedule)
+        print(f"conflict serializable (offline SG test): "
+              f"{'yes' if verified else 'NO'}")
+    profile = recovery_profile(result.schedule)
+    print(
+        "recovery: "
+        f"recoverable={'yes' if profile['rc'] else 'no'}, "
+        f"aca={'yes' if profile['aca'] else 'no'}, "
+        f"strict={'yes' if profile['st'] else 'no'}"
+    )
+    return 0 if verified else 1
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    from repro.analysis.inference import infer_spec
+
+    problem = _load(args.file)
+    if not problem.schedules:
+        print("error: the file declares no schedules", file=sys.stderr)
+        return 2
+    spec = infer_spec(
+        problem.transactions, list(problem.schedules.values())
+    )
+    print(f"# inferred from {len(problem.schedules)} schedule(s); "
+          "absolute pairs omitted")
+    emitted = 0
+    for tx, observer in spec.pairs():
+        view = spec.atomicity(tx, observer)
+        if view.is_absolute:
+            continue
+        rendered = view.render(spec.transactions[tx])
+        print(f"atomicity T{tx}/T{observer}: {rendered}")
+        emitted += 1
+    if not emitted:
+        print("# (absolute atomicity already suffices)")
+    return 0
+
+
+def _cmd_chop(args: argparse.Namespace) -> int:
+    from repro.specs.chopping import (
+        chopping_to_spec,
+        finest_correct_chopping,
+    )
+
+    problem = _load(args.file)
+    chopping = finest_correct_chopping(problem.transactions)
+    spec = chopping_to_spec(chopping)
+    print(
+        f"# finest correct chopping: {chopping.piece_count()} pieces "
+        f"across {len(problem.transactions)} transactions"
+    )
+    emitted = 0
+    for tx, observer in spec.pairs():
+        view = spec.atomicity(tx, observer)
+        if view.is_absolute:
+            continue
+        rendered = view.render(spec.transactions[tx])
+        print(f"atomicity T{tx}/T{observer}: {rendered}")
+        emitted += 1
+    if not emitted:
+        print("# (no transaction can be chopped: SC-cycles everywhere)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI shim
+    raise SystemExit(main())

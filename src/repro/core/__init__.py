@@ -1,0 +1,85 @@
+"""The paper's primary contribution: the relative serializability theory.
+
+Modules:
+
+* :mod:`~repro.core.operations` / :mod:`~repro.core.transactions` /
+  :mod:`~repro.core.schedules` — the read/write transaction model of
+  Section 2 (totally ordered transactions and schedules, conflicts,
+  conflict equivalence).
+* :mod:`~repro.core.atomicity` — atomic units, ``Atomicity(Ti, Tj)``
+  views, and full relative atomicity specifications.
+* :mod:`~repro.core.dependency` — the ``depends-on`` relation.
+* :mod:`~repro.core.rsg` — the Relative Serialization Graph
+  (Definition 3), its acyclicity test, and the constructive extraction of
+  an equivalent relatively serial schedule (Theorem 1).
+* :mod:`~repro.core.checkers` — definition-based membership tests for
+  serial / relatively atomic / relatively serial schedules.
+* :mod:`~repro.core.serializability` — classical conflict serializability
+  (serialization graph, Lemma 1 machinery).
+* :mod:`~repro.core.consistent` — the exponential Farrag–Özsu
+  relative-consistency baseline.
+* :mod:`~repro.core.brute` — brute-force relative serializability, used as
+  ground truth for Theorem 1 cross-validation.
+* :mod:`~repro.core.classify` — classify a schedule into the Figure 5
+  hierarchy.
+* :mod:`~repro.core.recovery` — the classical recovery classes
+  (recoverable / ACA / strict), quantifying what early visibility costs.
+"""
+
+from repro.core.atomicity import Atomicity, AtomicUnit, RelativeAtomicitySpec
+from repro.core.checkers import (
+    interleaved_operations,
+    is_relatively_atomic,
+    is_relatively_serial,
+    is_serial,
+)
+from repro.core.classify import ScheduleClass, classify
+from repro.core.consistent import is_relatively_consistent
+from repro.core.dependency import DependencyRelation
+from repro.core.operations import Operation, OpType, read, write
+from repro.core.recovery import (
+    avoids_cascading_aborts,
+    is_recoverable,
+    is_strict,
+    recovery_profile,
+)
+from repro.core.rsg import ArcKind, RelativeSerializationGraph, is_relatively_serializable
+from repro.core.schedules import Schedule, conflict_equivalent, conflicts
+from repro.core.serializability import (
+    equivalent_serial_order,
+    is_conflict_serializable,
+    serialization_graph,
+)
+from repro.core.transactions import Transaction
+
+__all__ = [
+    "Operation",
+    "OpType",
+    "read",
+    "write",
+    "Transaction",
+    "Schedule",
+    "conflicts",
+    "conflict_equivalent",
+    "AtomicUnit",
+    "Atomicity",
+    "RelativeAtomicitySpec",
+    "DependencyRelation",
+    "ArcKind",
+    "RelativeSerializationGraph",
+    "is_relatively_serializable",
+    "is_serial",
+    "is_relatively_atomic",
+    "is_relatively_serial",
+    "interleaved_operations",
+    "is_relatively_consistent",
+    "is_recoverable",
+    "avoids_cascading_aborts",
+    "is_strict",
+    "recovery_profile",
+    "serialization_graph",
+    "is_conflict_serializable",
+    "equivalent_serial_order",
+    "ScheduleClass",
+    "classify",
+]

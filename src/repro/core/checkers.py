@@ -1,0 +1,109 @@
+"""Definition-based membership tests for the paper's schedule classes.
+
+These implement Definitions 1 and 2 *literally* (no graphs): a schedule is
+relatively atomic when no operation is interleaved with a foreign atomic
+unit, and relatively serial when every such interleaving is dependency-free
+in both directions.  They serve as executable ground truth against which
+the RSG machinery is validated (Theorem 1 cross-checks in the test suite),
+and as the acceptance criteria inside the exponential baselines.
+
+A note on "interleaved": operation ``o`` of ``Tj`` is interleaved with
+``AtomicUnit(k, Ti, Tj)`` when some unit operation precedes ``o`` and some
+unit operation follows ``o`` in the schedule.  Because schedules preserve
+program order, a unit's operations occupy increasing positions, so this is
+exactly "``o``'s position lies strictly between the unit's first and last
+positions".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.atomicity import AtomicUnit, RelativeAtomicitySpec
+from repro.core.dependency import DependencyRelation
+from repro.core.operations import Operation
+from repro.core.schedules import Schedule
+
+__all__ = [
+    "is_serial",
+    "is_relatively_atomic",
+    "is_relatively_serial",
+    "interleaved_operations",
+    "relative_serial_violations",
+]
+
+
+def is_serial(schedule: Schedule) -> bool:
+    """Whether transactions execute one after another (no interleaving)."""
+    return schedule.is_serial
+
+
+def interleaved_operations(
+    schedule: Schedule, spec: RelativeAtomicitySpec
+) -> Iterator[tuple[Operation, AtomicUnit]]:
+    """Yield every ``(op, unit)`` pair where ``op`` is interleaved with a
+    foreign atomic unit ``AtomicUnit(k, Tl, T_op.tx)``.
+
+    An empty result means the schedule is relatively atomic
+    (Definition 1).
+    """
+    transactions = schedule.transactions
+    for owner_id, owner in transactions.items():
+        for observer_id in transactions:
+            if observer_id == owner_id:
+                continue
+            view = spec.atomicity(owner_id, observer_id)
+            for unit in view.units:
+                if unit.size < 2:
+                    continue  # a singleton unit cannot enclose anything
+                first = owner[unit.start]
+                last = owner[unit.end]
+                span_start = schedule.position(first)
+                span_end = schedule.position(last)
+                if span_end - span_start == unit.size - 1:
+                    continue  # unit is contiguous in the schedule
+                for op in schedule.operations[span_start + 1:span_end]:
+                    if op.tx == observer_id:
+                        yield op, unit
+
+
+def is_relatively_atomic(schedule: Schedule, spec: RelativeAtomicitySpec) -> bool:
+    """Definition 1: no operation of any ``Ti`` is interleaved with any
+    atomic unit of any ``Tl`` relative to ``Ti``."""
+    return next(interleaved_operations(schedule, spec), None) is None
+
+
+def relative_serial_violations(
+    schedule: Schedule,
+    spec: RelativeAtomicitySpec,
+    dependency: DependencyRelation | None = None,
+) -> Iterator[tuple[Operation, AtomicUnit, Operation]]:
+    """Yield Definition 2 violations as ``(op, unit, unit_op)`` triples.
+
+    A triple means: ``op`` is interleaved with ``unit`` (an atomic unit of
+    another transaction relative to ``op``'s transaction) and a dependency
+    exists between ``op`` and ``unit_op`` (a member of the unit) in one
+    direction or the other.  An empty result means the schedule is
+    relatively serial.
+    """
+    if dependency is None:
+        dependency = DependencyRelation(schedule)
+    owner_by_id = schedule.transactions
+    for op, unit in interleaved_operations(schedule, spec):
+        owner = owner_by_id[unit.tx]
+        for unit_op in unit.operations(owner):
+            if dependency.related(op, unit_op):
+                yield op, unit, unit_op
+
+
+def is_relatively_serial(
+    schedule: Schedule,
+    spec: RelativeAtomicitySpec,
+    dependency: DependencyRelation | None = None,
+) -> bool:
+    """Definition 2: interleavings inside foreign atomic units are allowed
+    only between dependency-free operations (in both directions)."""
+    return (
+        next(relative_serial_violations(schedule, spec, dependency), None)
+        is None
+    )

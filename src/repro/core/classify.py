@@ -1,0 +1,133 @@
+"""Classify a schedule into the Figure 5 hierarchy.
+
+Figure 5 of the paper relates five classes::
+
+    serial ⊆ relatively atomic ⊆ relatively serial   ⊆ relatively serializable
+                              ⊆ relatively consistent ⊆ relatively serializable
+
+(relatively serial and relatively consistent are incomparable with each
+other — Figure 4 exhibits a relatively serial schedule that is not
+relatively consistent).
+
+:func:`classify` computes the full membership profile of one schedule;
+:class:`ScheduleClass` names the classes.  The cheap polynomial tests
+always run; the NP-complete relative-consistency test runs only when a
+budget is provided or the instance is small.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.checkers import is_relatively_atomic, is_relatively_serial
+from repro.core.consistent import SearchBudgetExceeded, is_relatively_consistent
+from repro.core.rsg import RelativeSerializationGraph
+from repro.core.schedules import Schedule
+from repro.core.serializability import is_conflict_serializable
+
+__all__ = ["ScheduleClass", "ClassificationReport", "classify"]
+
+
+class ScheduleClass(enum.Enum):
+    """The schedule classes of the paper's Figure 5 (plus the classical
+    ones they generalize)."""
+
+    SERIAL = "serial"
+    CONFLICT_SERIALIZABLE = "conflict serializable"
+    RELATIVELY_ATOMIC = "relatively atomic"
+    RELATIVELY_SERIAL = "relatively serial"
+    RELATIVELY_CONSISTENT = "relatively consistent"
+    RELATIVELY_SERIALIZABLE = "relatively serializable"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class ClassificationReport:
+    """Membership profile of one schedule under one spec.
+
+    ``relatively_consistent`` is ``None`` when the NP-complete test was
+    skipped (budget exhausted or not requested).
+    """
+
+    serial: bool
+    conflict_serializable: bool
+    relatively_atomic: bool
+    relatively_serial: bool
+    relatively_serializable: bool
+    relatively_consistent: bool | None
+
+    @property
+    def memberships(self) -> frozenset[ScheduleClass]:
+        """The set of classes the schedule belongs to."""
+        members = set()
+        if self.serial:
+            members.add(ScheduleClass.SERIAL)
+        if self.conflict_serializable:
+            members.add(ScheduleClass.CONFLICT_SERIALIZABLE)
+        if self.relatively_atomic:
+            members.add(ScheduleClass.RELATIVELY_ATOMIC)
+        if self.relatively_serial:
+            members.add(ScheduleClass.RELATIVELY_SERIAL)
+        if self.relatively_serializable:
+            members.add(ScheduleClass.RELATIVELY_SERIALIZABLE)
+        if self.relatively_consistent:
+            members.add(ScheduleClass.RELATIVELY_CONSISTENT)
+        return frozenset(members)
+
+    def describe(self) -> str:
+        """One line per class, human readable."""
+        rows = [
+            ("serial", self.serial),
+            ("conflict serializable", self.conflict_serializable),
+            ("relatively atomic", self.relatively_atomic),
+            ("relatively serial", self.relatively_serial),
+            ("relatively consistent", self.relatively_consistent),
+            ("relatively serializable", self.relatively_serializable),
+        ]
+        lines = []
+        for name, value in rows:
+            mark = "?" if value is None else ("yes" if value else "no")
+            lines.append(f"{name:<26}{mark}")
+        return "\n".join(lines)
+
+
+def classify(
+    schedule: Schedule,
+    spec: RelativeAtomicitySpec,
+    consistency_budget: int | None = 200_000,
+) -> ClassificationReport:
+    """Compute the full class-membership profile of ``schedule``.
+
+    Args:
+        schedule: the schedule to classify.
+        spec: the relative atomicity specification.
+        consistency_budget: step budget for the NP-complete
+            relative-consistency search; ``None`` disables that test
+            entirely (reported as ``None``), any integer caps it (budget
+            exhaustion also reports ``None``).
+    """
+    rsg = RelativeSerializationGraph(schedule, spec)
+    relatively_consistent: bool | None
+    if consistency_budget is None:
+        relatively_consistent = None
+    else:
+        try:
+            relatively_consistent = is_relatively_consistent(
+                schedule, spec, max_steps=consistency_budget
+            )
+        except SearchBudgetExceeded:
+            relatively_consistent = None
+    return ClassificationReport(
+        serial=schedule.is_serial,
+        conflict_serializable=is_conflict_serializable(schedule),
+        relatively_atomic=is_relatively_atomic(schedule, spec),
+        relatively_serial=is_relatively_serial(
+            schedule, spec, rsg.dependency
+        ),
+        relatively_serializable=rsg.is_acyclic,
+        relatively_consistent=relatively_consistent,
+    )

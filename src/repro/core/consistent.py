@@ -1,0 +1,196 @@
+"""The Farrag–Özsu class: *relatively consistent* schedules.
+
+A schedule is relatively consistent when it is conflict-equivalent to some
+*relatively atomic* schedule (Definition 1).  Recognizing this class is
+NP-complete [KB92], and this module implements the honest exponential
+baseline the paper argues against: a backtracking search over the
+conflict-equivalent linear extensions of the schedule, pruning any prefix
+that has already broken a foreign atomic unit.
+
+Why this search is correct:
+
+* Two schedules are conflict-equivalent iff one is a linear extension of
+  the other's *precedence order* — program order plus the order of every
+  conflicting pair.
+* A completed extension is relatively atomic iff no operation of ``Tj``
+  lands strictly between two operations of an atomic unit of ``Tl``
+  relative to ``Tj``.  Because a unit's operations are consecutive in
+  program order, every violation is witnessed between two *consecutive*
+  operations of ``Tl``, so it can be detected (and pruned) the moment the
+  second of the two is placed.
+
+The search also powers :func:`find_equivalent_relatively_atomic`, which
+returns the witness schedule — used by the analysis tooling and the tests
+that reproduce Figure 4 (a relatively serial schedule with *no* such
+witness).
+"""
+
+from __future__ import annotations
+
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.operations import Operation
+from repro.core.schedules import Schedule, conflicts
+from repro.errors import ReproError
+
+__all__ = [
+    "is_relatively_consistent",
+    "find_equivalent_relatively_atomic",
+    "SearchBudgetExceeded",
+]
+
+
+class SearchBudgetExceeded(ReproError):
+    """The backtracking search hit its step budget before deciding.
+
+    The relative-consistency test is NP-complete, so callers running it on
+    non-trivial inputs (e.g. the complexity benchmark) set a budget and
+    treat this as "too expensive" rather than hanging.
+    """
+
+
+def is_relatively_consistent(
+    schedule: Schedule,
+    spec: RelativeAtomicitySpec,
+    max_steps: int | None = None,
+) -> bool:
+    """Whether ``schedule`` is conflict-equivalent to a relatively atomic
+    schedule (the Farrag–Özsu "relatively consistent" class).
+
+    Args:
+        schedule: the schedule to test.
+        spec: the relative atomicity specification.
+        max_steps: optional cap on search node expansions; when exceeded a
+            :class:`SearchBudgetExceeded` is raised.
+    """
+    return (
+        find_equivalent_relatively_atomic(schedule, spec, max_steps)
+        is not None
+    )
+
+
+def find_equivalent_relatively_atomic(
+    schedule: Schedule,
+    spec: RelativeAtomicitySpec,
+    max_steps: int | None = None,
+) -> Schedule | None:
+    """Search for a relatively atomic schedule conflict-equivalent to
+    ``schedule``; return it, or ``None`` when none exists.
+
+    See the module docstring for the search strategy; worst-case
+    exponential, as the class's NP-completeness demands.
+    """
+    searcher = _Searcher(schedule, spec, max_steps)
+    order = searcher.run()
+    if order is None:
+        return None
+    return schedule.reordered(order)
+
+
+class _Searcher:
+    """Backtracking enumeration of conflict-equivalent linear extensions."""
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        spec: RelativeAtomicitySpec,
+        max_steps: int | None,
+    ) -> None:
+        self._schedule = schedule
+        self._spec = spec
+        self._max_steps = max_steps
+        self._steps = 0
+
+        self._tx_ids = sorted(schedule.transactions)
+        self._programs = {
+            tx_id: schedule.transactions[tx_id].operations
+            for tx_id in self._tx_ids
+        }
+        # Cross-transaction conflict predecessors of every operation,
+        # derived once from the input schedule (the precedence order).
+        self._conflict_preds: dict[Operation, list[Operation]] = {}
+        ops = schedule.operations
+        for i, later in enumerate(ops):
+            preds = [
+                earlier
+                for earlier in ops[:i]
+                if conflicts(earlier, later)
+            ]
+            self._conflict_preds[later] = preds
+        # For pruning: does placing consecutive ops (index-1, index) of tx
+        # close a unit with respect to observer?  same_unit[tx][index] is
+        # the set of observers for which ops index-1 and index share a unit.
+        self._same_unit: dict[int, list[frozenset[int]]] = {}
+        for tx_id in self._tx_ids:
+            length = len(self._programs[tx_id])
+            shared: list[frozenset[int]] = [frozenset()] * length
+            for index in range(1, length):
+                observers = set()
+                for observer in self._tx_ids:
+                    if observer == tx_id:
+                        continue
+                    view = spec.atomicity(tx_id, observer)
+                    if view.unit_of(index - 1) is view.unit_of(index):
+                        observers.add(observer)
+                shared[index] = frozenset(observers)
+            self._same_unit[tx_id] = shared
+
+    def run(self) -> list[Operation] | None:
+        total = len(self._schedule)
+        cursor = {tx_id: 0 for tx_id in self._tx_ids}
+        placed_count: dict[Operation, bool] = {}
+        # Position at which each transaction's latest op was placed, and
+        # the global tick, to detect foreign interleavings cheaply.
+        last_pos = {tx_id: -1 for tx_id in self._tx_ids}
+        prefix: list[Operation] = []
+
+        def candidates() -> list[int]:
+            ready: list[int] = []
+            for tx_id in self._tx_ids:
+                index = cursor[tx_id]
+                program = self._programs[tx_id]
+                if index >= len(program):
+                    continue
+                op = program[index]
+                if all(p in placed_count for p in self._conflict_preds[op]):
+                    ready.append(tx_id)
+            return ready
+
+        def violates(tx_id: int) -> bool:
+            index = cursor[tx_id]
+            if index == 0:
+                return False
+            observers = self._same_unit[tx_id][index]
+            if not observers:
+                return False
+            boundary = last_pos[tx_id]
+            return any(last_pos[obs] > boundary for obs in observers)
+
+        def extend() -> bool:
+            if len(prefix) == total:
+                return True
+            self._steps += 1
+            if self._max_steps is not None and self._steps > self._max_steps:
+                raise SearchBudgetExceeded(
+                    f"relative-consistency search exceeded {self._max_steps} "
+                    "steps"
+                )
+            for tx_id in candidates():
+                if violates(tx_id):
+                    continue
+                op = self._programs[tx_id][cursor[tx_id]]
+                saved_last = last_pos[tx_id]
+                prefix.append(op)
+                placed_count[op] = True
+                last_pos[tx_id] = len(prefix) - 1
+                cursor[tx_id] += 1
+                if extend():
+                    return True
+                cursor[tx_id] -= 1
+                last_pos[tx_id] = saved_last
+                del placed_count[op]
+                prefix.pop()
+            return False
+
+        if extend():
+            return list(prefix)
+        return None

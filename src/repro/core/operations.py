@@ -1,0 +1,146 @@
+"""Read and write operations — the atoms of the transaction model.
+
+The paper (Section 2) models a database as a set of objects accessed by
+atomic ``read`` and ``write`` operations.  An operation is written
+``ri[x]`` / ``wi[x]`` — a read/write by transaction ``Ti`` on object ``x``
+— and ``oij`` denotes the *j*-th operation of ``Ti``.
+
+Operations here are immutable value objects identified by
+``(tx, index)``: two operations are the same vertex of a relative
+serialization graph exactly when they are the same position of the same
+transaction.  The index is assigned by :class:`~repro.core.transactions.
+Transaction` construction, so user code usually writes ``read("x")`` /
+``write("x")`` and lets the transaction number them.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import NotationError
+
+__all__ = ["OpType", "Operation", "read", "write", "parse_operation"]
+
+
+class OpType(enum.Enum):
+    """The two primitive access modes of the model."""
+
+    READ = "r"
+    WRITE = "w"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Operation:
+    """A single read or write of a database object by a transaction.
+
+    Attributes:
+        op_type: :class:`OpType.READ` or :class:`OpType.WRITE`.
+        obj: name of the database object accessed (``x`` in ``r1[x]``).
+        tx: id of the owning transaction (``1`` in ``r1[x]``), or ``None``
+            for a free-standing operation not yet bound to a transaction.
+        index: zero-based position within the owning transaction, or
+            ``None`` when unbound.
+    """
+
+    op_type: OpType
+    obj: str
+    tx: int | None = None
+    index: int | None = None
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+    @property
+    def is_read(self) -> bool:
+        """Whether this is a read operation."""
+        return self.op_type is OpType.READ
+
+    @property
+    def is_write(self) -> bool:
+        """Whether this is a write operation."""
+        return self.op_type is OpType.WRITE
+
+    @property
+    def is_bound(self) -> bool:
+        """Whether the operation is bound to a transaction position."""
+        return self.tx is not None and self.index is not None
+
+    def bound_to(self, tx: int, index: int) -> "Operation":
+        """Return a copy bound to transaction ``tx`` at position ``index``."""
+        return Operation(self.op_type, self.obj, tx, index)
+
+    def conflicts_with(self, other: "Operation") -> bool:
+        """Paper definition of conflict.
+
+        Two operations *of different transactions* conflict when they access
+        the same object and at least one is a write.
+        """
+        return (
+            self.tx != other.tx
+            and self.obj == other.obj
+            and (self.is_write or other.is_write)
+        )
+
+    # ------------------------------------------------------------------
+    # Notation
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """The paper's notation for this operation, e.g. ``r1[x]``."""
+        tx_part = "" if self.tx is None else str(self.tx)
+        return f"{self.op_type.value}{tx_part}[{self.obj}]"
+
+    def __str__(self) -> str:
+        return self.label
+
+    def __repr__(self) -> str:
+        if self.is_bound:
+            return f"Operation({self.label} @{self.index})"
+        return f"Operation({self.label})"
+
+
+def read(obj: str) -> Operation:
+    """An unbound read of ``obj`` (bound on transaction construction)."""
+    return Operation(OpType.READ, obj)
+
+
+def write(obj: str) -> Operation:
+    """An unbound write of ``obj`` (bound on transaction construction)."""
+    return Operation(OpType.WRITE, obj)
+
+
+_OPERATION_RE = re.compile(
+    r"""
+    ^\s*
+    (?P<type>[rw])            # access mode
+    (?P<tx>\d*)               # optional transaction id
+    \[
+    (?P<obj>[^\[\]\s]+)       # object name: anything but brackets/space
+    \]
+    \s*$
+    """,
+    re.VERBOSE,
+)
+
+
+def parse_operation(text: str) -> Operation:
+    """Parse the paper's ``r1[x]`` / ``w[x]`` notation into an operation.
+
+    The transaction id is optional (``r[x]`` parses as an unbound read
+    whose transaction will be assigned by context).  The operation index is
+    never part of the notation; binding happens at transaction
+    construction.
+
+    Raises :class:`~repro.errors.NotationError` on malformed input.
+    """
+    match = _OPERATION_RE.match(text)
+    if match is None:
+        raise NotationError(f"cannot parse operation notation: {text!r}")
+    op_type = OpType(match.group("type"))
+    tx = int(match.group("tx")) if match.group("tx") else None
+    return Operation(op_type, match.group("obj"), tx)

@@ -1,0 +1,113 @@
+"""Classical recovery classes: recoverable, ACA, strict.
+
+The paper studies scheduling correctness only, but a production
+concurrency-control library needs the recovery side of the textbook
+theory too (Bernstein–Hadzilacos–Goodman): which histories remain
+correct when transactions can abort.
+
+In this library's model a schedule contains only read/write operations
+and every transaction commits; following the standard convention for
+such histories, a transaction's *commit point* is the position of its
+last operation.  With that convention:
+
+* ``Tj`` **reads from** ``Ti`` (``i != j``) when ``Tj`` reads ``x`` and
+  ``Ti`` is the last transaction that wrote ``x`` before that read;
+* a schedule is **recoverable** (RC) when every reader commits after
+  the writer it read from;
+* it **avoids cascading aborts** (ACA) when transactions only read
+  from committed writers;
+* it is **strict** (ST) when no object is read *or overwritten* while
+  its last writer is still uncommitted.
+
+``ST ⊆ ACA ⊆ RC`` as usual, and the locking protocols in
+:mod:`repro.protocols` that hold exclusive locks to commit produce
+strict histories except across donated objects — which is exactly the
+durability price of early release that [SGMA87] discusses for
+altruistic locking; the analysis tooling makes that trade-off visible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.operations import Operation
+from repro.core.schedules import Schedule
+
+__all__ = [
+    "commit_position",
+    "reads_from_pairs",
+    "is_recoverable",
+    "avoids_cascading_aborts",
+    "is_strict",
+    "recovery_profile",
+]
+
+
+def commit_position(schedule: Schedule, tx_id: int) -> int:
+    """The commit point of ``T{tx_id}``: its last operation's position."""
+    transaction = schedule.transactions[tx_id]
+    return schedule.position(transaction[len(transaction) - 1])
+
+
+def reads_from_pairs(
+    schedule: Schedule,
+) -> Iterator[tuple[Operation, Operation]]:
+    """Yield ``(read, write)`` pairs where the read observes the write.
+
+    The write is the latest write on the read's object by *another*
+    transaction before the read, provided the reader's own transaction
+    has not overwritten the object in between (reads of a transaction's
+    own writes are internal and carry no recovery obligation).
+    """
+    last_writer: dict[str, Operation] = {}
+    for op in schedule:
+        if op.is_read:
+            writer = last_writer.get(op.obj)
+            if writer is not None and writer.tx != op.tx:
+                yield op, writer
+        else:
+            last_writer[op.obj] = op
+
+
+def is_recoverable(schedule: Schedule) -> bool:
+    """RC: every reader commits after the writer it read from."""
+    for read, write in reads_from_pairs(schedule):
+        if commit_position(schedule, read.tx) < commit_position(
+            schedule, write.tx
+        ):
+            return False
+    return True
+
+
+def avoids_cascading_aborts(schedule: Schedule) -> bool:
+    """ACA: reads only observe writes of already-committed transactions."""
+    for read, write in reads_from_pairs(schedule):
+        if schedule.position(read) < commit_position(schedule, write.tx):
+            return False
+    return True
+
+
+def is_strict(schedule: Schedule) -> bool:
+    """ST: no read or overwrite of an uncommitted transaction's write."""
+    last_writer: dict[str, Operation] = {}
+    for op in schedule:
+        writer = last_writer.get(op.obj)
+        if (
+            writer is not None
+            and writer.tx != op.tx
+            and schedule.position(op)
+            < commit_position(schedule, writer.tx)
+        ):
+            return False
+        if op.is_write:
+            last_writer[op.obj] = op
+    return True
+
+
+def recovery_profile(schedule: Schedule) -> dict[str, bool]:
+    """All three memberships at once (keys ``rc``/``aca``/``st``)."""
+    return {
+        "rc": is_recoverable(schedule),
+        "aca": avoids_cascading_aborts(schedule),
+        "st": is_strict(schedule),
+    }

@@ -1,0 +1,72 @@
+"""Classical conflict serializability (Papadimitriou 79, BSW 79).
+
+The traditional theory the paper generalizes: the serialization graph
+``SG(S)`` has transactions as nodes and an edge ``Ti -> Tk`` whenever an
+operation of ``Ti`` conflicts with and precedes an operation of ``Tk``; a
+schedule is conflict serializable iff ``SG(S)`` is acyclic.
+
+Lemma 1 of the paper connects the two worlds: under absolute atomicity
+specifications, relatively serializable == conflict serializable, and the
+test suite checks that equivalence exhaustively.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedules import Schedule, conflict_pairs
+from repro.errors import CycleError
+from repro.graphs.cycles import find_cycle
+from repro.graphs.digraph import DiGraph
+from repro.graphs.toposort import topological_sort
+
+__all__ = [
+    "serialization_graph",
+    "is_conflict_serializable",
+    "equivalent_serial_order",
+    "equivalent_serial_schedule",
+]
+
+
+def serialization_graph(schedule: Schedule) -> DiGraph:
+    """``SG(S)``: transaction-level conflict precedence graph."""
+    graph = DiGraph()
+    for tx_id in schedule.transactions:
+        graph.add_node(tx_id)
+    for earlier, later in conflict_pairs(schedule):
+        if earlier.tx != later.tx:
+            graph.add_edge(earlier.tx, later.tx)
+    return graph
+
+
+def is_conflict_serializable(schedule: Schedule) -> bool:
+    """Whether ``SG(S)`` is acyclic (the classical correctness test)."""
+    return find_cycle(serialization_graph(schedule)) is None
+
+
+def equivalent_serial_order(schedule: Schedule) -> list[int]:
+    """A serialization order of the transactions.
+
+    Returns transaction ids in an order such that the serial schedule
+    executing them in that order is conflict-equivalent to ``schedule``.
+
+    Raises:
+        CycleError: when the schedule is not conflict serializable.
+    """
+    graph = serialization_graph(schedule)
+    cycle = find_cycle(graph)
+    if cycle is not None:
+        raise CycleError(
+            "serialization graph is cyclic; schedule is not conflict "
+            "serializable",
+            cycle=cycle,
+        )
+    return topological_sort(graph, key=lambda tx_id: tx_id)
+
+
+def equivalent_serial_schedule(schedule: Schedule) -> Schedule:
+    """The serial schedule witnessing conflict serializability.
+
+    Raises:
+        CycleError: when the schedule is not conflict serializable.
+    """
+    order = equivalent_serial_order(schedule)
+    return Schedule.serial(schedule.transaction_list, order)

@@ -1,0 +1,158 @@
+"""Transactions: totally ordered sequences of read/write operations.
+
+Following the paper (Section 2, footnote 2), a transaction is a *totally
+ordered* sequence of operations.  Construction binds every operation to the
+transaction id and its zero-based position, so operations double as vertex
+ids in the relative serialization graph.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.core.operations import Operation, parse_operation
+from repro.errors import InvalidTransactionError
+
+__all__ = ["Transaction"]
+
+
+class Transaction:
+    """An immutable sequence of operations executed by one client.
+
+    Operations may be given unbound (``read("x")``), bound to this
+    transaction already, or as notation strings (``"r[x]"``); in every case
+    the constructor (re)binds them to ``(tx_id, position)``.
+
+    Args:
+        tx_id: positive integer id of the transaction (``1`` for ``T1``).
+        operations: the operation sequence, in program order.
+
+    Raises:
+        InvalidTransactionError: on an empty sequence, a non-positive id,
+            or an operation pre-bound to a *different* transaction id.
+    """
+
+    def __init__(
+        self, tx_id: int, operations: Iterable[Operation | str]
+    ) -> None:
+        if tx_id <= 0:
+            raise InvalidTransactionError(
+                f"transaction ids must be positive, got {tx_id}"
+            )
+        bound: list[Operation] = []
+        for position, op in enumerate(operations):
+            if isinstance(op, str):
+                op = parse_operation(op)
+            if op.tx is not None and op.tx != tx_id:
+                raise InvalidTransactionError(
+                    f"operation {op} already belongs to T{op.tx}, "
+                    f"cannot bind it to T{tx_id}"
+                )
+            bound.append(op.bound_to(tx_id, position))
+        if not bound:
+            raise InvalidTransactionError(
+                f"transaction T{tx_id} has no operations"
+            )
+        self._tx_id = tx_id
+        self._operations: tuple[Operation, ...] = tuple(bound)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_notation(cls, tx_id: int, text: str) -> "Transaction":
+        """Build a transaction from whitespace-separated notation.
+
+        Example::
+
+            Transaction.from_notation(1, "r[x] w[x] w[z] r[y]")
+
+        Transaction ids inside the notation (``r1[x]``) are accepted as
+        long as they match ``tx_id``.
+        """
+        tokens = text.split()
+        if not tokens:
+            raise InvalidTransactionError(
+                f"transaction T{tx_id} has no operations"
+            )
+        return cls(tx_id, tokens)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def tx_id(self) -> int:
+        """The transaction's id."""
+        return self._tx_id
+
+    @property
+    def operations(self) -> tuple[Operation, ...]:
+        """The operations in program order."""
+        return self._operations
+
+    @property
+    def read_set(self) -> frozenset[str]:
+        """Objects this transaction reads."""
+        return frozenset(op.obj for op in self._operations if op.is_read)
+
+    @property
+    def write_set(self) -> frozenset[str]:
+        """Objects this transaction writes."""
+        return frozenset(op.obj for op in self._operations if op.is_write)
+
+    @property
+    def objects(self) -> frozenset[str]:
+        """All objects this transaction accesses."""
+        return frozenset(op.obj for op in self._operations)
+
+    def operation(self, index: int) -> Operation:
+        """The operation at zero-based program position ``index``."""
+        return self._operations[index]
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._operations)
+
+    def __getitem__(self, index: int) -> Operation:
+        return self._operations[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Transaction):
+            return NotImplemented
+        return (
+            self._tx_id == other._tx_id
+            and self._operations == other._operations
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._tx_id, self._operations))
+
+    def __str__(self) -> str:
+        body = " ".join(op.label for op in self._operations)
+        return f"T{self._tx_id} = {body}"
+
+    def __repr__(self) -> str:
+        return f"Transaction(T{self._tx_id}, {len(self)} ops)"
+
+
+def as_transaction_map(
+    transactions: Sequence[Transaction],
+) -> dict[int, Transaction]:
+    """Index transactions by id, rejecting duplicates.
+
+    A shared helper for :class:`~repro.core.schedules.Schedule` and the
+    spec validators.
+    """
+    by_id: dict[int, Transaction] = {}
+    for transaction in transactions:
+        if transaction.tx_id in by_id:
+            raise InvalidTransactionError(
+                f"duplicate transaction id T{transaction.tx_id}"
+            )
+        by_id[transaction.tx_id] = transaction
+    return by_id

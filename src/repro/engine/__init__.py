@@ -1,0 +1,18 @@
+"""Execution engine: an in-memory versioned store and schedule executor.
+
+The paper's theory is about *orders* of operations; the engine makes those
+orders runnable against real data so the examples and the protocol
+simulator can demonstrate semantic consequences (e.g. a banking audit
+observing a consistent or inconsistent total depending on the schedule's
+class).
+
+* :mod:`~repro.engine.kvstore` — a key-value store with per-transaction
+  undo logs (abort support) and per-object version counters;
+* :mod:`~repro.engine.executor` — runs a schedule against the store,
+  mapping each operation to a semantic effect and recording a full trace.
+"""
+
+from repro.engine.executor import ExecutionTrace, ScheduleExecutor, Semantics
+from repro.engine.kvstore import KVStore
+
+__all__ = ["KVStore", "ScheduleExecutor", "Semantics", "ExecutionTrace"]

@@ -1,0 +1,136 @@
+"""Execute a schedule against a :class:`~repro.engine.kvstore.KVStore`.
+
+The theory layer decides *whether* an order is acceptable; the executor
+shows *what happens* when it runs.  Each write operation is given a
+semantic effect — a function from the object's current value (and the
+values the transaction has read so far) to the new value — so realistic
+programs (transfers, audits, design edits) can be replayed under any
+schedule and their observable results compared across schedule classes.
+
+The default semantics (no :class:`Semantics` supplied) tags each write
+with ``"T{tx}.{index}"`` so traces are still informative for purely
+structural experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.operations import Operation
+from repro.core.schedules import Schedule
+from repro.engine.kvstore import KVStore
+from repro.errors import EngineError
+
+__all__ = ["Semantics", "ExecutionTrace", "ScheduleExecutor"]
+
+#: A write effect: ``(current value, values read so far by the tx) -> new``.
+WriteEffect = Callable[[Any, dict[str, Any]], Any]
+
+
+class Semantics:
+    """Per-operation write effects for a transaction set.
+
+    Args:
+        effects: mapping from ``(tx_id, op_index)`` to the write effect
+            applied at that operation.  Read operations need no entry.
+            Writes without an entry fall back to the structural default
+            (tagging the object with the writer's identity).
+    """
+
+    def __init__(
+        self, effects: Mapping[tuple[int, int], WriteEffect] | None = None
+    ) -> None:
+        self._effects = dict(effects or {})
+
+    def set_effect(self, tx_id: int, op_index: int, effect: WriteEffect) -> None:
+        """Register/replace the effect of one write operation."""
+        self._effects[(tx_id, op_index)] = effect
+
+    def effect_for(self, op: Operation) -> WriteEffect:
+        """The effect to apply at ``op`` (default tags the writer)."""
+        try:
+            return self._effects[(op.tx, op.index)]
+        except KeyError:
+            return lambda _current, _reads, op=op: f"T{op.tx}.{op.index}"
+
+
+@dataclass
+class ExecutionTrace:
+    """Everything observed while executing one schedule.
+
+    Attributes:
+        schedule: the executed schedule.
+        reads: value observed by each read operation.
+        writes: value produced by each write operation.
+        final_state: store contents after all commits.
+        reads_by_tx: per transaction, object -> last value read.
+    """
+
+    schedule: Schedule
+    reads: dict[Operation, Any] = field(default_factory=dict)
+    writes: dict[Operation, Any] = field(default_factory=dict)
+    final_state: dict[str, Any] = field(default_factory=dict)
+    reads_by_tx: dict[int, dict[str, Any]] = field(default_factory=dict)
+
+    def read_value(self, op: Operation) -> Any:
+        """The value a given read operation observed."""
+        try:
+            return self.reads[op]
+        except KeyError:
+            raise EngineError(f"{op!r} is not a read of this trace") from None
+
+    def transaction_view(self, tx_id: int) -> dict[str, Any]:
+        """Object -> last value read by ``T{tx_id}`` during execution."""
+        return dict(self.reads_by_tx.get(tx_id, {}))
+
+
+class ScheduleExecutor:
+    """Run schedules against a store under given write semantics.
+
+    Args:
+        initial_state: the database contents before execution.  Objects a
+            schedule reads must exist here (writes may create objects).
+        semantics: write effects; defaults to structural tagging.
+    """
+
+    def __init__(
+        self,
+        initial_state: Mapping[str, Any],
+        semantics: Semantics | None = None,
+    ) -> None:
+        self._initial_state = dict(initial_state)
+        self._semantics = semantics or Semantics()
+
+    def run(self, schedule: Schedule) -> ExecutionTrace:
+        """Execute ``schedule`` operation by operation; commit everything.
+
+        Every transaction begins at its first operation and commits at its
+        last; the trace records each read's observed value and each
+        write's produced value.
+        """
+        store = KVStore(self._initial_state)
+        trace = ExecutionTrace(schedule=schedule)
+        remaining = {
+            tx_id: len(tx) for tx_id, tx in schedule.transactions.items()
+        }
+        for op in schedule:
+            if op.index == 0:
+                store.begin(op.tx)
+            reads_so_far = trace.reads_by_tx.setdefault(op.tx, {})
+            if op.is_read:
+                value = store.read(op.tx, op.obj)
+                trace.reads[op] = value
+                reads_so_far[op.obj] = value
+            else:
+                current = store.peek(op.obj)
+                effect = self._semantics.effect_for(op)
+                value = effect(current, dict(reads_so_far))
+                store.write(op.tx, op.obj, value)
+                trace.writes[op] = value
+            remaining[op.tx] -= 1
+            if remaining[op.tx] == 0:
+                store.commit(op.tx)
+        trace.final_state = store.snapshot()
+        return trace

@@ -1,0 +1,124 @@
+"""An in-memory key-value store with transactional undo.
+
+Minimal but honest: reads and writes are routed through open transactions,
+each write appends to the transaction's undo log, commit discards the log
+and abort replays it backwards.  Per-object version counters let callers
+observe "who wrote last" without inspecting values.  There is no
+durability and no internal concurrency control — ordering decisions belong
+to the schedulers in :mod:`repro.protocols`; the store just applies
+whatever order it is handed (which is exactly the separation the paper's
+theory assumes).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from repro.errors import EngineError
+
+__all__ = ["KVStore"]
+
+_MISSING = object()
+
+
+class KVStore:
+    """A dictionary of database objects with transactional undo logs.
+
+    Args:
+        initial: initial object values (copied).
+    """
+
+    def __init__(self, initial: Mapping[str, Any] | None = None) -> None:
+        self._data: dict[str, Any] = dict(initial or {})
+        self._versions: dict[str, int] = {obj: 0 for obj in self._data}
+        # tx id -> list of (object, previous value or _MISSING) pairs, in
+        # write order; replayed backwards on abort.
+        self._undo: dict[int, list[tuple[str, Any]]] = {}
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+    def begin(self, tx_id: int) -> None:
+        """Open a transaction (idempotent begin is an error)."""
+        if tx_id in self._undo:
+            raise EngineError(f"transaction T{tx_id} already open")
+        self._undo[tx_id] = []
+
+    def commit(self, tx_id: int) -> None:
+        """Commit: discard the undo log, making writes permanent."""
+        self._require_open(tx_id)
+        del self._undo[tx_id]
+
+    def abort(self, tx_id: int) -> None:
+        """Abort: undo the transaction's writes in reverse order."""
+        log = self._require_open(tx_id)
+        for obj, previous in reversed(log):
+            if previous is _MISSING:
+                self._data.pop(obj, None)
+                self._versions.pop(obj, None)
+            else:
+                self._data[obj] = previous
+                self._versions[obj] -= 1
+        del self._undo[tx_id]
+
+    @property
+    def open_transactions(self) -> frozenset[int]:
+        """Ids of transactions currently open."""
+        return frozenset(self._undo)
+
+    # ------------------------------------------------------------------
+    # Data access
+    # ------------------------------------------------------------------
+    def read(self, tx_id: int, obj: str) -> Any:
+        """Read ``obj`` on behalf of transaction ``tx_id``.
+
+        Raises :class:`~repro.errors.EngineError` if the object does not
+        exist or the transaction is not open.
+        """
+        self._require_open(tx_id)
+        if obj not in self._data:
+            raise EngineError(f"object {obj!r} does not exist")
+        return self._data[obj]
+
+    def write(self, tx_id: int, obj: str, value: Any) -> None:
+        """Write ``value`` to ``obj`` on behalf of transaction ``tx_id``."""
+        log = self._require_open(tx_id)
+        previous = self._data.get(obj, _MISSING)
+        log.append((obj, previous))
+        self._data[obj] = value
+        self._versions[obj] = self._versions.get(obj, -1) + 1
+
+    def peek(self, obj: str, default: Any = None) -> Any:
+        """Non-transactional read (diagnostics and assertions only)."""
+        return self._data.get(obj, default)
+
+    def version(self, obj: str) -> int:
+        """How many committed-or-pending writes ``obj`` has received."""
+        return self._versions.get(obj, 0)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A copy of the entire current state."""
+        return dict(self._data)
+
+    def objects(self) -> frozenset[str]:
+        """All existing object names."""
+        return frozenset(self._data)
+
+    def _require_open(self, tx_id: int) -> list[tuple[str, Any]]:
+        try:
+            return self._undo[tx_id]
+        except KeyError:
+            raise EngineError(f"transaction T{tx_id} is not open") from None
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, obj: str) -> bool:
+        return obj in self._data
+
+    def __repr__(self) -> str:
+        return (
+            f"KVStore({len(self._data)} objects, "
+            f"{len(self._undo)} open transactions)"
+        )

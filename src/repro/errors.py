@@ -1,0 +1,109 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the package with a single ``except`` clause,
+while still being able to distinguish model errors (bad transactions or
+schedules), specification errors (invalid relative atomicity specs), and
+parse errors (malformed textual notation).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "InvalidTransactionError",
+    "InvalidScheduleError",
+    "SpecError",
+    "InvalidSpecError",
+    "MissingSpecError",
+    "NotationError",
+    "GraphError",
+    "CycleError",
+    "EngineError",
+    "TransactionAborted",
+    "ProtocolError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class ModelError(ReproError):
+    """Base class for errors in the transaction/schedule model."""
+
+
+class InvalidTransactionError(ModelError):
+    """A transaction violates a structural constraint.
+
+    Examples: empty operation sequence, operations with mismatched
+    transaction ids, or duplicate operation indices.
+    """
+
+
+class InvalidScheduleError(ModelError):
+    """A schedule violates a structural constraint.
+
+    Examples: missing or duplicated operations, or operations of one
+    transaction appearing out of program order (the paper assumes totally
+    ordered transactions and schedules, footnote 2).
+    """
+
+
+class SpecError(ReproError):
+    """Base class for relative atomicity specification errors."""
+
+
+class InvalidSpecError(SpecError):
+    """A relative atomicity specification is structurally invalid.
+
+    Examples: a breakpoint position outside ``1..len(T)-1``, a unit
+    partition that does not cover the transaction, or a spec keyed by a
+    transaction pair that does not exist in the transaction set.
+    """
+
+
+class MissingSpecError(SpecError):
+    """A required ``Atomicity(Ti, Tj)`` entry is absent from a spec set."""
+
+
+class NotationError(ReproError):
+    """Malformed textual notation (``r1[x]`` operations, spec strings, …)."""
+
+
+class GraphError(ReproError):
+    """Base class for errors raised by the graph substrate."""
+
+
+class CycleError(GraphError):
+    """An operation that requires acyclicity was given a cyclic graph.
+
+    Carries the offending cycle (a list of nodes) in :attr:`cycle` when it
+    is known.
+    """
+
+    def __init__(self, message: str, cycle: list | None = None) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+
+
+class EngineError(ReproError):
+    """Base class for execution-engine errors (key-value store, executor)."""
+
+
+class TransactionAborted(EngineError):
+    """Raised/recorded when the engine aborts a transaction."""
+
+
+class ProtocolError(ReproError):
+    """A concurrency-control protocol was driven incorrectly.
+
+    Examples: submitting an operation for a transaction that was never
+    admitted, or submitting operations out of program order.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an inconsistent state."""

@@ -1,0 +1,36 @@
+"""Directed-graph substrate used throughout the library.
+
+The paper's central tool is a directed graph (the relative serialization
+graph) whose acyclicity must be tested; the classical serialization graph
+and the protocols' waits-for graphs are digraphs too.  This subpackage
+provides a small, dependency-free digraph implementation with exactly the
+algorithms the rest of the library needs:
+
+* :class:`~repro.graphs.digraph.DiGraph` — adjacency-set digraph with
+  labelled edges,
+* :func:`~repro.graphs.cycles.find_cycle` /
+  :func:`~repro.graphs.cycles.is_acyclic` — iterative DFS cycle detection,
+* :func:`~repro.graphs.toposort.topological_sort` — deterministic Kahn
+  topological sort with a caller-supplied tie-break,
+* :func:`~repro.graphs.closure.transitive_closure` — bitset reachability,
+* :func:`~repro.graphs.scc.strongly_connected_components` — Tarjan SCCs,
+* :func:`~repro.graphs.nx.to_networkx` — optional bridge to networkx.
+"""
+
+from repro.graphs.closure import descendants, transitive_closure
+from repro.graphs.cycles import find_cycle, is_acyclic
+from repro.graphs.digraph import DiGraph
+from repro.graphs.scc import condensation, strongly_connected_components
+from repro.graphs.toposort import all_topological_sorts, topological_sort
+
+__all__ = [
+    "DiGraph",
+    "find_cycle",
+    "is_acyclic",
+    "topological_sort",
+    "all_topological_sorts",
+    "transitive_closure",
+    "descendants",
+    "strongly_connected_components",
+    "condensation",
+]

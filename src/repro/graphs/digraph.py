@@ -1,0 +1,182 @@
+"""A small labelled directed graph.
+
+This is deliberately minimal: hashable nodes, adjacency sets in both
+directions, and an optional set of labels per edge.  The relative
+serialization graph uses labels to record *why* an arc exists (``I``, ``D``,
+``F``, ``B`` arcs in the paper's Definition 3); the classical serialization
+graph and the waits-for graphs use unlabelled edges.
+
+The implementation favours explicitness over cleverness (per the project
+style guide): no operator overloading beyond ``len``/``contains``/``iter``,
+and every mutation goes through a named method.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Any
+
+from repro.errors import GraphError
+
+__all__ = ["DiGraph"]
+
+Node = Hashable
+
+
+class DiGraph:
+    """A directed graph with hashable nodes and label sets on edges.
+
+    Parallel edges are collapsed: adding an edge that already exists merges
+    the new labels into the existing label set.  Self-loops are allowed
+    (they make the graph trivially cyclic, which the cycle detector
+    reports).
+    """
+
+    def __init__(self) -> None:
+        self._succ: dict[Node, set[Node]] = {}
+        self._pred: dict[Node, set[Node]] = {}
+        self._labels: dict[tuple[Node, Node], set[Any]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[Node, Node]]) -> "DiGraph":
+        """Build a graph from an iterable of ``(source, target)`` pairs."""
+        graph = cls()
+        for source, target in edges:
+            graph.add_edge(source, target)
+        return graph
+
+    def copy(self) -> "DiGraph":
+        """Return an independent copy of this graph."""
+        clone = DiGraph()
+        clone._succ = {node: set(adj) for node, adj in self._succ.items()}
+        clone._pred = {node: set(adj) for node, adj in self._pred.items()}
+        clone._labels = {edge: set(labels) for edge, labels in self._labels.items()}
+        return clone
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` to the graph (a no-op if already present)."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def add_edge(self, source: Node, target: Node, label: Any = None) -> None:
+        """Add the edge ``source -> target``, optionally tagged with ``label``.
+
+        Both endpoints are added to the graph if absent.  Re-adding an
+        existing edge merges labels rather than duplicating the edge.
+        """
+        self.add_node(source)
+        self.add_node(target)
+        self._succ[source].add(target)
+        self._pred[target].add(source)
+        if label is not None:
+            self._labels.setdefault((source, target), set()).add(label)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and every edge incident to it."""
+        if node not in self._succ:
+            raise GraphError(f"node {node!r} not in graph")
+        for target in self._succ.pop(node):
+            self._pred[target].discard(node)
+            self._labels.pop((node, target), None)
+        for source in self._pred.pop(node):
+            self._succ[source].discard(node)
+            self._labels.pop((source, node), None)
+
+    def remove_edge(self, source: Node, target: Node) -> None:
+        """Remove the edge ``source -> target`` (and its labels)."""
+        if not self.has_edge(source, target):
+            raise GraphError(f"edge {source!r} -> {target!r} not in graph")
+        self._succ[source].discard(target)
+        self._pred[target].discard(source)
+        self._labels.pop((source, target), None)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def has_node(self, node: Node) -> bool:
+        """Return whether ``node`` is in the graph."""
+        return node in self._succ
+
+    def has_edge(self, source: Node, target: Node) -> bool:
+        """Return whether the edge ``source -> target`` is in the graph."""
+        return source in self._succ and target in self._succ[source]
+
+    def successors(self, node: Node) -> frozenset[Node]:
+        """Return the set of direct successors of ``node``."""
+        if node not in self._succ:
+            raise GraphError(f"node {node!r} not in graph")
+        return frozenset(self._succ[node])
+
+    def predecessors(self, node: Node) -> frozenset[Node]:
+        """Return the set of direct predecessors of ``node``."""
+        if node not in self._pred:
+            raise GraphError(f"node {node!r} not in graph")
+        return frozenset(self._pred[node])
+
+    def out_degree(self, node: Node) -> int:
+        """Return the number of direct successors of ``node``."""
+        return len(self.successors(node))
+
+    def in_degree(self, node: Node) -> int:
+        """Return the number of direct predecessors of ``node``."""
+        return len(self.predecessors(node))
+
+    def edge_labels(self, source: Node, target: Node) -> frozenset[Any]:
+        """Return the labels attached to the edge ``source -> target``."""
+        if not self.has_edge(source, target):
+            raise GraphError(f"edge {source!r} -> {target!r} not in graph")
+        return frozenset(self._labels.get((source, target), ()))
+
+    def nodes(self) -> list[Node]:
+        """Return the nodes in insertion order."""
+        return list(self._succ)
+
+    def edges(self) -> list[tuple[Node, Node]]:
+        """Return all edges as ``(source, target)`` pairs."""
+        return [
+            (source, target)
+            for source, adj in self._succ.items()
+            for target in adj
+        ]
+
+    def labelled_edges(self) -> list[tuple[Node, Node, frozenset[Any]]]:
+        """Return all edges with their (possibly empty) label sets."""
+        return [
+            (source, target, frozenset(self._labels.get((source, target), ())))
+            for source, adj in self._succ.items()
+            for target in adj
+        ]
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the graph."""
+        return len(self._succ)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of (collapsed) edges in the graph."""
+        return sum(len(adj) for adj in self._succ.values())
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return self.has_node(node)
+
+    def __len__(self) -> int:
+        return self.node_count
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def __repr__(self) -> str:
+        return (
+            f"DiGraph(nodes={self.node_count}, edges={self.edge_count})"
+        )

@@ -1,0 +1,59 @@
+"""Optional bridge between :class:`~repro.graphs.digraph.DiGraph` and networkx.
+
+The library is self-contained (its own digraph + algorithms), but users who
+already live in the networkx ecosystem — e.g. to draw a relative
+serialization graph — can convert in either direction.  networkx is an
+*optional* dependency; importing this module without it raises a clear
+error only when the conversion functions are actually called.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["to_networkx", "from_networkx"]
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - networkx present in CI
+        raise GraphError(
+            "networkx is required for this conversion; install repro[nx]"
+        ) from exc
+    return networkx
+
+
+def to_networkx(graph: DiGraph):
+    """Convert a :class:`DiGraph` to a ``networkx.DiGraph``.
+
+    Edge label sets are stored under the ``labels`` edge attribute (as a
+    frozenset), matching how the RSG tags arcs with their kinds.
+    """
+    networkx = _require_networkx()
+    result = networkx.DiGraph()
+    result.add_nodes_from(graph.nodes())
+    for source, target, labels in graph.labelled_edges():
+        result.add_edge(source, target, labels=labels)
+    return result
+
+
+def from_networkx(nx_graph) -> DiGraph:
+    """Convert a ``networkx.DiGraph`` to a :class:`DiGraph`.
+
+    A ``labels`` edge attribute, if present, is expected to be an iterable
+    of labels and is preserved.
+    """
+    _require_networkx()
+    result = DiGraph()
+    for node in nx_graph.nodes():
+        result.add_node(node)
+    for source, target, data in nx_graph.edges(data=True):
+        labels = data.get("labels") or ()
+        if labels:
+            for label in labels:
+                result.add_edge(source, target, label=label)
+        else:
+            result.add_edge(source, target)
+    return result

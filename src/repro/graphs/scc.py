@@ -1,0 +1,92 @@
+"""Strongly connected components (iterative Tarjan).
+
+Used by the protocols for diagnostics (when an online test finds a cycle,
+the SCC tells us the full set of mutually blocking operations, from which
+the victim-selection policy picks a transaction to abort) and by the
+analysis toolkit to summarize how "tangled" a rejected schedule is.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["strongly_connected_components", "condensation"]
+
+Node = Hashable
+
+
+def strongly_connected_components(graph: DiGraph) -> list[list[Node]]:
+    """Return the SCCs of ``graph`` in reverse topological order.
+
+    Iterative Tarjan: no recursion, so graph depth is bounded only by
+    memory.  Each component is a list of nodes; singleton components are
+    included (a node with no self-loop is its own trivial SCC).
+    """
+    index_of: dict[Node, int] = {}
+    lowlink: dict[Node, int] = {}
+    on_stack: set[Node] = set()
+    stack: list[Node] = []
+    components: list[list[Node]] = []
+    counter = 0
+
+    for root in graph:
+        if root in index_of:
+            continue
+        work: list[tuple[Node, list[Node]]] = [(root, list(graph.successors(root)))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+
+        while work:
+            node, succ = work[-1]
+            if succ:
+                child = succ.pop()
+                if child not in index_of:
+                    index_of[child] = lowlink[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, list(graph.successors(child))))
+                elif child in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            else:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index_of[node]:
+                    component: list[Node] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+    return components
+
+
+def condensation(graph: DiGraph) -> tuple[DiGraph, dict[Node, int]]:
+    """Return the condensation DAG and the node -> component-id mapping.
+
+    Component ids index into the list returned by
+    :func:`strongly_connected_components` for the same graph.
+    """
+    components = strongly_connected_components(graph)
+    component_of: dict[Node, int] = {}
+    for component_id, members in enumerate(components):
+        for node in members:
+            component_of[node] = component_id
+
+    dag = DiGraph()
+    for component_id in range(len(components)):
+        dag.add_node(component_id)
+    for source, target in graph.edges():
+        source_id = component_of[source]
+        target_id = component_of[target]
+        if source_id != target_id:
+            dag.add_edge(source_id, target_id)
+    return dag, component_of

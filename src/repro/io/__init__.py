@@ -1,0 +1,38 @@
+"""Textual and structured formats for transactions, specs, and schedules.
+
+* :mod:`~repro.io.notation` — a small line-oriented problem format (the
+  paper's notation, one declaration per line) with parser and writer;
+* :mod:`~repro.io.dot` — Graphviz DOT export for dependency graphs,
+  serialization graphs, and relative serialization graphs;
+* :mod:`~repro.io.jsonio` — JSON (de)serialization of the model objects.
+"""
+
+from repro.io.dot import dependency_to_dot, digraph_to_dot, rsg_to_dot
+from repro.io.jsonio import (
+    problem_from_json,
+    problem_to_json,
+    schedule_from_json,
+    schedule_to_json,
+    spec_from_json,
+    spec_to_json,
+    transaction_from_json,
+    transaction_to_json,
+)
+from repro.io.notation import Problem, parse_problem, render_problem
+
+__all__ = [
+    "Problem",
+    "parse_problem",
+    "render_problem",
+    "digraph_to_dot",
+    "rsg_to_dot",
+    "dependency_to_dot",
+    "transaction_to_json",
+    "transaction_from_json",
+    "spec_to_json",
+    "spec_from_json",
+    "schedule_to_json",
+    "schedule_from_json",
+    "problem_to_json",
+    "problem_from_json",
+]

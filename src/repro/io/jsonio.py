@@ -1,0 +1,128 @@
+"""JSON (de)serialization of the model objects.
+
+The JSON shapes are deliberately plain dictionaries (no custom encoder
+classes) so problems can be stored, diffed, and shipped between tools::
+
+    {
+      "transactions": [{"id": 1, "ops": ["r[x]", "w[x]"]}, ...],
+      "atomicity": [{"tx": 1, "observer": 2, "breakpoints": [2]}, ...],
+      "schedules": {"Sra": ["r2[y]", "r1[x]", ...]}
+    }
+
+Operations serialize to their notation labels; schedules to ordered label
+lists, resolved against the transaction set on load (identical to the
+textual format's semantics).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.schedules import Schedule
+from repro.core.transactions import Transaction
+from repro.errors import NotationError
+from repro.io.notation import Problem
+
+__all__ = [
+    "transaction_to_json",
+    "transaction_from_json",
+    "spec_to_json",
+    "spec_from_json",
+    "schedule_to_json",
+    "schedule_from_json",
+    "problem_to_json",
+    "problem_from_json",
+]
+
+
+def transaction_to_json(transaction: Transaction) -> dict[str, Any]:
+    """``{"id": 1, "ops": ["r[x]", "w[x]", ...]}``."""
+    return {
+        "id": transaction.tx_id,
+        "ops": [f"{op.op_type.value}[{op.obj}]" for op in transaction],
+    }
+
+
+def transaction_from_json(data: Mapping[str, Any]) -> Transaction:
+    """Inverse of :func:`transaction_to_json`."""
+    try:
+        return Transaction(int(data["id"]), list(data["ops"]))
+    except KeyError as exc:
+        raise NotationError(f"transaction JSON missing key {exc}") from exc
+
+
+def spec_to_json(spec: RelativeAtomicitySpec) -> list[dict[str, Any]]:
+    """Non-absolute views as ``{"tx", "observer", "breakpoints"}`` rows."""
+    rows = []
+    for tx, observer in spec.pairs():
+        view = spec.atomicity(tx, observer)
+        if view.is_absolute:
+            continue
+        rows.append(
+            {
+                "tx": tx,
+                "observer": observer,
+                "breakpoints": sorted(view.breakpoints),
+            }
+        )
+    return rows
+
+
+def spec_from_json(
+    transactions: Sequence[Transaction], rows: Sequence[Mapping[str, Any]]
+) -> RelativeAtomicitySpec:
+    """Inverse of :func:`spec_to_json` (absent pairs default to absolute)."""
+    views = {}
+    for row in rows:
+        try:
+            views[(int(row["tx"]), int(row["observer"]))] = [
+                int(cut) for cut in row["breakpoints"]
+            ]
+        except KeyError as exc:
+            raise NotationError(f"spec JSON row missing key {exc}") from exc
+    return RelativeAtomicitySpec(transactions, views)
+
+
+def schedule_to_json(schedule: Schedule) -> list[str]:
+    """The schedule as an ordered list of operation labels."""
+    return [op.label for op in schedule]
+
+
+def schedule_from_json(
+    transactions: Sequence[Transaction], labels: Sequence[str]
+) -> Schedule:
+    """Inverse of :func:`schedule_to_json`."""
+    return Schedule.from_notation(transactions, " ".join(labels))
+
+
+def problem_to_json(problem: Problem) -> dict[str, Any]:
+    """A whole problem as one JSON-ready dictionary."""
+    return {
+        "transactions": [
+            transaction_to_json(transaction)
+            for transaction in problem.transactions
+        ],
+        "atomicity": spec_to_json(problem.spec),
+        "schedules": {
+            name: schedule_to_json(schedule)
+            for name, schedule in problem.schedules.items()
+        },
+    }
+
+
+def problem_from_json(data: Mapping[str, Any]) -> Problem:
+    """Inverse of :func:`problem_to_json`."""
+    try:
+        transactions = [
+            transaction_from_json(row) for row in data["transactions"]
+        ]
+    except KeyError as exc:
+        raise NotationError(f"problem JSON missing key {exc}") from exc
+    spec = spec_from_json(transactions, data.get("atomicity", ()))
+    schedules = {
+        name: schedule_from_json(transactions, labels)
+        for name, labels in data.get("schedules", {}).items()
+    }
+    return Problem(transactions, spec, schedules)

@@ -1,0 +1,155 @@
+"""A line-oriented problem format in the paper's notation.
+
+A *problem file* declares a transaction set, its relative atomicity
+specification, and any number of named schedules::
+
+    # Figure 1 of the paper
+    T1: r[x] w[x] w[z] r[y]
+    T2: r[y] w[y] r[x]
+    T3: w[x] w[y] w[z]
+
+    atomicity T1/T2: r[x] w[x] | w[z] r[y]
+    atomicity T1/T3: r[x] w[x] | w[z] | r[y]
+    atomicity T2/T1: r[y] | w[y] r[x]
+    atomicity T2/T3: r[y] w[y] | r[x]
+    atomicity T3/T1: w[x] w[y] | w[z]
+    atomicity T3/T2: w[x] w[y] | w[z]
+
+    schedule Sra: r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] w3[x] w3[y] r1[y] w3[z]
+
+Lines starting with ``#`` and blank lines are ignored.  ``atomicity``
+lines use ``|`` as the unit separator (the paper's boxes); omitted pairs
+default to absolute atomicity.  The CLI and the examples read this
+format, and :func:`render_problem` writes it back out.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.schedules import Schedule
+from repro.core.transactions import Transaction
+from repro.errors import NotationError
+
+__all__ = ["Problem", "parse_problem", "render_problem"]
+
+_TRANSACTION_RE = re.compile(r"^T(?P<id>\d+)\s*:\s*(?P<body>.+)$")
+_ATOMICITY_RE = re.compile(
+    r"^atomicity\s+T(?P<tx>\d+)\s*/\s*T(?P<observer>\d+)\s*:\s*(?P<body>.+)$"
+)
+_SCHEDULE_RE = re.compile(
+    r"^schedule\s+(?P<name>\S+)\s*:\s*(?P<body>.+)$"
+)
+
+
+@dataclass
+class Problem:
+    """A parsed problem: transactions, spec, and named schedules."""
+
+    transactions: list[Transaction]
+    spec: RelativeAtomicitySpec
+    schedules: dict[str, Schedule] = field(default_factory=dict)
+
+    def schedule(self, name: str) -> Schedule:
+        """The schedule declared under ``name``."""
+        try:
+            return self.schedules[name]
+        except KeyError:
+            raise NotationError(f"no schedule named {name!r}") from None
+
+
+def parse_problem(text: str) -> Problem:
+    """Parse a problem file (see module docstring for the format).
+
+    Raises:
+        NotationError: on any malformed or out-of-order declaration
+            (transactions must precede the atomicity and schedule lines
+            that reference them).
+    """
+    transactions: list[Transaction] = []
+    atomicity_lines: list[tuple[int, int, int, str]] = []
+    schedule_lines: list[tuple[int, str, str]] = []
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _TRANSACTION_RE.match(line)
+        if match:
+            transactions.append(
+                Transaction.from_notation(
+                    int(match.group("id")), match.group("body")
+                )
+            )
+            continue
+        match = _ATOMICITY_RE.match(line)
+        if match:
+            atomicity_lines.append(
+                (
+                    line_number,
+                    int(match.group("tx")),
+                    int(match.group("observer")),
+                    match.group("body"),
+                )
+            )
+            continue
+        match = _SCHEDULE_RE.match(line)
+        if match:
+            schedule_lines.append(
+                (line_number, match.group("name"), match.group("body"))
+            )
+            continue
+        raise NotationError(f"line {line_number}: cannot parse {line!r}")
+
+    if not transactions:
+        raise NotationError("problem declares no transactions")
+
+    views = {
+        (tx, observer): body
+        for _, tx, observer, body in atomicity_lines
+    }
+    try:
+        spec = RelativeAtomicitySpec(transactions, views)
+    except Exception as exc:
+        raise NotationError(f"invalid atomicity declaration: {exc}") from exc
+
+    schedules: dict[str, Schedule] = {}
+    for line_number, name, body in schedule_lines:
+        if name in schedules:
+            raise NotationError(
+                f"line {line_number}: duplicate schedule name {name!r}"
+            )
+        try:
+            schedules[name] = Schedule.from_notation(transactions, body)
+        except Exception as exc:
+            raise NotationError(
+                f"line {line_number}: invalid schedule {name!r}: {exc}"
+            ) from exc
+
+    return Problem(transactions, spec, schedules)
+
+
+def render_problem(problem: Problem) -> str:
+    """Write a :class:`Problem` back to the textual format.
+
+    Only non-absolute atomicity views are emitted (absolute is the
+    default), keeping round-trips tidy.
+    """
+    lines: list[str] = []
+    for transaction in problem.transactions:
+        body = " ".join(op.label for op in transaction)
+        lines.append(f"T{transaction.tx_id}: {body}")
+    lines.append("")
+    for tx, observer in problem.spec.pairs():
+        view = problem.spec.atomicity(tx, observer)
+        if view.is_absolute:
+            continue
+        rendered = view.render(problem.spec.transactions[tx])
+        lines.append(f"atomicity T{tx}/T{observer}: {rendered}")
+    if problem.schedules:
+        lines.append("")
+        for name, schedule in problem.schedules.items():
+            lines.append(f"schedule {name}: {schedule}")
+    return "\n".join(lines) + "\n"

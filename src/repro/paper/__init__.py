@@ -1,0 +1,17 @@
+"""Fixtures reproducing the paper's figures verbatim.
+
+Every transaction set, relative atomicity specification, and schedule
+printed in the paper (Figures 1-4 and the Section 2/3 example schedules)
+is available here as a constructed object, so tests, examples, and
+benchmarks all exercise *exactly* the published instances.
+"""
+
+from repro.paper.figures import (
+    Figure,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+)
+
+__all__ = ["Figure", "figure1", "figure2", "figure3", "figure4"]

@@ -1,0 +1,43 @@
+"""Online concurrency-control protocols.
+
+The paper sketches (Section 3) that the relative serialization graph "can
+be used as the basis for a concurrency control protocol similar to
+serialization graph testing".  This package implements that protocol and
+the baselines it is compared against in experiment E10:
+
+* :mod:`~repro.protocols.two_phase` — strict two-phase locking with
+  waits-for deadlock detection (the commercial default);
+* :mod:`~repro.protocols.sgt` — classical serialization graph testing
+  (certifies conflict serializability);
+* :mod:`~repro.protocols.rsgt` — *relative* serialization graph testing
+  (certifies relative serializability; the paper's protocol);
+* :mod:`~repro.protocols.altruistic` — simplified altruistic locking
+  [SGMA87], the long-lived-transaction technique the paper positions
+  relative atomicity as generalizing;
+* :mod:`~repro.protocols.relative_locking` — certified relative locking:
+  the lock-based protocol the paper announces as future work (strict 2PL
+  + atomic-unit-boundary donation + RSG certification).
+
+All protocols share the :class:`~repro.protocols.base.Scheduler`
+interface and are driven by the simulator in :mod:`repro.sim`.
+"""
+
+from repro.protocols.altruistic import AltruisticLockingScheduler
+from repro.protocols.base import Decision, Outcome, Scheduler
+from repro.protocols.certifier import RsgCertifier
+from repro.protocols.relative_locking import RelativeLockingScheduler
+from repro.protocols.rsgt import RSGTScheduler
+from repro.protocols.sgt import SGTScheduler
+from repro.protocols.two_phase import TwoPhaseLockingScheduler
+
+__all__ = [
+    "Decision",
+    "Outcome",
+    "Scheduler",
+    "TwoPhaseLockingScheduler",
+    "SGTScheduler",
+    "RSGTScheduler",
+    "RelativeLockingScheduler",
+    "AltruisticLockingScheduler",
+    "RsgCertifier",
+]

@@ -1,0 +1,180 @@
+"""Simplified altruistic locking [SGMA87].
+
+Altruistic locking extends 2PL for long-lived transactions: when a
+transaction will never access an object again, it *donates* the lock —
+still formally held until commit, but other transactions may acquire the
+object and run "in the donor's wake".
+
+This implementation follows the protocol's two load-bearing rules in a
+simplified, pre-declared form (the full paper's recovery machinery is out
+of scope; see DESIGN.md's substitution notes):
+
+* **donate after last use** — access sets are declared on admission, so
+  the scheduler donates an object the moment its holder executes its
+  final operation on it;
+* **wake containment** — a transaction that has acquired a donated
+  object of a donor is *indebted* to that donor: it may not touch any
+  object in the donor's declared access set unless the donor has already
+  donated it.  (This is what makes the donor/borrower serialization
+  order consistent: the borrower always sits entirely "behind" the
+  donor.)
+
+Deadlock handling is the same waits-for check as plain 2PL.  The test
+suite asserts every final committed history is conflict serializable.
+"""
+
+from __future__ import annotations
+
+from repro.core.operations import Operation
+from repro.core.transactions import Transaction
+from repro.graphs.digraph import DiGraph
+from repro.protocols.base import Outcome, Scheduler
+from repro.protocols.locks import LockMode, LockTable
+
+__all__ = ["AltruisticLockingScheduler"]
+
+
+class AltruisticLockingScheduler(Scheduler):
+    """2PL with donate-after-last-use and wake containment."""
+
+    name = "altruistic"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._locks = LockTable()
+        self._waiting_on: dict[int, set[int]] = {}
+        # Static, from declared programs:
+        self._last_use: dict[int, dict[str, int]] = {}
+        self._access_set: dict[int, frozenset[str]] = {}
+        # Dynamic wake state: borrower -> donors it is indebted to.
+        self._indebted_to: dict[int, set[int]] = {}
+
+    def _on_admit(self, transaction: Transaction) -> None:
+        last_use: dict[str, int] = {}
+        for position, op in enumerate(transaction):
+            last_use[op.obj] = position
+        self._last_use[transaction.tx_id] = last_use
+        self._access_set[transaction.tx_id] = transaction.objects
+
+    def _decide(self, op: Operation) -> Outcome:
+        mode = LockMode.SHARED if op.is_read else LockMode.EXCLUSIVE
+        donors = frozenset(self._usable_donors(op))
+        blockers = self._locks.blockers(
+            op.obj, op.tx, mode, ignore_donated_of=donors
+        )
+        blockers.update(self._wake_blockers(op))
+        blockers.discard(op.tx)
+        if not blockers:
+            self._waiting_on.pop(op.tx, None)
+            self._locks.acquire(op.obj, op.tx, mode)
+            self._record_borrowings(op)
+            self._maybe_donate(op)
+            return Outcome.grant()
+        self._waiting_on[op.tx] = blockers
+        victims = self._deadlocked(op.tx)
+        if victims:
+            return Outcome.abort(*victims)
+        return Outcome.wait()
+
+    # ------------------------------------------------------------------
+    # Altruistic rules
+    # ------------------------------------------------------------------
+    def _usable_donors(self, op: Operation) -> set[int]:
+        """Donors whose donated lock on ``op.obj`` the requester may use.
+
+        A donated lock is usable only when the requester is (and has
+        been) entirely *in the donor's wake*: every object the requester
+        has touched so far that the donor declared must already have been
+        donated by the donor.  Without this check a borrower that raced
+        ahead of the donor on some object would serialize both before and
+        after it (the [SGMA87] wake rule).  Borrowing makes the requester
+        indebted (recorded on grant).
+        """
+        donors = set()
+        for holder, _mode in self._locks.holders(op.obj).items():
+            if holder == op.tx or self.is_committed(holder):
+                continue
+            if self._locks.has_donated(op.obj, holder) and self._in_wake(
+                op.tx, holder
+            ):
+                donors.add(holder)
+        return donors
+
+    def _in_wake(self, requester: int, donor: int) -> bool:
+        """Whether the requester's executed prefix lies in the donor's wake."""
+        executed = self.transaction(requester).operations[
+            : self.progress(requester)
+        ]
+        donor_objects = self._access_set[donor]
+        for past in executed:
+            if past.obj in donor_objects and not self._locks.has_donated(
+                past.obj, donor
+            ):
+                return False
+        return True
+
+    def _wake_blockers(self, op: Operation) -> set[int]:
+        """Wake containment: indebted transactions must not touch a
+        donor's declared-but-undonated objects."""
+        blocking = set()
+        for donor in self._indebted_to.get(op.tx, ()):
+            if self.is_committed(donor):
+                continue
+            if op.obj not in self._access_set[donor]:
+                continue
+            if not self._locks.has_donated(op.obj, donor):
+                blocking.add(donor)
+        return blocking
+
+    def _record_borrowings(self, op: Operation) -> None:
+        for holder, _mode in self._locks.holders(op.obj).items():
+            if holder == op.tx or self.is_committed(holder):
+                continue
+            if self._locks.has_donated(op.obj, holder):
+                debts = self._indebted_to.setdefault(op.tx, set())
+                debts.add(holder)
+                # Wakes are transitive in [SGMA87]: borrowing from a
+                # transaction that is itself in a wake places the borrower
+                # in the outer wake too.
+                debts.update(self._indebted_to.get(holder, ()))
+                debts.discard(op.tx)
+
+    def _maybe_donate(self, op: Operation) -> None:
+        """Donate the object if this was the holder's last use of it."""
+        if self._last_use[op.tx].get(op.obj) == op.index:
+            self._locks.donate(op.obj, op.tx)
+
+    # ------------------------------------------------------------------
+    # Deadlock (same shape as strict 2PL)
+    # ------------------------------------------------------------------
+    def _deadlocked(self, requester: int) -> tuple[int, ...]:
+        graph = DiGraph()
+        for waiter, blockers in self._waiting_on.items():
+            for blocker in blockers:
+                if not self.is_committed(blocker):
+                    graph.add_edge(waiter, blocker)
+        seen: set[int] = set()
+        frontier = list(self._waiting_on.get(requester, ()))
+        while frontier:
+            node = frontier.pop()
+            if node == requester:
+                return (requester,)
+            if node in seen or node not in graph:
+                continue
+            seen.add(node)
+            frontier.extend(graph.successors(node))
+        return ()
+
+    def _on_finish(self, tx_id: int) -> None:
+        self._locks.release_all(tx_id)
+        self._waiting_on.pop(tx_id, None)
+        self._indebted_to.pop(tx_id, None)
+
+    def _on_remove(self, tx_id: int) -> None:
+        self._locks.release_all(tx_id)
+        self._waiting_on.pop(tx_id, None)
+        self._indebted_to.pop(tx_id, None)
+        # Transactions indebted to the victim lose nothing: its locks are
+        # gone, so the debt is moot.
+        for debts in self._indebted_to.values():
+            debts.discard(tx_id)

@@ -1,0 +1,190 @@
+"""The scheduler interface the simulator drives.
+
+Protocols are *pre-declared-transaction* schedulers: :meth:`Scheduler.
+admit` announces a transaction's full operation list before any of its
+operations run.  This matches the paper's model — relative atomicity
+specifications are given per transaction instance, so the system
+legitimately knows each transaction's program (the altruistic baseline
+additionally needs declared access sets, and the RSGT protocol needs the
+spec's atomic units, both of which are static properties of the declared
+program).
+
+Lifecycle, as driven by :mod:`repro.sim`::
+
+    admit(T)           once per transaction (ids stay admitted across
+                       restarts; a restart just clears executed state)
+    request(op)        -> GRANT (op executed now) | WAIT (retry later)
+                       | ABORT (victims must restart)
+    finish(tx_id)      the transaction executed its last op; commit it
+    remove(tx_id)      forget a victim's executed operations (restart)
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.operations import Operation
+from repro.core.transactions import Transaction
+from repro.errors import ProtocolError
+
+__all__ = ["Decision", "Outcome", "Scheduler"]
+
+
+class Decision(enum.Enum):
+    """What a scheduler says about an operation request."""
+
+    GRANT = "grant"
+    WAIT = "wait"
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """A scheduling decision plus, for aborts, who must restart."""
+
+    decision: Decision
+    victims: tuple[int, ...] = ()
+
+    @classmethod
+    def grant(cls) -> "Outcome":
+        return cls(Decision.GRANT)
+
+    @classmethod
+    def wait(cls) -> "Outcome":
+        return cls(Decision.WAIT)
+
+    @classmethod
+    def abort(cls, *victims: int) -> "Outcome":
+        return cls(Decision.ABORT, tuple(victims))
+
+
+@dataclass
+class _AdmittedTransaction:
+    """Book-keeping shared by all schedulers."""
+
+    transaction: Transaction
+    executed: int = 0  # operations granted so far (in program order)
+    committed: bool = False
+    restarts: int = 0
+    extras: dict = field(default_factory=dict)
+
+
+class Scheduler(abc.ABC):
+    """Base class with the shared admission/progress book-keeping.
+
+    Subclasses implement :meth:`_decide` (policy for the next operation)
+    plus the state hooks :meth:`_on_grant`, :meth:`_on_finish`, and
+    :meth:`_on_remove`.
+    """
+
+    #: Human-readable protocol name (overridden by subclasses).
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self._admitted: dict[int, _AdmittedTransaction] = {}
+        self._history: list[Operation] = []  # granted ops, in grant order
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def admit(self, transaction: Transaction) -> None:
+        """Declare a transaction (full program) before it runs."""
+        if transaction.tx_id in self._admitted:
+            raise ProtocolError(
+                f"T{transaction.tx_id} is already admitted"
+            )
+        self._admitted[transaction.tx_id] = _AdmittedTransaction(transaction)
+        self._on_admit(transaction)
+
+    def request(self, op: Operation) -> Outcome:
+        """Ask to execute ``op`` (the requester's next program operation)."""
+        state = self._state_of(op.tx)
+        if state.committed:
+            raise ProtocolError(f"T{op.tx} has already committed")
+        expected = state.transaction[state.executed]
+        if op != expected:
+            raise ProtocolError(
+                f"out-of-order request: T{op.tx} must run "
+                f"{expected.label} next, got {op.label}"
+            )
+        outcome = self._decide(op)
+        if outcome.decision is Decision.GRANT:
+            state.executed += 1
+            self._history.append(op)
+            self._on_grant(op)
+        return outcome
+
+    def finish(self, tx_id: int) -> None:
+        """Commit a transaction that executed all of its operations."""
+        state = self._state_of(tx_id)
+        if state.executed != len(state.transaction):
+            raise ProtocolError(
+                f"T{tx_id} cannot commit with "
+                f"{len(state.transaction) - state.executed} operations left"
+            )
+        state.committed = True
+        self._on_finish(tx_id)
+
+    def remove(self, tx_id: int) -> None:
+        """Forget a victim's executed operations (it will restart)."""
+        state = self._state_of(tx_id)
+        if state.committed:
+            raise ProtocolError(f"cannot remove committed T{tx_id}")
+        ops = set(state.transaction.operations[: state.executed])
+        if ops:
+            self._history = [op for op in self._history if op not in ops]
+        state.executed = 0
+        state.restarts += 1
+        self._on_remove(tx_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def history(self) -> tuple[Operation, ...]:
+        """Granted operations of live/committed incarnations, in order."""
+        return tuple(self._history)
+
+    @property
+    def admitted_ids(self) -> frozenset[int]:
+        """Ids of all admitted transactions."""
+        return frozenset(self._admitted)
+
+    def progress(self, tx_id: int) -> int:
+        """How many operations of ``T{tx_id}`` have been granted."""
+        return self._state_of(tx_id).executed
+
+    def is_committed(self, tx_id: int) -> bool:
+        """Whether ``T{tx_id}`` has committed."""
+        return self._state_of(tx_id).committed
+
+    def transaction(self, tx_id: int) -> Transaction:
+        """The declared program of ``T{tx_id}``."""
+        return self._state_of(tx_id).transaction
+
+    def _state_of(self, tx_id: int) -> _AdmittedTransaction:
+        try:
+            return self._admitted[tx_id]
+        except KeyError:
+            raise ProtocolError(f"T{tx_id} was never admitted") from None
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def _on_admit(self, transaction: Transaction) -> None:
+        """Called after a transaction is admitted (optional hook)."""
+
+    @abc.abstractmethod
+    def _decide(self, op: Operation) -> Outcome:
+        """The protocol's policy for the next operation of a transaction."""
+
+    def _on_grant(self, op: Operation) -> None:
+        """Called after ``op`` was granted and recorded (optional hook)."""
+
+    def _on_finish(self, tx_id: int) -> None:
+        """Called after a transaction commits (optional hook)."""
+
+    def _on_remove(self, tx_id: int) -> None:
+        """Called after a victim's executed state was dropped (optional)."""

@@ -1,0 +1,142 @@
+"""Incremental RSG certification shared by the online protocols.
+
+Maintains the relative serialization graph over the declared operations
+of admitted transactions, with D/F/B arcs derived incrementally from the
+granted history.  Used by :class:`~repro.protocols.rsgt.RSGTScheduler`
+(pure certification) and
+:class:`~repro.protocols.relative_locking.RelativeLockingScheduler`
+(locking for blocking discipline + certification for soundness).
+
+A key monotonicity fact makes online use sound: granting more operations
+only ever *adds* arcs, so an operation whose tentative insertion closes
+a cycle will close it forever — certification failures are final and the
+requester must abort, never wait.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.operations import Operation
+from repro.core.rsg import ArcKind
+from repro.core.schedules import conflicts
+from repro.core.transactions import Transaction
+from repro.graphs.cycles import find_cycle
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["RsgCertifier"]
+
+
+class RsgCertifier:
+    """Incremental relative-serialization-graph acyclicity checking.
+
+    Args:
+        spec: the relative atomicity specification covering every
+            transaction that will be declared.
+    """
+
+    def __init__(self, spec: RelativeAtomicitySpec) -> None:
+        self._spec = spec
+        self._graph = DiGraph()
+        self._history: list[Operation] = []
+        # _anc[k] has bit j set iff history[k] depends on history[j].
+        self._anc: list[int] = []
+        self._declared: dict[int, Transaction] = {}
+
+    @property
+    def graph(self) -> DiGraph:
+        """The current RSG over all declared operations."""
+        return self._graph
+
+    @property
+    def history(self) -> tuple[Operation, ...]:
+        """The certified (granted) operations, in order."""
+        return tuple(self._history)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def declare(self, transaction: Transaction) -> None:
+        """Add a transaction's vertices and I-arcs to the graph."""
+        self._declared[transaction.tx_id] = transaction
+        ops = transaction.operations
+        for op in ops:
+            self._graph.add_node(op)
+        for first, second in zip(ops, ops[1:]):
+            self._graph.add_edge(first, second, label=ArcKind.INTERNAL)
+
+    def try_certify(self, op: Operation) -> bool:
+        """Tentatively append ``op``; commit the arcs iff still acyclic.
+
+        Returns ``True`` (op recorded) or ``False`` (graph unchanged;
+        by monotonicity the op can never be certified in this
+        incarnation).
+        """
+        anc, arcs = self._arcs_for(op)
+        candidate = self._graph.copy()
+        for source, target, kind in arcs:
+            candidate.add_edge(source, target, label=kind)
+        if find_cycle(candidate) is not None:
+            return False
+        self._graph = candidate
+        self._anc.append(anc)
+        self._history.append(op)
+        return True
+
+    def forget(self, tx_id: int) -> None:
+        """Drop a victim's granted operations and rebuild the graph.
+
+        The transaction stays declared (its vertices and I-arcs remain),
+        matching restart semantics.
+        """
+        ops = set(self._declared[tx_id].operations)
+        remaining = [op for op in self._history if op not in ops]
+        self.rebuild(self._declared.values(), remaining)
+
+    def rebuild(
+        self,
+        transactions: Iterable[Transaction],
+        history: Iterable[Operation],
+    ) -> None:
+        """Reconstruct graph state from scratch for the given history."""
+        self._graph = DiGraph()
+        self._declared = {}
+        self._history = []
+        self._anc = []
+        for transaction in transactions:
+            self.declare(transaction)
+        for op in history:
+            anc, arcs = self._arcs_for(op)
+            for source, target, kind in arcs:
+                self._graph.add_edge(source, target, label=kind)
+            self._anc.append(anc)
+            self._history.append(op)
+
+    # ------------------------------------------------------------------
+    # Arc derivation
+    # ------------------------------------------------------------------
+    def _arcs_for(
+        self, op: Operation
+    ) -> tuple[int, list[tuple[Operation, Operation, ArcKind]]]:
+        """The ancestor bitset and new D/F/B arcs for appending ``op``."""
+        history = self._history
+        anc = 0
+        for position, earlier in enumerate(history):
+            if earlier.tx == op.tx or conflicts(earlier, op):
+                anc |= (1 << position) | self._anc[position]
+        arcs: list[tuple[Operation, Operation, ArcKind]] = []
+        bits = anc
+        position = 0
+        while bits:
+            if bits & 1:
+                earlier = history[position]
+                if earlier.tx != op.tx:
+                    arcs.append((earlier, op, ArcKind.DEPENDENCY))
+                    push = self._spec.push_forward(earlier, observer=op.tx)
+                    arcs.append((push, op, ArcKind.PUSH_FORWARD))
+                    pull = self._spec.pull_backward(op, observer=earlier.tx)
+                    arcs.append((earlier, pull, ArcKind.PULL_BACKWARD))
+            bits >>= 1
+            position += 1
+        return anc, arcs

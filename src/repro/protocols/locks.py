@@ -1,0 +1,125 @@
+"""A shared/exclusive lock table with a waits-for graph.
+
+Used by the two locking protocols (strict 2PL and altruistic locking).
+The table answers "who blocks this request?" — the protocol decides
+whether to wait or pick a deadlock victim.  Locks support the standard
+S/X compatibility matrix, re-entrant acquisition, and S→X upgrade by the
+sole holder.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ProtocolError
+from repro.graphs.cycles import find_cycle
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["LockMode", "LockTable"]
+
+
+class LockMode(enum.Enum):
+    """Shared (reads) or exclusive (writes)."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class LockTable:
+    """Lock holders per object, plus donation marks for altruistic mode.
+
+    The table records, per object, ``{tx_id: LockMode}`` holders and a set
+    of holders that have *donated* the object (altruistic locking's early
+    release; plain 2PL never donates).
+    """
+
+    def __init__(self) -> None:
+        self._holders: dict[str, dict[int, LockMode]] = {}
+        self._donated: dict[str, set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def holders(self, obj: str) -> dict[int, LockMode]:
+        """Current holders of ``obj`` (copy)."""
+        return dict(self._holders.get(obj, {}))
+
+    def mode_of(self, obj: str, tx_id: int) -> LockMode | None:
+        """The mode ``tx_id`` holds on ``obj``, or ``None``."""
+        return self._holders.get(obj, {}).get(tx_id)
+
+    def has_donated(self, obj: str, tx_id: int) -> bool:
+        """Whether ``tx_id`` holds ``obj`` but has donated it."""
+        return tx_id in self._donated.get(obj, set())
+
+    def blockers(
+        self,
+        obj: str,
+        tx_id: int,
+        mode: LockMode,
+        ignore_donated_of: frozenset[int] = frozenset(),
+    ) -> set[int]:
+        """Transactions whose locks are incompatible with the request.
+
+        Holders in ``ignore_donated_of`` that have donated ``obj`` do not
+        block (altruistic mode); every other incompatible holder does.
+        The requester itself never blocks its own request except for an
+        impossible downgrade (not modelled — S after X is compatible).
+        """
+        blocking: set[int] = set()
+        for holder, held in self._holders.get(obj, {}).items():
+            if holder == tx_id:
+                continue
+            compatible = held is LockMode.SHARED and mode is LockMode.SHARED
+            if compatible:
+                continue
+            donated = holder in self._donated.get(obj, set())
+            if donated and holder in ignore_donated_of:
+                continue
+            blocking.add(holder)
+        return blocking
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def acquire(self, obj: str, tx_id: int, mode: LockMode) -> None:
+        """Record the lock (or upgrade S to X); caller checked blockers."""
+        held = self._holders.setdefault(obj, {})
+        current = held.get(tx_id)
+        if current is LockMode.EXCLUSIVE:
+            return  # X covers everything
+        held[tx_id] = mode if current is None else (
+            LockMode.EXCLUSIVE if mode is LockMode.EXCLUSIVE else current
+        )
+
+    def donate(self, obj: str, tx_id: int) -> None:
+        """Mark ``obj`` as donated by ``tx_id`` (still held)."""
+        if self.mode_of(obj, tx_id) is None:
+            raise ProtocolError(
+                f"T{tx_id} cannot donate {obj!r}: lock not held"
+            )
+        self._donated.setdefault(obj, set()).add(tx_id)
+
+    def release_all(self, tx_id: int) -> None:
+        """Drop every lock (and donation mark) of ``tx_id``."""
+        for obj in list(self._holders):
+            self._holders[obj].pop(tx_id, None)
+            if not self._holders[obj]:
+                del self._holders[obj]
+        for obj in list(self._donated):
+            self._donated[obj].discard(tx_id)
+            if not self._donated[obj]:
+                del self._donated[obj]
+
+
+def deadlock_victims(waits_for: DiGraph) -> list[int]:
+    """Return the transactions on one waits-for cycle (empty if none).
+
+    The caller picks the actual victim (protocols here abort the
+    *requester* when it lies on the cycle, which it always does since the
+    edge just added closed the cycle).
+    """
+    cycle = find_cycle(waits_for)
+    if cycle is None:
+        return []
+    return list(dict.fromkeys(cycle))

@@ -1,0 +1,33 @@
+"""Discrete-event transaction simulator.
+
+Drives a :class:`~repro.protocols.base.Scheduler` with a transaction set
+and measures the outcome: the committed history (a real
+:class:`~repro.core.schedules.Schedule` the theory tools can re-verify),
+throughput, response times, waits, and restarts.
+
+* :mod:`~repro.sim.runner` — the tick loop;
+* :mod:`~repro.sim.metrics` — the result/metric dataclasses;
+* :mod:`~repro.sim.arrivals` — arrival processes for open-system runs;
+* :mod:`~repro.sim.pipeline` — schedule-execute-verify in one call.
+"""
+
+from repro.sim.arrivals import (
+    burst_arrivals,
+    role_delayed_arrivals,
+    uniform_arrivals,
+)
+from repro.sim.metrics import SimulationResult, TransactionOutcome
+from repro.sim.pipeline import WorkloadRun, run_workload
+from repro.sim.runner import simulate, simulate_bundle
+
+__all__ = [
+    "simulate",
+    "simulate_bundle",
+    "SimulationResult",
+    "TransactionOutcome",
+    "uniform_arrivals",
+    "burst_arrivals",
+    "role_delayed_arrivals",
+    "WorkloadRun",
+    "run_workload",
+]

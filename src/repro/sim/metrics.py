@@ -1,0 +1,102 @@
+"""Result and metric types for the simulator.
+
+The simulator's contract: every admitted transaction eventually commits
+(victims restart until they succeed), so a :class:`SimulationResult`
+always covers the full transaction set and its ``schedule`` is a complete
+:class:`~repro.core.schedules.Schedule` that the offline correctness
+tests can re-verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+from repro.core.schedules import Schedule
+
+__all__ = ["TransactionOutcome", "SimulationResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class TransactionOutcome:
+    """Per-transaction accounting.
+
+    Attributes:
+        tx_id: the transaction.
+        arrival: tick the transaction became ready.
+        commit_tick: tick its last operation was granted.
+        restarts: how many times it was aborted and restarted.
+        waits: how many of its requests returned WAIT.
+    """
+
+    tx_id: int
+    arrival: int
+    commit_tick: int
+    restarts: int
+    waits: int
+
+    @property
+    def response_time(self) -> int:
+        """Ticks from arrival to commit (inclusive of the commit tick)."""
+        return self.commit_tick - self.arrival + 1
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run produced.
+
+    Attributes:
+        protocol: the scheduler's protocol name.
+        schedule: the committed history as a verifiable schedule.
+        outcomes: per-transaction accounting, keyed by id.
+        makespan: tick of the last commit (plus one: total ticks used).
+        roles: optional transaction roles (copied from the workload).
+    """
+
+    protocol: str
+    schedule: Schedule
+    outcomes: dict[int, TransactionOutcome]
+    makespan: int
+    roles: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def committed(self) -> int:
+        """Number of committed transactions (always the full set)."""
+        return len(self.outcomes)
+
+    @property
+    def total_restarts(self) -> int:
+        """Total aborts/restarts across all transactions."""
+        return sum(outcome.restarts for outcome in self.outcomes.values())
+
+    @property
+    def total_waits(self) -> int:
+        """Total WAIT responses across all transactions."""
+        return sum(outcome.waits for outcome in self.outcomes.values())
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per tick."""
+        return self.committed / self.makespan if self.makespan else 0.0
+
+    @property
+    def mean_response_time(self) -> float:
+        """Average ticks from arrival to commit."""
+        return mean(
+            outcome.response_time for outcome in self.outcomes.values()
+        )
+
+    def mean_response_time_of(self, role: str) -> float | None:
+        """Average response time of one role, or ``None`` if absent."""
+        times = [
+            outcome.response_time
+            for tx_id, outcome in self.outcomes.items()
+            if self.roles.get(tx_id) == role
+        ]
+        return mean(times) if times else None
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult({self.protocol}, committed={self.committed}, "
+            f"makespan={self.makespan}, restarts={self.total_restarts})"
+        )

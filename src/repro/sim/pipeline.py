@@ -1,0 +1,76 @@
+"""One-call pipeline: schedule a workload online, then execute it.
+
+The full loop a library user wants for a scenario: pick a protocol, let
+the simulator produce a committed history, replay that history against
+the workload's data with its semantics, and (optionally) verify the
+history against the offline theory.  Bundles the three subsystems the
+examples wire together by hand.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.rsg import is_relatively_serializable
+from repro.core.serializability import is_conflict_serializable
+from repro.engine.executor import ExecutionTrace, ScheduleExecutor
+from repro.protocols.base import Scheduler
+from repro.sim.metrics import SimulationResult
+from repro.sim.runner import simulate_bundle
+from repro.workloads.base import WorkloadBundle
+
+__all__ = ["WorkloadRun", "run_workload"]
+
+
+@dataclass
+class WorkloadRun:
+    """Everything one scheduled-and-executed workload run produced.
+
+    Attributes:
+        simulation: the online scheduling outcome (history + metrics).
+        trace: the data-level execution of the committed history.
+        verified: the offline correctness verdict — relative
+            serializability when the scheduler carries a spec
+            (``scheduler.spec``), conflict serializability otherwise.
+    """
+
+    simulation: SimulationResult
+    trace: ExecutionTrace
+    verified: bool
+
+
+def run_workload(
+    bundle: WorkloadBundle,
+    scheduler: Scheduler,
+    arrivals: Mapping[int, int] | None = None,
+    backoff: int = 2,
+    max_ticks: int = 100_000,
+) -> WorkloadRun:
+    """Schedule ``bundle`` with ``scheduler``, execute, and verify.
+
+    Args:
+        bundle: a scenario workload (transactions, spec, data,
+            semantics).
+        scheduler: any online protocol instance.
+        arrivals: optional per-transaction arrival ticks.
+        backoff: restart backoff passed to the simulator.
+        max_ticks: livelock guard.
+    """
+    simulation = simulate_bundle(
+        bundle,
+        scheduler,
+        arrivals=arrivals,
+        backoff=backoff,
+        max_ticks=max_ticks,
+    )
+    trace = ScheduleExecutor(bundle.initial_state, bundle.semantics).run(
+        simulation.schedule
+    )
+    if hasattr(scheduler, "spec"):
+        verified = is_relatively_serializable(
+            simulation.schedule, scheduler.spec
+        )
+    else:
+        verified = is_conflict_serializable(simulation.schedule)
+    return WorkloadRun(simulation=simulation, trace=trace, verified=verified)

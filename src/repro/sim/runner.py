@@ -1,0 +1,147 @@
+"""The simulator's tick loop.
+
+Model: time advances in ticks; each live transaction submits at most one
+operation per tick (in a rotating round-robin order, so no transaction is
+structurally favoured).  A granted operation completes within the tick; a
+WAIT retries next tick; an ABORT restarts the victims after a backoff
+that grows with the restart count (a simple livelock damper).
+
+The loop runs until every transaction commits — a protocol that could
+starve a transaction forever would hit the ``max_ticks`` guard and raise
+:class:`~repro.errors.SimulationError` instead of spinning silently.
+
+The committed history is returned as a real
+:class:`~repro.core.schedules.Schedule` over the transaction set, so the
+offline theory (conflict serializability for 2PL/SGT/altruistic, relative
+serializability for RSGT) can re-verify every run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.schedules import Schedule
+from repro.core.transactions import Transaction
+from repro.errors import SimulationError
+from repro.protocols.base import Decision, Scheduler
+from repro.sim.metrics import SimulationResult, TransactionOutcome
+from repro.workloads.base import WorkloadBundle
+
+__all__ = ["simulate", "simulate_bundle"]
+
+
+def simulate(
+    transactions: Sequence[Transaction],
+    scheduler: Scheduler,
+    arrivals: Mapping[int, int] | None = None,
+    backoff: int = 2,
+    max_ticks: int = 100_000,
+) -> SimulationResult:
+    """Run ``transactions`` through ``scheduler`` until all commit.
+
+    Args:
+        transactions: the transaction set (admitted at their arrival
+            ticks).
+        scheduler: the concurrency-control protocol instance.
+        arrivals: tick each transaction becomes ready (default: all 0).
+        backoff: base restart delay; the *n*-th restart of a transaction
+            waits ``backoff * n`` ticks.
+        max_ticks: hard guard against livelock.
+
+    Returns:
+        A :class:`~repro.sim.metrics.SimulationResult` with the committed
+        history and per-transaction accounting.
+
+    Raises:
+        SimulationError: when ``max_ticks`` elapses before every
+            transaction commits.
+    """
+    arrivals = dict(arrivals or {})
+    order = sorted(tx.tx_id for tx in transactions)
+    by_id = {tx.tx_id: tx for tx in transactions}
+    arrival = {tx_id: arrivals.get(tx_id, 0) for tx_id in order}
+
+    cursor = {tx_id: 0 for tx_id in order}
+    blocked_until = {tx_id: arrival[tx_id] for tx_id in order}
+    admitted: set[int] = set()
+    committed: dict[int, int] = {}
+    restarts = {tx_id: 0 for tx_id in order}
+    waits = {tx_id: 0 for tx_id in order}
+
+    tick = 0
+    rotation = 0
+    while len(committed) < len(order):
+        if tick > max_ticks:
+            missing = sorted(set(order).difference(committed))
+            raise SimulationError(
+                f"simulation exceeded {max_ticks} ticks with "
+                f"{len(missing)} transactions uncommitted: {missing}"
+            )
+        # Rotate the service order each tick for fairness.
+        service_order = order[rotation:] + order[:rotation]
+        rotation = (rotation + 1) % len(order)
+
+        for tx_id in service_order:
+            if tx_id in committed or blocked_until[tx_id] > tick:
+                continue
+            if tx_id not in admitted:
+                scheduler.admit(by_id[tx_id])
+                admitted.add(tx_id)
+            op = by_id[tx_id][cursor[tx_id]]
+            outcome = scheduler.request(op)
+            if outcome.decision is Decision.GRANT:
+                cursor[tx_id] += 1
+                if cursor[tx_id] == len(by_id[tx_id]):
+                    scheduler.finish(tx_id)
+                    committed[tx_id] = tick
+            elif outcome.decision is Decision.WAIT:
+                waits[tx_id] += 1
+            else:
+                victims = outcome.victims or (tx_id,)
+                for victim in victims:
+                    if victim in committed:
+                        raise SimulationError(
+                            f"protocol chose committed T{victim} as victim"
+                        )
+                    scheduler.remove(victim)
+                    cursor[victim] = 0
+                    restarts[victim] += 1
+                    blocked_until[victim] = tick + backoff * restarts[victim]
+        tick += 1
+
+    history = Schedule(list(transactions), scheduler.history)
+    outcomes = {
+        tx_id: TransactionOutcome(
+            tx_id=tx_id,
+            arrival=arrival[tx_id],
+            commit_tick=committed[tx_id],
+            restarts=restarts[tx_id],
+            waits=waits[tx_id],
+        )
+        for tx_id in order
+    }
+    return SimulationResult(
+        protocol=scheduler.name,
+        schedule=history,
+        outcomes=outcomes,
+        makespan=max(committed.values()) + 1 if committed else 0,
+    )
+
+
+def simulate_bundle(
+    bundle: WorkloadBundle,
+    scheduler: Scheduler,
+    arrivals: Mapping[int, int] | None = None,
+    backoff: int = 2,
+    max_ticks: int = 100_000,
+) -> SimulationResult:
+    """Run a scenario workload through a scheduler (roles preserved)."""
+    result = simulate(
+        bundle.transactions,
+        scheduler,
+        arrivals=arrivals,
+        backoff=backoff,
+        max_ticks=max_ticks,
+    )
+    result.roles = dict(bundle.roles)
+    return result

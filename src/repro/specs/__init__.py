@@ -1,0 +1,54 @@
+"""Builders for relative atomicity specifications.
+
+The paper notes (Section 2) that relative atomicity subsumes earlier
+proposals; this package provides builders for each style:
+
+* :mod:`~repro.specs.builders` — absolute, finest, uniform-chunk,
+  per-pair breakpoint (Farrag–Özsu style), and random specifications;
+* :mod:`~repro.specs.compat` — Garcia-Molina compatibility sets
+  (transactions in one set interleave freely, across sets they are
+  atomic);
+* :mod:`~repro.specs.multilevel` — Lynch's multilevel atomicity
+  (hierarchically nested interleaving groups with per-level breakpoints);
+* :mod:`~repro.specs.chopping` — Shasha–Simon–Valduriez transaction
+  chopping (the SC-cycle test) and its embedding into relative atomicity;
+* :mod:`~repro.specs.lattice` — the coarser/finer order on specs with
+  join/meet (acceptance is monotone along the order).
+"""
+
+from repro.specs.builders import (
+    absolute_spec,
+    breakpoint_spec,
+    finest_spec,
+    nested_spec_chain,
+    random_spec,
+    uniform_spec,
+)
+from repro.specs.chopping import (
+    Chopping,
+    chopping_to_spec,
+    finest_correct_chopping,
+    is_correct_chopping,
+)
+from repro.specs.compat import compatibility_spec
+from repro.specs.lattice import is_coarser, join, meet
+from repro.specs.multilevel import MultilevelHierarchy, multilevel_spec
+
+__all__ = [
+    "absolute_spec",
+    "finest_spec",
+    "uniform_spec",
+    "breakpoint_spec",
+    "nested_spec_chain",
+    "random_spec",
+    "compatibility_spec",
+    "MultilevelHierarchy",
+    "multilevel_spec",
+    "Chopping",
+    "is_correct_chopping",
+    "finest_correct_chopping",
+    "chopping_to_spec",
+    "is_coarser",
+    "join",
+    "meet",
+]

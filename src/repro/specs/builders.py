@@ -1,0 +1,183 @@
+"""General-purpose spec builders.
+
+These construct :class:`~repro.core.atomicity.RelativeAtomicitySpec`
+objects for the common shapes used across examples, tests, and the
+acceptance-rate experiments:
+
+* :func:`absolute_spec` — the traditional model (one unit per pair); with
+  it, relative serializability collapses to conflict serializability
+  (Lemma 1).
+* :func:`finest_spec` — every operation its own unit: the most permissive
+  specification expressible in the model.
+* :func:`uniform_spec` — units of a fixed size ``k``; sweeping ``k`` from
+  ``len(T)`` down to 1 interpolates between the two extremes and drives
+  the E9 concurrency experiment.
+* :func:`breakpoint_spec` — explicit per-pair breakpoints (the
+  Farrag–Özsu style of writing specifications).
+* :func:`random_spec` — each admissible cut kept with probability ``p``
+  (seeded), for randomized property tests.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.transactions import Transaction
+
+__all__ = [
+    "absolute_spec",
+    "finest_spec",
+    "uniform_spec",
+    "breakpoint_spec",
+    "nested_spec_chain",
+    "random_spec",
+]
+
+
+def absolute_spec(transactions: Sequence[Transaction]) -> RelativeAtomicitySpec:
+    """The traditional model: every transaction is a single atomic unit
+    with respect to every other transaction."""
+    return RelativeAtomicitySpec(transactions)
+
+
+def finest_spec(transactions: Sequence[Transaction]) -> RelativeAtomicitySpec:
+    """Every operation is its own atomic unit for every observer.
+
+    This is the loosest specification expressible: it constrains nothing
+    beyond the dependencies themselves.
+    """
+    views = {}
+    for tx in transactions:
+        for observer in transactions:
+            if tx.tx_id == observer.tx_id:
+                continue
+            views[(tx.tx_id, observer.tx_id)] = range(1, len(tx))
+    return RelativeAtomicitySpec(transactions, views)
+
+
+def uniform_spec(
+    transactions: Sequence[Transaction], unit_size: int
+) -> RelativeAtomicitySpec:
+    """Units of (at most) ``unit_size`` consecutive operations, for every
+    pair.
+
+    ``unit_size >= len(T)`` reproduces :func:`absolute_spec` for that
+    transaction; ``unit_size == 1`` reproduces :func:`finest_spec`.
+    """
+    if unit_size < 1:
+        raise ValueError(f"unit_size must be >= 1, got {unit_size}")
+    views = {}
+    for tx in transactions:
+        cuts = list(range(unit_size, len(tx), unit_size))
+        for observer in transactions:
+            if tx.tx_id == observer.tx_id:
+                continue
+            views[(tx.tx_id, observer.tx_id)] = cuts
+    return RelativeAtomicitySpec(transactions, views)
+
+
+def breakpoint_spec(
+    transactions: Sequence[Transaction],
+    breakpoints: Mapping[tuple[int, int], Iterable[int]]
+    | Mapping[int, Iterable[int]],
+) -> RelativeAtomicitySpec:
+    """Explicit breakpoints, Farrag–Özsu style.
+
+    Args:
+        transactions: the transaction set.
+        breakpoints: either per ordered pair ``(tx, observer)``, or per
+            transaction id — in which case the same cut set applies with
+            respect to *every* observer (a transaction exposing the same
+            breakpoints to everyone, as in [FÖ89]).
+    """
+    views: dict[tuple[int, int], Iterable[int]] = {}
+    for key, cuts in breakpoints.items():
+        if isinstance(key, tuple):
+            views[key] = cuts
+        else:
+            cut_list = list(cuts)
+            for observer in transactions:
+                if observer.tx_id != key:
+                    views[(key, observer.tx_id)] = cut_list
+    return RelativeAtomicitySpec(transactions, views)
+
+
+def nested_spec_chain(
+    transactions: Sequence[Transaction],
+    levels: int,
+    seed: int | random.Random = 0,
+) -> list[RelativeAtomicitySpec]:
+    """A chain of specifications, each strictly no coarser than the last.
+
+    Level 0 is absolute atomicity; the final level is the finest spec;
+    intermediate levels reveal a growing random prefix of each pair's
+    breakpoint positions, so every pair's cut set at level ``k`` is a
+    subset of its cut set at level ``k + 1``.
+
+    Along such a chain the relatively serializable class is *provably*
+    monotone (finer units only remove F/B-arc constraints), which is
+    what the nested acceptance experiments and property tests rely on —
+    unit-size sweeps do not have this property because their cut sets
+    are not nested.
+
+    Args:
+        transactions: the transaction set.
+        levels: number of specs in the chain (at least 2).
+        seed: RNG seed controlling the reveal order of breakpoints.
+    """
+    if levels < 2:
+        raise ValueError(f"a chain needs at least 2 levels, got {levels}")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    reveal_order: dict[tuple[int, int], list[int]] = {}
+    for tx in transactions:
+        positions = list(range(1, len(tx)))
+        for observer in transactions:
+            if tx.tx_id == observer.tx_id:
+                continue
+            order = positions[:]
+            rng.shuffle(order)
+            reveal_order[(tx.tx_id, observer.tx_id)] = order
+
+    chain = []
+    for level in range(levels):
+        fraction = level / (levels - 1)
+        views = {}
+        for pair, order in reveal_order.items():
+            revealed = round(fraction * len(order))
+            views[pair] = order[:revealed]
+        chain.append(RelativeAtomicitySpec(list(transactions), views))
+    return chain
+
+
+def random_spec(
+    transactions: Sequence[Transaction],
+    cut_probability: float,
+    seed: int | random.Random = 0,
+) -> RelativeAtomicitySpec:
+    """Keep each admissible cut independently with ``cut_probability``.
+
+    Args:
+        transactions: the transaction set.
+        cut_probability: probability in ``[0, 1]`` that any given unit
+            boundary exists; 0 gives the absolute spec, 1 the finest.
+        seed: an ``int`` seed or a pre-seeded ``random.Random``.
+    """
+    if not 0.0 <= cut_probability <= 1.0:
+        raise ValueError(
+            f"cut_probability must be in [0, 1], got {cut_probability}"
+        )
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    views = {}
+    for tx in transactions:
+        for observer in transactions:
+            if tx.tx_id == observer.tx_id:
+                continue
+            cuts = [
+                position
+                for position in range(1, len(tx))
+                if rng.random() < cut_probability
+            ]
+            views[(tx.tx_id, observer.tx_id)] = cuts
+    return RelativeAtomicitySpec(transactions, views)

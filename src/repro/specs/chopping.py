@@ -1,0 +1,236 @@
+"""Transaction chopping [SSV92], cited in the paper's Section 4.
+
+Shasha, Simon, and Valduriez's *chopping* splits each transaction into
+consecutive *pieces* that execute as independent transactions under
+strict two-phase locking.  A chopping is **correct** when the resulting
+executions remain (conflict-)serializable as wholes, and their theorem
+gives a graph test:
+
+    Build the *chopping graph*: one vertex per piece;
+    **C-edges** between conflicting pieces of different transactions;
+    **S-edges** (sibling) between consecutive pieces of one transaction.
+    The chopping is correct iff no cycle contains both an S-edge and a
+    C-edge (an *SC-cycle*).
+
+The paper positions chopping as a serializability-preserving relative of
+its own model; the structural kinship is direct — a chopping is exactly
+a relative atomicity specification whose views are the same partition
+for every observer.  :func:`chopping_to_spec` performs that embedding,
+and the experiment suite compares what the two theories admit.
+
+This module implements the chopping graph, the SC-cycle test, and a
+finest-correct-chopping search (greedy piece merging), all on the same
+transaction model as the rest of the library.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.schedules import conflicts
+from repro.core.transactions import Transaction, as_transaction_map
+from repro.errors import InvalidSpecError
+from repro.graphs.digraph import DiGraph
+
+__all__ = [
+    "Chopping",
+    "sc_cycle",
+    "is_correct_chopping",
+    "finest_correct_chopping",
+    "chopping_to_spec",
+]
+
+
+@dataclass(frozen=True)
+class Chopping:
+    """A chopping: per transaction, the cut positions splitting it into
+    pieces (same representation as atomicity breakpoints).
+
+    ``cuts[tx_id]`` is a frozenset of positions in ``1..len(T)-1``; the
+    empty set leaves the transaction whole.
+    """
+
+    transactions: tuple[Transaction, ...]
+    cuts: Mapping[int, frozenset[int]]
+
+    def __post_init__(self) -> None:
+        by_id = as_transaction_map(list(self.transactions))
+        for tx_id, positions in self.cuts.items():
+            if tx_id not in by_id:
+                raise InvalidSpecError(f"chopping cuts unknown T{tx_id}")
+            length = len(by_id[tx_id])
+            for cut in positions:
+                if not 1 <= cut <= length - 1:
+                    raise InvalidSpecError(
+                        f"cut {cut} outside 1..{length - 1} for T{tx_id}"
+                    )
+
+    def pieces(self, tx_id: int) -> list[tuple[int, int]]:
+        """The piece spans ``(start, end)`` (inclusive) of one transaction."""
+        by_id = as_transaction_map(list(self.transactions))
+        length = len(by_id[tx_id])
+        cut_list = sorted(self.cuts.get(tx_id, frozenset()))
+        starts = [0] + cut_list
+        ends = [cut - 1 for cut in cut_list] + [length - 1]
+        return list(zip(starts, ends))
+
+    def piece_count(self) -> int:
+        """Total number of pieces across all transactions."""
+        return sum(len(self.pieces(tx.tx_id)) for tx in self.transactions)
+
+
+def _chopping_graph(chopping: Chopping) -> tuple[DiGraph, set, set]:
+    """The (undirected, encoded as symmetric) chopping graph.
+
+    Returns ``(graph, s_edges, c_edges)`` where the edge sets hold
+    frozenset pairs of piece ids ``(tx_id, piece_index)``.
+    """
+    graph = DiGraph()
+    s_edges: set[frozenset] = set()
+    c_edges: set[frozenset] = set()
+    by_id = {tx.tx_id: tx for tx in chopping.transactions}
+
+    piece_ids: dict[int, list[tuple[int, int]]] = {}
+    for tx in chopping.transactions:
+        spans = chopping.pieces(tx.tx_id)
+        piece_ids[tx.tx_id] = spans
+        for index in range(len(spans)):
+            graph.add_node((tx.tx_id, index))
+
+    # S-edges between consecutive pieces of one transaction.
+    for tx_id, spans in piece_ids.items():
+        for index in range(len(spans) - 1):
+            a, b = (tx_id, index), (tx_id, index + 1)
+            graph.add_edge(a, b)
+            graph.add_edge(b, a)
+            s_edges.add(frozenset((a, b)))
+
+    # C-edges between conflicting pieces of different transactions.
+    tx_ids = sorted(piece_ids)
+    for i, tx_a in enumerate(tx_ids):
+        for tx_b in tx_ids[i + 1:]:
+            for index_a, (start_a, end_a) in enumerate(piece_ids[tx_a]):
+                ops_a = by_id[tx_a].operations[start_a:end_a + 1]
+                for index_b, (start_b, end_b) in enumerate(
+                    piece_ids[tx_b]
+                ):
+                    ops_b = by_id[tx_b].operations[start_b:end_b + 1]
+                    if any(
+                        conflicts(op_a, op_b)
+                        for op_a in ops_a
+                        for op_b in ops_b
+                    ):
+                        a, b = (tx_a, index_a), (tx_b, index_b)
+                        graph.add_edge(a, b)
+                        graph.add_edge(b, a)
+                        c_edges.add(frozenset((a, b)))
+    return graph, s_edges, c_edges
+
+
+def sc_cycle(chopping: Chopping) -> list | None:
+    """Find an SC-cycle (cycle with ≥1 S-edge and ≥1 C-edge), or ``None``.
+
+    Key observation: the S-edges of one transaction form a simple path
+    (consecutive sibling pieces), so S-edges alone can never close a
+    cycle — *any* cycle through an S-edge necessarily contains a C-edge
+    and is an SC-cycle.  Therefore an SC-cycle exists iff some S-edge is
+    not a bridge: for each S-edge ``{a, b}``, search for a path from
+    ``a`` to ``b`` that avoids the edge itself (it may use any mix of
+    other S- and C-edges).  The witness returned is that path closed
+    over the S-edge.
+    """
+    graph, s_edges, c_edges = _chopping_graph(chopping)
+    if not c_edges or not s_edges:
+        return None
+    adjacency: dict = {}
+    for edge in s_edges | c_edges:
+        u, v = tuple(edge)
+        adjacency.setdefault(u, []).append(v)
+        adjacency.setdefault(v, []).append(u)
+
+    for edge in s_edges:
+        a, b = tuple(edge)
+        # BFS from a to b over every edge except the S-edge itself.
+        previous = {a: None}
+        frontier = [a]
+        found = False
+        while frontier and not found:
+            node = frontier.pop(0)
+            for neighbour in adjacency.get(node, ()):
+                if node == a and neighbour == b:
+                    continue  # the S-edge under test
+                if neighbour in previous:
+                    continue
+                previous[neighbour] = node
+                if neighbour == b:
+                    found = True
+                    break
+                frontier.append(neighbour)
+        if found:
+            path = [b]
+            while previous[path[-1]] is not None:
+                path.append(previous[path[-1]])
+            path.reverse()
+            return path + [a]  # close the cycle over the S-edge
+    return None
+
+
+def is_correct_chopping(chopping: Chopping) -> bool:
+    """The [SSV92] theorem's test: correct iff no SC-cycle exists."""
+    return sc_cycle(chopping) is None
+
+
+def finest_correct_chopping(
+    transactions: Sequence[Transaction],
+) -> Chopping:
+    """A maximal correct chopping by greedy cut removal.
+
+    Starts from the finest chopping (every operation its own piece) and,
+    while an SC-cycle exists, merges the two sibling pieces joined by
+    the cycle's S-edge (removing that cut).  Terminates because each
+    step removes one cut; the result is correct, though (as [SSV92]
+    note) not necessarily the unique finest correct chopping.
+    """
+    cuts = {
+        tx.tx_id: set(range(1, len(tx))) for tx in transactions
+    }
+    while True:
+        chopping = Chopping(
+            tuple(transactions),
+            {tx_id: frozenset(positions) for tx_id, positions in cuts.items()},
+        )
+        cycle = sc_cycle(chopping)
+        if cycle is None:
+            return chopping
+        # The witness closes over an S-edge (sibling pieces of one
+        # transaction somewhere along the cycle — sc_cycle guarantees
+        # one between its last two distinct nodes): merge the first
+        # sibling pair found, removing one cut.
+        for a, b in zip(cycle, cycle[1:]):
+            if a[0] == b[0] and abs(a[1] - b[1]) == 1:
+                tx_id = a[0]
+                spans = chopping.pieces(tx_id)
+                boundary = spans[max(a[1], b[1])][0]
+                cuts[tx_id].discard(boundary)
+                break
+
+
+def chopping_to_spec(chopping: Chopping) -> RelativeAtomicitySpec:
+    """Embed a chopping as a relative atomicity specification.
+
+    Pieces become atomic units, identically for every observer — the
+    uniform-view corner of the paper's model.  A correct chopping's
+    2PL-executed pieces yield schedules that this spec's RSG test
+    accepts (the experiment suite checks the inclusion empirically).
+    """
+    views = {}
+    for tx in chopping.transactions:
+        for observer in chopping.transactions:
+            if tx.tx_id == observer.tx_id:
+                continue
+            views[(tx.tx_id, observer.tx_id)] = chopping.cuts.get(
+                tx.tx_id, frozenset()
+            )
+    return RelativeAtomicitySpec(list(chopping.transactions), views)

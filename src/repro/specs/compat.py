@@ -1,0 +1,74 @@
+"""Garcia-Molina compatibility sets [Gar83] as relative atomicity specs.
+
+Garcia-Molina's proposal groups transactions into *compatibility sets*:
+transactions in the same set may be arbitrarily interleaved, while
+transactions in different sets observe each other as single atomic units.
+The paper points out this is a special case of relative atomicity; the
+translation is direct:
+
+* ``Atomicity(Ti, Tj)`` is the *finest* partition (every operation its own
+  unit) when ``Ti`` and ``Tj`` share a set,
+* and the *absolute* partition (one unit) otherwise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.transactions import Transaction
+from repro.errors import InvalidSpecError
+
+__all__ = ["compatibility_spec"]
+
+
+def compatibility_spec(
+    transactions: Sequence[Transaction],
+    groups: Iterable[Iterable[int]],
+) -> RelativeAtomicitySpec:
+    """Build the relative atomicity spec induced by compatibility sets.
+
+    Args:
+        transactions: the transaction set.
+        groups: a partition of the transaction ids into compatibility
+            sets.  Every transaction must appear in exactly one group;
+            singleton groups are allowed (a transaction compatible with
+            nothing).
+
+    Raises:
+        InvalidSpecError: if ``groups`` is not a partition of the
+            transaction ids.
+    """
+    group_of: dict[int, int] = {}
+    for group_index, group in enumerate(groups):
+        for tx_id in group:
+            if tx_id in group_of:
+                raise InvalidSpecError(
+                    f"T{tx_id} appears in more than one compatibility set"
+                )
+            group_of[tx_id] = group_index
+
+    by_id = {tx.tx_id: tx for tx in transactions}
+    missing = set(by_id).difference(group_of)
+    if missing:
+        raise InvalidSpecError(
+            f"transactions missing from compatibility sets: "
+            f"{sorted(missing)}"
+        )
+    unknown = set(group_of).difference(by_id)
+    if unknown:
+        raise InvalidSpecError(
+            f"compatibility sets mention unknown transactions: "
+            f"{sorted(unknown)}"
+        )
+
+    views = {}
+    for tx in transactions:
+        for observer in transactions:
+            if tx.tx_id == observer.tx_id:
+                continue
+            if group_of[tx.tx_id] == group_of[observer.tx_id]:
+                views[(tx.tx_id, observer.tx_id)] = range(1, len(tx))
+            else:
+                views[(tx.tx_id, observer.tx_id)] = ()
+    return RelativeAtomicitySpec(transactions, views)

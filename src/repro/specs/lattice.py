@@ -1,0 +1,85 @@
+"""The lattice of relative atomicity specifications.
+
+For a fixed transaction set, specifications are partially ordered by
+per-pair breakpoint inclusion: ``A ⊑ B`` ("A is coarser than B") when
+every view's cut set in ``A`` is a subset of the corresponding cut set
+in ``B``.  Under this order the specifications form a bounded lattice —
+absolute atomicity at the bottom, the finest spec at the top — with
+
+* **join** (least upper bound): per-pair *union* of cut sets,
+* **meet** (greatest lower bound): per-pair *intersection*.
+
+The order matters because acceptance is monotone along it (finer units
+only relax the RSG's F/B arcs — see
+:func:`repro.specs.builders.nested_spec_chain`): if a schedule is
+relatively serializable under ``A`` and ``A ⊑ B``, it is relatively
+serializable under ``B``.  Hence the join of two specs accepts every
+schedule either accepts, and the meet accepts only schedules both do —
+useful for composing specifications from multiple stakeholders (take
+the meet for safety, the join to describe the union of their
+allowances).
+"""
+
+from __future__ import annotations
+
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.errors import InvalidSpecError
+
+__all__ = ["is_coarser", "join", "meet"]
+
+
+def _check_same_transactions(
+    first: RelativeAtomicitySpec, second: RelativeAtomicitySpec
+) -> None:
+    if set(first.transactions) != set(second.transactions) or any(
+        first.transactions[tx_id] != second.transactions[tx_id]
+        for tx_id in first.transactions
+    ):
+        raise InvalidSpecError(
+            "lattice operations need specs over the same transaction set"
+        )
+
+
+def is_coarser(
+    first: RelativeAtomicitySpec, second: RelativeAtomicitySpec
+) -> bool:
+    """Whether ``first ⊑ second``: every cut of ``first`` is in ``second``.
+
+    Reflexive; ``absolute ⊑ anything ⊑ finest``.  When it holds, every
+    schedule relatively serializable under ``first`` is relatively
+    serializable under ``second`` (acceptance monotonicity).
+    """
+    _check_same_transactions(first, second)
+    return all(
+        first.atomicity(*pair).breakpoints
+        <= second.atomicity(*pair).breakpoints
+        for pair in first.pairs()
+    )
+
+
+def join(
+    first: RelativeAtomicitySpec, second: RelativeAtomicitySpec
+) -> RelativeAtomicitySpec:
+    """Least upper bound: per-pair union of breakpoints (the coarsest
+    spec at least as fine as both)."""
+    _check_same_transactions(first, second)
+    views = {
+        pair: first.atomicity(*pair).breakpoints
+        | second.atomicity(*pair).breakpoints
+        for pair in first.pairs()
+    }
+    return RelativeAtomicitySpec(first.transaction_list, views)
+
+
+def meet(
+    first: RelativeAtomicitySpec, second: RelativeAtomicitySpec
+) -> RelativeAtomicitySpec:
+    """Greatest lower bound: per-pair intersection of breakpoints (the
+    finest spec at least as coarse as both)."""
+    _check_same_transactions(first, second)
+    views = {
+        pair: first.atomicity(*pair).breakpoints
+        & second.atomicity(*pair).breakpoints
+        for pair in first.pairs()
+    }
+    return RelativeAtomicitySpec(first.transaction_list, views)

@@ -1,0 +1,166 @@
+"""Lynch's multilevel atomicity [Lyn83] as relative atomicity specs.
+
+Lynch organizes transactions into a *hierarchy* of nested groups (the
+banking example: the bank at the root, families below it, customers at the
+leaves).  Each transaction exposes one breakpoint set *per level of the
+hierarchy*, nested so that more closely related observers see finer
+atomicity: if the lowest common ancestor of ``Ti`` and ``Tj`` sits at
+depth ``d``, then ``Tj`` observes ``Ti`` broken at ``Ti``'s depth-``d``
+breakpoints — and depth-``d`` breakpoints must be a subset of
+depth-``d+1`` breakpoints (deeper = more cuts = finer units).
+
+The paper argues relative atomicity strictly generalizes this model (any
+per-pair assignment is allowed, hierarchical or not); this module provides
+the embedding so Lynch-style specifications can be written naturally and
+then fed to the full machinery.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.transactions import Transaction
+from repro.errors import InvalidSpecError
+
+__all__ = ["MultilevelHierarchy", "multilevel_spec"]
+
+#: A hierarchy node: a transaction id (leaf) or a sequence of nodes.
+HierarchyNode = int | Sequence["HierarchyNode"]
+
+
+class MultilevelHierarchy:
+    """A tree of transaction groups, given as nested sequences.
+
+    Example (Lynch's banking scenario: two families under one bank)::
+
+        MultilevelHierarchy([[1, 2], [3, 4], 5])
+
+    puts ``T1, T2`` in one family, ``T3, T4`` in another, and ``T5``
+    (say, the bank audit) directly under the root.
+
+    Raises:
+        InvalidSpecError: if a transaction id occurs twice or the tree is
+            empty.
+    """
+
+    def __init__(self, root: Sequence[HierarchyNode]) -> None:
+        self._path_of: dict[int, tuple[int, ...]] = {}
+        self._walk(root, path=())
+        if not self._path_of:
+            raise InvalidSpecError("hierarchy contains no transactions")
+
+    def _walk(self, node: HierarchyNode, path: tuple[int, ...]) -> None:
+        if isinstance(node, int):
+            if node in self._path_of:
+                raise InvalidSpecError(
+                    f"T{node} appears twice in the hierarchy"
+                )
+            self._path_of[node] = path
+            return
+        for child_index, child in enumerate(node):
+            self._walk(child, path + (child_index,))
+
+    @property
+    def transaction_ids(self) -> frozenset[int]:
+        """All transaction ids mentioned by the hierarchy."""
+        return frozenset(self._path_of)
+
+    def depth(self, tx_id: int) -> int:
+        """Depth of the transaction's leaf (root children are depth 1)."""
+        return len(self._require(tx_id))
+
+    def lca_depth(self, first: int, second: int) -> int:
+        """Depth of the lowest common ancestor group of two transactions.
+
+        Depth 0 is the root: two transactions related only through the
+        root have LCA depth 0 (the coarsest view applies).
+        """
+        path_a = self._require(first)
+        path_b = self._require(second)
+        depth = 0
+        for step_a, step_b in zip(path_a, path_b):
+            if step_a != step_b:
+                break
+            depth += 1
+        return depth
+
+    def _require(self, tx_id: int) -> tuple[int, ...]:
+        try:
+            return self._path_of[tx_id]
+        except KeyError:
+            raise InvalidSpecError(
+                f"T{tx_id} is not in the hierarchy"
+            ) from None
+
+    def __repr__(self) -> str:
+        return (
+            f"MultilevelHierarchy({len(self._path_of)} transactions)"
+        )
+
+
+def multilevel_spec(
+    transactions: Sequence[Transaction],
+    hierarchy: MultilevelHierarchy | Sequence[HierarchyNode],
+    level_cuts: Mapping[int, Sequence[Iterable[int]]],
+) -> RelativeAtomicitySpec:
+    """Expand a multilevel atomicity specification to a relative one.
+
+    Args:
+        transactions: the transaction set.
+        hierarchy: the group tree (or the nested sequences to build one).
+        level_cuts: for each transaction id, the breakpoint sets by depth:
+            ``level_cuts[i][d]`` is the cut set ``Ti`` exposes to
+            observers whose LCA with ``Ti`` sits at depth ``d``.  The list
+            must cover depths ``0 .. depth(Ti) - 1`` and be nested
+            (``level_cuts[i][d] ⊆ level_cuts[i][d + 1]``).  A transaction
+            missing from the mapping defaults to absolute atomicity at
+            every level.
+
+    Returns:
+        The equivalent :class:`RelativeAtomicitySpec` with
+        ``Atomicity(Ti, Tj) = level_cuts[i][lca_depth(i, j)]``.
+
+    Raises:
+        InvalidSpecError: on non-nested cut sets, missing levels, or a
+            hierarchy/transaction mismatch.
+    """
+    if not isinstance(hierarchy, MultilevelHierarchy):
+        hierarchy = MultilevelHierarchy(hierarchy)
+
+    ids = {tx.tx_id for tx in transactions}
+    if ids != hierarchy.transaction_ids:
+        raise InvalidSpecError(
+            "hierarchy transactions do not match the transaction set: "
+            f"hierarchy has {sorted(hierarchy.transaction_ids)}, "
+            f"set has {sorted(ids)}"
+        )
+
+    normalized: dict[int, list[frozenset[int]]] = {}
+    for tx in transactions:
+        depth = hierarchy.depth(tx.tx_id)
+        cuts_by_depth = [
+            frozenset(cuts)
+            for cuts in level_cuts.get(tx.tx_id, [()] * depth)
+        ]
+        if len(cuts_by_depth) != depth:
+            raise InvalidSpecError(
+                f"T{tx.tx_id} sits at depth {depth} but has "
+                f"{len(cuts_by_depth)} cut levels"
+            )
+        for shallow, deep in zip(cuts_by_depth, cuts_by_depth[1:]):
+            if not shallow.issubset(deep):
+                raise InvalidSpecError(
+                    f"cut sets of T{tx.tx_id} are not nested: a shallower "
+                    "level exposes breakpoints a deeper level hides"
+                )
+        normalized[tx.tx_id] = cuts_by_depth
+
+    views = {}
+    for tx in transactions:
+        for observer in transactions:
+            if tx.tx_id == observer.tx_id:
+                continue
+            depth = hierarchy.lca_depth(tx.tx_id, observer.tx_id)
+            views[(tx.tx_id, observer.tx_id)] = normalized[tx.tx_id][depth]
+    return RelativeAtomicitySpec(transactions, views)

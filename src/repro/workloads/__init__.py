@@ -1,0 +1,36 @@
+"""Workload generators.
+
+* :mod:`~repro.workloads.enumerate` — exhaustive enumeration of all
+  interleavings of a transaction set (the ground set for the Figure 5
+  class-counting experiment);
+* :mod:`~repro.workloads.random_schedules` — seeded random transaction
+  sets, schedules, and interleavings;
+* :mod:`~repro.workloads.banking` — Lynch's motivating banking scenario
+  (families of accounts, customer transactions, credit and bank audits);
+* :mod:`~repro.workloads.cad` — the CAD/CAM collaborative-teams scenario;
+* :mod:`~repro.workloads.longlived` — long-lived transactions mixed with
+  short ones (the altruistic-locking discussion of Section 5);
+* :mod:`~repro.workloads.orders` — a TPC-C-flavoured order-processing
+  mix with a delivery sweep as the long transaction.
+"""
+
+from repro.workloads.banking import BankingWorkload
+from repro.workloads.cad import CadWorkload
+from repro.workloads.enumerate import all_interleavings, count_interleavings
+from repro.workloads.longlived import LongLivedWorkload
+from repro.workloads.orders import OrderProcessingWorkload
+from repro.workloads.random_schedules import (
+    random_interleaving,
+    random_transactions,
+)
+
+__all__ = [
+    "all_interleavings",
+    "count_interleavings",
+    "random_transactions",
+    "random_interleaving",
+    "BankingWorkload",
+    "CadWorkload",
+    "LongLivedWorkload",
+    "OrderProcessingWorkload",
+]

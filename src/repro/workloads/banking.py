@@ -1,0 +1,244 @@
+"""Lynch's banking scenario (cited by the paper's introduction).
+
+Customers are grouped into *families*, each sharing a set of accounts.
+Three transaction kinds:
+
+* **customer** transactions move money inside one family (transfers:
+  read both accounts, then write both);
+* **credit audits** read every account of one family;
+* the **bank audit** reads every account of every family.
+
+The relative atomicity structure from the paper's summary of [Lyn83]:
+
+* the bank audit is atomic with respect to everything and vice versa;
+* customer transactions in the same family interleave freely with each
+  other (finest mutual views);
+* a credit audit must see same-family customer transactions atomically
+  (and itself appears atomic to them), but is "much less severe" towards
+  other families — it exposes a breakpoint after each account read to
+  transactions of other families, and sees them at finest granularity.
+
+Semantics: transfers preserve the bank's total balance, so an audit that
+reads a *consistent* cut observes exactly the expected total — the
+examples use this to show a relatively serializable schedule keeping the
+audit correct while a rejected schedule breaks it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.operations import Operation, read, write
+from repro.core.transactions import Transaction
+from repro.engine.executor import Semantics
+from repro.workloads.base import WorkloadBundle
+
+__all__ = ["BankingWorkload"]
+
+
+class BankingWorkload:
+    """Builder for the banking scenario.
+
+    Args:
+        n_families: number of account families.
+        accounts_per_family: accounts in each family.
+        customers_per_family: customer transactions per family.
+        transfers_per_customer: transfers inside each customer
+            transaction.
+        include_credit_audits: one credit audit per family.
+        include_bank_audit: one global bank audit.
+        initial_balance: starting balance of every account.
+        seed: RNG seed for account choices and amounts.
+    """
+
+    def __init__(
+        self,
+        n_families: int = 2,
+        accounts_per_family: int = 2,
+        customers_per_family: int = 2,
+        transfers_per_customer: int = 1,
+        include_credit_audits: bool = True,
+        include_bank_audit: bool = True,
+        initial_balance: int = 100,
+        seed: int = 0,
+    ) -> None:
+        if n_families < 1 or accounts_per_family < 1:
+            raise ValueError("need at least one family with one account")
+        if accounts_per_family < 2 and transfers_per_customer > 0:
+            raise ValueError("transfers need at least two accounts per family")
+        self._n_families = n_families
+        self._accounts_per_family = accounts_per_family
+        self._customers_per_family = customers_per_family
+        self._transfers_per_customer = transfers_per_customer
+        self._include_credit_audits = include_credit_audits
+        self._include_bank_audit = include_bank_audit
+        self._initial_balance = initial_balance
+        self._seed = seed
+
+    def account(self, family: int, index: int) -> str:
+        """Name of account ``index`` of ``family`` (``f0a1`` style)."""
+        return f"f{family}a{index}"
+
+    def family_accounts(self, family: int) -> list[str]:
+        """All account names of one family."""
+        return [
+            self.account(family, index)
+            for index in range(self._accounts_per_family)
+        ]
+
+    def build(self) -> WorkloadBundle:
+        """Construct the transaction set, spec, semantics, and state."""
+        rng = random.Random(self._seed)
+        transactions: list[Transaction] = []
+        roles: dict[int, str] = {}
+        family_of: dict[int, int | None] = {}
+        semantics = Semantics()
+        next_id = 1
+
+        # Customer transactions: each transfer reads source and target,
+        # then writes both (debit, credit) with a random amount.
+        for family in range(self._n_families):
+            for _ in range(self._customers_per_family):
+                ops: list[Operation] = []
+                plan: list[tuple[str, str, int]] = []
+                for _ in range(self._transfers_per_customer):
+                    src, dst = rng.sample(self.family_accounts(family), 2)
+                    amount = rng.randint(1, 10)
+                    plan.append((src, dst, amount))
+                    ops.extend([read(src), read(dst), write(src), write(dst)])
+                tx = Transaction(next_id, ops)
+                transactions.append(tx)
+                roles[next_id] = "customer"
+                family_of[next_id] = family
+                for transfer_index, (src, dst, amount) in enumerate(plan):
+                    base = transfer_index * 4
+                    semantics.set_effect(
+                        next_id,
+                        base + 2,
+                        _debit(src, amount),
+                    )
+                    semantics.set_effect(
+                        next_id,
+                        base + 3,
+                        _credit(dst, amount),
+                    )
+                next_id += 1
+
+        # Credit audits: read every account of one family.
+        if self._include_credit_audits:
+            for family in range(self._n_families):
+                ops = [read(account) for account in self.family_accounts(family)]
+                transactions.append(Transaction(next_id, ops))
+                roles[next_id] = "credit-audit"
+                family_of[next_id] = family
+                next_id += 1
+
+        # Bank audit: read everything.
+        if self._include_bank_audit:
+            ops = [
+                read(account)
+                for family in range(self._n_families)
+                for account in self.family_accounts(family)
+            ]
+            transactions.append(Transaction(next_id, ops))
+            roles[next_id] = "bank-audit"
+            family_of[next_id] = None
+            next_id += 1
+
+        spec = self._build_spec(transactions, roles, family_of)
+        initial_state = {
+            account: self._initial_balance
+            for family in range(self._n_families)
+            for account in self.family_accounts(family)
+        }
+        expected_total = self._initial_balance * len(initial_state)
+        return WorkloadBundle(
+            name="banking",
+            transactions=transactions,
+            spec=spec,
+            initial_state=initial_state,
+            semantics=semantics,
+            roles=roles,
+            metadata={
+                "family_of": family_of,
+                "expected_total": expected_total,
+                "accounts_per_family": self._accounts_per_family,
+                "n_families": self._n_families,
+            },
+        )
+
+    def _build_spec(
+        self,
+        transactions: list[Transaction],
+        roles: dict[int, str],
+        family_of: dict[int, int | None],
+    ) -> RelativeAtomicitySpec:
+        views: dict[tuple[int, int], object] = {}
+        for tx in transactions:
+            for observer in transactions:
+                if tx.tx_id == observer.tx_id:
+                    continue
+                views[(tx.tx_id, observer.tx_id)] = self._view(
+                    tx, observer, roles, family_of
+                )
+        return RelativeAtomicitySpec(transactions, views)
+
+    def _view(
+        self,
+        tx: Transaction,
+        observer: Transaction,
+        roles: dict[int, str],
+        family_of: dict[int, int | None],
+    ) -> range | tuple[int, ...]:
+        role = roles[tx.tx_id]
+        observer_role = roles[observer.tx_id]
+        absolute: tuple[int, ...] = ()
+        finest = range(1, len(tx))
+
+        # The bank audit is atomic with respect to everything and vice
+        # versa.
+        if "bank-audit" in (role, observer_role):
+            return absolute
+        same_family = family_of[tx.tx_id] == family_of[observer.tx_id]
+        if role == "customer":
+            if observer_role == "customer":
+                # Same family: interleave freely.  Different families:
+                # no shared accounts, finest is still safe and matches
+                # "customer transactions ... can be arbitrarily
+                # interleaved".
+                return finest
+            # Customer as seen by a credit audit: atomic for the audited
+            # family, free for other families.
+            return absolute if same_family else finest
+        # role == "credit-audit"
+        if observer_role == "customer":
+            # A same-family customer must not slip inside the audit's
+            # account scan; other families may interleave between reads.
+            return absolute if same_family else finest
+        # Two credit audits: different families never conflict, and the
+        # read-only scans may interleave freely.
+        return finest
+
+def _debit(account: str, amount: int):
+    """Write effect: subtract ``amount`` from the account.
+
+    Applied to the store's *current* value (an atomic decrement): customer
+    transfers commute with each other, which is the semantic knowledge that
+    justifies letting same-family customers interleave freely.  The
+    ``account`` name is kept for introspection in traces.
+    """
+
+    def effect(current, _reads, _account=account):
+        return current - amount
+
+    return effect
+
+
+def _credit(account: str, amount: int):
+    """Write effect: add ``amount`` to the account (atomic increment)."""
+
+    def effect(current, _reads, _account=account):
+        return current + amount
+
+    return effect

@@ -1,0 +1,56 @@
+"""Shared shape for the scenario workloads.
+
+Each scenario (banking, CAD, long-lived) builds a :class:`WorkloadBundle`:
+the transaction set, the relative atomicity specification expressing the
+scenario's collaboration structure, the initial database state, write
+semantics for the execution engine, and a role label per transaction so
+results can be reported per transaction kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.transactions import Transaction
+from repro.engine.executor import Semantics
+
+__all__ = ["WorkloadBundle"]
+
+
+@dataclass
+class WorkloadBundle:
+    """Everything a scenario produces.
+
+    Attributes:
+        name: scenario name.
+        transactions: the transaction set.
+        spec: the scenario's relative atomicity specification.
+        initial_state: database contents before any execution.
+        semantics: write effects for the execution engine.
+        roles: transaction id -> role label (``"customer"``,
+            ``"bank-audit"``, ``"designer"``, ...).
+        metadata: scenario-specific extras (family membership, team
+            membership, expected invariant values, ...).
+    """
+
+    name: str
+    transactions: list[Transaction]
+    spec: RelativeAtomicitySpec
+    initial_state: dict[str, Any]
+    semantics: Semantics
+    roles: dict[int, str] = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def transactions_with_role(self, role: str) -> list[Transaction]:
+        """The transactions whose role label equals ``role``."""
+        return [
+            tx for tx in self.transactions if self.roles.get(tx.tx_id) == role
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadBundle({self.name!r}, "
+            f"{len(self.transactions)} transactions)"
+        )

@@ -1,0 +1,140 @@
+"""The CAD/CAM collaborative-design scenario (Sections 1 and 5).
+
+Users are partitioned into *teams* of specialized experts.  Each designer
+transaction edits a sequence of parts owned by its team (read the part,
+write the part) and finally reads the shared *interface* object that
+connects the subsystems.  The collaboration structure maps directly onto
+Lynch-style multilevel atomicity, which this workload builds through
+:func:`repro.specs.multilevel.multilevel_spec`:
+
+* designers on the same team interleave freely (finest, depth-1 cuts at
+  every position);
+* across teams, a designer exposes breakpoints only at *part boundaries*
+  (a part edit is the unit of consistency other teams may observe);
+* the root level exposes the same part-boundary cuts, so the hierarchy is
+  trivially nested.
+
+Semantics: each edit bumps a part's revision counter, and the final
+interface read lets examples check which revisions each designer observed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.operations import Operation, read, write
+from repro.core.transactions import Transaction
+from repro.engine.executor import Semantics
+from repro.specs.multilevel import MultilevelHierarchy, multilevel_spec
+from repro.workloads.base import WorkloadBundle
+
+__all__ = ["CadWorkload"]
+
+
+class CadWorkload:
+    """Builder for the CAD teams scenario.
+
+    Args:
+        n_teams: number of design teams.
+        designers_per_team: designer transactions per team.
+        parts_per_team: parts owned by each team.
+        edits_per_designer: part edits (read+write pairs) per designer.
+        seed: RNG seed for part choices.
+    """
+
+    def __init__(
+        self,
+        n_teams: int = 2,
+        designers_per_team: int = 2,
+        parts_per_team: int = 2,
+        edits_per_designer: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if n_teams < 1 or designers_per_team < 1 or parts_per_team < 1:
+            raise ValueError("teams, designers, and parts must be positive")
+        if edits_per_designer < 1:
+            raise ValueError("designers must edit at least one part")
+        self._n_teams = n_teams
+        self._designers_per_team = designers_per_team
+        self._parts_per_team = parts_per_team
+        self._edits_per_designer = edits_per_designer
+        self._seed = seed
+
+    def part(self, team: int, index: int) -> str:
+        """Name of part ``index`` of ``team`` (``t0p1`` style)."""
+        return f"t{team}p{index}"
+
+    def team_parts(self, team: int) -> list[str]:
+        """All part names of one team."""
+        return [
+            self.part(team, index) for index in range(self._parts_per_team)
+        ]
+
+    def build(self) -> WorkloadBundle:
+        """Construct the transaction set, multilevel spec, and semantics."""
+        rng = random.Random(self._seed)
+        transactions: list[Transaction] = []
+        roles: dict[int, str] = {}
+        team_of: dict[int, int] = {}
+        semantics = Semantics()
+        hierarchy_groups: list[list[int]] = []
+        level_cuts: dict[int, list[list[int]]] = {}
+        next_id = 1
+
+        for team in range(self._n_teams):
+            members: list[int] = []
+            for _ in range(self._designers_per_team):
+                ops: list[Operation] = []
+                for _ in range(self._edits_per_designer):
+                    part = rng.choice(self.team_parts(team))
+                    ops.extend([read(part), write(part)])
+                ops.append(read("interface"))
+                tx = Transaction(next_id, ops)
+                transactions.append(tx)
+                roles[next_id] = "designer"
+                team_of[next_id] = team
+                members.append(next_id)
+                # Each edit's write bumps the part revision.
+                for edit in range(self._edits_per_designer):
+                    semantics.set_effect(
+                        next_id, edit * 2 + 1, _bump_revision
+                    )
+                # Cuts: at part boundaries for outsiders (depth 0, the
+                # root level), everywhere for teammates (depth 1).
+                part_boundaries = [
+                    edit * 2 for edit in range(1, self._edits_per_designer)
+                ]
+                # The trailing interface read is its own unit for everyone.
+                part_boundaries.append(self._edits_per_designer * 2)
+                level_cuts[next_id] = [
+                    part_boundaries,
+                    list(range(1, len(tx))),
+                ]
+                next_id += 1
+            hierarchy_groups.append(members)
+
+        hierarchy = MultilevelHierarchy(hierarchy_groups)
+        spec = multilevel_spec(transactions, hierarchy, level_cuts)
+
+        initial_state: dict[str, int] = {"interface": 0}
+        for team in range(self._n_teams):
+            for part in self.team_parts(team):
+                initial_state[part] = 0
+        return WorkloadBundle(
+            name="cad",
+            transactions=transactions,
+            spec=spec,
+            initial_state=initial_state,
+            semantics=semantics,
+            roles=roles,
+            metadata={
+                "team_of": team_of,
+                "hierarchy": hierarchy,
+                "n_teams": self._n_teams,
+            },
+        )
+
+
+def _bump_revision(current, _reads):
+    """Write effect: increment the part's revision counter."""
+    return (current or 0) + 1

@@ -1,0 +1,251 @@
+"""An order-processing scenario (TPC-C-flavoured, scaled down).
+
+The classic OLTP shape where relaxed atomicity earns its keep:
+
+* **new-order** transactions (short, hot): bump one district's pending
+  order count, decrement stock for one item, add revenue;
+* **payment** transactions (short): add revenue to one district;
+* **delivery** transactions (long): sweep *every* district, clearing
+  its pending orders — the notorious TPC-C long transaction that, under
+  strict 2PL, stalls every new-order behind the sweep;
+* **stock-scan** transactions (read-only): read a range of stock
+  levels for reporting.
+
+Relative atomicity assignments:
+
+* delivery exposes a breakpoint after each district it clears — the
+  per-district donate point ([SGMA87] applied to the textbook case);
+* the stock-scan exposes breakpoints between its reads relative to the
+  short transactions (an approximate report tolerates a moving target)
+  but stays atomic relative to delivery (a report straddling a
+  half-done sweep would be misleading);
+* new-order and payment transactions are atomic to everyone.
+
+Semantics are counter-based, so the bookkeeping invariants
+(orders placed = orders pending + orders delivered; stock conservation;
+revenue conservation) hold in every execution the engine replays, and
+the tests check them on simulated histories.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.operations import Operation, read, write
+from repro.core.transactions import Transaction
+from repro.engine.executor import Semantics
+from repro.workloads.base import WorkloadBundle
+
+__all__ = ["OrderProcessingWorkload"]
+
+
+class OrderProcessingWorkload:
+    """Builder for the order-processing scenario.
+
+    Args:
+        n_districts: districts the delivery sweep covers.
+        n_items: distinct stock items.
+        n_new_orders: new-order transactions.
+        n_payments: payment transactions.
+        include_delivery: one full-sweep delivery transaction.
+        include_stock_scan: one read-only stock report.
+        initial_stock: starting stock per item.
+        seed: RNG seed for item/district choices.
+    """
+
+    def __init__(
+        self,
+        n_districts: int = 2,
+        n_items: int = 3,
+        n_new_orders: int = 3,
+        n_payments: int = 1,
+        include_delivery: bool = True,
+        include_stock_scan: bool = True,
+        initial_stock: int = 50,
+        seed: int = 0,
+    ) -> None:
+        if n_districts < 1 or n_items < 1:
+            raise ValueError("need at least one district and one item")
+        if n_new_orders < 0 or n_payments < 0:
+            raise ValueError("transaction counts must be non-negative")
+        self._n_districts = n_districts
+        self._n_items = n_items
+        self._n_new_orders = n_new_orders
+        self._n_payments = n_payments
+        self._include_delivery = include_delivery
+        self._include_stock_scan = include_stock_scan
+        self._initial_stock = initial_stock
+        self._seed = seed
+
+    @staticmethod
+    def pending(district: int) -> str:
+        """Pending-order counter of one district."""
+        return f"d{district}_pending"
+
+    @staticmethod
+    def delivered(district: int) -> str:
+        """Delivered-order counter of one district."""
+        return f"d{district}_delivered"
+
+    @staticmethod
+    def revenue(district: int) -> str:
+        """Revenue accumulator of one district."""
+        return f"d{district}_rev"
+
+    @staticmethod
+    def stock(item: int) -> str:
+        """Stock level of one item."""
+        return f"s{item}"
+
+    def build(self) -> WorkloadBundle:
+        """Construct the transaction set, spec, semantics, and state."""
+        rng = random.Random(self._seed)
+        transactions: list[Transaction] = []
+        roles: dict[int, str] = {}
+        semantics = Semantics()
+        next_id = 1
+
+        def add(tx_role: str, ops: list[Operation]) -> int:
+            nonlocal next_id
+            transactions.append(Transaction(next_id, ops))
+            roles[next_id] = tx_role
+            tx_id = next_id
+            next_id += 1
+            return tx_id
+
+        # New orders: read+bump pending, read+decrement stock,
+        # read+add revenue.
+        for _ in range(self._n_new_orders):
+            district = rng.randrange(self._n_districts)
+            item = rng.randrange(self._n_items)
+            amount = rng.randint(1, 5)
+            ops = [
+                read(self.pending(district)),
+                write(self.pending(district)),
+                read(self.stock(item)),
+                write(self.stock(item)),
+                read(self.revenue(district)),
+                write(self.revenue(district)),
+            ]
+            tx_id = add("new-order", ops)
+            semantics.set_effect(tx_id, 1, _delta(+1))
+            semantics.set_effect(tx_id, 3, _delta(-1))
+            semantics.set_effect(tx_id, 5, _delta(+amount))
+
+        # Payments: read+add revenue.
+        for _ in range(self._n_payments):
+            district = rng.randrange(self._n_districts)
+            amount = rng.randint(1, 10)
+            ops = [
+                read(self.revenue(district)),
+                write(self.revenue(district)),
+            ]
+            tx_id = add("payment", ops)
+            semantics.set_effect(tx_id, 1, _delta(+amount))
+
+        # Delivery: sweep all districts, moving pending -> delivered.
+        delivery_id = None
+        if self._include_delivery:
+            ops = []
+            for district in range(self._n_districts):
+                ops.extend(
+                    [
+                        read(self.pending(district)),
+                        write(self.pending(district)),
+                        read(self.delivered(district)),
+                        write(self.delivered(district)),
+                    ]
+                )
+            delivery_id = add("delivery", ops)
+            for district in range(self._n_districts):
+                base = district * 4
+                semantics.set_effect(
+                    delivery_id, base + 1, _clear_pending
+                )
+                semantics.set_effect(
+                    delivery_id,
+                    base + 3,
+                    _absorb_pending(self.pending(district)),
+                )
+
+        # Stock scan: read every stock level.
+        scan_id = None
+        if self._include_stock_scan:
+            ops = [read(self.stock(item)) for item in range(self._n_items)]
+            scan_id = add("stock-scan", ops)
+
+        spec = self._build_spec(transactions, roles, delivery_id, scan_id)
+        initial_state: dict[str, int] = {}
+        for district in range(self._n_districts):
+            initial_state[self.pending(district)] = 0
+            initial_state[self.delivered(district)] = 0
+            initial_state[self.revenue(district)] = 0
+        for item in range(self._n_items):
+            initial_state[self.stock(item)] = self._initial_stock
+        return WorkloadBundle(
+            name="order-processing",
+            transactions=transactions,
+            spec=spec,
+            initial_state=initial_state,
+            semantics=semantics,
+            roles=roles,
+            metadata={
+                "n_districts": self._n_districts,
+                "n_items": self._n_items,
+                "initial_stock": self._initial_stock,
+                "delivery_id": delivery_id,
+                "scan_id": scan_id,
+            },
+        )
+
+    def _build_spec(
+        self,
+        transactions: list[Transaction],
+        roles: dict[int, str],
+        delivery_id: int | None,
+        scan_id: int | None,
+    ) -> RelativeAtomicitySpec:
+        views: dict[tuple[int, int], object] = {}
+        for tx in transactions:
+            for observer in transactions:
+                if tx.tx_id == observer.tx_id:
+                    continue
+                if tx.tx_id == delivery_id:
+                    # Donate point after each district's clear+absorb.
+                    views[(tx.tx_id, observer.tx_id)] = list(
+                        range(4, len(tx), 4)
+                    )
+                elif tx.tx_id == scan_id and roles[observer.tx_id] in (
+                    "new-order",
+                    "payment",
+                ):
+                    # Approximate report: shorts may slip between reads.
+                    views[(tx.tx_id, observer.tx_id)] = list(
+                        range(1, len(tx))
+                    )
+                # Everything else stays absolute (the default).
+        return RelativeAtomicitySpec(transactions, views)
+
+
+def _delta(amount: int):
+    """Write effect: add ``amount`` to the counter (atomic increment)."""
+
+    def effect(current, _reads):
+        return (current or 0) + amount
+
+    return effect
+
+
+def _clear_pending(_current, _reads):
+    """Write effect: reset a district's pending counter."""
+    return 0
+
+
+def _absorb_pending(pending_object: str):
+    """Write effect: add the pending count just read to ``delivered``."""
+
+    def effect(current, reads):
+        return (current or 0) + reads[pending_object]
+
+    return effect

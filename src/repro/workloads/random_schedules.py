@@ -1,0 +1,101 @@
+"""Seeded random generators for transactions and schedules.
+
+Used by the acceptance-rate experiment (E9), the randomized agreement
+tests (Theorem 1 / Lemma 1 on instances too large to enumerate), and the
+hypothesis-based property tests as a fallback strategy.
+
+Everything takes an explicit seed (or a pre-seeded ``random.Random``) so
+experiments are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.core.operations import Operation, read, write
+from repro.core.schedules import Schedule
+from repro.core.transactions import Transaction
+
+__all__ = ["random_transactions", "random_interleaving", "random_schedules"]
+
+
+def _rng(seed: int | random.Random) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def random_transactions(
+    n_transactions: int,
+    ops_per_transaction: int | tuple[int, int],
+    n_objects: int,
+    write_probability: float = 0.5,
+    seed: int | random.Random = 0,
+) -> list[Transaction]:
+    """Generate a random transaction set.
+
+    Args:
+        n_transactions: how many transactions (ids ``1..n``).
+        ops_per_transaction: a fixed length, or an inclusive ``(lo, hi)``
+            range sampled per transaction.
+        n_objects: size of the object pool (objects named ``x0..``).
+        write_probability: probability each operation is a write.
+        seed: an ``int`` or a pre-seeded ``random.Random``.
+    """
+    if n_transactions < 1:
+        raise ValueError("need at least one transaction")
+    if n_objects < 1:
+        raise ValueError("need at least one object")
+    if not 0.0 <= write_probability <= 1.0:
+        raise ValueError("write_probability must be in [0, 1]")
+    rng = _rng(seed)
+    objects = [f"x{i}" for i in range(n_objects)]
+    transactions = []
+    for tx_id in range(1, n_transactions + 1):
+        if isinstance(ops_per_transaction, tuple):
+            lo, hi = ops_per_transaction
+            length = rng.randint(lo, hi)
+        else:
+            length = ops_per_transaction
+        if length < 1:
+            raise ValueError("transactions need at least one operation")
+        ops: list[Operation] = []
+        for _ in range(length):
+            obj = rng.choice(objects)
+            if rng.random() < write_probability:
+                ops.append(write(obj))
+            else:
+                ops.append(read(obj))
+        transactions.append(Transaction(tx_id, ops))
+    return transactions
+
+
+def random_interleaving(
+    transactions: Sequence[Transaction],
+    seed: int | random.Random = 0,
+) -> Schedule:
+    """A uniformly random schedule over ``transactions``.
+
+    Sampling is uniform over all interleavings: at each step the next
+    transaction is chosen with probability proportional to its remaining
+    operation count (the standard riffle-shuffle argument).
+    """
+    rng = _rng(seed)
+    remaining = {tx.tx_id: list(tx.operations) for tx in transactions}
+    order: list[Operation] = []
+    while any(remaining.values()):
+        population = [
+            tx_id for tx_id, ops in remaining.items() for _ in ops
+        ]
+        tx_id = rng.choice(population)
+        order.append(remaining[tx_id].pop(0))
+    return Schedule(list(transactions), order)
+
+
+def random_schedules(
+    transactions: Sequence[Transaction],
+    count: int,
+    seed: int | random.Random = 0,
+) -> list[Schedule]:
+    """``count`` independent uniform random schedules (may repeat)."""
+    rng = _rng(seed)
+    return [random_interleaving(transactions, rng) for _ in range(count)]

@@ -1,0 +1,67 @@
+"""Unit tests for the acceptance-rate sweep (E9)."""
+
+from repro.analysis.acceptance import acceptance_for_spec, acceptance_sweep
+from repro.specs.builders import absolute_spec, finest_spec
+from repro.workloads.random_schedules import random_transactions
+
+
+class TestAcceptanceForSpec:
+    def test_finest_spec_accepts_everything(self):
+        txs = random_transactions(3, 3, 2, seed=0)
+        result = acceptance_for_spec(txs, finest_spec(txs), samples=50)
+        assert result.relatively_serializable == result.total
+
+    def test_absolute_spec_matches_csr_rate(self):
+        txs = random_transactions(3, 3, 2, seed=0)
+        result = acceptance_for_spec(txs, absolute_spec(txs), samples=50)
+        assert (
+            result.relatively_serializable == result.conflict_serializable
+        )
+
+
+class TestAcceptanceSweep:
+    def test_rows_cover_requested_unit_sizes(self):
+        rows = acceptance_sweep(
+            n_transactions=3,
+            ops_per_transaction=3,
+            n_objects=2,
+            unit_sizes=(3, 1),
+            samples=40,
+            seed=1,
+        )
+        assert [row.unit_size for row in rows] == [3, 1]
+        assert all(row.samples == 40 for row in rows)
+
+    def test_rates_are_fractions(self):
+        rows = acceptance_sweep(unit_sizes=(4, 2), samples=30, seed=2)
+        for row in rows:
+            for rate in (
+                row.conflict_serializable,
+                row.relatively_atomic,
+                row.relatively_serial,
+                row.relatively_serializable,
+            ):
+                assert 0.0 <= rate <= 1.0
+
+    def test_rsr_rate_never_below_csr_rate(self):
+        rows = acceptance_sweep(
+            unit_sizes=(4, 3, 2, 1), samples=60, seed=3
+        )
+        for row in rows:
+            assert row.relatively_serializable >= row.conflict_serializable
+
+    def test_finer_units_monotonically_accept_more(self):
+        rows = acceptance_sweep(
+            unit_sizes=(4, 2, 1), samples=80, seed=4
+        )
+        rates = [row.relatively_serializable for row in rows]
+        assert rates == sorted(rates)
+
+    def test_unit_size_one_accepts_everything(self):
+        rows = acceptance_sweep(unit_sizes=(1,), samples=30, seed=5)
+        assert rows[0].relatively_serializable == 1.0
+        assert rows[0].relatively_atomic == 1.0
+
+    def test_as_cells_shape(self):
+        rows = acceptance_sweep(unit_sizes=(2,), samples=10, seed=6)
+        assert len(rows[0].as_cells()) == 7

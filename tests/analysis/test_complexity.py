@@ -1,0 +1,44 @@
+"""Unit tests for the complexity sweep (E8)."""
+
+from repro.analysis.complexity import adversarial_instance, complexity_sweep
+
+
+class TestAdversarialInstance:
+    def test_instance_shape(self):
+        transactions, schedule = adversarial_instance(3, seed=0)
+        assert len(transactions) == 3
+        assert all(len(tx) == 4 for tx in transactions)
+        assert len(schedule) == 12
+
+    def test_shared_object_serializes_everyone(self):
+        transactions, _ = adversarial_instance(3, seed=0)
+        for tx in transactions:
+            assert "shared" in tx.objects
+
+    def test_deterministic(self):
+        _, a = adversarial_instance(3, seed=1)
+        _, b = adversarial_instance(3, seed=1)
+        assert a == b
+
+
+class TestComplexitySweep:
+    def test_rows_cover_sizes(self):
+        rows = complexity_sweep(sizes=(2, 3), trials=2, rc_budget=100_000)
+        assert [row.n_transactions for row in rows] == [2, 3]
+        assert all(row.trials == 2 for row in rows)
+
+    def test_rsg_always_finishes(self):
+        rows = complexity_sweep(sizes=(2, 3, 4), trials=2, rc_budget=50_000)
+        for row in rows:
+            assert row.rsg_seconds >= 0.0
+
+    def test_budget_exhaustion_reported_not_raised(self):
+        # A tiny budget forces exhaustion on the larger instances.
+        rows = complexity_sweep(sizes=(4,), trials=2, rc_budget=10)
+        (row,) = rows
+        assert row.rc_budget_exhausted == 2
+        assert row.rc_seconds is None
+
+    def test_operations_column(self):
+        rows = complexity_sweep(sizes=(2,), trials=1, rc_budget=100_000)
+        assert rows[0].n_operations == 8

@@ -1,0 +1,52 @@
+"""Unit tests for the Figure 5 containment checker."""
+
+from repro.analysis.containment import check_containments
+from repro.core.transactions import Transaction
+from repro.specs.builders import uniform_spec
+from repro.workloads.enumerate import all_interleavings
+
+
+class TestCheckContainments:
+    def test_no_violations_on_exhaustive_small_instance(self):
+        txs = [
+            Transaction.from_notation(1, "r[x] w[x]"),
+            Transaction.from_notation(2, "w[x] r[y]"),
+        ]
+        spec = uniform_spec(txs, 1)
+        report = check_containments(all_interleavings(txs), spec)
+        assert report.ok
+        assert report.checked == 6
+        assert report.undecided == 0
+
+    def test_no_violations_on_figure1(self, fig1):
+        import itertools
+        from repro.workloads.enumerate import all_interleavings
+
+        population = itertools.islice(
+            all_interleavings(fig1.transactions), 400
+        )
+        report = check_containments(
+            population, fig1.spec, consistency_budget=50_000
+        )
+        assert report.ok
+
+    def test_proper_witnesses_found(self, fig1):
+        population = list(fig1.schedules.values())
+        report = check_containments(population, fig1.spec)
+        assert report.ok
+        # Sra: relatively atomic but not serial -> witness for
+        # serial ⊂ relatively serial (larger without smaller).
+        assert ("serial", "relatively serial") in report.proper_witnesses
+
+    def test_figure4_shows_rs_not_subset_of_rc(self, fig4):
+        # "relatively serial" -> "relatively consistent" is NOT among the
+        # expected containments; Figure 4's schedule would violate it.
+        report = check_containments([fig4.schedule("S")], fig4.spec)
+        assert report.ok  # none of the *expected* containments break
+
+    def test_budget_exhaustion_counts_undecided(self, fig1):
+        report = check_containments(
+            [fig1.schedule("S2")], fig1.spec, consistency_budget=1
+        )
+        assert report.undecided == 1
+        assert report.ok

@@ -1,0 +1,53 @@
+"""Unit tests for the protocol comparison driver (E10)."""
+
+import pytest
+
+from repro.analysis.protocol_comparison import compare_protocols
+from repro.workloads.longlived import LongLivedWorkload
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return compare_protocols(
+        lambda seed: LongLivedWorkload(
+            n_objects=4, n_long=1, n_short=3, short_ops=1, seed=seed
+        ).build(),
+        seeds=(0, 1, 2),
+    )
+
+
+class TestCompareProtocols:
+    def test_all_five_protocols_reported(self, rows):
+        assert {row.protocol for row in rows} == {
+            "strict-2pl",
+            "sgt",
+            "altruistic",
+            "rel-locking",
+            "rsgt",
+        }
+
+    def test_every_run_was_correct(self, rows):
+        assert all(row.all_correct for row in rows)
+
+    def test_all_seeds_completed(self, rows):
+        assert all(row.runs == 3 for row in rows)
+
+    def test_metrics_are_positive(self, rows):
+        for row in rows:
+            assert row.mean_makespan > 0
+            assert row.mean_throughput > 0
+            assert row.mean_response > 0
+
+    def test_short_role_response_reported(self, rows):
+        for row in rows:
+            assert row.mean_short_response is not None
+            assert row.mean_short_response > 0
+
+    def test_rsgt_beats_2pl_on_short_response(self, rows):
+        # The paper's Section 5 claim: relaxing the long transaction's
+        # atomicity lets short transactions through earlier.
+        by_name = {row.protocol: row for row in rows}
+        assert (
+            by_name["rsgt"].mean_short_response
+            <= by_name["strict-2pl"].mean_short_response
+        )

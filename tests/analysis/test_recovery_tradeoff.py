@@ -1,0 +1,46 @@
+"""Unit tests for the recovery trade-off sweep (E13)."""
+
+from repro.analysis.recovery_tradeoff import recovery_tradeoff_sweep
+
+
+class TestRecoveryTradeoffSweep:
+    def test_rows_cover_requested_granularities(self):
+        rows = recovery_tradeoff_sweep(
+            unit_sizes=(4, 1), samples=60, seed=0
+        )
+        assert [row.unit_size for row in rows] == [4, 1]
+        assert all(row.samples == 60 for row in rows)
+
+    def test_finest_accepts_everything(self):
+        rows = recovery_tradeoff_sweep(unit_sizes=(1,), samples=50, seed=1)
+        (row,) = rows
+        assert row.accepted == 50
+        assert row.acceptance_rate == 1.0
+
+    def test_rates_are_fractions(self):
+        rows = recovery_tradeoff_sweep(
+            unit_sizes=(4, 2, 1), samples=80, seed=2
+        )
+        for row in rows:
+            for rate in (row.recoverable, row.aca, row.strict):
+                assert 0.0 <= rate <= 1.0
+
+    def test_class_chain_within_each_row(self):
+        # ST ⊆ ACA ⊆ RC means the rates must be ordered in every row.
+        rows = recovery_tradeoff_sweep(
+            unit_sizes=(3, 2, 1), samples=100, seed=3
+        )
+        for row in rows:
+            assert row.strict <= row.aca + 1e-9
+            assert row.aca <= row.recoverable + 1e-9
+
+    def test_absolute_acceptance_never_exceeds_finest(self):
+        rows = recovery_tradeoff_sweep(
+            unit_sizes=(4, 1), samples=80, seed=4
+        )
+        assert rows[0].accepted <= rows[-1].accepted
+
+    def test_deterministic_for_seed(self):
+        a = recovery_tradeoff_sweep(unit_sizes=(2,), samples=40, seed=5)
+        b = recovery_tradeoff_sweep(unit_sizes=(2,), samples=40, seed=5)
+        assert a == b

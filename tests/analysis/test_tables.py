@@ -1,0 +1,52 @@
+"""Unit tests for ASCII table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            ["name", "count"],
+            [["alpha", 3], ["b", 20]],
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "alpha" in lines[2]
+
+    def test_title_line(self):
+        text = format_table(["a"], [[1]], title="my table")
+        assert text.splitlines()[0] == "my table"
+
+    def test_numeric_columns_right_aligned(self):
+        text = format_table(["n"], [[1], [100]])
+        lines = text.splitlines()
+        assert lines[-2].endswith("  1") or lines[-2].endswith("1")
+        # Right-aligned: the short number is padded on the left.
+        assert lines[-2].rstrip().rjust(len("100")) == lines[-2].rstrip().rjust(3)
+        assert lines[-1].rstrip() == "100"
+
+    def test_float_formatting(self):
+        text = format_table(["f"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_bool_and_none_rendering(self):
+        text = format_table(["a", "b", "c"], [[True, False, None]])
+        assert "yes" in text
+        assert "no" in text
+        assert "-" in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_column_width_follows_longest_cell(self):
+        text = format_table(["h"], [["very-long-cell"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) == len("very-long-cell")

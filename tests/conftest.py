@@ -1,0 +1,48 @@
+"""Shared fixtures: the paper's figures and a few small instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.transactions import Transaction
+from repro.paper import figure1, figure2, figure3, figure4
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    return figure1()
+
+
+@pytest.fixture(scope="session")
+def fig2():
+    return figure2()
+
+
+@pytest.fixture(scope="session")
+def fig3():
+    return figure3()
+
+
+@pytest.fixture(scope="session")
+def fig4():
+    return figure4()
+
+
+@pytest.fixture()
+def two_small_transactions() -> list[Transaction]:
+    """Two 2-op transactions sharing one object — the smallest instance
+    with interesting conflicts."""
+    return [
+        Transaction.from_notation(1, "r[x] w[x]"),
+        Transaction.from_notation(2, "w[x] r[y]"),
+    ]
+
+
+@pytest.fixture()
+def three_small_transactions() -> list[Transaction]:
+    """Three short transactions over two objects."""
+    return [
+        Transaction.from_notation(1, "r[x] w[x]"),
+        Transaction.from_notation(2, "w[x] w[y]"),
+        Transaction.from_notation(3, "r[y] w[y]"),
+    ]

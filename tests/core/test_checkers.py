@@ -1,0 +1,118 @@
+"""Unit tests for the definition-based checkers (Definitions 1 and 2)."""
+
+import pytest
+
+from repro.core.checkers import (
+    interleaved_operations,
+    is_relatively_atomic,
+    is_relatively_serial,
+    is_serial,
+    relative_serial_violations,
+)
+from repro.core.schedules import Schedule
+from repro.core.transactions import Transaction
+from repro.specs.builders import absolute_spec, finest_spec
+
+
+class TestIsSerial:
+    def test_serial_schedule(self, fig1):
+        serial = Schedule.serial(list(fig1.transactions))
+        assert is_serial(serial)
+
+    def test_interleaved_schedule(self, fig1):
+        assert not is_serial(fig1.schedule("Sra"))
+
+
+class TestInterleavedOperations:
+    def test_no_interleavings_in_serial_schedule(self, fig1):
+        serial = Schedule.serial(list(fig1.transactions))
+        assert list(interleaved_operations(serial, fig1.spec)) == []
+
+    def test_detects_operation_inside_foreign_unit(self, fig1):
+        # In S2, w1[x] sits inside AtomicUnit(2, T2, T1) = [w2[y] r2[x]].
+        hits = list(interleaved_operations(fig1.schedule("S2"), fig1.spec))
+        labels = {(op.label, unit.tx) for op, unit in hits}
+        assert ("w1[x]", 2) in labels
+
+    def test_interleaving_requires_enclosure(self, fig1):
+        # Sra has operations between foreign units but never inside one.
+        assert list(interleaved_operations(fig1.schedule("Sra"), fig1.spec)) == []
+
+    def test_singleton_units_cannot_enclose(self):
+        txs = [
+            Transaction.from_notation(1, "w[x] w[y]"),
+            Transaction.from_notation(2, "w[z]"),
+        ]
+        s = Schedule.from_notation(txs, "w1[x] w2[z] w1[y]")
+        spec = finest_spec(txs)
+        assert list(interleaved_operations(s, spec)) == []
+
+
+class TestRelativelyAtomic:
+    def test_paper_sra_is_relatively_atomic(self, fig1):
+        assert is_relatively_atomic(fig1.schedule("Sra"), fig1.spec)
+
+    def test_paper_srs_is_not_relatively_atomic(self, fig1):
+        assert not is_relatively_atomic(fig1.schedule("Srs"), fig1.spec)
+
+    def test_under_absolute_spec_equals_serial(self, fig1):
+        txs = list(fig1.transactions)
+        spec = absolute_spec(txs)
+        for name in ("Sra", "Srs", "S2"):
+            schedule = fig1.schedule(name)
+            assert is_relatively_atomic(schedule, spec) == schedule.is_serial
+        serial = Schedule.serial(txs)
+        assert is_relatively_atomic(serial, spec)
+
+    def test_under_finest_spec_everything_is_atomic(self, fig1):
+        spec = finest_spec(list(fig1.transactions))
+        for name in ("Sra", "Srs", "S2"):
+            assert is_relatively_atomic(fig1.schedule(name), spec)
+
+
+class TestRelativelySerial:
+    def test_paper_srs_is_relatively_serial(self, fig1):
+        assert is_relatively_serial(fig1.schedule("Srs"), fig1.spec)
+
+    def test_paper_s2_is_not_relatively_serial(self, fig1):
+        assert not is_relatively_serial(fig1.schedule("S2"), fig1.spec)
+
+    def test_violation_triples_name_the_culprits(self, fig1):
+        violations = list(
+            relative_serial_violations(fig1.schedule("S2"), fig1.spec)
+        )
+        assert violations
+        # The paper: w1[x] is interleaved with AtomicUnit(2, T2, T1) and
+        # r2[x] depends on w1[x].
+        described = {
+            (op.label, unit.tx, unit_op.label)
+            for op, unit, unit_op in violations
+        }
+        assert ("w1[x]", 2, "r2[x]") in described
+
+    def test_relatively_atomic_implies_relatively_serial(self, fig1):
+        assert is_relatively_serial(fig1.schedule("Sra"), fig1.spec)
+
+    def test_figure2_s1_rejected_by_transitive_dependencies(self, fig2):
+        assert not is_relatively_serial(fig2.schedule("S1"), fig2.spec)
+
+    def test_figure2_s1_accepted_with_direct_dependencies_only(self, fig2):
+        from repro.core.dependency import DependencyRelation
+
+        direct = DependencyRelation(fig2.schedule("S1"), transitive=False)
+        assert is_relatively_serial(fig2.schedule("S1"), fig2.spec, direct)
+
+    def test_figure4_s_is_relatively_serial(self, fig4):
+        assert is_relatively_serial(fig4.schedule("S"), fig4.spec)
+
+    def test_dependency_free_interleaving_is_allowed(self):
+        # T2's write touches an object T1 never uses, so it may sit
+        # inside T1's absolute unit.
+        txs = [
+            Transaction.from_notation(1, "w[x] r[x]"),
+            Transaction.from_notation(2, "w[y]"),
+        ]
+        s = Schedule.from_notation(txs, "w1[x] w2[y] r1[x]")
+        spec = absolute_spec(txs)
+        assert not is_relatively_atomic(s, spec)
+        assert is_relatively_serial(s, spec)

@@ -1,0 +1,69 @@
+"""Unit tests for the Figure 5 classifier."""
+
+from repro.core.classify import ScheduleClass, classify
+from repro.core.schedules import Schedule
+
+
+class TestClassify:
+    def test_sra_profile(self, fig1):
+        report = classify(fig1.schedule("Sra"), fig1.spec)
+        assert not report.serial
+        assert report.relatively_atomic
+        assert report.relatively_serial
+        assert report.relatively_consistent
+        assert report.relatively_serializable
+        assert not report.conflict_serializable
+
+    def test_srs_profile(self, fig1):
+        report = classify(fig1.schedule("Srs"), fig1.spec)
+        assert not report.relatively_atomic
+        assert report.relatively_serial
+        assert report.relatively_serializable
+
+    def test_s2_profile(self, fig1):
+        report = classify(fig1.schedule("S2"), fig1.spec)
+        assert not report.relatively_serial
+        assert report.relatively_serializable
+
+    def test_figure4_profile(self, fig4):
+        report = classify(fig4.schedule("S"), fig4.spec)
+        assert report.relatively_serial
+        assert report.relatively_serializable
+        assert report.relatively_consistent is False
+        assert not report.conflict_serializable
+
+    def test_serial_schedule_is_in_every_class(self, fig1):
+        serial = Schedule.serial(list(fig1.transactions))
+        report = classify(serial, fig1.spec)
+        assert report.memberships == frozenset(ScheduleClass)
+
+    def test_consistency_test_can_be_disabled(self, fig1):
+        report = classify(
+            fig1.schedule("Sra"), fig1.spec, consistency_budget=None
+        )
+        assert report.relatively_consistent is None
+        assert ScheduleClass.RELATIVELY_CONSISTENT not in report.memberships
+
+    def test_budget_exhaustion_reports_none(self, fig1):
+        report = classify(
+            fig1.schedule("S2"), fig1.spec, consistency_budget=1
+        )
+        assert report.relatively_consistent is None
+
+    def test_describe_mentions_every_class(self, fig1):
+        text = classify(fig1.schedule("Sra"), fig1.spec).describe()
+        for name in (
+            "serial",
+            "conflict serializable",
+            "relatively atomic",
+            "relatively serial",
+            "relatively consistent",
+            "relatively serializable",
+        ):
+            assert name in text
+
+    def test_describe_marks_undecided_with_question_mark(self, fig1):
+        text = classify(
+            fig1.schedule("Sra"), fig1.spec, consistency_budget=None
+        ).describe()
+        assert "?" in text

@@ -1,0 +1,100 @@
+"""Unit tests for the relative-consistency (Farrag–Özsu) baseline."""
+
+import pytest
+
+from repro.core.brute import brute_force_relatively_consistent
+from repro.core.checkers import is_relatively_atomic
+from repro.core.consistent import (
+    SearchBudgetExceeded,
+    find_equivalent_relatively_atomic,
+    is_relatively_consistent,
+)
+from repro.core.schedules import Schedule, conflict_equivalent
+from repro.core.transactions import Transaction
+from repro.specs.builders import absolute_spec
+from repro.workloads.enumerate import all_interleavings
+
+
+class TestWitnessSearch:
+    def test_relatively_atomic_schedule_is_its_own_witness_class(self, fig1):
+        sra = fig1.schedule("Sra")
+        witness = find_equivalent_relatively_atomic(sra, fig1.spec)
+        assert witness is not None
+        assert is_relatively_atomic(witness, fig1.spec)
+        assert conflict_equivalent(sra, witness)
+
+    def test_witness_found_for_consistent_non_atomic_schedule(self, fig3):
+        s = fig3.schedule("S2")
+        assert not is_relatively_atomic(s, fig3.spec)
+        witness = find_equivalent_relatively_atomic(s, fig3.spec)
+        assert witness is not None
+        assert is_relatively_atomic(witness, fig3.spec)
+        assert conflict_equivalent(s, witness)
+
+    def test_figure4_has_no_witness(self, fig4):
+        # The paper's separation example: relatively serial but NOT
+        # relatively consistent.
+        assert (
+            find_equivalent_relatively_atomic(fig4.schedule("S"), fig4.spec)
+            is None
+        )
+
+    def test_budget_exhaustion_raises(self, fig1):
+        with pytest.raises(SearchBudgetExceeded):
+            is_relatively_consistent(
+                fig1.schedule("S2"), fig1.spec, max_steps=1
+            )
+
+
+class TestAgainstBruteForce:
+    def test_matches_brute_force_on_figure1(self, fig1):
+        for name in ("Sra", "Srs", "S2"):
+            schedule = fig1.schedule(name)
+            assert is_relatively_consistent(
+                schedule, fig1.spec
+            ) == brute_force_relatively_consistent(schedule, fig1.spec)
+
+    def test_matches_brute_force_exhaustively_on_small_instance(self):
+        txs = [
+            Transaction.from_notation(1, "w[x] w[y]"),
+            Transaction.from_notation(2, "w[y] w[x]"),
+        ]
+        from repro.specs.builders import uniform_spec
+
+        spec = uniform_spec(txs, 1)
+        for schedule in all_interleavings(txs):
+            assert is_relatively_consistent(
+                schedule, spec
+            ) == brute_force_relatively_consistent(schedule, spec), str(
+                schedule
+            )
+
+    def test_under_absolute_spec_matches_conflict_serializability(self):
+        from repro.core.serializability import is_conflict_serializable
+
+        txs = [
+            Transaction.from_notation(1, "r[x] w[x]"),
+            Transaction.from_notation(2, "w[x] r[y]"),
+        ]
+        spec = absolute_spec(txs)
+        for schedule in all_interleavings(txs):
+            # Relatively atomic == serial under absolute atomicity, so
+            # relatively consistent == conflict serializable.
+            assert is_relatively_consistent(
+                schedule, spec
+            ) == is_conflict_serializable(schedule), str(schedule)
+
+
+class TestPrunedSearchStaysComplete:
+    def test_every_consistent_schedule_yields_valid_witness(self, fig1):
+        count = 0
+        for schedule in all_interleavings(fig1.transactions):
+            witness = find_equivalent_relatively_atomic(schedule, fig1.spec)
+            if witness is None:
+                continue
+            count += 1
+            assert is_relatively_atomic(witness, fig1.spec)
+            assert conflict_equivalent(schedule, witness)
+            if count >= 200:  # bounded: full census runs in analysis tests
+                break
+        assert count > 0

@@ -1,0 +1,106 @@
+"""Unit tests for the depends-on relation (Section 2)."""
+
+import pytest
+
+from repro.core.dependency import DependencyRelation
+from repro.core.schedules import Schedule
+from repro.core.transactions import Transaction
+
+
+@pytest.fixture()
+def chain_schedule():
+    """w1[x] w2[y] r3[y] w3[z] r1[z] — the Figure 2 shape where w2[y]
+    reaches r1[z] only transitively (through T3)."""
+    txs = [
+        Transaction.from_notation(1, "w[x] r[z]"),
+        Transaction.from_notation(2, "w[y]"),
+        Transaction.from_notation(3, "r[y] w[z]"),
+    ]
+    return Schedule.from_notation(txs, "w1[x] w2[y] r3[y] w3[z] r1[z]")
+
+
+class TestDirectDependencies:
+    def test_conflict_creates_dependency(self, chain_schedule):
+        dep = DependencyRelation(chain_schedule, transitive=False)
+        w2y = chain_schedule[1]
+        r3y = chain_schedule[2]
+        assert dep.depends_on(r3y, w2y)
+
+    def test_program_order_creates_dependency(self, chain_schedule):
+        dep = DependencyRelation(chain_schedule, transitive=False)
+        r3y = chain_schedule[2]
+        w3z = chain_schedule[3]
+        assert dep.depends_on(w3z, r3y)
+
+    def test_no_dependency_without_conflict_or_program_order(
+        self, chain_schedule
+    ):
+        dep = DependencyRelation(chain_schedule, transitive=False)
+        w1x = chain_schedule[0]
+        w2y = chain_schedule[1]
+        assert not dep.depends_on(w2y, w1x)
+        assert not dep.depends_on(w1x, w2y)
+
+    def test_direct_mode_misses_transitive_path(self, chain_schedule):
+        dep = DependencyRelation(chain_schedule, transitive=False)
+        w2y = chain_schedule[1]
+        r1z = chain_schedule[4]
+        assert not dep.depends_on(r1z, w2y)
+
+
+class TestTransitiveClosure:
+    def test_figure2_transitive_dependency(self, chain_schedule):
+        # The paper: "r1[z] is affected by w2[y]" via w2[y] -> r3[y] ->
+        # w3[z] -> r1[z].
+        dep = DependencyRelation(chain_schedule)
+        w2y = chain_schedule[1]
+        r1z = chain_schedule[4]
+        assert dep.depends_on(r1z, w2y)
+        assert not dep.depends_on(w2y, r1z)
+
+    def test_depends_on_respects_schedule_order(self, chain_schedule):
+        dep = DependencyRelation(chain_schedule)
+        w1x = chain_schedule[0]
+        r1z = chain_schedule[4]
+        assert dep.depends_on(r1z, w1x)  # program order
+        assert not dep.depends_on(w1x, r1z)  # never backwards
+
+    def test_related_is_symmetric_wrapper(self, chain_schedule):
+        dep = DependencyRelation(chain_schedule)
+        w2y = chain_schedule[1]
+        r1z = chain_schedule[4]
+        assert dep.related(w2y, r1z)
+        assert dep.related(r1z, w2y)
+
+    def test_dependents_and_dependencies_are_inverse(self, chain_schedule):
+        dep = DependencyRelation(chain_schedule)
+        for op in chain_schedule:
+            for other in dep.dependents_of(op):
+                assert op in dep.dependencies_of(other)
+
+    def test_cross_transaction_pairs_exclude_same_transaction(
+        self, chain_schedule
+    ):
+        dep = DependencyRelation(chain_schedule)
+        for earlier, later in dep.cross_transaction_pairs():
+            assert earlier.tx != later.tx
+            assert chain_schedule.precedes(earlier, later)
+
+    def test_pairs_include_program_order(self, chain_schedule):
+        dep = DependencyRelation(chain_schedule)
+        pairs = set(dep.pairs())
+        assert (chain_schedule[0], chain_schedule[4]) in pairs  # w1[x]->r1[z]
+
+    def test_as_graph_matches_pairs(self, chain_schedule):
+        dep = DependencyRelation(chain_schedule)
+        graph = dep.as_graph()
+        assert set(graph.edges()) == set(dep.pairs())
+
+    def test_closure_is_transitive(self, chain_schedule):
+        dep = DependencyRelation(chain_schedule)
+        ops = chain_schedule.operations
+        for a in ops:
+            for b in ops:
+                for c in ops:
+                    if dep.depends_on(b, a) and dep.depends_on(c, b):
+                        assert dep.depends_on(c, a)

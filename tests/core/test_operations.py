@@ -1,0 +1,105 @@
+"""Unit tests for the operation model and its notation."""
+
+import pytest
+
+from repro.core.operations import Operation, OpType, parse_operation, read, write
+from repro.errors import NotationError
+
+
+class TestConstruction:
+    def test_read_factory_is_unbound(self):
+        op = read("x")
+        assert op.op_type is OpType.READ
+        assert op.obj == "x"
+        assert op.tx is None
+        assert op.index is None
+        assert not op.is_bound
+
+    def test_write_factory(self):
+        op = write("balance")
+        assert op.is_write
+        assert not op.is_read
+        assert op.obj == "balance"
+
+    def test_bound_to_produces_new_bound_operation(self):
+        op = read("x").bound_to(3, 7)
+        assert op.is_bound
+        assert op.tx == 3
+        assert op.index == 7
+
+    def test_operations_are_immutable(self):
+        op = read("x")
+        with pytest.raises(AttributeError):
+            op.obj = "y"
+
+    def test_bound_operations_are_hashable_by_identity_fields(self):
+        a = read("x").bound_to(1, 0)
+        b = read("x").bound_to(1, 0)
+        c = read("x").bound_to(1, 1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+
+class TestConflicts:
+    def test_write_write_same_object_conflicts(self):
+        a = write("x").bound_to(1, 0)
+        b = write("x").bound_to(2, 0)
+        assert a.conflicts_with(b)
+        assert b.conflicts_with(a)
+
+    def test_read_write_same_object_conflicts(self):
+        a = read("x").bound_to(1, 0)
+        b = write("x").bound_to(2, 0)
+        assert a.conflicts_with(b)
+
+    def test_read_read_never_conflicts(self):
+        a = read("x").bound_to(1, 0)
+        b = read("x").bound_to(2, 0)
+        assert not a.conflicts_with(b)
+
+    def test_different_objects_never_conflict(self):
+        a = write("x").bound_to(1, 0)
+        b = write("y").bound_to(2, 0)
+        assert not a.conflicts_with(b)
+
+    def test_same_transaction_never_conflicts(self):
+        a = write("x").bound_to(1, 0)
+        b = write("x").bound_to(1, 1)
+        assert not a.conflicts_with(b)
+
+
+class TestNotation:
+    def test_label_matches_paper_notation(self):
+        assert read("x").bound_to(1, 0).label == "r1[x]"
+        assert write("z").bound_to(12, 3).label == "w12[z]"
+
+    def test_unbound_label_omits_transaction(self):
+        assert read("x").label == "r[x]"
+
+    def test_parse_bound_read(self):
+        op = parse_operation("r1[x]")
+        assert op.op_type is OpType.READ
+        assert op.tx == 1
+        assert op.obj == "x"
+
+    def test_parse_unbound_write(self):
+        op = parse_operation("w[account7]")
+        assert op.is_write
+        assert op.tx is None
+        assert op.obj == "account7"
+
+    def test_parse_accepts_surrounding_whitespace(self):
+        assert parse_operation("  w3[y] ").label == "w3[y]"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["x[r]", "r1", "r1[]", "q1[x]", "r1[x", "r 1[x]", "r1[x y]", ""],
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(NotationError):
+            parse_operation(bad)
+
+    def test_parse_roundtrips_label(self):
+        for text in ["r1[x]", "w2[y]", "r[obj]"]:
+            assert parse_operation(text).label == text

@@ -1,0 +1,183 @@
+"""Hypothesis property tests for the core theory.
+
+These check the paper's structural claims on randomly generated small
+instances: the class containments of Figure 5, both directions of
+Theorem 1 against brute force, the Lemma 1 collapse under absolute
+atomicity, and the conflict-equivalence invariance the Theorem 1 proof
+relies on.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.brute import brute_force_relatively_serializable
+from repro.core.checkers import is_relatively_atomic, is_relatively_serial
+from repro.core.dependency import DependencyRelation
+from repro.core.operations import read, write
+from repro.core.rsg import RelativeSerializationGraph
+from repro.core.schedules import Schedule, conflict_equivalent
+from repro.core.serializability import is_conflict_serializable
+from repro.core.transactions import Transaction
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.specs.builders import absolute_spec
+
+OBJECTS = ("x", "y")
+
+
+@st.composite
+def transaction_sets(draw, max_transactions=3, max_ops=3):
+    """A list of 2..max_transactions transactions of 1..max_ops ops."""
+    n = draw(st.integers(2, max_transactions))
+    transactions = []
+    for tx_id in range(1, n + 1):
+        length = draw(st.integers(1, max_ops))
+        ops = []
+        for _ in range(length):
+            obj = draw(st.sampled_from(OBJECTS))
+            is_write = draw(st.booleans())
+            ops.append(write(obj) if is_write else read(obj))
+        transactions.append(Transaction(tx_id, ops))
+    return transactions
+
+
+@st.composite
+def problems(draw, max_transactions=3, max_ops=3):
+    """(transactions, random spec, random schedule) triples."""
+    transactions = draw(transaction_sets(max_transactions, max_ops))
+    views = {}
+    for tx in transactions:
+        for observer in transactions:
+            if tx.tx_id == observer.tx_id:
+                continue
+            cuts = draw(
+                st.sets(st.integers(1, max(1, len(tx) - 1)), max_size=len(tx))
+            )
+            views[(tx.tx_id, observer.tx_id)] = {
+                cut for cut in cuts if cut <= len(tx) - 1
+            }
+    spec = RelativeAtomicitySpec(transactions, views)
+    schedule = draw(interleavings_of(transactions))
+    return transactions, spec, schedule
+
+
+@st.composite
+def interleavings_of(draw, transactions=None):
+    """A schedule over the given transactions, drawn interleaving by
+    interleaving choice."""
+    remaining = {tx.tx_id: list(tx.operations) for tx in transactions}
+    order = []
+    while any(remaining.values()):
+        choices = sorted(
+            tx_id for tx_id, ops in remaining.items() if ops
+        )
+        tx_id = draw(st.sampled_from(choices))
+        order.append(remaining[tx_id].pop(0))
+    return Schedule(list(transactions), order)
+
+
+@given(problems())
+@settings(max_examples=120, deadline=None)
+def test_figure5_containments_hold(problem):
+    transactions, spec, schedule = problem
+    rsg = RelativeSerializationGraph(schedule, spec)
+    atomic = is_relatively_atomic(schedule, spec)
+    rel_serial = is_relatively_serial(schedule, spec, rsg.dependency)
+    rsr = rsg.is_acyclic
+    if schedule.is_serial:
+        assert rel_serial
+    if atomic:
+        assert rel_serial
+    if rel_serial:
+        assert rsr
+    if is_conflict_serializable(schedule):
+        assert rsr
+
+
+@given(problems())
+@settings(max_examples=80, deadline=None)
+def test_theorem1_matches_brute_force(problem):
+    _, spec, schedule = problem
+    assert RelativeSerializationGraph(
+        schedule, spec
+    ).is_acyclic == brute_force_relatively_serializable(schedule, spec)
+
+
+@given(problems())
+@settings(max_examples=80, deadline=None)
+def test_theorem1_witness_is_valid(problem):
+    _, spec, schedule = problem
+    rsg = RelativeSerializationGraph(schedule, spec)
+    if not rsg.is_acyclic:
+        return
+    witness = rsg.equivalent_relatively_serial_schedule()
+    assert conflict_equivalent(schedule, witness)
+    assert is_relatively_serial(witness, spec)
+
+
+@given(transaction_sets().flatmap(
+    lambda txs: st.tuples(st.just(txs), interleavings_of(txs))
+))
+@settings(max_examples=100, deadline=None)
+def test_lemma1_absolute_atomicity_collapses_to_csr(pair):
+    transactions, schedule = pair
+    spec = absolute_spec(transactions)
+    assert RelativeSerializationGraph(
+        schedule, spec
+    ).is_acyclic == is_conflict_serializable(schedule)
+
+
+@given(problems())
+@settings(max_examples=60, deadline=None)
+def test_dependency_relation_invariant_under_conflict_equivalence(problem):
+    from repro.core.brute import conflict_equivalent_schedules
+    import itertools
+
+    _, _, schedule = problem
+    base = DependencyRelation(schedule)
+    base_pairs = set(base.pairs())
+    for candidate in itertools.islice(
+        conflict_equivalent_schedules(schedule), 5
+    ):
+        assert set(DependencyRelation(candidate).pairs()) == base_pairs
+
+
+@given(problems())
+@settings(max_examples=60, deadline=None)
+def test_dependency_is_transitive_and_ordered(problem):
+    _, _, schedule = problem
+    dep = DependencyRelation(schedule)
+    pairs = set(dep.pairs())
+    for earlier, later in pairs:
+        assert schedule.precedes(earlier, later)
+    for a, b in pairs:
+        for c, d in pairs:
+            if b == c:
+                assert (a, d) in pairs
+
+
+@given(problems())
+@settings(max_examples=100, deadline=None)
+def test_lemma2_relatively_serial_implies_acyclic_rsg(problem):
+    # Lemma 2 of the paper, directly: if S is relatively serial then
+    # RSG(S) is acyclic (every arc is consistent with S's total order).
+    _, spec, schedule = problem
+    rsg = RelativeSerializationGraph(schedule, spec)
+    if is_relatively_serial(schedule, spec, rsg.dependency):
+        assert rsg.is_acyclic
+
+
+@given(problems())
+@settings(max_examples=60, deadline=None)
+def test_lemma2_arcs_consistent_with_relatively_serial_order(problem):
+    # The proof's actual argument: every arc of a relatively serial
+    # schedule's RSG points forward in the schedule.
+    _, spec, schedule = problem
+    rsg = RelativeSerializationGraph(schedule, spec)
+    if not is_relatively_serial(schedule, spec, rsg.dependency):
+        return
+    for source, target in rsg.graph.edges():
+        assert schedule.precedes(source, target), (
+            f"arc {source} -> {target} points backwards in {schedule}"
+        )

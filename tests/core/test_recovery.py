@@ -1,0 +1,143 @@
+"""Unit tests for the recovery classes (RC / ACA / ST)."""
+
+import pytest
+
+from repro.core.recovery import (
+    avoids_cascading_aborts,
+    commit_position,
+    is_recoverable,
+    is_strict,
+    reads_from_pairs,
+    recovery_profile,
+)
+from repro.core.schedules import Schedule
+from repro.core.transactions import Transaction
+
+
+def _schedule(programs, order):
+    txs = [
+        Transaction.from_notation(tx_id, body)
+        for tx_id, body in programs.items()
+    ]
+    return Schedule.from_notation(txs, order)
+
+
+class TestReadsFrom:
+    def test_simple_reads_from(self):
+        s = _schedule({1: "w[x]", 2: "r[x]"}, "w1[x] r2[x]")
+        pairs = [(r.label, w.label) for r, w in reads_from_pairs(s)]
+        assert pairs == [("r2[x]", "w1[x]")]
+
+    def test_latest_writer_wins(self):
+        s = _schedule(
+            {1: "w[x]", 2: "w[x]", 3: "r[x]"}, "w1[x] w2[x] r3[x]"
+        )
+        pairs = [(r.label, w.label) for r, w in reads_from_pairs(s)]
+        assert pairs == [("r3[x]", "w2[x]")]
+
+    def test_own_writes_are_not_reads_from(self):
+        s = _schedule({1: "w[x] r[x]", 2: "w[y]"}, "w1[x] r1[x] w2[y]")
+        assert list(reads_from_pairs(s)) == []
+
+    def test_read_before_any_write_has_no_source(self):
+        s = _schedule({1: "r[x]", 2: "w[x]"}, "r1[x] w2[x]")
+        assert list(reads_from_pairs(s)) == []
+
+
+class TestCommitPosition:
+    def test_is_last_operation(self):
+        s = _schedule({1: "r[x] w[y]", 2: "w[x]"}, "r1[x] w2[x] w1[y]")
+        assert commit_position(s, 1) == 2
+        assert commit_position(s, 2) == 1
+
+
+class TestClasses:
+    def test_serial_is_strict(self):
+        s = _schedule({1: "w[x] w[y]", 2: "r[x] r[y]"},
+                      "w1[x] w1[y] r2[x] r2[y]")
+        assert recovery_profile(s) == {"rc": True, "aca": True, "st": True}
+
+    def test_dirty_read_after_commit_is_aca(self):
+        # T2 reads x only after T1's last op (its commit): ACA holds.
+        s = _schedule({1: "w[x] w[y]", 2: "r[x]"}, "w1[x] w1[y] r2[x]")
+        assert avoids_cascading_aborts(s)
+        assert is_strict(s)
+
+    def test_dirty_read_before_commit_breaks_aca_not_rc(self):
+        # T2 reads T1's uncommitted write but commits after T1: RC only.
+        s = _schedule(
+            {1: "w[x] w[y]", 2: "r[x] r[z]"},
+            "w1[x] r2[x] w1[y] r2[z]",
+        )
+        assert is_recoverable(s)
+        assert not avoids_cascading_aborts(s)
+        assert not is_strict(s)
+
+    def test_reader_committing_first_breaks_rc(self):
+        s = _schedule(
+            {1: "w[x] w[y]", 2: "r[x]"},
+            "w1[x] r2[x] w1[y]",
+        )
+        assert not is_recoverable(s)
+
+    def test_dirty_overwrite_breaks_strictness_only(self):
+        # T2 overwrites T1's uncommitted write but never reads it:
+        # RC and ACA hold (no reads-from), strictness does not.
+        s = _schedule(
+            {1: "w[x] w[y]", 2: "w[x]"},
+            "w1[x] w2[x] w1[y]",
+        )
+        assert is_recoverable(s)
+        assert avoids_cascading_aborts(s)
+        assert not is_strict(s)
+
+    def test_class_chain_st_aca_rc(self):
+        # Exhaustively: ST => ACA => RC on all interleavings of a small
+        # instance.
+        from repro.workloads.enumerate import all_interleavings
+
+        txs = [
+            Transaction.from_notation(1, "w[x] r[y]"),
+            Transaction.from_notation(2, "r[x] w[y]"),
+        ]
+        for schedule in all_interleavings(txs):
+            profile = recovery_profile(schedule)
+            if profile["st"]:
+                assert profile["aca"]
+            if profile["aca"]:
+                assert profile["rc"]
+
+
+class TestProtocolsAndRecovery:
+    def test_strict_2pl_histories_are_strict(self):
+        from repro.protocols import TwoPhaseLockingScheduler
+        from repro.sim.runner import simulate
+        from repro.workloads.random_schedules import random_transactions
+
+        for seed in range(6):
+            txs = random_transactions(
+                4, (2, 4), 3, write_probability=0.6, seed=seed
+            )
+            result = simulate(txs, TwoPhaseLockingScheduler())
+            assert is_strict(result.schedule), seed
+
+    def test_donation_trades_recovery_for_concurrency(self):
+        # The paper's Sra itself: T2 reads x from T1 and commits while
+        # T1 is still running — the early visibility that relative
+        # atomicity buys costs every recovery guarantee, which is
+        # exactly the trade-off the altruistic-locking literature
+        # [SGMA87] wrestles with.  The profile makes it measurable.
+        from repro.paper import figure1
+
+        sra = figure1().schedule("Sra")
+        assert recovery_profile(sra) == {
+            "rc": False,
+            "aca": False,
+            "st": False,
+        }
+        # The offending reads-from edge is the one the spec permits:
+        # r2[x] observes w1[x] across T1's unit boundary.
+        pairs = {
+            (r.label, w.label) for r, w in reads_from_pairs(sra)
+        }
+        assert ("r2[x]", "w1[x]") in pairs

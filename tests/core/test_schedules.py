@@ -1,0 +1,160 @@
+"""Unit tests for schedules, conflicts, and conflict equivalence."""
+
+import pytest
+
+from repro.core.schedules import (
+    Schedule,
+    conflict_equivalent,
+    conflict_pairs,
+    conflicts,
+)
+from repro.core.transactions import Transaction
+from repro.errors import InvalidScheduleError
+
+
+@pytest.fixture()
+def txs():
+    return [
+        Transaction.from_notation(1, "r[x] w[x]"),
+        Transaction.from_notation(2, "w[x] r[y]"),
+    ]
+
+
+class TestConstruction:
+    def test_from_notation(self, txs):
+        s = Schedule.from_notation(txs, "r1[x] w2[x] w1[x] r2[y]")
+        assert len(s) == 4
+        assert str(s) == "r1[x] w2[x] w1[x] r2[y]"
+
+    def test_rejects_missing_operation(self, txs):
+        with pytest.raises(InvalidScheduleError):
+            Schedule(txs, [txs[0][0], txs[0][1], txs[1][0]])
+
+    def test_rejects_duplicate_operation(self, txs):
+        with pytest.raises(InvalidScheduleError):
+            Schedule(txs, [txs[0][0], txs[0][0], txs[0][1], txs[1][0]])
+
+    def test_rejects_program_order_violation(self, txs):
+        with pytest.raises(InvalidScheduleError):
+            Schedule(txs, [txs[0][1], txs[0][0], txs[1][0], txs[1][1]])
+
+    def test_rejects_foreign_operation(self, txs):
+        alien = Transaction.from_notation(3, "r[z]")
+        with pytest.raises(InvalidScheduleError):
+            Schedule(txs, [alien[0]] + list(txs[0]) + list(txs[1]))
+
+    def test_from_notation_rejects_unknown_transaction(self, txs):
+        with pytest.raises(InvalidScheduleError):
+            Schedule.from_notation(txs, "r9[x] r1[x] w1[x] w2[x] r2[y]")
+
+    def test_from_notation_rejects_wrong_next_operation(self, txs):
+        with pytest.raises(InvalidScheduleError):
+            # T1's first op is r[x], not w[x].
+            Schedule.from_notation(txs, "w1[x] r1[x] w2[x] r2[y]")
+
+    def test_from_notation_requires_transaction_ids(self, txs):
+        with pytest.raises(InvalidScheduleError):
+            Schedule.from_notation(txs, "r[x] w[x] w[x] r[y]")
+
+    def test_serial_builder_default_order(self, txs):
+        s = Schedule.serial(txs)
+        assert str(s) == "r1[x] w1[x] w2[x] r2[y]"
+        assert s.is_serial
+
+    def test_serial_builder_custom_order(self, txs):
+        s = Schedule.serial(txs, [2, 1])
+        assert str(s) == "w2[x] r2[y] r1[x] w1[x]"
+
+    def test_serial_builder_rejects_unknown_id(self, txs):
+        with pytest.raises(InvalidScheduleError):
+            Schedule.serial(txs, [1, 3])
+
+
+class TestQueries:
+    def test_position_and_precedes(self, txs):
+        s = Schedule.from_notation(txs, "r1[x] w2[x] w1[x] r2[y]")
+        assert s.position(txs[0][0]) == 0
+        assert s.precedes(txs[1][0], txs[0][1])
+        assert not s.precedes(txs[0][1], txs[1][0])
+
+    def test_position_of_foreign_operation_raises(self, txs):
+        s = Schedule.serial(txs)
+        alien = Transaction.from_notation(3, "r[z]")
+        with pytest.raises(InvalidScheduleError):
+            s.position(alien[0])
+
+    def test_projection_returns_program(self, txs):
+        s = Schedule.from_notation(txs, "r1[x] w2[x] w1[x] r2[y]")
+        assert [op.label for op in s.projection(1)] == ["r1[x]", "w1[x]"]
+
+    def test_is_serial_detects_interleaving(self, txs):
+        interleaved = Schedule.from_notation(txs, "r1[x] w2[x] w1[x] r2[y]")
+        assert not interleaved.is_serial
+
+    def test_reordered_keeps_transaction_set(self, txs):
+        s = Schedule.serial(txs)
+        r = s.reordered(
+            [txs[0][0], txs[1][0], txs[0][1], txs[1][1]]
+        )
+        assert set(r.operations) == set(s.operations)
+
+    def test_equality_is_order_sensitive(self, txs):
+        a = Schedule.serial(txs, [1, 2])
+        b = Schedule.serial(txs, [2, 1])
+        assert a != b
+        assert a == Schedule.serial(txs, [1, 2])
+
+
+class TestConflicts:
+    def test_conflict_pairs_ordered_by_schedule(self, txs):
+        s = Schedule.from_notation(txs, "r1[x] w2[x] w1[x] r2[y]")
+        pairs = {
+            (a.label, b.label) for a, b in conflict_pairs(s)
+        }
+        assert pairs == {
+            ("r1[x]", "w2[x]"),
+            ("w2[x]", "w1[x]"),
+        }
+
+    def test_conflicts_function_matches_method(self, txs):
+        assert conflicts(txs[0][0], txs[1][0])
+        assert not conflicts(txs[0][0], txs[1][1])
+
+
+class TestConflictEquivalence:
+    def test_reflexive(self, txs):
+        s = Schedule.serial(txs)
+        assert conflict_equivalent(s, s)
+
+    def test_swapping_nonconflicting_ops_preserves_equivalence(self, txs):
+        # r2[y] conflicts with nothing of T1, so it may slide across
+        # T1's operations without breaking equivalence.
+        a = Schedule.from_notation(txs, "w2[x] r2[y] r1[x] w1[x]")
+        b = Schedule.from_notation(txs, "w2[x] r1[x] r2[y] w1[x]")
+        assert conflict_equivalent(a, b)
+
+    def test_equivalence_detects_conflict_swap(self, txs):
+        a = Schedule.from_notation(txs, "r1[x] w1[x] w2[x] r2[y]")
+        b = Schedule.from_notation(txs, "w2[x] r2[y] r1[x] w1[x]")
+        assert not conflict_equivalent(a, b)
+
+    def test_equivalent_interleavings(self):
+        txs = [
+            Transaction.from_notation(1, "r[x] w[y]"),
+            Transaction.from_notation(2, "r[a] w[b]"),
+        ]
+        a = Schedule.from_notation(txs, "r1[x] r2[a] w1[y] w2[b]")
+        b = Schedule.from_notation(txs, "r2[a] w2[b] r1[x] w1[y]")
+        assert conflict_equivalent(a, b)
+
+    def test_different_operation_sets_not_comparable(self, txs):
+        other = [
+            Transaction.from_notation(1, "r[x] w[x]"),
+            Transaction.from_notation(3, "w[x] r[y]"),
+        ]
+        a = Schedule.serial(txs)
+        b = Schedule.serial(other)
+        assert not conflict_equivalent(a, b)
+
+    def test_paper_s2_equivalent_to_srs(self, fig1):
+        assert conflict_equivalent(fig1.schedule("S2"), fig1.schedule("Srs"))

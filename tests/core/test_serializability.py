@@ -1,0 +1,95 @@
+"""Unit tests for classical conflict serializability."""
+
+import pytest
+
+from repro.core.schedules import Schedule, conflict_equivalent
+from repro.core.serializability import (
+    equivalent_serial_order,
+    equivalent_serial_schedule,
+    is_conflict_serializable,
+    serialization_graph,
+)
+from repro.core.transactions import Transaction
+from repro.errors import CycleError
+
+
+@pytest.fixture()
+def lost_update():
+    txs = [
+        Transaction.from_notation(1, "r[x] w[x]"),
+        Transaction.from_notation(2, "r[x] w[x]"),
+    ]
+    return txs, Schedule.from_notation(txs, "r1[x] r2[x] w1[x] w2[x]")
+
+
+class TestSerializationGraph:
+    def test_nodes_are_transactions(self, fig1):
+        graph = serialization_graph(fig1.schedule("Srs"))
+        assert set(graph.nodes()) == {1, 2, 3}
+
+    def test_edges_follow_conflict_order(self):
+        txs = [
+            Transaction.from_notation(1, "w[x]"),
+            Transaction.from_notation(2, "r[x]"),
+        ]
+        s = Schedule.from_notation(txs, "w1[x] r2[x]")
+        graph = serialization_graph(s)
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 1)
+
+    def test_lost_update_creates_cycle(self, lost_update):
+        _, s = lost_update
+        graph = serialization_graph(s)
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(2, 1)
+
+
+class TestConflictSerializable:
+    def test_serial_schedule_is_serializable(self, fig1):
+        assert is_conflict_serializable(Schedule.serial(list(fig1.transactions)))
+
+    def test_lost_update_is_not_serializable(self, lost_update):
+        _, s = lost_update
+        assert not is_conflict_serializable(s)
+
+    def test_paper_sra_is_not_conflict_serializable(self, fig1):
+        # Sra is correct under relative atomicity but not under the
+        # traditional model — the whole point of the paper.
+        assert not is_conflict_serializable(fig1.schedule("Sra"))
+
+    def test_nonconflicting_interleaving_is_serializable(self):
+        txs = [
+            Transaction.from_notation(1, "r[x] w[x]"),
+            Transaction.from_notation(2, "r[y] w[y]"),
+        ]
+        s = Schedule.from_notation(txs, "r1[x] r2[y] w1[x] w2[y]")
+        assert is_conflict_serializable(s)
+
+
+class TestEquivalentSerial:
+    def test_order_witnesses_equivalence(self):
+        txs = [
+            Transaction.from_notation(1, "w[x]"),
+            Transaction.from_notation(2, "r[x] w[y]"),
+            Transaction.from_notation(3, "r[y]"),
+        ]
+        s = Schedule.from_notation(txs, "w1[x] r2[x] w2[y] r3[y]")
+        order = equivalent_serial_order(s)
+        assert order == [1, 2, 3]
+        serial = equivalent_serial_schedule(s)
+        assert serial.is_serial
+        assert conflict_equivalent(s, serial)
+
+    def test_raises_on_unserializable(self, lost_update):
+        _, s = lost_update
+        with pytest.raises(CycleError) as excinfo:
+            equivalent_serial_order(s)
+        assert excinfo.value.cycle is not None
+
+    def test_reversed_conflicts_reverse_the_order(self):
+        txs = [
+            Transaction.from_notation(1, "w[x]"),
+            Transaction.from_notation(2, "r[x]"),
+        ]
+        s = Schedule.from_notation(txs, "r2[x] w1[x]")
+        assert equivalent_serial_order(s) == [2, 1]

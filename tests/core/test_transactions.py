@@ -1,0 +1,92 @@
+"""Unit tests for the transaction model."""
+
+import pytest
+
+from repro.core.operations import read, write
+from repro.core.transactions import Transaction, as_transaction_map
+from repro.errors import InvalidTransactionError
+
+
+class TestConstruction:
+    def test_binds_operations_in_order(self):
+        tx = Transaction(1, [read("x"), write("x")])
+        assert [op.index for op in tx] == [0, 1]
+        assert all(op.tx == 1 for op in tx)
+
+    def test_accepts_notation_strings(self):
+        tx = Transaction(2, ["r[x]", "w[y]"])
+        assert tx[0].label == "r2[x]"
+        assert tx[1].label == "w2[y]"
+
+    def test_from_notation(self):
+        tx = Transaction.from_notation(1, "r[x] w[x] w[z] r[y]")
+        assert len(tx) == 4
+        assert str(tx) == "T1 = r1[x] w1[x] w1[z] r1[y]"
+
+    def test_from_notation_accepts_matching_ids(self):
+        tx = Transaction.from_notation(3, "r3[x] w3[y]")
+        assert tx.tx_id == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidTransactionError):
+            Transaction(1, [])
+
+    def test_rejects_empty_notation(self):
+        with pytest.raises(InvalidTransactionError):
+            Transaction.from_notation(1, "   ")
+
+    def test_rejects_nonpositive_id(self):
+        with pytest.raises(InvalidTransactionError):
+            Transaction(0, [read("x")])
+
+    def test_rejects_operation_of_other_transaction(self):
+        with pytest.raises(InvalidTransactionError):
+            Transaction(1, ["r2[x]"])
+
+    def test_rebinds_own_prebound_operations(self):
+        original = Transaction(1, [read("x"), write("y")])
+        clone = Transaction(1, list(original.operations))
+        assert clone == original
+
+
+class TestAccessors:
+    def test_read_and_write_sets(self):
+        tx = Transaction.from_notation(1, "r[x] w[y] r[z] w[x]")
+        assert tx.read_set == {"x", "z"}
+        assert tx.write_set == {"y", "x"}
+        assert tx.objects == {"x", "y", "z"}
+
+    def test_operation_lookup(self):
+        tx = Transaction.from_notation(1, "r[x] w[y]")
+        assert tx.operation(1).label == "w1[y]"
+        assert tx[0] is tx.operation(0)
+
+    def test_equality_and_hash(self):
+        a = Transaction.from_notation(1, "r[x] w[x]")
+        b = Transaction.from_notation(1, "r[x] w[x]")
+        c = Transaction.from_notation(1, "w[x] r[x]")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_iteration_order_is_program_order(self):
+        tx = Transaction.from_notation(1, "r[a] r[b] r[c]")
+        assert [op.obj for op in tx] == ["a", "b", "c"]
+
+
+class TestTransactionMap:
+    def test_indexes_by_id(self):
+        txs = [
+            Transaction.from_notation(2, "r[x]"),
+            Transaction.from_notation(1, "w[x]"),
+        ]
+        mapping = as_transaction_map(txs)
+        assert set(mapping) == {1, 2}
+
+    def test_rejects_duplicate_ids(self):
+        txs = [
+            Transaction.from_notation(1, "r[x]"),
+            Transaction.from_notation(1, "w[x]"),
+        ]
+        with pytest.raises(InvalidTransactionError):
+            as_transaction_map(txs)

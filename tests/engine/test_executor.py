@@ -1,0 +1,105 @@
+"""Unit tests for the schedule executor."""
+
+import pytest
+
+from repro.core.schedules import Schedule
+from repro.core.transactions import Transaction
+from repro.engine.executor import ScheduleExecutor, Semantics
+from repro.errors import EngineError
+
+
+@pytest.fixture()
+def transfer_txs():
+    return [
+        Transaction.from_notation(1, "r[a] r[b] w[a] w[b]"),  # move 10 a->b
+        Transaction.from_notation(2, "r[a] r[b]"),  # audit
+    ]
+
+
+@pytest.fixture()
+def transfer_semantics():
+    semantics = Semantics()
+    semantics.set_effect(1, 2, lambda current, reads: reads["a"] - 10)
+    semantics.set_effect(1, 3, lambda current, reads: reads["b"] + 10)
+    return semantics
+
+
+class TestDefaultSemantics:
+    def test_writes_tagged_with_writer(self):
+        txs = [Transaction.from_notation(1, "w[x]")]
+        trace = ScheduleExecutor({"x": 0}).run(Schedule.serial(txs))
+        assert trace.final_state["x"] == "T1.0"
+
+    def test_reads_recorded(self):
+        txs = [Transaction.from_notation(1, "r[x]")]
+        trace = ScheduleExecutor({"x": 42}).run(Schedule.serial(txs))
+        assert trace.read_value(txs[0][0]) == 42
+
+    def test_read_value_of_write_raises(self):
+        txs = [Transaction.from_notation(1, "w[x]")]
+        trace = ScheduleExecutor({"x": 0}).run(Schedule.serial(txs))
+        with pytest.raises(EngineError):
+            trace.read_value(txs[0][0])
+
+
+class TestTransferSemantics:
+    def test_serial_audit_sees_consistent_total(
+        self, transfer_txs, transfer_semantics
+    ):
+        schedule = Schedule.serial(transfer_txs)
+        trace = ScheduleExecutor(
+            {"a": 100, "b": 100}, transfer_semantics
+        ).run(schedule)
+        assert trace.final_state == {"a": 90, "b": 110}
+        audit_view = trace.transaction_view(2)
+        assert audit_view["a"] + audit_view["b"] == 200
+
+    def test_interleaved_audit_sees_torn_total(
+        self, transfer_txs, transfer_semantics
+    ):
+        # Audit reads a after the debit but b before the credit.
+        schedule = Schedule.from_notation(
+            transfer_txs, "r1[a] r1[b] w1[a] r2[a] r2[b] w1[b]"
+        )
+        trace = ScheduleExecutor(
+            {"a": 100, "b": 100}, transfer_semantics
+        ).run(schedule)
+        audit_view = trace.transaction_view(2)
+        assert audit_view["a"] + audit_view["b"] == 190  # torn read
+
+    def test_writes_recorded_per_operation(
+        self, transfer_txs, transfer_semantics
+    ):
+        schedule = Schedule.serial(transfer_txs)
+        trace = ScheduleExecutor(
+            {"a": 100, "b": 100}, transfer_semantics
+        ).run(schedule)
+        t1 = transfer_txs[0]
+        assert trace.writes[t1[2]] == 90
+        assert trace.writes[t1[3]] == 110
+
+
+class TestTraceBookkeeping:
+    def test_reads_by_tx_keeps_latest_value(self):
+        txs = [
+            Transaction.from_notation(1, "r[x] r[x]"),
+            Transaction.from_notation(2, "w[x]"),
+        ]
+        semantics = Semantics({(2, 0): lambda current, reads: 7})
+        schedule = Schedule.from_notation(txs, "r1[x] w2[x] r1[x]")
+        trace = ScheduleExecutor({"x": 1}, semantics).run(schedule)
+        assert trace.transaction_view(1) == {"x": 7}
+        first_read, second_read = txs[0][0], txs[0][1]
+        assert trace.reads[first_read] == 1
+        assert trace.reads[second_read] == 7
+
+    def test_transaction_view_of_writer_only_tx_is_empty(self):
+        txs = [Transaction.from_notation(1, "w[x]")]
+        trace = ScheduleExecutor({"x": 0}).run(Schedule.serial(txs))
+        assert trace.transaction_view(1) == {}
+
+    def test_same_schedule_object_returned(self):
+        txs = [Transaction.from_notation(1, "r[x]")]
+        schedule = Schedule.serial(txs)
+        trace = ScheduleExecutor({"x": 0}).run(schedule)
+        assert trace.schedule is schedule

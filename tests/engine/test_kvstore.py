@@ -1,0 +1,120 @@
+"""Unit tests for the transactional key-value store."""
+
+import pytest
+
+from repro.engine.kvstore import KVStore
+from repro.errors import EngineError
+
+
+class TestLifecycle:
+    def test_begin_commit(self):
+        store = KVStore({"x": 1})
+        store.begin(1)
+        store.write(1, "x", 2)
+        store.commit(1)
+        assert store.peek("x") == 2
+        assert store.open_transactions == frozenset()
+
+    def test_double_begin_rejected(self):
+        store = KVStore()
+        store.begin(1)
+        with pytest.raises(EngineError):
+            store.begin(1)
+
+    def test_commit_without_begin_rejected(self):
+        with pytest.raises(EngineError):
+            KVStore().commit(1)
+
+    def test_operations_require_open_transaction(self):
+        store = KVStore({"x": 1})
+        with pytest.raises(EngineError):
+            store.read(1, "x")
+        with pytest.raises(EngineError):
+            store.write(1, "x", 2)
+
+
+class TestAbort:
+    def test_abort_restores_previous_values(self):
+        store = KVStore({"x": 1, "y": 10})
+        store.begin(1)
+        store.write(1, "x", 2)
+        store.write(1, "y", 20)
+        store.abort(1)
+        assert store.peek("x") == 1
+        assert store.peek("y") == 10
+
+    def test_abort_removes_created_objects(self):
+        store = KVStore()
+        store.begin(1)
+        store.write(1, "new", 5)
+        assert "new" in store
+        store.abort(1)
+        assert "new" not in store
+
+    def test_abort_undoes_in_reverse_order(self):
+        store = KVStore({"x": 1})
+        store.begin(1)
+        store.write(1, "x", 2)
+        store.write(1, "x", 3)
+        store.abort(1)
+        assert store.peek("x") == 1
+
+    def test_abort_restores_versions(self):
+        store = KVStore({"x": 1})
+        store.begin(1)
+        store.write(1, "x", 2)
+        assert store.version("x") == 1
+        store.abort(1)
+        assert store.version("x") == 0
+
+    def test_interleaved_transactions_abort_independently(self):
+        store = KVStore({"x": 1, "y": 1})
+        store.begin(1)
+        store.begin(2)
+        store.write(1, "x", 2)
+        store.write(2, "y", 2)
+        store.abort(1)
+        store.commit(2)
+        assert store.peek("x") == 1
+        assert store.peek("y") == 2
+
+
+class TestAccess:
+    def test_read_sees_own_uncommitted_write(self):
+        store = KVStore({"x": 1})
+        store.begin(1)
+        store.write(1, "x", 99)
+        assert store.read(1, "x") == 99
+
+    def test_read_sees_other_uncommitted_write(self):
+        # The store does no isolation: ordering is the scheduler's job.
+        store = KVStore({"x": 1})
+        store.begin(1)
+        store.begin(2)
+        store.write(1, "x", 7)
+        assert store.read(2, "x") == 7
+
+    def test_read_missing_object_raises(self):
+        store = KVStore()
+        store.begin(1)
+        with pytest.raises(EngineError):
+            store.read(1, "ghost")
+
+    def test_snapshot_is_a_copy(self):
+        store = KVStore({"x": 1})
+        snap = store.snapshot()
+        snap["x"] = 99
+        assert store.peek("x") == 1
+
+    def test_versions_count_writes(self):
+        store = KVStore({"x": 0})
+        store.begin(1)
+        store.write(1, "x", 1)
+        store.write(1, "x", 2)
+        store.commit(1)
+        assert store.version("x") == 2
+
+    def test_objects_and_len(self):
+        store = KVStore({"x": 1, "y": 2})
+        assert store.objects() == {"x", "y"}
+        assert len(store) == 2

@@ -1,0 +1,70 @@
+"""Unit tests for transitive closure and reachability bitsets."""
+
+import pytest
+
+from repro.errors import CycleError
+from repro.graphs.closure import descendants, reachability_bitsets, transitive_closure
+from repro.graphs.digraph import DiGraph
+
+
+class TestDescendants:
+    def test_direct_and_transitive(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c"), ("c", "d")])
+        assert descendants(g, "a") == {"b", "c", "d"}
+        assert descendants(g, "c") == {"d"}
+        assert descendants(g, "d") == set()
+
+    def test_works_on_cyclic_graphs(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "a"), ("b", "c")])
+        assert descendants(g, "a") == {"a", "b", "c"}
+
+
+class TestReachabilityBitsets:
+    def test_bits_match_descendants(self):
+        g = DiGraph.from_edges(
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        )
+        order, reach = reachability_bitsets(g)
+        position = {node: i for i, node in enumerate(order)}
+        for node in g:
+            expected = descendants(g, node)
+            got = {
+                order[i]
+                for i in range(len(order))
+                if reach[node] & (1 << i)
+            }
+            assert got == expected
+
+    def test_cyclic_graph_raises(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "a")])
+        with pytest.raises(CycleError):
+            reachability_bitsets(g)
+
+    def test_partial_order_rejected(self):
+        g = DiGraph.from_edges([("a", "b")])
+        with pytest.raises(CycleError):
+            reachability_bitsets(g, order=["a"])
+
+
+class TestTransitiveClosure:
+    def test_chain_closure(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        closure = transitive_closure(g)
+        assert closure.has_edge("a", "c")
+        assert closure.has_edge("a", "b")
+        assert closure.has_edge("b", "c")
+        assert not closure.has_edge("c", "a")
+
+    def test_closure_preserves_nodes(self):
+        g = DiGraph()
+        g.add_node("lonely")
+        g.add_edge("a", "b")
+        closure = transitive_closure(g)
+        assert closure.has_node("lonely")
+        assert closure.node_count == 3
+
+    def test_closure_is_idempotent(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c"), ("c", "d")])
+        once = transitive_closure(g)
+        twice = transitive_closure(once)
+        assert set(once.edges()) == set(twice.edges())

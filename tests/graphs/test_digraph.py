@@ -1,0 +1,106 @@
+"""Unit tests for the digraph substrate."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.digraph import DiGraph
+
+
+class TestMutation:
+    def test_add_node_idempotent(self):
+        g = DiGraph()
+        g.add_node("a")
+        g.add_node("a")
+        assert g.node_count == 1
+
+    def test_add_edge_adds_endpoints(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        assert g.has_node("a") and g.has_node("b")
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+
+    def test_parallel_edges_collapse_and_merge_labels(self):
+        g = DiGraph()
+        g.add_edge("a", "b", label="D")
+        g.add_edge("a", "b", label="F")
+        assert g.edge_count == 1
+        assert g.edge_labels("a", "b") == {"D", "F"}
+
+    def test_remove_node_drops_incident_edges(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        g.remove_node("b")
+        assert not g.has_node("b")
+        assert g.edges() == [("c", "a")]
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(GraphError):
+            DiGraph().remove_node("a")
+
+    def test_remove_edge(self):
+        g = DiGraph.from_edges([("a", "b")])
+        g.remove_edge("a", "b")
+        assert not g.has_edge("a", "b")
+        assert g.has_node("a") and g.has_node("b")
+
+    def test_remove_missing_edge_raises(self):
+        g = DiGraph.from_edges([("a", "b")])
+        with pytest.raises(GraphError):
+            g.remove_edge("b", "a")
+
+    def test_self_loop_allowed(self):
+        g = DiGraph()
+        g.add_edge("a", "a")
+        assert g.has_edge("a", "a")
+
+
+class TestQueries:
+    def test_successors_and_predecessors(self):
+        g = DiGraph.from_edges([("a", "b"), ("a", "c"), ("b", "c")])
+        assert g.successors("a") == {"b", "c"}
+        assert g.predecessors("c") == {"a", "b"}
+        assert g.out_degree("a") == 2
+        assert g.in_degree("c") == 2
+
+    def test_successors_of_missing_node_raises(self):
+        with pytest.raises(GraphError):
+            DiGraph().successors("a")
+
+    def test_edge_labels_of_missing_edge_raises(self):
+        with pytest.raises(GraphError):
+            DiGraph.from_edges([("a", "b")]).edge_labels("b", "a")
+
+    def test_unlabelled_edge_has_empty_label_set(self):
+        g = DiGraph.from_edges([("a", "b")])
+        assert g.edge_labels("a", "b") == frozenset()
+
+    def test_labelled_edges_lists_everything(self):
+        g = DiGraph()
+        g.add_edge("a", "b", label=1)
+        g.add_edge("b", "c")
+        entries = dict(
+            ((src, dst), labels) for src, dst, labels in g.labelled_edges()
+        )
+        assert entries[("a", "b")] == {1}
+        assert entries[("b", "c")] == frozenset()
+
+    def test_copy_is_independent(self):
+        g = DiGraph.from_edges([("a", "b")])
+        h = g.copy()
+        h.add_edge("b", "c")
+        assert not g.has_node("c")
+        h.remove_edge("a", "b")
+        assert g.has_edge("a", "b")
+
+    def test_dunder_conveniences(self):
+        g = DiGraph.from_edges([("a", "b")])
+        assert "a" in g
+        assert len(g) == 2
+        assert set(iter(g)) == {"a", "b"}
+        assert "DiGraph" in repr(g)
+
+    def test_nodes_keep_insertion_order(self):
+        g = DiGraph()
+        for node in ["z", "m", "a"]:
+            g.add_node(node)
+        assert g.nodes() == ["z", "m", "a"]

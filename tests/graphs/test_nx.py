@@ -1,0 +1,62 @@
+"""Unit tests for the networkx bridge (networkx is installed in CI)."""
+
+import networkx
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.nx import from_networkx, to_networkx
+
+
+class TestToNetworkx:
+    def test_nodes_and_edges_carry_over(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        g.add_node("lonely")
+        nx_graph = to_networkx(g)
+        assert set(nx_graph.nodes()) == {"a", "b", "c", "lonely"}
+        assert set(nx_graph.edges()) == {("a", "b"), ("b", "c")}
+
+    def test_labels_stored_as_edge_attribute(self):
+        g = DiGraph()
+        g.add_edge("a", "b", label="D")
+        g.add_edge("a", "b", label="F")
+        nx_graph = to_networkx(g)
+        assert nx_graph.edges["a", "b"]["labels"] == {"D", "F"}
+
+    def test_acyclicity_agrees_with_networkx(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        assert not networkx.is_directed_acyclic_graph(to_networkx(g))
+        g2 = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        assert networkx.is_directed_acyclic_graph(to_networkx(g2))
+
+
+class TestFromNetworkx:
+    def test_round_trip(self):
+        g = DiGraph()
+        g.add_edge("a", "b", label="I")
+        g.add_edge("b", "c")
+        g.add_node("lonely")
+        back = from_networkx(to_networkx(g))
+        assert set(back.nodes()) == set(g.nodes())
+        assert set(back.edges()) == set(g.edges())
+        assert back.edge_labels("a", "b") == {"I"}
+        assert back.edge_labels("b", "c") == frozenset()
+
+    def test_plain_networkx_graph(self):
+        nx_graph = networkx.DiGraph()
+        nx_graph.add_edge(1, 2)
+        g = from_networkx(nx_graph)
+        assert g.has_edge(1, 2)
+
+
+class TestRsgInNetworkx:
+    def test_rsg_exports_with_arc_kinds(self, fig3):
+        from repro.core.rsg import ArcKind, RelativeSerializationGraph
+
+        rsg = RelativeSerializationGraph(fig3.schedule("S2"), fig3.spec)
+        nx_graph = to_networkx(rsg.graph)
+        assert nx_graph.number_of_nodes() == 6
+        # networkx confirms the acyclicity Theorem 1 relies on.
+        assert networkx.is_directed_acyclic_graph(nx_graph)
+        labels = nx_graph.edges[
+            next(iter(nx_graph.edges()))
+        ]["labels"]
+        assert all(isinstance(kind, ArcKind) for kind in labels)

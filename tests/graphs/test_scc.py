@@ -1,0 +1,68 @@
+"""Unit tests for strongly connected components."""
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.scc import condensation, strongly_connected_components
+
+
+class TestTarjan:
+    def test_dag_has_singleton_components(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        components = strongly_connected_components(g)
+        assert sorted(len(c) for c in components) == [1, 1, 1]
+
+    def test_cycle_is_one_component(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        components = strongly_connected_components(g)
+        assert len(components) == 1
+        assert set(components[0]) == {"a", "b", "c"}
+
+    def test_mixed_graph(self):
+        g = DiGraph.from_edges(
+            [
+                ("a", "b"),
+                ("b", "a"),  # {a, b}
+                ("b", "c"),
+                ("c", "d"),
+                ("d", "c"),  # {c, d}
+                ("d", "e"),  # {e}
+            ]
+        )
+        components = {
+            frozenset(c) for c in strongly_connected_components(g)
+        }
+        assert components == {
+            frozenset({"a", "b"}),
+            frozenset({"c", "d"}),
+            frozenset({"e"}),
+        }
+
+    def test_reverse_topological_order(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        components = strongly_connected_components(g)
+        # Sinks first: c before b before a.
+        flat = [c[0] for c in components]
+        assert flat.index("c") < flat.index("b") < flat.index("a")
+
+    def test_empty_graph(self):
+        assert strongly_connected_components(DiGraph()) == []
+
+
+class TestCondensation:
+    def test_condensation_is_acyclic(self):
+        from repro.graphs.cycles import is_acyclic
+
+        g = DiGraph.from_edges(
+            [("a", "b"), ("b", "a"), ("b", "c"), ("c", "d"), ("d", "c")]
+        )
+        dag, component_of = condensation(g)
+        assert is_acyclic(dag)
+        assert component_of["a"] == component_of["b"]
+        assert component_of["c"] == component_of["d"]
+        assert component_of["a"] != component_of["c"]
+        assert dag.has_edge(component_of["a"], component_of["c"])
+
+    def test_no_self_loops_in_condensation(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "a")])
+        dag, component_of = condensation(g)
+        cid = component_of["a"]
+        assert not dag.has_edge(cid, cid)

@@ -1,0 +1,82 @@
+"""Integration: both arc families of Definition 3 are load-bearing.
+
+The paper notes Lynch and Farrag–Özsu used push-forward only; these
+tests pin down why the RSG needs both directions:
+
+* a crafted instance where the F-only graph accepts a schedule that is
+  provably not relatively serializable (B-arcs required for soundness);
+* exhaustive checks that the full graph is exact where the weakened
+  variants drift.
+"""
+
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.brute import brute_force_relatively_serializable
+from repro.core.rsg import RelativeSerializationGraph
+from repro.core.schedules import Schedule
+from repro.core.transactions import Transaction
+
+
+def _b_arc_witness():
+    t1 = Transaction.from_notation(1, "w[a] w[b] w[a]")
+    t2 = Transaction.from_notation(2, "w[a] w[b] r[a]")
+    t3 = Transaction.from_notation(3, "w[b] r[a] w[a]")
+    transactions = [t1, t2, t3]
+    spec = RelativeAtomicitySpec(
+        transactions,
+        {
+            (1, 2): "w[a] w[b] | w[a]",
+            (1, 3): "w[a] | w[b] w[a]",
+            (2, 1): "w[a] | w[b] r[a]",
+            (2, 3): "w[a] | w[b] | r[a]",
+            (3, 1): "w[b] | r[a] w[a]",
+            (3, 2): "w[b] r[a] | w[a]",
+        },
+    )
+    schedule = Schedule.from_notation(
+        transactions,
+        "w1[a] w2[a] w3[b] w1[b] w1[a] w2[b] r2[a] r3[a] w3[a]",
+    )
+    return transactions, spec, schedule
+
+
+class TestBArcWitness:
+    def test_schedule_is_not_relatively_serializable(self):
+        _txs, spec, schedule = _b_arc_witness()
+        assert not brute_force_relatively_serializable(schedule, spec)
+
+    def test_full_rsg_correctly_rejects(self):
+        _txs, spec, schedule = _b_arc_witness()
+        assert not RelativeSerializationGraph(schedule, spec).is_acyclic
+
+    def test_f_only_graph_wrongly_accepts(self):
+        # The Lynch / Farrag–Özsu graph shape (push forward only) is
+        # unsound on this instance — the pull-backward arcs matter.
+        _txs, spec, schedule = _b_arc_witness()
+        f_only = RelativeSerializationGraph(
+            schedule, spec, include_b_arcs=False
+        )
+        assert f_only.is_acyclic
+
+    def test_cycle_uses_a_pull_backward_arc(self):
+        from repro.core.rsg import ArcKind
+
+        _txs, spec, schedule = _b_arc_witness()
+        rsg = RelativeSerializationGraph(schedule, spec)
+        cycle = rsg.cycle
+        assert cycle is not None
+        kinds_on_cycle = set()
+        for a, b in zip(cycle, cycle[1:]):
+            kinds_on_cycle.update(rsg.arc_kinds(a, b))
+        assert ArcKind.PULL_BACKWARD in kinds_on_cycle
+
+
+class TestDOnlyIsNeverCyclic:
+    def test_d_arcs_alone_follow_schedule_order(self):
+        # Without unit arcs, every arc points forward in the schedule —
+        # the graph is acyclic by construction, so the variant accepts
+        # everything and is grossly unsound.
+        _txs, spec, schedule = _b_arc_witness()
+        d_only = RelativeSerializationGraph(
+            schedule, spec, include_f_arcs=False, include_b_arcs=False
+        )
+        assert d_only.is_acyclic

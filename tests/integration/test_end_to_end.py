@@ -1,0 +1,145 @@
+"""End-to-end integration: workloads -> protocols -> engine -> theory.
+
+The full pipeline a user of the library would run: build a scenario,
+schedule it online with a protocol, execute the committed history against
+real data, and verify both the theory-level class membership and the
+application-level invariant.
+"""
+
+from repro.core.rsg import (
+    RelativeSerializationGraph,
+    is_relatively_serializable,
+)
+from repro.core.serializability import is_conflict_serializable
+from repro.engine.executor import ScheduleExecutor
+from repro.protocols import RSGTScheduler, TwoPhaseLockingScheduler
+from repro.sim.runner import simulate_bundle
+from repro.workloads.banking import BankingWorkload
+from repro.workloads.cad import CadWorkload
+from repro.workloads.longlived import LongLivedWorkload
+
+
+class TestBankingPipeline:
+    def test_rsgt_banking_run_keeps_audits_consistent(self):
+        bundle = BankingWorkload(
+            n_families=2,
+            accounts_per_family=2,
+            customers_per_family=2,
+            seed=3,
+        ).build()
+        result = simulate_bundle(bundle, RSGTScheduler(bundle.spec))
+        schedule = result.schedule
+        assert is_relatively_serializable(schedule, bundle.spec)
+
+        trace = ScheduleExecutor(bundle.initial_state, bundle.semantics).run(
+            schedule
+        )
+        expected_total = bundle.metadata["expected_total"]
+        assert sum(trace.final_state.values()) == expected_total
+        # The bank audit is atomic with respect to everything: its
+        # snapshot must sum to the expected total.
+        (audit,) = bundle.transactions_with_role("bank-audit")
+        view = trace.transaction_view(audit.tx_id)
+        assert sum(view.values()) == expected_total
+
+    def test_credit_audits_see_consistent_family_totals(self):
+        bundle = BankingWorkload(
+            n_families=2,
+            accounts_per_family=2,
+            customers_per_family=2,
+            seed=4,
+        ).build()
+        workload = BankingWorkload(
+            n_families=2,
+            accounts_per_family=2,
+            customers_per_family=2,
+            seed=4,
+        )
+        result = simulate_bundle(bundle, RSGTScheduler(bundle.spec))
+        trace = ScheduleExecutor(bundle.initial_state, bundle.semantics).run(
+            result.schedule
+        )
+        family_of = bundle.metadata["family_of"]
+        per_family_expected = 100 * bundle.metadata["accounts_per_family"]
+        for audit in bundle.transactions_with_role("credit-audit"):
+            view = trace.transaction_view(audit.tx_id)
+            family = family_of[audit.tx_id]
+            accounts = workload.family_accounts(family)
+            assert sum(view[a] for a in accounts) == per_family_expected
+
+
+class TestCadPipeline:
+    def test_rsgt_cad_run_is_relatively_serializable(self):
+        bundle = CadWorkload(
+            n_teams=2, designers_per_team=2, parts_per_team=2, seed=1
+        ).build()
+        result = simulate_bundle(bundle, RSGTScheduler(bundle.spec))
+        assert is_relatively_serializable(result.schedule, bundle.spec)
+        trace = ScheduleExecutor(bundle.initial_state, bundle.semantics).run(
+            result.schedule
+        )
+        total_edits = sum(
+            1 for tx in bundle.transactions for op in tx if op.is_write
+        )
+        assert sum(trace.final_state.values()) == total_edits
+
+
+class TestLongLivedPipeline:
+    def test_relative_spec_reduces_short_latency_vs_2pl(self):
+        import statistics
+
+        gains = []
+        for seed in range(4):
+            bundle = LongLivedWorkload(
+                n_objects=6, n_long=1, n_short=4, short_ops=1, seed=seed
+            ).build()
+            strict = simulate_bundle(bundle, TwoPhaseLockingScheduler())
+            relaxed = simulate_bundle(bundle, RSGTScheduler(bundle.spec))
+            assert is_conflict_serializable(strict.schedule)
+            assert is_relatively_serializable(relaxed.schedule, bundle.spec)
+            gains.append(
+                strict.mean_response_time_of("short")
+                - relaxed.mean_response_time_of("short")
+            )
+        # On average across seeds the relaxed protocol wins.
+        assert statistics.mean(gains) > 0
+
+    def test_final_counter_values_are_write_counts(self):
+        bundle = LongLivedWorkload(
+            n_objects=4, n_long=1, n_short=3, short_ops=1, seed=2
+        ).build()
+        result = simulate_bundle(bundle, RSGTScheduler(bundle.spec))
+        trace = ScheduleExecutor(bundle.initial_state, bundle.semantics).run(
+            result.schedule
+        )
+        writes_per_object: dict[str, int] = {}
+        for tx in bundle.transactions:
+            for op in tx:
+                if op.is_write:
+                    writes_per_object[op.obj] = (
+                        writes_per_object.get(op.obj, 0) + 1
+                    )
+        for obj, count in writes_per_object.items():
+            assert trace.final_state[obj] == count
+
+
+class TestOnlineOfflineConsistency:
+    def test_online_graph_equals_offline_graph_at_the_end(self):
+        # After a full no-abort run, the RSGT scheduler's graph must be
+        # the offline RSG of the committed history.
+        bundle = LongLivedWorkload(
+            n_objects=3, n_long=1, n_short=2, short_ops=1, seed=0
+        ).build()
+        scheduler = RSGTScheduler(bundle.spec)
+        result = simulate_bundle(bundle, scheduler)
+        offline = RelativeSerializationGraph(result.schedule, bundle.spec)
+        online_edges = {
+            (a, b, labels)
+            for a, b, labels in scheduler._graph.labelled_edges()
+        }
+        offline_edges = {
+            (a, b, labels)
+            for a, b, labels in offline.graph.labelled_edges()
+        }
+        if result.total_restarts == 0:
+            assert online_edges == offline_edges

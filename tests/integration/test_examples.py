@@ -1,0 +1,54 @@
+"""Smoke tests: every shipped example runs clean and says what it must."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "Atomicity(T1, T2): r1[x] w1[x] | w1[z] r1[y]" in out
+        assert "they are identical" in out
+
+    def test_banking_audit(self):
+        out = _run("banking_audit.py")
+        assert "torn schedule" in out
+        assert "relatively serializable: False" in out
+        assert "conflict serializable: False" in out
+        assert "rsgt" in out
+
+    def test_cad_collaboration(self):
+        out = _run("cad_collaboration.py")
+        assert "relatively serializable = True" in out
+        assert "relatively serializable = False" in out
+        assert "rsgt" in out
+
+    def test_long_lived_transactions(self):
+        out = _run("long_lived_transactions.py")
+        assert "accepted with donate points:       True" in out
+        assert "accepted under absolute atomicity: False" in out
+        assert "faster than strict 2PL" in out
+
+    def test_chopping_vs_relative(self):
+        out = _run("chopping_vs_relative.py")
+        assert "correct" in out
+        assert "INCORRECT" in out
+        assert "finest correct chopping" in out
+        assert "accepted under the per-observer spec: True" in out

@@ -1,0 +1,93 @@
+"""Integration: Lemma 1 — absolute atomicity collapses to classical CSR.
+
+"the set of relatively serializable schedules is exactly the same as the
+set of conflict serializable schedules under absolute atomicity."
+"""
+
+import random
+
+from repro.core.checkers import is_relatively_atomic, is_relatively_serial
+from repro.core.rsg import RelativeSerializationGraph
+from repro.core.schedules import Schedule
+from repro.core.serializability import (
+    equivalent_serial_schedule,
+    is_conflict_serializable,
+)
+from repro.core.transactions import Transaction
+from repro.specs.builders import absolute_spec
+from repro.workloads.enumerate import all_interleavings
+from repro.workloads.random_schedules import (
+    random_interleaving,
+    random_transactions,
+)
+
+
+class TestExhaustiveCollapse:
+    def test_rsr_equals_csr_on_all_interleavings(self):
+        txs = [
+            Transaction.from_notation(1, "r[x] w[x]"),
+            Transaction.from_notation(2, "w[x] r[y]"),
+            Transaction.from_notation(3, "w[y]"),
+        ]
+        spec = absolute_spec(txs)
+        for schedule in all_interleavings(txs):
+            assert RelativeSerializationGraph(
+                schedule, spec
+            ).is_acyclic == is_conflict_serializable(schedule), str(schedule)
+
+    def test_relatively_atomic_equals_serial(self):
+        txs = [
+            Transaction.from_notation(1, "r[x] w[x]"),
+            Transaction.from_notation(2, "w[x]"),
+        ]
+        spec = absolute_spec(txs)
+        for schedule in all_interleavings(txs):
+            assert (
+                is_relatively_atomic(schedule, spec) == schedule.is_serial
+            )
+
+    def test_every_serial_schedule_is_relatively_serial(self):
+        # Lemma 1's easy direction, checked over all serial orders.
+        import itertools
+
+        txs = [
+            Transaction.from_notation(1, "r[x] w[x]"),
+            Transaction.from_notation(2, "w[x] r[y]"),
+            Transaction.from_notation(3, "w[y]"),
+        ]
+        spec = absolute_spec(txs)
+        for order in itertools.permutations([1, 2, 3]):
+            schedule = Schedule.serial(txs, order)
+            assert is_relatively_serial(schedule, spec)
+
+
+class TestLemma1WitnessChain:
+    def test_relatively_serial_schedules_are_conflict_serializable(self):
+        # Lemma 1 proper: under absolute atomicity, every relatively
+        # serial schedule is conflict equivalent to a serial one.
+        rng = random.Random(5)
+        found = 0
+        for _ in range(60):
+            txs = random_transactions(
+                3, (1, 3), 2, write_probability=0.6, seed=rng.randint(0, 9999)
+            )
+            spec = absolute_spec(txs)
+            schedule = random_interleaving(txs, seed=rng.randint(0, 9999))
+            if not is_relatively_serial(schedule, spec):
+                continue
+            serial = equivalent_serial_schedule(schedule)  # must not raise
+            assert serial.is_serial
+            found += 1
+        assert found > 5
+
+    def test_randomized_collapse(self):
+        rng = random.Random(11)
+        for _ in range(60):
+            txs = random_transactions(
+                4, (1, 4), 3, write_probability=0.5, seed=rng.randint(0, 9999)
+            )
+            spec = absolute_spec(txs)
+            schedule = random_interleaving(txs, seed=rng.randint(0, 9999))
+            assert RelativeSerializationGraph(
+                schedule, spec
+            ).is_acyclic == is_conflict_serializable(schedule)

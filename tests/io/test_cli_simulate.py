@@ -1,0 +1,161 @@
+"""Integration tests for the CLI simulate subcommand."""
+
+import pytest
+
+from repro.cli import main
+
+PROBLEM = """
+T1: r[x] w[x] w[z] r[y]
+T2: r[y] w[y] r[x]
+T3: w[x] w[y] w[z]
+
+atomicity T1/T2: r[x] w[x] | w[z] r[y]
+atomicity T1/T3: r[x] w[x] | w[z] | r[y]
+atomicity T2/T1: r[y] | w[y] r[x]
+atomicity T2/T3: r[y] w[y] | r[x]
+atomicity T3/T1: w[x] w[y] | w[z]
+atomicity T3/T2: w[x] w[y] | w[z]
+"""
+
+
+@pytest.fixture()
+def problem_file(tmp_path):
+    path = tmp_path / "fig1.txt"
+    path.write_text(PROBLEM)
+    return path
+
+
+class TestSimulate:
+    @pytest.mark.parametrize(
+        "protocol", ["2pl", "sgt", "altruistic", "rel-locking", "rsgt"]
+    )
+    def test_each_protocol_runs_and_verifies(
+        self, problem_file, capsys, protocol
+    ):
+        code = main(
+            ["simulate", str(problem_file), "--protocol", protocol]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"protocol: " in out
+        assert "committed history:" in out
+        assert "makespan" in out
+        assert ": yes" in out  # offline verification verdict
+
+    def test_reports_per_transaction_metrics(self, problem_file, capsys):
+        code = main(["simulate", str(problem_file), "--protocol", "rsgt"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for column in ("tx", "arrival", "commit", "response", "restarts"):
+            assert column in out
+
+    def test_reports_recovery_profile(self, problem_file, capsys):
+        code = main(["simulate", str(problem_file), "--protocol", "2pl"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recovery:" in out
+        assert "strict=" in out
+
+    def test_default_protocol_is_rsgt(self, problem_file, capsys):
+        code = main(["simulate", str(problem_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "protocol: rsgt" in out
+
+    def test_unknown_protocol_rejected(self, problem_file):
+        with pytest.raises(SystemExit):
+            main(["simulate", str(problem_file), "--protocol", "nope"])
+
+    def test_missing_file_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "missing.txt"
+        with pytest.raises(FileNotFoundError):
+            main(["simulate", str(path)])
+
+
+class TestInfer:
+    def test_recovers_paper_style_cuts_from_sra(self, tmp_path, capsys):
+        path = tmp_path / "sra.txt"
+        path.write_text(
+            "T1: r[x] w[x] w[z] r[y]\n"
+            "T2: r[y] w[y] r[x]\n"
+            "T3: w[x] w[y] w[z]\n"
+            "schedule Sra: r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] w3[x] "
+            "w3[y] r1[y] w3[z]\n"
+        )
+        code = main(["infer", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        # The cuts the paper's Figure 1 spec declares and Sra exercises.
+        assert "atomicity T1/T2: r1[x] w1[x] | w1[z] r1[y]" in out
+        assert "atomicity T2/T1: r2[y] | w2[y] r2[x]" in out
+        assert "atomicity T3/T1: w3[x] w3[y] | w3[z]" in out
+
+    def test_output_round_trips_into_a_working_problem(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "sra.txt"
+        body = (
+            "T1: r[x] w[x] w[z] r[y]\n"
+            "T2: r[y] w[y] r[x]\n"
+            "T3: w[x] w[y] w[z]\n"
+        )
+        sched = (
+            "schedule Sra: r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] w3[x] "
+            "w3[y] r1[y] w3[z]\n"
+        )
+        path.write_text(body + sched)
+        main(["infer", str(path)])
+        inferred = capsys.readouterr().out
+        atomicity_lines = "\n".join(
+            line for line in inferred.splitlines()
+            if line.startswith("atomicity")
+        )
+        merged = tmp_path / "merged.txt"
+        merged.write_text(body + atomicity_lines + "\n" + sched)
+        code = main(["classify", str(merged), "--schedule", "Sra"])
+        out = capsys.readouterr().out
+        assert code == 0
+        serial_lines = [
+            line for line in out.splitlines()
+            if line.startswith("relatively serial ")
+        ]
+        assert serial_lines and serial_lines[0].rstrip().endswith("yes")
+
+    def test_serial_only_needs_nothing(self, tmp_path, capsys):
+        path = tmp_path / "serial.txt"
+        path.write_text(
+            "T1: r[x] w[x]\nT2: w[x]\n"
+            "schedule s: r1[x] w1[x] w2[x]\n"
+        )
+        code = main(["infer", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "absolute atomicity already suffices" in out
+
+    def test_no_schedules_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("T1: r[x]\n")
+        code = main(["infer", str(path)])
+        assert code == 2
+        assert "no schedules" in capsys.readouterr().err
+
+
+class TestChop:
+    def test_chops_the_classic_instance(self, tmp_path, capsys):
+        path = tmp_path / "chop.txt"
+        path.write_text("T1: w[x] w[y]\nT2: r[x] w[x]\nT3: r[y] w[y]\n")
+        code = main(["chop", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 pieces" in out
+        assert "atomicity T1/T2: w1[x] | w1[y]" in out
+
+    def test_reports_unchoppable_sets(self, tmp_path, capsys):
+        path = tmp_path / "nochop.txt"
+        path.write_text(
+            "T1: w[x] w[y]\nT2: r[x] w[x]\nT3: r[y] w[y]\nT4: r[x] r[y]\n"
+        )
+        code = main(["chop", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no transaction can be chopped" in out

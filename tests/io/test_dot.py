@@ -1,0 +1,55 @@
+"""Unit tests for DOT export."""
+
+from repro.core.dependency import DependencyRelation
+from repro.core.rsg import RelativeSerializationGraph
+from repro.graphs.digraph import DiGraph
+from repro.io.dot import dependency_to_dot, digraph_to_dot, rsg_to_dot
+
+
+class TestDigraphToDot:
+    def test_structure(self):
+        g = DiGraph()
+        g.add_edge("a", "b", label="L")
+        g.add_node("c")
+        dot = digraph_to_dot(g, name="Test")
+        assert dot.startswith("digraph Test {")
+        assert dot.rstrip().endswith("}")
+        assert '"a" -> "b"' in dot
+        assert 'label="L"' in dot
+        assert '"c"' in dot
+
+    def test_quotes_are_escaped(self):
+        g = DiGraph()
+        g.add_edge('a"x', "b")
+        dot = digraph_to_dot(g)
+        assert '"a\\"x"' in dot
+
+
+class TestRsgToDot:
+    def test_clusters_and_arc_kinds(self, fig3):
+        rsg = RelativeSerializationGraph(fig3.schedule("S2"), fig3.spec)
+        dot = rsg_to_dot(rsg)
+        for tx_id in (1, 2, 3):
+            assert f"subgraph cluster_T{tx_id}" in dot
+        # Every operation appears as a node.
+        for op in fig3.schedule("S2"):
+            assert op.label in dot
+        # Arc-kind colours are applied.
+        assert "color=red" in dot  # B-arcs exist in Figure 3
+        assert "color=forestgreen" in dot  # F-arcs too
+
+    def test_edge_count_matches_graph(self, fig3):
+        rsg = RelativeSerializationGraph(fig3.schedule("S2"), fig3.spec)
+        dot = rsg_to_dot(rsg)
+        arrow_lines = [
+            line for line in dot.splitlines() if "->" in line
+        ]
+        assert len(arrow_lines) == rsg.graph.edge_count
+
+
+class TestDependencyToDot:
+    def test_renders_all_pairs(self, fig2):
+        dep = DependencyRelation(fig2.schedule("S1"))
+        dot = dependency_to_dot(dep)
+        arrow_lines = [line for line in dot.splitlines() if "->" in line]
+        assert len(arrow_lines) == len(list(dep.pairs()))

@@ -1,0 +1,91 @@
+"""Unit tests for JSON (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import NotationError
+from repro.io.jsonio import (
+    problem_from_json,
+    problem_to_json,
+    schedule_from_json,
+    schedule_to_json,
+    spec_from_json,
+    spec_to_json,
+    transaction_from_json,
+    transaction_to_json,
+)
+from repro.io.notation import Problem
+
+
+class TestTransactionJson:
+    def test_round_trip(self, fig1):
+        for transaction in fig1.transactions:
+            data = transaction_to_json(transaction)
+            assert transaction_from_json(data) == transaction
+
+    def test_shape_is_plain_json(self, fig1):
+        data = transaction_to_json(fig1.transactions[0])
+        json.dumps(data)  # must not raise
+        assert data == {"id": 1, "ops": ["r[x]", "w[x]", "w[z]", "r[y]"]}
+
+    def test_missing_key_raises(self):
+        with pytest.raises(NotationError):
+            transaction_from_json({"ops": ["r[x]"]})
+
+
+class TestSpecJson:
+    def test_round_trip(self, fig1):
+        rows = spec_to_json(fig1.spec)
+        back = spec_from_json(list(fig1.transactions), rows)
+        for pair in fig1.spec.pairs():
+            assert back.atomicity(*pair) == fig1.spec.atomicity(*pair)
+
+    def test_absolute_views_omitted(self, fig1):
+        rows = spec_to_json(fig1.spec)
+        # Figure 1 declares all six views, none absolute.
+        assert len(rows) == 6
+        from repro.specs.builders import absolute_spec
+
+        assert spec_to_json(absolute_spec(list(fig1.transactions))) == []
+
+    def test_missing_key_raises(self, fig1):
+        with pytest.raises(NotationError):
+            spec_from_json(list(fig1.transactions), [{"tx": 1}])
+
+
+class TestScheduleJson:
+    def test_round_trip(self, fig1):
+        labels = schedule_to_json(fig1.schedule("Sra"))
+        back = schedule_from_json(list(fig1.transactions), labels)
+        assert back == fig1.schedule("Sra")
+
+    def test_labels_in_schedule_order(self, fig1):
+        labels = schedule_to_json(fig1.schedule("Sra"))
+        assert labels[0] == "r2[y]"
+        assert labels[-1] == "w3[z]"
+
+
+class TestProblemJson:
+    def test_round_trip_through_json_text(self, fig1):
+        problem = Problem(
+            list(fig1.transactions), fig1.spec, dict(fig1.schedules)
+        )
+        text = json.dumps(problem_to_json(problem))
+        back = problem_from_json(json.loads(text))
+        assert back.transactions == problem.transactions
+        assert back.schedules == problem.schedules
+        for pair in fig1.spec.pairs():
+            assert back.spec.atomicity(*pair) == fig1.spec.atomicity(*pair)
+
+    def test_minimal_problem(self):
+        back = problem_from_json(
+            {"transactions": [{"id": 1, "ops": ["r[x]"]}]}
+        )
+        assert len(back.transactions) == 1
+        assert back.spec.is_absolute
+        assert back.schedules == {}
+
+    def test_missing_transactions_raises(self):
+        with pytest.raises(NotationError):
+            problem_from_json({})

@@ -1,0 +1,25 @@
+"""``python -m repro`` dispatches to the CLI."""
+
+import subprocess
+import sys
+
+
+class TestMainModule:
+    def test_demo_runs_via_dash_m(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "demo", "--figure", "1"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "Figure 1" in result.stdout
+
+    def test_missing_subcommand_exits_nonzero(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode != 0

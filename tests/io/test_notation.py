@@ -1,0 +1,83 @@
+"""Unit tests for the problem-file format."""
+
+import pytest
+
+from repro.errors import NotationError
+from repro.io.notation import Problem, parse_problem, render_problem
+
+FIGURE1_TEXT = """
+# Figure 1 of the paper
+T1: r[x] w[x] w[z] r[y]
+T2: r[y] w[y] r[x]
+T3: w[x] w[y] w[z]
+
+atomicity T1/T2: r[x] w[x] | w[z] r[y]
+atomicity T1/T3: r[x] w[x] | w[z] | r[y]
+atomicity T2/T1: r[y] | w[y] r[x]
+atomicity T2/T3: r[y] w[y] | r[x]
+atomicity T3/T1: w[x] w[y] | w[z]
+atomicity T3/T2: w[x] w[y] | w[z]
+
+schedule Sra: r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] w3[x] w3[y] r1[y] w3[z]
+"""
+
+
+class TestParse:
+    def test_parses_figure1(self, fig1):
+        problem = parse_problem(FIGURE1_TEXT)
+        assert len(problem.transactions) == 3
+        assert problem.transactions[0] == fig1.transactions[0]
+        for pair in fig1.spec.pairs():
+            assert problem.spec.atomicity(*pair) == fig1.spec.atomicity(*pair)
+        assert problem.schedule("Sra") == fig1.schedule("Sra")
+
+    def test_comments_and_blank_lines_ignored(self):
+        problem = parse_problem("# hi\n\nT1: r[x]\n")
+        assert len(problem.transactions) == 1
+
+    def test_missing_atomicity_defaults_to_absolute(self):
+        problem = parse_problem("T1: r[x] w[x]\nT2: w[x]\n")
+        assert problem.spec.is_absolute
+
+    def test_unparseable_line_raises_with_line_number(self):
+        with pytest.raises(NotationError, match="line 2"):
+            parse_problem("T1: r[x]\nnonsense here\n")
+
+    def test_no_transactions_raises(self):
+        with pytest.raises(NotationError):
+            parse_problem("# empty\n")
+
+    def test_duplicate_schedule_name_raises(self):
+        text = "T1: r[x]\nschedule a: r1[x]\nschedule a: r1[x]\n"
+        with pytest.raises(NotationError, match="duplicate"):
+            parse_problem(text)
+
+    def test_bad_schedule_raises(self):
+        with pytest.raises(NotationError, match="invalid schedule"):
+            parse_problem("T1: r[x]\nschedule s: w1[x]\n")
+
+    def test_bad_atomicity_raises(self):
+        with pytest.raises(NotationError, match="invalid atomicity"):
+            parse_problem("T1: r[x] w[x]\nT2: w[y]\natomicity T1/T2: w[x] r[x]\n")
+
+    def test_unknown_schedule_lookup(self):
+        problem = parse_problem("T1: r[x]\n")
+        with pytest.raises(NotationError):
+            problem.schedule("nope")
+
+
+class TestRender:
+    def test_round_trip(self, fig1):
+        problem = Problem(
+            list(fig1.transactions), fig1.spec, dict(fig1.schedules)
+        )
+        text = render_problem(problem)
+        back = parse_problem(text)
+        assert back.transactions == problem.transactions
+        for pair in fig1.spec.pairs():
+            assert back.spec.atomicity(*pair) == fig1.spec.atomicity(*pair)
+        assert back.schedules == problem.schedules
+
+    def test_absolute_views_omitted(self):
+        problem = parse_problem("T1: r[x] w[x]\nT2: w[x]\n")
+        assert "atomicity" not in render_problem(problem)

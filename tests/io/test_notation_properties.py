@@ -1,0 +1,79 @@
+"""Hypothesis round-trip and robustness tests for the textual formats."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.operations import read, write
+from repro.core.transactions import Transaction
+from repro.errors import ReproError
+from repro.io.jsonio import problem_from_json, problem_to_json
+from repro.io.notation import Problem, parse_problem, render_problem
+from repro.workloads.random_schedules import random_interleaving
+
+OBJECTS = ("x", "y", "z", "acct0", "part_1")
+
+
+@st.composite
+def problems(draw):
+    n = draw(st.integers(1, 3))
+    transactions = []
+    for tx_id in range(1, n + 1):
+        length = draw(st.integers(1, 4))
+        ops = []
+        for _ in range(length):
+            obj = draw(st.sampled_from(OBJECTS))
+            ops.append(write(obj) if draw(st.booleans()) else read(obj))
+        transactions.append(Transaction(tx_id, ops))
+    views = {}
+    for tx in transactions:
+        for observer in transactions:
+            if tx.tx_id == observer.tx_id:
+                continue
+            cuts = draw(
+                st.sets(st.integers(1, max(1, len(tx) - 1)), max_size=4)
+            )
+            views[(tx.tx_id, observer.tx_id)] = {
+                cut for cut in cuts if cut <= len(tx) - 1
+            }
+    spec = RelativeAtomicitySpec(transactions, views)
+    schedules = {}
+    if draw(st.booleans()) and n >= 1:
+        seed = draw(st.integers(0, 10_000))
+        schedules["s0"] = random_interleaving(transactions, seed=seed)
+    return Problem(transactions, spec, schedules)
+
+
+@given(problems())
+@settings(max_examples=60, deadline=None)
+def test_notation_round_trip(problem):
+    text = render_problem(problem)
+    back = parse_problem(text)
+    assert back.transactions == problem.transactions
+    assert back.schedules == problem.schedules
+    for pair in problem.spec.pairs():
+        assert back.spec.atomicity(*pair) == problem.spec.atomicity(*pair)
+
+
+@given(problems())
+@settings(max_examples=60, deadline=None)
+def test_json_round_trip(problem):
+    import json
+
+    payload = json.loads(json.dumps(problem_to_json(problem)))
+    back = problem_from_json(payload)
+    assert back.transactions == problem.transactions
+    assert back.schedules == problem.schedules
+    for pair in problem.spec.pairs():
+        assert back.spec.atomicity(*pair) == problem.spec.atomicity(*pair)
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=150, deadline=None)
+def test_parser_never_crashes_unexpectedly(text):
+    # Arbitrary text either parses or raises the library's own error
+    # type — never an internal exception.
+    try:
+        parse_problem(text)
+    except ReproError:
+        pass

@@ -1,0 +1,211 @@
+"""Every claim the paper makes about its figures, as tests.
+
+This module is the reproduction's backbone: each test quotes (in its
+docstring or comments) the paper sentence it verifies.
+"""
+
+from repro.core.checkers import (
+    is_relatively_atomic,
+    is_relatively_serial,
+)
+from repro.core.consistent import is_relatively_consistent
+from repro.core.rsg import (
+    ArcKind,
+    RelativeSerializationGraph,
+    is_relatively_serializable,
+)
+from repro.core.schedules import Schedule, conflict_equivalent
+from repro.core.serializability import is_conflict_serializable
+from repro.paper.figures import FIGURE3_EXPECTED_ARCS
+
+
+class TestFigure1:
+    def test_transactions_match_paper(self, fig1):
+        assert str(fig1.transactions[0]) == "T1 = r1[x] w1[x] w1[z] r1[y]"
+        assert str(fig1.transactions[1]) == "T2 = r2[y] w2[y] r2[x]"
+        assert str(fig1.transactions[2]) == "T3 = w3[x] w3[y] w3[z]"
+
+    def test_atomicity_t1_t2_as_printed(self, fig1):
+        # "Atomicity(T1, T2) is <[r1[x] w1[x]], [w1[z] r1[y]]>".
+        view = fig1.spec.atomicity(1, 2)
+        t1 = fig1.spec.transactions[1]
+        assert view.render(t1) == "r1[x] w1[x] | w1[z] r1[y]"
+
+    def test_sra_is_not_serial_but_relatively_atomic(self, fig1):
+        # "even though Sra is not a serial schedule, it is correct with
+        # respect to the relative atomicity specifications".
+        sra = fig1.schedule("Sra")
+        assert not sra.is_serial
+        assert is_relatively_atomic(sra, fig1.spec)
+
+    def test_sra_is_not_conflict_serializable(self, fig1):
+        # The interleaving the paper celebrates is impossible under the
+        # traditional model.
+        assert not is_conflict_serializable(fig1.schedule("Sra"))
+
+    def test_srs_is_relatively_serial(self, fig1):
+        # "Hence, Srs is relatively serial."
+        assert is_relatively_serial(fig1.schedule("Srs"), fig1.spec)
+
+    def test_srs_interleavings_are_dependency_free(self, fig1):
+        # "r2[y] is interleaved with AtomicUnit(1, T1, T2) and r2[y] does
+        # not depend on r1[x] and w1[x] does not depend on r2[y]."
+        from repro.core.dependency import DependencyRelation
+
+        srs = fig1.schedule("Srs")
+        dep = DependencyRelation(srs)
+        t1 = fig1.spec.transactions[1]
+        t2 = fig1.spec.transactions[2]
+        r2y, w1x, r1x = t2[0], t1[1], t1[0]
+        assert not dep.depends_on(r2y, r1x)
+        assert not dep.depends_on(w1x, r2y)
+
+    def test_s2_is_not_relatively_serial_for_the_paper_reason(self, fig1):
+        # "S2 is not relatively serial since w1[x] is interleaved with
+        # AtomicUnit(2, T2, T1) and r2[x] depends on w1[x]."
+        from repro.core.checkers import relative_serial_violations
+
+        s2 = fig1.schedule("S2")
+        assert not is_relatively_serial(s2, fig1.spec)
+        violations = {
+            (op.label, unit.tx, unit.ordinal, unit_op.label)
+            for op, unit, unit_op in relative_serial_violations(
+                s2, fig1.spec
+            )
+        }
+        assert ("w1[x]", 2, 2, "r2[x]") in violations
+
+    def test_s2_is_relatively_serializable_via_srs(self, fig1):
+        # "S2 is relatively serializable since it is conflict equivalent
+        # to the relatively serial schedule Srs."
+        assert is_relatively_serializable(fig1.schedule("S2"), fig1.spec)
+        assert conflict_equivalent(fig1.schedule("S2"), fig1.schedule("Srs"))
+
+
+class TestFigure2:
+    def test_s1_is_not_relatively_serial(self, fig2):
+        # "the user's relative atomicity specifications does not allow T2
+        # in the atomic unit [w1[x] r1[z]], S1 is not a correct schedule."
+        assert not is_relatively_serial(fig2.schedule("S1"), fig2.spec)
+
+    def test_w2y_reaches_r1z_only_transitively(self, fig2):
+        # "w2[y] does not conflict with either w1[x] or r1[z], but r1[z]
+        # is affected by w2[y]."
+        from repro.core.dependency import DependencyRelation
+
+        s1 = fig2.schedule("S1")
+        w2y = s1[1]
+        w1x = s1[0]
+        r1z = s1[4]
+        assert not w2y.conflicts_with(w1x)
+        assert not w2y.conflicts_with(r1z)
+        assert DependencyRelation(s1).depends_on(r1z, w2y)
+        assert not DependencyRelation(s1, transitive=False).depends_on(
+            r1z, w2y
+        )
+
+    def test_direct_conflicts_would_wrongly_accept_s1(self, fig2):
+        # "If the depends on relation is based only on direct conflicts
+        # then the schedule S1 will be considered as a correct schedule."
+        from repro.core.dependency import DependencyRelation
+
+        direct = DependencyRelation(fig2.schedule("S1"), transitive=False)
+        assert is_relatively_serial(fig2.schedule("S1"), fig2.spec, direct)
+
+
+class TestFigure3:
+    def test_rsg_reproduces_the_drawn_graph(self, fig3):
+        rsg = RelativeSerializationGraph(fig3.schedule("S2"), fig3.spec)
+        got = {
+            (a.label, b.label): frozenset(kind.value for kind in labels)
+            for a, b, labels in rsg.graph.labelled_edges()
+        }
+        assert got == FIGURE3_EXPECTED_ARCS
+
+    def test_the_two_arcs_the_text_derives(self, fig3):
+        # "since w1[x] r1[z] is atomic with respect to T2 and since r2[x]
+        # depends on w1[x], RSG(S2) contains the F-arc from r1[z] to
+        # r2[x].  Since r3[z] r3[y] is atomic relative to T2 and r3[y]
+        # depends on w2[y], RSG(S2) contains the B-arc from w2[y] to
+        # r3[z]."
+        rsg = RelativeSerializationGraph(fig3.schedule("S2"), fig3.spec)
+        t1 = fig3.spec.transactions[1]
+        t2 = fig3.spec.transactions[2]
+        t3 = fig3.spec.transactions[3]
+        assert ArcKind.PUSH_FORWARD in rsg.arc_kinds(t1[1], t2[0])
+        assert ArcKind.PULL_BACKWARD in rsg.arc_kinds(t2[1], t3[0])
+
+
+class TestFigure4:
+    def test_s_is_relatively_serial(self, fig4):
+        # "The schedule S given in Figure 4 is a relatively serial
+        # schedule."
+        assert is_relatively_serial(fig4.schedule("S"), fig4.spec)
+
+    def test_s_is_not_relatively_consistent(self, fig4):
+        # "However, S is not conflict equivalent to any relatively atomic
+        # schedule."
+        assert not is_relatively_consistent(fig4.schedule("S"), fig4.spec)
+
+    def test_s_witnesses_the_proper_containment(self, fig4):
+        # "the set of relatively serializable schedules properly contains
+        # the set of relatively consistent schedules" (Figure 5).
+        assert is_relatively_serializable(fig4.schedule("S"), fig4.spec)
+
+    def test_t1_cannot_leave_t3s_atomic_unit(self, fig4):
+        # The paper's argument: "operations w1[x] and w1[y] cannot be
+        # rearranged ... since T4 and T2 do not permit T1 in their
+        # respective atomic units."  Concretely: in every conflict-
+        # equivalent schedule that keeps T1 outside the units of T4 and
+        # T2 (as relative atomicity demands), T1 is trapped strictly
+        # inside T3's unit — so no equivalent schedule is relatively
+        # atomic.
+        from repro.core.brute import conflict_equivalent_schedules
+
+        s = fig4.schedule("S")
+        spec = fig4.spec
+        t1, t2, t3, t4 = (spec.transactions[i] for i in (1, 2, 3, 4))
+        saw_containment = False
+        for candidate in conflict_equivalent_schedules(s):
+            t1_positions = [candidate.position(op) for op in t1]
+            t4_span = (candidate.position(t4[0]), candidate.position(t4[1]))
+            t2_span = (candidate.position(t2[0]), candidate.position(t2[1]))
+            outside_t4 = all(
+                not (t4_span[0] < p < t4_span[1]) for p in t1_positions
+            )
+            outside_t2 = all(
+                not (t2_span[0] < p < t2_span[1]) for p in t1_positions
+            )
+            if not (outside_t4 and outside_t2):
+                continue  # already violates relative atomicity
+            w3t = candidate.position(t3[0])
+            w3z = candidate.position(t3[1])
+            assert all(w3t < p < w3z for p in t1_positions)
+            saw_containment = True
+        assert saw_containment
+
+
+class TestFigure5:
+    def test_hierarchy_on_figure1_census(self, fig1):
+        # Exhaustive census over all 4200 interleavings of Figure 1's
+        # transactions: the Figure 5 containments hold, and relative
+        # serializability is strictly the largest class.
+        from repro.analysis.classes import census_exhaustive
+
+        result = census_exhaustive(
+            fig1.transactions, fig1.spec, consistency_budget=50_000
+        )
+        assert result.total == 4200
+        assert result.undecided_consistent == 0
+        assert result.serial <= result.relatively_atomic
+        assert result.relatively_atomic <= result.relatively_serial
+        assert result.relatively_serial <= result.relatively_serializable
+        assert (
+            result.relatively_atomic <= result.relatively_consistent
+        )
+        assert (
+            result.relatively_consistent <= result.relatively_serializable
+        )
+        assert (
+            result.conflict_serializable < result.relatively_serializable
+        )

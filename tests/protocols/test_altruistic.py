@@ -1,0 +1,103 @@
+"""Unit tests for simplified altruistic locking."""
+
+from repro.core.transactions import Transaction
+from repro.protocols.altruistic import AltruisticLockingScheduler
+from repro.protocols.base import Decision
+
+
+def _admit(scheduler, *txs):
+    for tx in txs:
+        scheduler.admit(tx)
+
+
+class TestDonation:
+    def test_short_tx_runs_in_the_wake_of_a_long_one(self):
+        # The [SGMA87] motivation: the long transaction finished with x,
+        # so the short one need not wait for its commit.
+        long_tx = Transaction.from_notation(1, "w[x] w[y] w[z]")
+        short_tx = Transaction.from_notation(2, "w[x]")
+        scheduler = AltruisticLockingScheduler()
+        _admit(scheduler, long_tx, short_tx)
+        assert scheduler.request(long_tx[0]).decision is Decision.GRANT
+        assert scheduler.request(long_tx[1]).decision is Decision.GRANT
+        # x was the long transaction's last use: donated.
+        assert scheduler.request(short_tx[0]).decision is Decision.GRANT
+
+    def test_plain_2pl_semantics_without_donation(self):
+        # Before the last use, the object is not donated: the short
+        # transaction waits like under 2PL.
+        long_tx = Transaction.from_notation(1, "w[x] w[y] w[x]")
+        short_tx = Transaction.from_notation(2, "w[x]")
+        scheduler = AltruisticLockingScheduler()
+        _admit(scheduler, long_tx, short_tx)
+        scheduler.request(long_tx[0])
+        # x will be used again at index 2: not donated yet.
+        assert scheduler.request(short_tx[0]).decision is Decision.WAIT
+
+    def test_wake_containment_blocks_racing_ahead(self):
+        # The borrower must not touch an object the donor declared but
+        # has not donated yet.
+        long_tx = Transaction.from_notation(1, "w[x] w[y] w[z]")
+        borrower = Transaction.from_notation(2, "w[x] w[z]")
+        scheduler = AltruisticLockingScheduler()
+        _admit(scheduler, long_tx, borrower)
+        scheduler.request(long_tx[0])  # w1[x]: donated (last use of x)
+        assert scheduler.request(borrower[0]).decision is Decision.GRANT
+        # z is declared by the donor and not donated: borrower waits.
+        assert scheduler.request(borrower[1]).decision is Decision.WAIT
+        scheduler.request(long_tx[1])
+        scheduler.request(long_tx[2])  # w1[z]: donated now
+        assert scheduler.request(borrower[1]).decision is Decision.GRANT
+
+    def test_borrow_refused_when_past_is_outside_the_wake(self):
+        # The borrower already wrote y, which the donor will access
+        # later: using the donated x would order the borrower both
+        # before and after the donor, so it must wait instead.
+        long_tx = Transaction.from_notation(1, "w[x] w[y]")
+        borrower = Transaction.from_notation(2, "w[y] w[x]")
+        scheduler = AltruisticLockingScheduler()
+        _admit(scheduler, long_tx, borrower)
+        scheduler.request(borrower[0])  # w2[y] before the donor gets there
+        scheduler.request(long_tx[0])  # w1[x]: donated (last use)
+        assert scheduler.request(borrower[1]).decision is Decision.WAIT
+
+
+class TestDeadlock:
+    def test_deadlock_still_detected(self):
+        t1 = Transaction.from_notation(1, "w[x] w[y] w[x]")
+        t2 = Transaction.from_notation(2, "w[y] w[x] w[y]")
+        scheduler = AltruisticLockingScheduler()
+        _admit(scheduler, t1, t2)
+        # Neither donates (both objects reused), classic deadlock.
+        assert scheduler.request(t1[0]).decision is Decision.GRANT
+        assert scheduler.request(t2[0]).decision is Decision.GRANT
+        assert scheduler.request(t1[1]).decision is Decision.WAIT
+        assert scheduler.request(t2[1]).decision is Decision.ABORT
+
+
+class TestCorrectness:
+    def test_wake_runs_produce_serializable_histories(self):
+        from repro.core.schedules import Schedule
+        from repro.core.serializability import is_conflict_serializable
+
+        long_tx = Transaction.from_notation(1, "w[x] w[y] w[z]")
+        short_tx = Transaction.from_notation(2, "w[x]")
+        scheduler = AltruisticLockingScheduler()
+        _admit(scheduler, long_tx, short_tx)
+        scheduler.request(long_tx[0])
+        scheduler.request(short_tx[0])
+        scheduler.finish(2)
+        scheduler.request(long_tx[1])
+        scheduler.request(long_tx[2])
+        scheduler.finish(1)
+        schedule = Schedule([long_tx, short_tx], scheduler.history)
+        assert is_conflict_serializable(schedule)
+
+    def test_commit_clears_debts_and_locks(self):
+        long_tx = Transaction.from_notation(1, "w[x]")
+        other = Transaction.from_notation(2, "w[x]")
+        scheduler = AltruisticLockingScheduler()
+        _admit(scheduler, long_tx, other)
+        scheduler.request(long_tx[0])
+        scheduler.finish(1)
+        assert scheduler.request(other[0]).decision is Decision.GRANT

@@ -1,0 +1,121 @@
+"""Unit tests for the scheduler base-class contract."""
+
+import pytest
+
+from repro.core.operations import Operation
+from repro.core.transactions import Transaction
+from repro.errors import ProtocolError
+from repro.protocols.base import Decision, Outcome, Scheduler
+
+
+class _AlwaysGrant(Scheduler):
+    """Trivial scheduler: grants everything (for contract tests)."""
+
+    name = "always-grant"
+
+    def _decide(self, op: Operation) -> Outcome:
+        return Outcome.grant()
+
+
+@pytest.fixture()
+def tx():
+    return Transaction.from_notation(1, "r[x] w[x]")
+
+
+class TestOutcome:
+    def test_factories(self):
+        assert Outcome.grant().decision is Decision.GRANT
+        assert Outcome.wait().decision is Decision.WAIT
+        abort = Outcome.abort(3, 4)
+        assert abort.decision is Decision.ABORT
+        assert abort.victims == (3, 4)
+
+
+class TestAdmission:
+    def test_double_admit_rejected(self, tx):
+        scheduler = _AlwaysGrant()
+        scheduler.admit(tx)
+        with pytest.raises(ProtocolError):
+            scheduler.admit(tx)
+
+    def test_request_without_admit_rejected(self, tx):
+        with pytest.raises(ProtocolError):
+            _AlwaysGrant().request(tx[0])
+
+
+class TestRequestOrdering:
+    def test_program_order_enforced(self, tx):
+        scheduler = _AlwaysGrant()
+        scheduler.admit(tx)
+        with pytest.raises(ProtocolError):
+            scheduler.request(tx[1])  # must start with tx[0]
+
+    def test_grant_advances_progress_and_history(self, tx):
+        scheduler = _AlwaysGrant()
+        scheduler.admit(tx)
+        scheduler.request(tx[0])
+        assert scheduler.progress(1) == 1
+        assert scheduler.history == (tx[0],)
+
+    def test_request_after_commit_rejected(self, tx):
+        scheduler = _AlwaysGrant()
+        scheduler.admit(tx)
+        scheduler.request(tx[0])
+        scheduler.request(tx[1])
+        scheduler.finish(1)
+        with pytest.raises(ProtocolError):
+            scheduler.request(tx[0])
+
+
+class TestCommitAndRemove:
+    def test_finish_requires_all_operations(self, tx):
+        scheduler = _AlwaysGrant()
+        scheduler.admit(tx)
+        scheduler.request(tx[0])
+        with pytest.raises(ProtocolError):
+            scheduler.finish(1)
+
+    def test_finish_marks_committed(self, tx):
+        scheduler = _AlwaysGrant()
+        scheduler.admit(tx)
+        scheduler.request(tx[0])
+        scheduler.request(tx[1])
+        scheduler.finish(1)
+        assert scheduler.is_committed(1)
+
+    def test_remove_clears_history_and_progress(self, tx):
+        scheduler = _AlwaysGrant()
+        scheduler.admit(tx)
+        scheduler.request(tx[0])
+        scheduler.remove(1)
+        assert scheduler.progress(1) == 0
+        assert scheduler.history == ()
+
+    def test_remove_keeps_other_transactions(self, tx):
+        other = Transaction.from_notation(2, "w[y]")
+        scheduler = _AlwaysGrant()
+        scheduler.admit(tx)
+        scheduler.admit(other)
+        scheduler.request(tx[0])
+        scheduler.request(other[0])
+        scheduler.remove(1)
+        assert scheduler.history == (other[0],)
+
+    def test_remove_committed_rejected(self, tx):
+        scheduler = _AlwaysGrant()
+        scheduler.admit(tx)
+        scheduler.request(tx[0])
+        scheduler.request(tx[1])
+        scheduler.finish(1)
+        with pytest.raises(ProtocolError):
+            scheduler.remove(1)
+
+    def test_restart_replays_from_the_start(self, tx):
+        scheduler = _AlwaysGrant()
+        scheduler.admit(tx)
+        scheduler.request(tx[0])
+        scheduler.remove(1)
+        scheduler.request(tx[0])
+        scheduler.request(tx[1])
+        scheduler.finish(1)
+        assert scheduler.history == (tx[0], tx[1])

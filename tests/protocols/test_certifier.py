@@ -1,0 +1,106 @@
+"""Unit tests for the shared incremental RSG certifier."""
+
+from repro.core.rsg import RelativeSerializationGraph
+from repro.core.schedules import Schedule
+from repro.core.transactions import Transaction
+from repro.paper import figure1
+from repro.protocols.certifier import RsgCertifier
+from repro.specs.builders import absolute_spec
+
+
+def _lost_update():
+    txs = [
+        Transaction.from_notation(1, "r[x] w[x]"),
+        Transaction.from_notation(2, "r[x] w[x]"),
+    ]
+    return txs, absolute_spec(txs)
+
+
+class TestCertification:
+    def test_certifies_acceptable_prefixes(self):
+        fig = figure1()
+        certifier = RsgCertifier(fig.spec)
+        for tx in fig.transactions:
+            certifier.declare(tx)
+        for op in fig.schedule("Sra"):
+            assert certifier.try_certify(op)
+        assert len(certifier.history) == 10
+
+    def test_rejects_cycle_closing_operation(self):
+        txs, spec = _lost_update()
+        certifier = RsgCertifier(spec)
+        for tx in txs:
+            certifier.declare(tx)
+        for op in (txs[0][0], txs[1][0], txs[0][1]):
+            assert certifier.try_certify(op)
+        assert not certifier.try_certify(txs[1][1])
+        # Rejection leaves the graph and history untouched.
+        assert len(certifier.history) == 3
+
+    def test_rejection_is_final_monotone(self):
+        txs, spec = _lost_update()
+        certifier = RsgCertifier(spec)
+        for tx in txs:
+            certifier.declare(tx)
+        for op in (txs[0][0], txs[1][0], txs[0][1]):
+            certifier.try_certify(op)
+        assert not certifier.try_certify(txs[1][1])
+        assert not certifier.try_certify(txs[1][1])
+
+    def test_incremental_graph_matches_offline_rsg(self):
+        fig = figure1()
+        certifier = RsgCertifier(fig.spec)
+        for tx in fig.transactions:
+            certifier.declare(tx)
+        for op in fig.schedule("Srs"):
+            assert certifier.try_certify(op)
+        offline = RelativeSerializationGraph(fig.schedule("Srs"), fig.spec)
+        online_edges = {
+            (a, b, labels)
+            for a, b, labels in certifier.graph.labelled_edges()
+        }
+        offline_edges = {
+            (a, b, labels)
+            for a, b, labels in offline.graph.labelled_edges()
+        }
+        assert online_edges == offline_edges
+
+
+class TestForgetAndRebuild:
+    def test_forget_drops_only_victim_history(self):
+        txs, spec = _lost_update()
+        certifier = RsgCertifier(spec)
+        for tx in txs:
+            certifier.declare(tx)
+        certifier.try_certify(txs[0][0])
+        certifier.try_certify(txs[1][0])
+        certifier.forget(2)
+        assert certifier.history == (txs[0][0],)
+
+    def test_restart_after_forget_certifies_clean(self):
+        txs, spec = _lost_update()
+        certifier = RsgCertifier(spec)
+        for tx in txs:
+            certifier.declare(tx)
+        for op in (txs[0][0], txs[1][0], txs[0][1]):
+            certifier.try_certify(op)
+        assert not certifier.try_certify(txs[1][1])
+        certifier.forget(2)
+        assert certifier.try_certify(txs[1][0])
+        assert certifier.try_certify(txs[1][1])
+        schedule = Schedule(txs, certifier.history)
+        offline = RelativeSerializationGraph(schedule, spec)
+        assert offline.is_acyclic
+
+    def test_rebuild_reproduces_state(self):
+        fig = figure1()
+        certifier = RsgCertifier(fig.spec)
+        for tx in fig.transactions:
+            certifier.declare(tx)
+        ops = list(fig.schedule("Sra"))
+        for op in ops[:6]:
+            certifier.try_certify(op)
+        snapshot_edges = set(certifier.graph.edges())
+        certifier.rebuild(fig.transactions, ops[:6])
+        assert set(certifier.graph.edges()) == snapshot_edges
+        assert certifier.history == tuple(ops[:6])

@@ -1,0 +1,93 @@
+"""Unit tests for the lock table."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocols.locks import LockMode, LockTable
+
+
+class TestCompatibility:
+    def test_shared_locks_coexist(self):
+        table = LockTable()
+        table.acquire("x", 1, LockMode.SHARED)
+        assert table.blockers("x", 2, LockMode.SHARED) == set()
+
+    def test_exclusive_blocks_shared(self):
+        table = LockTable()
+        table.acquire("x", 1, LockMode.EXCLUSIVE)
+        assert table.blockers("x", 2, LockMode.SHARED) == {1}
+
+    def test_shared_blocks_exclusive(self):
+        table = LockTable()
+        table.acquire("x", 1, LockMode.SHARED)
+        assert table.blockers("x", 2, LockMode.EXCLUSIVE) == {1}
+
+    def test_own_lock_never_blocks(self):
+        table = LockTable()
+        table.acquire("x", 1, LockMode.EXCLUSIVE)
+        assert table.blockers("x", 1, LockMode.EXCLUSIVE) == set()
+
+    def test_multiple_blockers_reported(self):
+        table = LockTable()
+        table.acquire("x", 1, LockMode.SHARED)
+        table.acquire("x", 2, LockMode.SHARED)
+        assert table.blockers("x", 3, LockMode.EXCLUSIVE) == {1, 2}
+
+
+class TestUpgrade:
+    def test_shared_then_exclusive_upgrades(self):
+        table = LockTable()
+        table.acquire("x", 1, LockMode.SHARED)
+        table.acquire("x", 1, LockMode.EXCLUSIVE)
+        assert table.mode_of("x", 1) is LockMode.EXCLUSIVE
+
+    def test_exclusive_not_downgraded_by_shared(self):
+        table = LockTable()
+        table.acquire("x", 1, LockMode.EXCLUSIVE)
+        table.acquire("x", 1, LockMode.SHARED)
+        assert table.mode_of("x", 1) is LockMode.EXCLUSIVE
+
+
+class TestDonation:
+    def test_donated_lock_ignored_for_listed_donors(self):
+        table = LockTable()
+        table.acquire("x", 1, LockMode.EXCLUSIVE)
+        table.donate("x", 1)
+        assert table.blockers("x", 2, LockMode.EXCLUSIVE) == {1}
+        assert (
+            table.blockers(
+                "x", 2, LockMode.EXCLUSIVE, ignore_donated_of=frozenset({1})
+            )
+            == set()
+        )
+
+    def test_donate_requires_held_lock(self):
+        with pytest.raises(ProtocolError):
+            LockTable().donate("x", 1)
+
+    def test_has_donated(self):
+        table = LockTable()
+        table.acquire("x", 1, LockMode.SHARED)
+        assert not table.has_donated("x", 1)
+        table.donate("x", 1)
+        assert table.has_donated("x", 1)
+
+
+class TestRelease:
+    def test_release_all_drops_locks_and_donations(self):
+        table = LockTable()
+        table.acquire("x", 1, LockMode.EXCLUSIVE)
+        table.acquire("y", 1, LockMode.SHARED)
+        table.donate("x", 1)
+        table.release_all(1)
+        assert table.mode_of("x", 1) is None
+        assert table.mode_of("y", 1) is None
+        assert not table.has_donated("x", 1)
+        assert table.blockers("x", 2, LockMode.EXCLUSIVE) == set()
+
+    def test_release_leaves_other_holders(self):
+        table = LockTable()
+        table.acquire("x", 1, LockMode.SHARED)
+        table.acquire("x", 2, LockMode.SHARED)
+        table.release_all(1)
+        assert table.mode_of("x", 2) is LockMode.SHARED

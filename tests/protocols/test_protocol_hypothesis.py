@@ -1,0 +1,119 @@
+"""Hypothesis-driven end-to-end verification of every protocol.
+
+For arbitrary small workloads and specifications, each protocol must
+drive every transaction to commit and produce a history the offline
+theory certifies (CSR for the classical protocols, RSR for the
+spec-aware ones).  This complements the seeded randomized tests with
+hypothesis's shrinking: a failure here minimizes to a readable
+counterexample.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.operations import read, write
+from repro.core.rsg import is_relatively_serializable
+from repro.core.serializability import is_conflict_serializable
+from repro.core.transactions import Transaction
+from repro.protocols import (
+    AltruisticLockingScheduler,
+    RelativeLockingScheduler,
+    RSGTScheduler,
+    SGTScheduler,
+    TwoPhaseLockingScheduler,
+)
+from repro.sim.runner import simulate
+
+OBJECTS = ("x", "y")
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def workloads(draw):
+    """(transactions, spec) pairs, small enough to simulate quickly."""
+    n = draw(st.integers(2, 3))
+    transactions = []
+    for tx_id in range(1, n + 1):
+        length = draw(st.integers(1, 3))
+        ops = []
+        for _ in range(length):
+            obj = draw(st.sampled_from(OBJECTS))
+            ops.append(write(obj) if draw(st.booleans()) else read(obj))
+        transactions.append(Transaction(tx_id, ops))
+    views = {}
+    for tx in transactions:
+        for observer in transactions:
+            if tx.tx_id == observer.tx_id:
+                continue
+            cuts = draw(
+                st.sets(
+                    st.integers(1, max(1, len(tx) - 1)), max_size=len(tx)
+                )
+            )
+            views[(tx.tx_id, observer.tx_id)] = {
+                cut for cut in cuts if cut <= len(tx) - 1
+            }
+    return transactions, RelativeAtomicitySpec(transactions, views)
+
+
+@given(workloads())
+@_SETTINGS
+def test_2pl_commits_everything_serializably(workload):
+    transactions, _spec = workload
+    result = simulate(transactions, TwoPhaseLockingScheduler())
+    assert result.committed == len(transactions)
+    assert is_conflict_serializable(result.schedule)
+
+
+@given(workloads())
+@_SETTINGS
+def test_sgt_commits_everything_serializably(workload):
+    transactions, _spec = workload
+    result = simulate(transactions, SGTScheduler())
+    assert result.committed == len(transactions)
+    assert is_conflict_serializable(result.schedule)
+
+
+@given(workloads())
+@_SETTINGS
+def test_altruistic_commits_everything_serializably(workload):
+    transactions, _spec = workload
+    result = simulate(transactions, AltruisticLockingScheduler())
+    assert result.committed == len(transactions)
+    assert is_conflict_serializable(result.schedule)
+
+
+@given(workloads())
+@_SETTINGS
+def test_rsgt_commits_everything_relatively_serializably(workload):
+    transactions, spec = workload
+    result = simulate(transactions, RSGTScheduler(spec))
+    assert result.committed == len(transactions)
+    assert is_relatively_serializable(result.schedule, spec)
+
+
+@given(workloads())
+@_SETTINGS
+def test_relative_locking_commits_everything_relatively_serializably(
+    workload,
+):
+    transactions, spec = workload
+    result = simulate(transactions, RelativeLockingScheduler(spec))
+    assert result.committed == len(transactions)
+    assert is_relatively_serializable(result.schedule, spec)
+
+
+@given(workloads())
+@_SETTINGS
+def test_every_history_contains_each_operation_once(workload):
+    transactions, spec = workload
+    result = simulate(transactions, RelativeLockingScheduler(spec))
+    expected = {op for tx in transactions for op in tx}
+    assert set(result.schedule.operations) == expected
+    assert len(result.schedule) == len(expected)

@@ -1,0 +1,96 @@
+"""Randomized end-to-end correctness of every protocol.
+
+Each protocol is driven by the simulator over many random workloads and
+its final committed history re-verified with the offline theory: locking
+and SGT protocols must emit conflict-serializable histories, RSGT must
+emit relatively serializable ones (Theorem 1 applied online).
+"""
+
+import pytest
+
+from repro.core.rsg import is_relatively_serializable
+from repro.core.serializability import is_conflict_serializable
+from repro.protocols import (
+    AltruisticLockingScheduler,
+    RSGTScheduler,
+    SGTScheduler,
+    TwoPhaseLockingScheduler,
+)
+from repro.sim.runner import simulate
+from repro.specs.builders import random_spec, uniform_spec
+from repro.workloads.random_schedules import random_transactions
+
+SEEDS = list(range(12))
+
+
+def _workload(seed):
+    return random_transactions(
+        n_transactions=4,
+        ops_per_transaction=(2, 5),
+        n_objects=3,
+        write_probability=0.6,
+        seed=seed,
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_2pl_histories_are_conflict_serializable(seed):
+    transactions = _workload(seed)
+    result = simulate(transactions, TwoPhaseLockingScheduler())
+    assert is_conflict_serializable(result.schedule)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sgt_histories_are_conflict_serializable(seed):
+    transactions = _workload(seed)
+    result = simulate(transactions, SGTScheduler())
+    assert is_conflict_serializable(result.schedule)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_altruistic_histories_are_conflict_serializable(seed):
+    transactions = _workload(seed)
+    result = simulate(transactions, AltruisticLockingScheduler())
+    assert is_conflict_serializable(result.schedule)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_rsgt_histories_are_relatively_serializable(seed):
+    transactions = _workload(seed)
+    spec = random_spec(transactions, cut_probability=0.5, seed=seed)
+    result = simulate(transactions, RSGTScheduler(spec))
+    assert is_relatively_serializable(result.schedule, spec)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
+def test_rsgt_under_absolute_spec_matches_csr(seed):
+    # Lemma 1 applied online: with absolute specs RSGT enforces exactly
+    # conflict serializability.
+    transactions = _workload(seed)
+    spec = uniform_spec(transactions, unit_size=10_000)
+    result = simulate(transactions, RSGTScheduler(spec))
+    assert is_conflict_serializable(result.schedule)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
+def test_all_transactions_commit_exactly_once(seed):
+    transactions = _workload(seed)
+    result = simulate(transactions, TwoPhaseLockingScheduler())
+    assert set(result.outcomes) == {tx.tx_id for tx in transactions}
+    assert len(result.schedule) == sum(len(tx) for tx in transactions)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
+def test_rsgt_with_finer_spec_never_restarts_more(seed):
+    # Looser atomicity admits more prefixes, so restarts cannot increase
+    # when the spec gets strictly finer on the same workload and policy.
+    transactions = _workload(seed)
+    absolute = uniform_spec(transactions, unit_size=10_000)
+    finest = uniform_spec(transactions, unit_size=1)
+    restarts_absolute = simulate(
+        transactions, RSGTScheduler(absolute)
+    ).total_restarts
+    restarts_finest = simulate(
+        transactions, RSGTScheduler(finest)
+    ).total_restarts
+    assert restarts_finest <= restarts_absolute

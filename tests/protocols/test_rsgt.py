@@ -1,0 +1,118 @@
+"""Unit tests for the RSGT protocol (the paper's Section 3 sketch)."""
+
+import pytest
+
+from repro.core.schedules import Schedule
+from repro.core.rsg import is_relatively_serializable
+from repro.core.transactions import Transaction
+from repro.errors import ProtocolError
+from repro.protocols.base import Decision
+from repro.protocols.rsgt import RSGTScheduler
+from repro.specs.builders import absolute_spec, finest_spec
+from repro.paper import figure1
+
+
+def _drive(scheduler, ops):
+    """Request each op in order; return the list of decisions."""
+    return [scheduler.request(op).decision for op in ops]
+
+
+class TestAdmission:
+    def test_rejects_transaction_missing_from_spec(self):
+        t1 = Transaction.from_notation(1, "r[x]")
+        t2 = Transaction.from_notation(2, "w[x]")
+        scheduler = RSGTScheduler(absolute_spec([t1]))
+        with pytest.raises(ProtocolError):
+            scheduler.admit(t2)
+
+    def test_rejects_program_mismatch_with_spec(self):
+        t1 = Transaction.from_notation(1, "r[x]")
+        other_t1 = Transaction.from_notation(1, "w[x]")
+        scheduler = RSGTScheduler(absolute_spec([t1]))
+        with pytest.raises(ProtocolError):
+            scheduler.admit(other_t1)
+
+
+class TestAbsoluteSpecBehavesLikeSGT:
+    def test_lost_update_rejected(self):
+        t1 = Transaction.from_notation(1, "r[x] w[x]")
+        t2 = Transaction.from_notation(2, "r[x] w[x]")
+        scheduler = RSGTScheduler(absolute_spec([t1, t2]))
+        scheduler.admit(t1)
+        scheduler.admit(t2)
+        decisions = _drive(scheduler, [t1[0], t2[0], t1[1]])
+        assert decisions == [Decision.GRANT] * 3
+        assert scheduler.request(t2[1]).decision is Decision.ABORT
+
+    def test_clean_order_accepted(self):
+        t1 = Transaction.from_notation(1, "r[x] w[x]")
+        t2 = Transaction.from_notation(2, "r[x] w[x]")
+        scheduler = RSGTScheduler(absolute_spec([t1, t2]))
+        scheduler.admit(t1)
+        scheduler.admit(t2)
+        decisions = _drive(scheduler, [t1[0], t1[1], t2[0], t2[1]])
+        assert decisions == [Decision.GRANT] * 4
+
+
+class TestRelativeSpecAdmitsMore:
+    def test_paper_sra_accepted_online(self):
+        # The paper's flagship interleaving Sra is granted operation by
+        # operation under the Figure 1 spec, even though SGT/2PL would
+        # reject it (it is not conflict serializable).
+        fig = figure1()
+        scheduler = RSGTScheduler(fig.spec)
+        for tx in fig.transactions:
+            scheduler.admit(tx)
+        decisions = _drive(scheduler, list(fig.schedule("Sra")))
+        assert decisions == [Decision.GRANT] * 10
+
+    def test_spec_violating_interleaving_rejected(self):
+        # Under the same spec, an interleaving that breaks an atomic
+        # unit with a dependency is aborted at the closing operation.
+        fig = figure1()
+        scheduler = RSGTScheduler(fig.spec)
+        for tx in fig.transactions:
+            scheduler.admit(tx)
+        s2 = list(fig.schedule("S2"))
+        decisions = _drive(scheduler, s2[:-1])
+        last = scheduler.request(s2[-1])
+        # The whole prefix is fine (S2 is relatively serializable!), so
+        # everything including the last op is granted.
+        assert decisions == [Decision.GRANT] * 9
+        assert last.decision is Decision.GRANT
+
+    def test_finest_spec_accepts_arbitrary_interleavings(self):
+        t1 = Transaction.from_notation(1, "r[x] w[x]")
+        t2 = Transaction.from_notation(2, "r[x] w[x]")
+        scheduler = RSGTScheduler(finest_spec([t1, t2]))
+        scheduler.admit(t1)
+        scheduler.admit(t2)
+        decisions = _drive(scheduler, [t1[0], t2[0], t1[1], t2[1]])
+        assert decisions == [Decision.GRANT] * 4
+
+
+class TestOnlineMatchesOfflineTheorem:
+    def test_granted_prefixes_always_relatively_serializable(self):
+        fig = figure1()
+        scheduler = RSGTScheduler(fig.spec)
+        for tx in fig.transactions:
+            scheduler.admit(tx)
+        for op in fig.schedule("Srs"):
+            assert scheduler.request(op).decision is Decision.GRANT
+        schedule = Schedule(list(fig.transactions), scheduler.history)
+        assert is_relatively_serializable(schedule, fig.spec)
+
+    def test_restart_after_abort_clears_graph(self):
+        t1 = Transaction.from_notation(1, "r[x] w[x]")
+        t2 = Transaction.from_notation(2, "r[x] w[x]")
+        scheduler = RSGTScheduler(absolute_spec([t1, t2]))
+        scheduler.admit(t1)
+        scheduler.admit(t2)
+        _drive(scheduler, [t1[0], t2[0], t1[1]])
+        assert scheduler.request(t2[1]).decision is Decision.ABORT
+        scheduler.remove(2)
+        scheduler.finish(1)
+        decisions = _drive(scheduler, [t2[0], t2[1]])
+        assert decisions == [Decision.GRANT] * 2
+        schedule = Schedule([t1, t2], scheduler.history)
+        assert is_relatively_serializable(schedule, absolute_spec([t1, t2]))

@@ -1,0 +1,96 @@
+"""Unit tests for serialization graph testing."""
+
+from repro.core.transactions import Transaction
+from repro.protocols.base import Decision
+from repro.protocols.sgt import SGTScheduler
+
+
+def _admit(scheduler, *txs):
+    for tx in txs:
+        scheduler.admit(tx)
+
+
+class TestGranting:
+    def test_conflicting_but_acyclic_order_granted(self):
+        t1 = Transaction.from_notation(1, "w[x]")
+        t2 = Transaction.from_notation(2, "r[x]")
+        scheduler = SGTScheduler()
+        _admit(scheduler, t1, t2)
+        assert scheduler.request(t1[0]).decision is Decision.GRANT
+        assert scheduler.request(t2[0]).decision is Decision.GRANT
+
+    def test_cycle_aborts_requester(self):
+        # r1[x] r2[x] w1[x] grants fine; w2[x] would close T1 <-> T2.
+        t1 = Transaction.from_notation(1, "r[x] w[x]")
+        t2 = Transaction.from_notation(2, "r[x] w[x]")
+        scheduler = SGTScheduler()
+        _admit(scheduler, t1, t2)
+        assert scheduler.request(t1[0]).decision is Decision.GRANT
+        assert scheduler.request(t2[0]).decision is Decision.GRANT
+        assert scheduler.request(t1[1]).decision is Decision.GRANT
+        outcome = scheduler.request(t2[1])
+        assert outcome.decision is Decision.ABORT
+        assert outcome.victims == (2,)
+
+    def test_sgt_never_waits(self):
+        # Every decision is GRANT or ABORT.
+        t1 = Transaction.from_notation(1, "w[x] w[y]")
+        t2 = Transaction.from_notation(2, "w[y] w[x]")
+        scheduler = SGTScheduler()
+        _admit(scheduler, t1, t2)
+        decisions = {
+            scheduler.request(t1[0]).decision,
+            scheduler.request(t2[0]).decision,
+            scheduler.request(t1[1]).decision,
+        }
+        assert Decision.WAIT not in decisions
+
+    def test_committed_transaction_still_blocks_cycles(self):
+        # T2 committed between T1's two conflicting operations: the edge
+        # through the committed node must still be seen.
+        t1 = Transaction.from_notation(1, "w[x] w[y]")
+        t2 = Transaction.from_notation(2, "w[y] w[x]")
+        scheduler = SGTScheduler()
+        _admit(scheduler, t1, t2)
+        scheduler.request(t1[0])  # w1[x]: T1 holds position on x
+        scheduler.request(t2[0])  # w2[y]
+        scheduler.request(t2[1])  # w2[x]: edge T1 -> T2
+        scheduler.finish(2)
+        outcome = scheduler.request(t1[1])  # w1[y]: edge T2 -> T1 = cycle
+        assert outcome.decision is Decision.ABORT
+
+
+class TestRestart:
+    def test_victim_restarts_clean(self):
+        t1 = Transaction.from_notation(1, "r[x] w[x]")
+        t2 = Transaction.from_notation(2, "r[x] w[x]")
+        scheduler = SGTScheduler()
+        _admit(scheduler, t1, t2)
+        scheduler.request(t1[0])
+        scheduler.request(t2[0])
+        scheduler.request(t1[1])
+        scheduler.request(t2[1])  # abort T2
+        scheduler.remove(2)
+        scheduler.finish(1)
+        assert scheduler.request(t2[0]).decision is Decision.GRANT
+        assert scheduler.request(t2[1]).decision is Decision.GRANT
+
+    def test_final_history_is_conflict_serializable(self):
+        from repro.core.schedules import Schedule
+        from repro.core.serializability import is_conflict_serializable
+
+        t1 = Transaction.from_notation(1, "r[x] w[x]")
+        t2 = Transaction.from_notation(2, "r[x] w[x]")
+        scheduler = SGTScheduler()
+        _admit(scheduler, t1, t2)
+        scheduler.request(t1[0])
+        scheduler.request(t2[0])
+        scheduler.request(t1[1])
+        scheduler.request(t2[1])
+        scheduler.remove(2)
+        scheduler.finish(1)
+        scheduler.request(t2[0])
+        scheduler.request(t2[1])
+        scheduler.finish(2)
+        schedule = Schedule([t1, t2], scheduler.history)
+        assert is_conflict_serializable(schedule)

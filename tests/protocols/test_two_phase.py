@@ -1,0 +1,107 @@
+"""Unit tests for strict two-phase locking."""
+
+from repro.core.transactions import Transaction
+from repro.protocols.base import Decision
+from repro.protocols.two_phase import TwoPhaseLockingScheduler
+
+
+def _admit(scheduler, *txs):
+    for tx in txs:
+        scheduler.admit(tx)
+
+
+class TestGranting:
+    def test_nonconflicting_requests_granted(self):
+        t1 = Transaction.from_notation(1, "r[x]")
+        t2 = Transaction.from_notation(2, "r[y]")
+        scheduler = TwoPhaseLockingScheduler()
+        _admit(scheduler, t1, t2)
+        assert scheduler.request(t1[0]).decision is Decision.GRANT
+        assert scheduler.request(t2[0]).decision is Decision.GRANT
+
+    def test_shared_readers_coexist(self):
+        t1 = Transaction.from_notation(1, "r[x]")
+        t2 = Transaction.from_notation(2, "r[x]")
+        scheduler = TwoPhaseLockingScheduler()
+        _admit(scheduler, t1, t2)
+        assert scheduler.request(t1[0]).decision is Decision.GRANT
+        assert scheduler.request(t2[0]).decision is Decision.GRANT
+
+    def test_writer_blocks_reader_until_commit(self):
+        t1 = Transaction.from_notation(1, "w[x]")
+        t2 = Transaction.from_notation(2, "r[x]")
+        scheduler = TwoPhaseLockingScheduler()
+        _admit(scheduler, t1, t2)
+        assert scheduler.request(t1[0]).decision is Decision.GRANT
+        assert scheduler.request(t2[0]).decision is Decision.WAIT
+        scheduler.finish(1)
+        assert scheduler.request(t2[0]).decision is Decision.GRANT
+
+    def test_lock_upgrade_by_sole_holder(self):
+        t1 = Transaction.from_notation(1, "r[x] w[x]")
+        scheduler = TwoPhaseLockingScheduler()
+        _admit(scheduler, t1)
+        assert scheduler.request(t1[0]).decision is Decision.GRANT
+        assert scheduler.request(t1[1]).decision is Decision.GRANT
+
+    def test_upgrade_blocked_by_other_reader(self):
+        t1 = Transaction.from_notation(1, "r[x] w[x]")
+        t2 = Transaction.from_notation(2, "r[x]")
+        scheduler = TwoPhaseLockingScheduler()
+        _admit(scheduler, t1, t2)
+        scheduler.request(t1[0])
+        scheduler.request(t2[0])
+        assert scheduler.request(t1[1]).decision is Decision.WAIT
+
+
+class TestDeadlock:
+    def test_two_transaction_deadlock_aborts_requester(self):
+        t1 = Transaction.from_notation(1, "w[x] w[y]")
+        t2 = Transaction.from_notation(2, "w[y] w[x]")
+        scheduler = TwoPhaseLockingScheduler()
+        _admit(scheduler, t1, t2)
+        assert scheduler.request(t1[0]).decision is Decision.GRANT
+        assert scheduler.request(t2[0]).decision is Decision.GRANT
+        assert scheduler.request(t1[1]).decision is Decision.WAIT
+        outcome = scheduler.request(t2[1])
+        assert outcome.decision is Decision.ABORT
+        assert outcome.victims == (2,)
+
+    def test_victim_restart_succeeds_after_blocker_commits(self):
+        t1 = Transaction.from_notation(1, "w[x] w[y]")
+        t2 = Transaction.from_notation(2, "w[y] w[x]")
+        scheduler = TwoPhaseLockingScheduler()
+        _admit(scheduler, t1, t2)
+        scheduler.request(t1[0])
+        scheduler.request(t2[0])
+        scheduler.request(t1[1])
+        scheduler.request(t2[1])  # aborts T2
+        scheduler.remove(2)
+        assert scheduler.request(t1[1]).decision is Decision.GRANT
+        scheduler.finish(1)
+        assert scheduler.request(t2[0]).decision is Decision.GRANT
+        assert scheduler.request(t2[1]).decision is Decision.GRANT
+
+    def test_three_way_deadlock_detected(self):
+        t1 = Transaction.from_notation(1, "w[x] w[y]")
+        t2 = Transaction.from_notation(2, "w[y] w[z]")
+        t3 = Transaction.from_notation(3, "w[z] w[x]")
+        scheduler = TwoPhaseLockingScheduler()
+        _admit(scheduler, t1, t2, t3)
+        scheduler.request(t1[0])
+        scheduler.request(t2[0])
+        scheduler.request(t3[0])
+        assert scheduler.request(t1[1]).decision is Decision.WAIT
+        assert scheduler.request(t2[1]).decision is Decision.WAIT
+        assert scheduler.request(t3[1]).decision is Decision.ABORT
+
+
+class TestRelease:
+    def test_remove_releases_locks(self):
+        t1 = Transaction.from_notation(1, "w[x]")
+        t2 = Transaction.from_notation(2, "w[x]")
+        scheduler = TwoPhaseLockingScheduler()
+        _admit(scheduler, t1, t2)
+        scheduler.request(t1[0])
+        scheduler.remove(1)
+        assert scheduler.request(t2[0]).decision is Decision.GRANT

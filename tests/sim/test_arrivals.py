@@ -1,0 +1,96 @@
+"""Unit tests for the arrival processes."""
+
+import pytest
+
+from repro.core.transactions import Transaction
+from repro.sim.arrivals import (
+    burst_arrivals,
+    role_delayed_arrivals,
+    uniform_arrivals,
+)
+from repro.sim.runner import simulate
+from repro.protocols.two_phase import TwoPhaseLockingScheduler
+
+
+@pytest.fixture()
+def txs():
+    return [
+        Transaction.from_notation(1, "w[x]"),
+        Transaction.from_notation(2, "w[y]"),
+        Transaction.from_notation(3, "w[z]"),
+    ]
+
+
+class TestUniformArrivals:
+    def test_spacing(self, txs):
+        arrivals = uniform_arrivals(txs, interarrival=5)
+        assert arrivals == {1: 0, 2: 5, 3: 10}
+
+    def test_zero_gap_all_at_once(self, txs):
+        assert set(uniform_arrivals(txs, 0).values()) == {0}
+
+    def test_negative_gap_rejected(self, txs):
+        with pytest.raises(ValueError):
+            uniform_arrivals(txs, -1)
+
+
+class TestBurstArrivals:
+    def test_deterministic_per_seed(self, txs):
+        assert burst_arrivals(txs, 3.0, seed=7) == burst_arrivals(
+            txs, 3.0, seed=7
+        )
+
+    def test_nondecreasing_in_id_order(self, txs):
+        arrivals = burst_arrivals(txs, 2.0, seed=1)
+        ordered = [arrivals[tx.tx_id] for tx in txs]
+        assert ordered == sorted(ordered)
+        assert ordered[0] == 0
+
+    def test_zero_mean_gap_all_at_once(self, txs):
+        assert set(burst_arrivals(txs, 0.0, seed=2).values()) == {0}
+
+    def test_negative_mean_rejected(self, txs):
+        with pytest.raises(ValueError):
+            burst_arrivals(txs, -0.5)
+
+
+class TestRoleDelayedArrivals:
+    def test_delays_by_role(self, txs):
+        roles = {1: "long", 2: "short", 3: "short"}
+        arrivals = role_delayed_arrivals(txs, roles, {"short": 4})
+        assert arrivals == {1: 0, 2: 4, 3: 4}
+
+    def test_unknown_roles_default_to_zero(self, txs):
+        arrivals = role_delayed_arrivals(txs, {}, {"short": 4})
+        assert set(arrivals.values()) == {0}
+
+
+class TestArrivalsDriveTheSimulator:
+    def test_staggered_run_matches_arrival_times(self, txs):
+        arrivals = uniform_arrivals(txs, interarrival=3)
+        result = simulate(txs, TwoPhaseLockingScheduler(), arrivals=arrivals)
+        for tx in txs:
+            outcome = result.outcomes[tx.tx_id]
+            assert outcome.arrival == arrivals[tx.tx_id]
+            assert outcome.commit_tick >= outcome.arrival
+
+    def test_long_first_shorts_later(self):
+        from repro.workloads.longlived import LongLivedWorkload
+        from repro.sim.runner import simulate_bundle
+        from repro.protocols.rsgt import RSGTScheduler
+        from repro.core.rsg import is_relatively_serializable
+
+        bundle = LongLivedWorkload(
+            n_objects=4, n_long=1, n_short=3, short_ops=1, seed=0
+        ).build()
+        arrivals = role_delayed_arrivals(
+            bundle.transactions, bundle.roles, {"short": 2}
+        )
+        result = simulate_bundle(
+            bundle, RSGTScheduler(bundle.spec), arrivals=arrivals
+        )
+        assert is_relatively_serializable(result.schedule, bundle.spec)
+        (long_id,) = [
+            tx_id for tx_id, role in bundle.roles.items() if role == "long"
+        ]
+        assert result.outcomes[long_id].arrival == 0

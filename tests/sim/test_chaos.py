@@ -1,0 +1,98 @@
+"""Chaos-fuzz the simulator with an adversarial scheduler.
+
+A scheduler that waits and aborts (itself or random victims) on a whim
+stresses every simulator invariant: restart bookkeeping, backoff,
+history filtering, and the final-schedule reconstruction.  Whatever the
+decisions, the run must end with every transaction committed exactly
+once and a structurally valid schedule.
+"""
+
+import random
+
+import pytest
+
+from repro.core.operations import Operation
+from repro.core.transactions import Transaction
+from repro.errors import SimulationError
+from repro.protocols.base import Outcome, Scheduler
+from repro.sim.runner import simulate
+from repro.workloads.random_schedules import random_transactions
+
+
+class ChaosScheduler(Scheduler):
+    """Grants, waits, or aborts pseudo-randomly (but decreasingly often,
+    so runs terminate)."""
+
+    name = "chaos"
+
+    def __init__(self, seed: int) -> None:
+        super().__init__()
+        self._rng = random.Random(seed)
+        self._mischief = 0.35  # probability of not granting, decays
+
+    def _decide(self, op: Operation) -> Outcome:
+        roll = self._rng.random()
+        self._mischief *= 0.98  # guarantee eventual progress
+        if roll < self._mischief / 2:
+            return Outcome.wait()
+        if roll < self._mischief:
+            # Occasionally pick an innocent live victim instead of the
+            # requester.
+            victims = [
+                tx_id
+                for tx_id in self.admitted_ids
+                if not self.is_committed(tx_id)
+                and self.progress(tx_id) > 0
+            ]
+            victim = (
+                self._rng.choice(victims) if victims and self._rng.random() < 0.5
+                else op.tx
+            )
+            if victim == op.tx or self.progress(victim) > 0:
+                return Outcome.abort(victim)
+        return Outcome.grant()
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_chaos_runs_end_with_valid_complete_schedules(seed):
+    transactions = random_transactions(
+        4, (1, 5), 3, write_probability=0.5, seed=seed
+    )
+    result = simulate(
+        transactions, ChaosScheduler(seed), max_ticks=20_000
+    )
+    # Completeness: every transaction committed exactly once and the
+    # schedule validates (Schedule construction enforces exact coverage
+    # and program order — reaching here means it passed).
+    assert result.committed == len(transactions)
+    assert len(result.schedule) == sum(len(tx) for tx in transactions)
+    # Accounting is self-consistent.
+    for outcome in result.outcomes.values():
+        assert outcome.commit_tick >= outcome.arrival
+        assert outcome.restarts >= 0
+        assert outcome.waits >= 0
+    assert result.makespan >= 1
+
+
+def test_never_granting_scheduler_hits_the_guard():
+    class Stonewall(Scheduler):
+        name = "stonewall"
+
+        def _decide(self, op: Operation) -> Outcome:
+            return Outcome.wait()
+
+    transactions = [Transaction.from_notation(1, "r[x]")]
+    with pytest.raises(SimulationError):
+        simulate(transactions, Stonewall(), max_ticks=100)
+
+
+def test_perpetual_self_abort_hits_the_guard():
+    class Saboteur(Scheduler):
+        name = "saboteur"
+
+        def _decide(self, op: Operation) -> Outcome:
+            return Outcome.abort(op.tx)
+
+    transactions = [Transaction.from_notation(1, "r[x] w[x]")]
+    with pytest.raises(SimulationError):
+        simulate(transactions, Saboteur(), max_ticks=200)

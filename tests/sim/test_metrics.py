@@ -1,0 +1,64 @@
+"""Unit tests for the simulation metric types."""
+
+from repro.core.schedules import Schedule
+from repro.core.transactions import Transaction
+from repro.sim.metrics import SimulationResult, TransactionOutcome
+
+
+def _result():
+    txs = [
+        Transaction.from_notation(1, "r[x]"),
+        Transaction.from_notation(2, "w[y]"),
+    ]
+    schedule = Schedule.serial(txs)
+    outcomes = {
+        1: TransactionOutcome(
+            tx_id=1, arrival=0, commit_tick=4, restarts=1, waits=2
+        ),
+        2: TransactionOutcome(
+            tx_id=2, arrival=2, commit_tick=9, restarts=0, waits=3
+        ),
+    }
+    return SimulationResult(
+        protocol="test",
+        schedule=schedule,
+        outcomes=outcomes,
+        makespan=10,
+        roles={1: "short", 2: "long"},
+    )
+
+
+class TestTransactionOutcome:
+    def test_response_time_inclusive(self):
+        outcome = TransactionOutcome(
+            tx_id=1, arrival=3, commit_tick=7, restarts=0, waits=0
+        )
+        assert outcome.response_time == 5
+
+
+class TestSimulationResult:
+    def test_committed_counts_outcomes(self):
+        assert _result().committed == 2
+
+    def test_totals(self):
+        result = _result()
+        assert result.total_restarts == 1
+        assert result.total_waits == 5
+
+    def test_throughput(self):
+        assert _result().throughput == 0.2
+
+    def test_throughput_of_empty_run_is_zero(self):
+        result = _result()
+        result.makespan = 0
+        assert result.throughput == 0.0
+
+    def test_mean_response_time(self):
+        # (5 + 8) / 2
+        assert _result().mean_response_time == 6.5
+
+    def test_role_filtered_response_time(self):
+        result = _result()
+        assert result.mean_response_time_of("short") == 5
+        assert result.mean_response_time_of("long") == 8
+        assert result.mean_response_time_of("nope") is None

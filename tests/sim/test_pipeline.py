@@ -1,0 +1,54 @@
+"""Unit tests for the schedule-execute-verify pipeline."""
+
+from repro.protocols import RSGTScheduler, TwoPhaseLockingScheduler
+from repro.sim.pipeline import run_workload
+from repro.workloads.banking import BankingWorkload
+
+
+def _bundle(seed=0):
+    return BankingWorkload(
+        n_families=2, accounts_per_family=2, customers_per_family=1,
+        seed=seed,
+    ).build()
+
+
+class TestRunWorkload:
+    def test_rsgt_run_is_verified_and_consistent(self):
+        bundle = _bundle()
+        run = run_workload(bundle, RSGTScheduler(bundle.spec))
+        assert run.verified
+        assert run.simulation.committed == len(bundle.transactions)
+        assert (
+            sum(run.trace.final_state.values())
+            == bundle.metadata["expected_total"]
+        )
+
+    def test_2pl_run_verified_against_csr(self):
+        bundle = _bundle(seed=1)
+        run = run_workload(bundle, TwoPhaseLockingScheduler())
+        assert run.verified
+        assert run.simulation.protocol == "strict-2pl"
+
+    def test_trace_covers_the_committed_history(self):
+        bundle = _bundle(seed=2)
+        run = run_workload(bundle, RSGTScheduler(bundle.spec))
+        reads = sum(1 for op in run.simulation.schedule if op.is_read)
+        assert len(run.trace.reads) == reads
+
+    def test_audit_snapshot_consistent(self):
+        bundle = _bundle(seed=3)
+        run = run_workload(bundle, RSGTScheduler(bundle.spec))
+        (audit,) = bundle.transactions_with_role("bank-audit")
+        view = run.trace.transaction_view(audit.tx_id)
+        assert sum(view.values()) == bundle.metadata["expected_total"]
+
+    def test_arrivals_forwarded(self):
+        bundle = _bundle(seed=4)
+        arrivals = {tx.tx_id: 2 for tx in bundle.transactions}
+        run = run_workload(
+            bundle, RSGTScheduler(bundle.spec), arrivals=arrivals
+        )
+        assert all(
+            outcome.arrival == 2
+            for outcome in run.simulation.outcomes.values()
+        )

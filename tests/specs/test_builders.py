@@ -1,0 +1,102 @@
+"""Unit tests for the general spec builders."""
+
+import pytest
+
+from repro.core.transactions import Transaction
+from repro.specs.builders import (
+    absolute_spec,
+    breakpoint_spec,
+    finest_spec,
+    random_spec,
+    uniform_spec,
+)
+
+
+@pytest.fixture()
+def txs():
+    return [
+        Transaction.from_notation(1, "r[x] w[x] w[z] r[y]"),
+        Transaction.from_notation(2, "r[y] w[y] r[x]"),
+    ]
+
+
+class TestAbsolute:
+    def test_every_view_is_one_unit(self, txs):
+        spec = absolute_spec(txs)
+        assert spec.is_absolute
+        assert len(spec.units(1, 2)) == 1
+        assert len(spec.units(2, 1)) == 1
+
+
+class TestFinest:
+    def test_every_operation_its_own_unit(self, txs):
+        spec = finest_spec(txs)
+        assert spec.atomicity(1, 2).is_finest
+        assert len(spec.units(1, 2)) == 4
+        assert len(spec.units(2, 1)) == 3
+
+    def test_single_op_transaction(self):
+        txs = [
+            Transaction.from_notation(1, "w[x]"),
+            Transaction.from_notation(2, "r[x]"),
+        ]
+        spec = finest_spec(txs)
+        assert spec.atomicity(1, 2).is_finest
+        assert spec.atomicity(1, 2).is_absolute  # both, trivially
+
+
+class TestUniform:
+    def test_unit_size_two(self, txs):
+        spec = uniform_spec(txs, 2)
+        assert [u.size for u in spec.units(1, 2)] == [2, 2]
+        assert [u.size for u in spec.units(2, 1)] == [2, 1]
+
+    def test_large_unit_size_is_absolute(self, txs):
+        spec = uniform_spec(txs, 10)
+        assert spec.is_absolute
+
+    def test_unit_size_one_is_finest(self, txs):
+        spec = uniform_spec(txs, 1)
+        assert spec.atomicity(1, 2).is_finest
+
+    def test_rejects_nonpositive(self, txs):
+        with pytest.raises(ValueError):
+            uniform_spec(txs, 0)
+
+
+class TestBreakpointSpec:
+    def test_per_pair_breakpoints(self, txs):
+        spec = breakpoint_spec(txs, {(1, 2): [2], (2, 1): [1]})
+        assert spec.atomicity(1, 2).breakpoints == {2}
+        assert spec.atomicity(2, 1).breakpoints == {1}
+
+    def test_per_transaction_breakpoints_apply_to_all_observers(self):
+        txs = [
+            Transaction.from_notation(1, "r[x] w[x] w[z] r[y]"),
+            Transaction.from_notation(2, "r[y] w[y] r[x]"),
+            Transaction.from_notation(3, "w[x] w[y] w[z]"),
+        ]
+        spec = breakpoint_spec(txs, {1: [2]})
+        assert spec.atomicity(1, 2).breakpoints == {2}
+        assert spec.atomicity(1, 3).breakpoints == {2}
+        assert spec.atomicity(2, 1).is_absolute
+
+
+class TestRandomSpec:
+    def test_deterministic_for_seed(self, txs):
+        a = random_spec(txs, 0.5, seed=42)
+        b = random_spec(txs, 0.5, seed=42)
+        for pair in a.pairs():
+            assert a.atomicity(*pair) == b.atomicity(*pair)
+
+    def test_probability_zero_is_absolute(self, txs):
+        assert random_spec(txs, 0.0, seed=1).is_absolute
+
+    def test_probability_one_is_finest(self, txs):
+        spec = random_spec(txs, 1.0, seed=1)
+        assert spec.atomicity(1, 2).is_finest
+        assert spec.atomicity(2, 1).is_finest
+
+    def test_rejects_out_of_range_probability(self, txs):
+        with pytest.raises(ValueError):
+            random_spec(txs, 1.5)

@@ -1,0 +1,67 @@
+"""Unit tests for Garcia-Molina compatibility sets."""
+
+import pytest
+
+from repro.core.schedules import Schedule
+from repro.core.transactions import Transaction
+from repro.errors import InvalidSpecError
+from repro.specs.compat import compatibility_spec
+
+
+@pytest.fixture()
+def txs():
+    return [
+        Transaction.from_notation(1, "r[x] w[x]"),
+        Transaction.from_notation(2, "r[x] w[y]"),
+        Transaction.from_notation(3, "w[y] w[z]"),
+    ]
+
+
+class TestCompatibilitySpec:
+    def test_same_group_gets_finest_views(self, txs):
+        spec = compatibility_spec(txs, [[1, 2], [3]])
+        assert spec.atomicity(1, 2).is_finest
+        assert spec.atomicity(2, 1).is_finest
+
+    def test_cross_group_gets_absolute_views(self, txs):
+        spec = compatibility_spec(txs, [[1, 2], [3]])
+        assert spec.atomicity(1, 3).is_absolute
+        assert spec.atomicity(3, 1).is_absolute
+        assert spec.atomicity(2, 3).is_absolute
+
+    def test_singleton_groups_reduce_to_traditional_model(self, txs):
+        spec = compatibility_spec(txs, [[1], [2], [3]])
+        assert spec.is_absolute
+
+    def test_rejects_transaction_in_two_groups(self, txs):
+        with pytest.raises(InvalidSpecError):
+            compatibility_spec(txs, [[1, 2], [2, 3]])
+
+    def test_rejects_missing_transaction(self, txs):
+        with pytest.raises(InvalidSpecError):
+            compatibility_spec(txs, [[1, 2]])
+
+    def test_rejects_unknown_transaction(self, txs):
+        with pytest.raises(InvalidSpecError):
+            compatibility_spec(txs, [[1, 2], [3, 9]])
+
+    def test_semantics_same_set_interleaves_freely(self, txs):
+        # T1 and T2 in one set: interleaving their conflicting ops is
+        # relatively serial (finest units never enclose anything).
+        from repro.core.checkers import is_relatively_serial
+
+        spec = compatibility_spec(txs, [[1, 2], [3]])
+        s = Schedule.from_notation(
+            txs, "r1[x] r2[x] w1[x] w2[y] w3[y] w3[z]"
+        )
+        assert is_relatively_serial(s, spec)
+
+    def test_semantics_cross_set_must_be_atomic(self, txs):
+        # T3 inside T2's absolute unit with a dependency: rejected.
+        from repro.core.checkers import is_relatively_serial
+
+        spec = compatibility_spec(txs, [[1], [2], [3]])
+        s = Schedule.from_notation(
+            txs, "r1[x] w1[x] r2[x] w3[y] w3[z] w2[y]"
+        )
+        assert not is_relatively_serial(s, spec)

@@ -1,0 +1,122 @@
+"""Unit + property tests for the specification lattice."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.rsg import is_relatively_serializable
+from repro.core.transactions import Transaction
+from repro.errors import InvalidSpecError
+from repro.specs.builders import absolute_spec, finest_spec, random_spec
+from repro.specs.lattice import is_coarser, join, meet
+
+
+@pytest.fixture()
+def txs():
+    return [
+        Transaction.from_notation(1, "r[x] w[x] w[z] r[y]"),
+        Transaction.from_notation(2, "r[y] w[y] r[x]"),
+    ]
+
+
+class TestOrder:
+    def test_absolute_is_bottom(self, txs):
+        spec = random_spec(txs, 0.5, seed=1)
+        assert is_coarser(absolute_spec(txs), spec)
+
+    def test_finest_is_top(self, txs):
+        spec = random_spec(txs, 0.5, seed=2)
+        assert is_coarser(spec, finest_spec(txs))
+
+    def test_reflexive(self, txs):
+        spec = random_spec(txs, 0.5, seed=3)
+        assert is_coarser(spec, spec)
+
+    def test_incomparable_specs(self, txs):
+        from repro.core.atomicity import RelativeAtomicitySpec
+
+        a = RelativeAtomicitySpec(txs, {(1, 2): [1]})
+        b = RelativeAtomicitySpec(txs, {(1, 2): [2]})
+        assert not is_coarser(a, b)
+        assert not is_coarser(b, a)
+
+    def test_mismatched_transactions_rejected(self, txs):
+        other = [Transaction.from_notation(1, "r[x]")]
+        with pytest.raises(InvalidSpecError):
+            is_coarser(absolute_spec(txs), absolute_spec(other))
+
+
+class TestJoinAndMeet:
+    def test_join_unions_cuts(self, txs):
+        from repro.core.atomicity import RelativeAtomicitySpec
+
+        a = RelativeAtomicitySpec(txs, {(1, 2): [1]})
+        b = RelativeAtomicitySpec(txs, {(1, 2): [2]})
+        joined = join(a, b)
+        assert joined.atomicity(1, 2).breakpoints == {1, 2}
+
+    def test_meet_intersects_cuts(self, txs):
+        from repro.core.atomicity import RelativeAtomicitySpec
+
+        a = RelativeAtomicitySpec(txs, {(1, 2): [1, 2]})
+        b = RelativeAtomicitySpec(txs, {(1, 2): [2, 3]})
+        met = meet(a, b)
+        assert met.atomicity(1, 2).breakpoints == {2}
+
+    def test_lattice_laws(self, txs):
+        a = random_spec(txs, 0.5, seed=4)
+        b = random_spec(txs, 0.5, seed=5)
+        assert is_coarser(a, join(a, b))
+        assert is_coarser(b, join(a, b))
+        assert is_coarser(meet(a, b), a)
+        assert is_coarser(meet(a, b), b)
+
+    def test_absorption(self, txs):
+        a = random_spec(txs, 0.4, seed=6)
+        b = random_spec(txs, 0.6, seed=7)
+        absorbed = meet(a, join(a, b))
+        for pair in a.pairs():
+            assert absorbed.atomicity(*pair) == a.atomicity(*pair)
+
+
+OBJECTS = ("x", "y")
+
+
+@st.composite
+def spec_pairs(draw):
+    n = draw(st.integers(2, 3))
+    transactions = []
+    for tx_id in range(1, n + 1):
+        length = draw(st.integers(1, 3))
+        ops = []
+        for _ in range(length):
+            obj = draw(st.sampled_from(OBJECTS))
+            ops.append(f"w[{obj}]" if draw(st.booleans()) else f"r[{obj}]")
+        transactions.append(Transaction(tx_id, ops))
+    seed_a = draw(st.integers(0, 10_000))
+    seed_b = draw(st.integers(0, 10_000))
+    p_a = draw(st.floats(0.0, 1.0))
+    p_b = draw(st.floats(0.0, 1.0))
+    return (
+        transactions,
+        random_spec(transactions, p_a, seed=seed_a),
+        random_spec(transactions, p_b, seed=seed_b),
+        draw(st.integers(0, 10_000)),
+    )
+
+
+@given(spec_pairs())
+@settings(max_examples=60, deadline=None)
+def test_acceptance_monotone_under_the_order(case):
+    from repro.workloads.random_schedules import random_interleaving
+
+    transactions, spec_a, spec_b, schedule_seed = case
+    schedule = random_interleaving(transactions, seed=schedule_seed)
+    joined = join(spec_a, spec_b)
+    met = meet(spec_a, spec_b)
+    accepted_a = is_relatively_serializable(schedule, spec_a)
+    accepted_b = is_relatively_serializable(schedule, spec_b)
+    if accepted_a or accepted_b:
+        assert is_relatively_serializable(schedule, joined)
+    if is_relatively_serializable(schedule, met):
+        assert accepted_a and accepted_b

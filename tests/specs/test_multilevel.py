@@ -1,0 +1,123 @@
+"""Unit tests for Lynch multilevel atomicity."""
+
+import pytest
+
+from repro.core.transactions import Transaction
+from repro.errors import InvalidSpecError
+from repro.specs.multilevel import MultilevelHierarchy, multilevel_spec
+
+
+@pytest.fixture()
+def txs():
+    return [
+        Transaction.from_notation(1, "r[a] w[a] r[b] w[b]"),
+        Transaction.from_notation(2, "r[a] w[a]"),
+        Transaction.from_notation(3, "r[c] w[c]"),
+        Transaction.from_notation(4, "r[a] r[b] r[c]"),
+    ]
+
+
+@pytest.fixture()
+def hierarchy():
+    # Family {1, 2}, family {3}, and the audit 4 directly under the root.
+    return MultilevelHierarchy([[1, 2], [3], 4])
+
+
+class TestHierarchy:
+    def test_transaction_ids(self, hierarchy):
+        assert hierarchy.transaction_ids == {1, 2, 3, 4}
+
+    def test_depths(self, hierarchy):
+        assert hierarchy.depth(1) == 2
+        assert hierarchy.depth(4) == 1
+
+    def test_lca_depths(self, hierarchy):
+        assert hierarchy.lca_depth(1, 2) == 1  # same family
+        assert hierarchy.lca_depth(1, 3) == 0  # different families
+        assert hierarchy.lca_depth(1, 4) == 0  # through the root
+        assert hierarchy.lca_depth(4, 3) == 0
+
+    def test_lca_depth_is_symmetric(self, hierarchy):
+        for a in (1, 2, 3, 4):
+            for b in (1, 2, 3, 4):
+                if a != b:
+                    assert hierarchy.lca_depth(a, b) == hierarchy.lca_depth(
+                        b, a
+                    )
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(InvalidSpecError):
+            MultilevelHierarchy([[1, 2], [2]])
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(InvalidSpecError):
+            MultilevelHierarchy([])
+
+    def test_unknown_transaction_rejected(self, hierarchy):
+        with pytest.raises(InvalidSpecError):
+            hierarchy.depth(9)
+
+
+class TestMultilevelSpec:
+    def test_lca_depth_selects_cut_level(self, txs, hierarchy):
+        spec = multilevel_spec(
+            txs,
+            hierarchy,
+            {
+                1: [[2], [1, 2, 3]],  # coarse to the world, fine in-family
+                2: [[], [1]],
+                3: [[], [1]],
+                4: [[1, 2]],
+            },
+        )
+        # T2 (same family) sees T1 at depth-1 cuts.
+        assert spec.atomicity(1, 2).breakpoints == {1, 2, 3}
+        # T3 and T4 (LCA at the root) see T1 at depth-0 cuts.
+        assert spec.atomicity(1, 3).breakpoints == {2}
+        assert spec.atomicity(1, 4).breakpoints == {2}
+        # T4 exposes the same cuts to everyone (it sits at depth 1).
+        assert spec.atomicity(4, 1).breakpoints == {1, 2}
+        assert spec.atomicity(4, 3).breakpoints == {1, 2}
+
+    def test_missing_transaction_defaults_to_absolute(self, txs, hierarchy):
+        spec = multilevel_spec(txs, hierarchy, {})
+        assert spec.is_absolute
+
+    def test_nesting_violation_rejected(self, txs, hierarchy):
+        with pytest.raises(InvalidSpecError):
+            multilevel_spec(
+                txs,
+                hierarchy,
+                {1: [[2], [1]]},  # depth-0 cut {2} not in depth-1 {1}
+            )
+
+    def test_wrong_level_count_rejected(self, txs, hierarchy):
+        with pytest.raises(InvalidSpecError):
+            multilevel_spec(txs, hierarchy, {1: [[2]]})  # depth 2 needs 2
+
+    def test_hierarchy_must_match_transaction_set(self, txs):
+        with pytest.raises(InvalidSpecError):
+            multilevel_spec(txs, [[1, 2], [3]], {})
+
+    def test_nested_sequences_accepted_directly(self, txs):
+        spec = multilevel_spec(txs, [[1, 2], [3], 4], {})
+        assert spec.is_absolute
+
+    def test_deeper_hierarchy(self):
+        txs = [
+            Transaction.from_notation(1, "w[a] w[b] w[c]"),
+            Transaction.from_notation(2, "w[a]"),
+            Transaction.from_notation(3, "w[b]"),
+        ]
+        # {{1, 2}, 3}: T1-T2 at depth 2, T1-T3 at depth... build a
+        # three-level tree: root -> group -> subgroup.
+        hierarchy = MultilevelHierarchy([[[1, 2], 3]])
+        assert hierarchy.lca_depth(1, 2) == 2
+        assert hierarchy.lca_depth(1, 3) == 1
+        spec = multilevel_spec(
+            txs,
+            hierarchy,
+            {1: [[], [1], [1, 2]]},
+        )
+        assert spec.atomicity(1, 2).breakpoints == {1, 2}
+        assert spec.atomicity(1, 3).breakpoints == {1}

@@ -1,0 +1,75 @@
+"""Unit + property tests for nested specification chains."""
+
+import pytest
+
+from repro.core.transactions import Transaction
+from repro.specs.builders import nested_spec_chain
+
+
+@pytest.fixture()
+def txs():
+    return [
+        Transaction.from_notation(1, "r[x] w[x] w[z] r[y]"),
+        Transaction.from_notation(2, "r[y] w[y] r[x]"),
+        Transaction.from_notation(3, "w[x] w[y] w[z]"),
+    ]
+
+
+class TestChainStructure:
+    def test_endpoints_are_absolute_and_finest(self, txs):
+        chain = nested_spec_chain(txs, levels=4, seed=0)
+        assert chain[0].is_absolute
+        for pair in chain[-1].pairs():
+            assert chain[-1].atomicity(*pair).is_finest
+
+    def test_cut_sets_are_nested(self, txs):
+        chain = nested_spec_chain(txs, levels=5, seed=3)
+        for coarse, fine in zip(chain, chain[1:]):
+            for pair in coarse.pairs():
+                assert coarse.atomicity(*pair).breakpoints <= fine.atomicity(
+                    *pair
+                ).breakpoints
+
+    def test_level_count(self, txs):
+        assert len(nested_spec_chain(txs, levels=3)) == 3
+
+    def test_rejects_degenerate_chain(self, txs):
+        with pytest.raises(ValueError):
+            nested_spec_chain(txs, levels=1)
+
+    def test_deterministic_for_seed(self, txs):
+        a = nested_spec_chain(txs, levels=4, seed=9)
+        b = nested_spec_chain(txs, levels=4, seed=9)
+        for spec_a, spec_b in zip(a, b):
+            for pair in spec_a.pairs():
+                assert spec_a.atomicity(*pair) == spec_b.atomicity(*pair)
+
+
+class TestMonotoneAcceptance:
+    def test_rsr_acceptance_monotone_along_chain(self, txs):
+        # The provable claim: along a nested chain, every schedule
+        # accepted at a coarser level is accepted at every finer level.
+        from repro.core.rsg import is_relatively_serializable
+        from repro.workloads.random_schedules import random_schedules
+
+        chain = nested_spec_chain(txs, levels=4, seed=1)
+        for schedule in random_schedules(txs, count=30, seed=5):
+            previous = None
+            for spec in chain:
+                accepted = is_relatively_serializable(schedule, spec)
+                if previous is True:
+                    assert accepted, str(schedule)
+                previous = accepted
+
+    def test_relatively_serial_monotone_along_chain(self, txs):
+        from repro.core.checkers import is_relatively_serial
+        from repro.workloads.random_schedules import random_schedules
+
+        chain = nested_spec_chain(txs, levels=4, seed=2)
+        for schedule in random_schedules(txs, count=30, seed=6):
+            previous = None
+            for spec in chain:
+                verdict = is_relatively_serial(schedule, spec)
+                if previous is True:
+                    assert verdict, str(schedule)
+                previous = verdict

@@ -1,0 +1,51 @@
+"""Contract tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ModelError,
+            errors.InvalidTransactionError,
+            errors.InvalidScheduleError,
+            errors.SpecError,
+            errors.InvalidSpecError,
+            errors.MissingSpecError,
+            errors.NotationError,
+            errors.GraphError,
+            errors.CycleError,
+            errors.EngineError,
+            errors.TransactionAborted,
+            errors.ProtocolError,
+            errors.SimulationError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_model_errors_grouped(self):
+        assert issubclass(errors.InvalidTransactionError, errors.ModelError)
+        assert issubclass(errors.InvalidScheduleError, errors.ModelError)
+
+    def test_spec_errors_grouped(self):
+        assert issubclass(errors.InvalidSpecError, errors.SpecError)
+        assert issubclass(errors.MissingSpecError, errors.SpecError)
+
+    def test_cycle_error_carries_witness(self):
+        exc = errors.CycleError("boom", cycle=[1, 2, 1])
+        assert exc.cycle == [1, 2, 1]
+        assert issubclass(errors.CycleError, errors.GraphError)
+
+    def test_cycle_error_witness_optional(self):
+        assert errors.CycleError("boom").cycle is None
+
+    def test_single_except_clause_catches_the_library(self):
+        # The promise the module docstring makes.
+        from repro import Transaction
+
+        with pytest.raises(errors.ReproError):
+            Transaction(0, ["r[x]"])

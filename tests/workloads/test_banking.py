@@ -1,0 +1,121 @@
+"""Unit tests for the banking workload (Lynch's motivating scenario)."""
+
+import pytest
+
+from repro.core.schedules import Schedule
+from repro.engine.executor import ScheduleExecutor
+from repro.workloads.banking import BankingWorkload
+
+
+@pytest.fixture()
+def bundle():
+    return BankingWorkload(
+        n_families=2,
+        accounts_per_family=2,
+        customers_per_family=2,
+        transfers_per_customer=1,
+        seed=0,
+    ).build()
+
+
+class TestStructure:
+    def test_roles_present(self, bundle):
+        roles = set(bundle.roles.values())
+        assert roles == {"customer", "credit-audit", "bank-audit"}
+
+    def test_transaction_counts(self, bundle):
+        assert len(bundle.transactions_with_role("customer")) == 4
+        assert len(bundle.transactions_with_role("credit-audit")) == 2
+        assert len(bundle.transactions_with_role("bank-audit")) == 1
+
+    def test_customers_stay_in_family(self, bundle):
+        family_of = bundle.metadata["family_of"]
+        for tx in bundle.transactions_with_role("customer"):
+            family = family_of[tx.tx_id]
+            assert all(obj.startswith(f"f{family}") for obj in tx.objects)
+
+    def test_bank_audit_reads_everything(self, bundle):
+        (audit,) = bundle.transactions_with_role("bank-audit")
+        assert audit.read_set == set(bundle.initial_state)
+        assert not audit.write_set
+
+
+class TestSpec:
+    def test_bank_audit_absolute_everywhere(self, bundle):
+        (audit,) = bundle.transactions_with_role("bank-audit")
+        for other in bundle.transactions:
+            if other.tx_id == audit.tx_id:
+                continue
+            assert bundle.spec.atomicity(audit.tx_id, other.tx_id).is_absolute
+            assert bundle.spec.atomicity(other.tx_id, audit.tx_id).is_absolute
+
+    def test_same_family_customers_interleave_freely(self, bundle):
+        family_of = bundle.metadata["family_of"]
+        customers = bundle.transactions_with_role("customer")
+        pairs = [
+            (a, b)
+            for a in customers
+            for b in customers
+            if a.tx_id != b.tx_id
+            and family_of[a.tx_id] == family_of[b.tx_id]
+        ]
+        assert pairs
+        for a, b in pairs:
+            assert bundle.spec.atomicity(a.tx_id, b.tx_id).is_finest
+
+    def test_customer_atomic_to_same_family_credit_audit(self, bundle):
+        family_of = bundle.metadata["family_of"]
+        for audit in bundle.transactions_with_role("credit-audit"):
+            for customer in bundle.transactions_with_role("customer"):
+                view = bundle.spec.atomicity(customer.tx_id, audit.tx_id)
+                if family_of[customer.tx_id] == family_of[audit.tx_id]:
+                    assert view.is_absolute
+                else:
+                    assert view.is_finest
+
+
+class TestSemantics:
+    def test_serial_execution_preserves_total(self, bundle):
+        schedule = Schedule.serial(bundle.transactions)
+        trace = ScheduleExecutor(bundle.initial_state, bundle.semantics).run(
+            schedule
+        )
+        assert (
+            sum(trace.final_state.values())
+            == bundle.metadata["expected_total"]
+        )
+
+    def test_serial_bank_audit_sees_expected_total(self, bundle):
+        schedule = Schedule.serial(bundle.transactions)
+        trace = ScheduleExecutor(bundle.initial_state, bundle.semantics).run(
+            schedule
+        )
+        (audit,) = bundle.transactions_with_role("bank-audit")
+        view = trace.transaction_view(audit.tx_id)
+        assert sum(view.values()) == bundle.metadata["expected_total"]
+
+    def test_any_interleaving_preserves_total(self, bundle):
+        # Transfers are atomic increments/decrements, so the grand total
+        # is conserved under arbitrary interleavings (the semantic
+        # knowledge justifying the relaxed spec).
+        from repro.workloads.random_schedules import random_interleaving
+
+        for seed in range(3):
+            schedule = random_interleaving(bundle.transactions, seed=seed)
+            trace = ScheduleExecutor(
+                bundle.initial_state, bundle.semantics
+            ).run(schedule)
+            assert (
+                sum(trace.final_state.values())
+                == bundle.metadata["expected_total"]
+            )
+
+
+class TestValidation:
+    def test_rejects_transfers_with_single_account(self):
+        with pytest.raises(ValueError):
+            BankingWorkload(accounts_per_family=1, transfers_per_customer=1)
+
+    def test_rejects_empty_bank(self):
+        with pytest.raises(ValueError):
+            BankingWorkload(n_families=0)

@@ -1,0 +1,109 @@
+"""Unit tests for the CAD teams workload."""
+
+import pytest
+
+from repro.core.schedules import Schedule
+from repro.engine.executor import ScheduleExecutor
+from repro.workloads.cad import CadWorkload
+
+
+@pytest.fixture()
+def bundle():
+    return CadWorkload(
+        n_teams=2,
+        designers_per_team=2,
+        parts_per_team=2,
+        edits_per_designer=2,
+        seed=0,
+    ).build()
+
+
+class TestStructure:
+    def test_designer_count(self, bundle):
+        assert len(bundle.transactions) == 4
+        assert all(role == "designer" for role in bundle.roles.values())
+
+    def test_designers_edit_own_team_parts(self, bundle):
+        team_of = bundle.metadata["team_of"]
+        for tx in bundle.transactions:
+            team = team_of[tx.tx_id]
+            for op in tx:
+                if op.obj == "interface":
+                    continue
+                assert op.obj.startswith(f"t{team}p")
+
+    def test_every_designer_reads_the_interface_last(self, bundle):
+        for tx in bundle.transactions:
+            assert tx[len(tx) - 1].obj == "interface"
+            assert tx[len(tx) - 1].is_read
+
+
+class TestMultilevelSpec:
+    def test_teammates_see_finest_views(self, bundle):
+        team_of = bundle.metadata["team_of"]
+        for a in bundle.transactions:
+            for b in bundle.transactions:
+                if a.tx_id == b.tx_id:
+                    continue
+                if team_of[a.tx_id] == team_of[b.tx_id]:
+                    assert bundle.spec.atomicity(a.tx_id, b.tx_id).is_finest
+
+    def test_outsiders_see_part_boundaries(self, bundle):
+        team_of = bundle.metadata["team_of"]
+        cross = [
+            (a, b)
+            for a in bundle.transactions
+            for b in bundle.transactions
+            if a.tx_id != b.tx_id and team_of[a.tx_id] != team_of[b.tx_id]
+        ]
+        assert cross
+        for a, b in cross:
+            view = bundle.spec.atomicity(a.tx_id, b.tx_id)
+            # Cuts at part boundaries (even positions) plus before the
+            # interface read: never inside a read+write edit pair.
+            assert all(cut % 2 == 0 for cut in view.breakpoints)
+            assert len(a) - 1 in view.breakpoints
+
+    def test_spec_units_never_split_an_edit(self, bundle):
+        for tx_pair in bundle.spec.pairs():
+            view = bundle.spec.atomicity(*tx_pair)
+            if view.is_finest:
+                continue
+            tx = bundle.spec.transactions[tx_pair[0]]
+            for unit in view.units:
+                ops = unit.operations(tx)
+                if len(ops) >= 2:
+                    # A unit that contains a write also contains the
+                    # read of the same edit just before it.
+                    for first, second in zip(ops, ops[1:]):
+                        if second.is_write:
+                            assert first.obj == second.obj
+
+
+class TestSemantics:
+    def test_revisions_count_edits(self, bundle):
+        schedule = Schedule.serial(bundle.transactions)
+        trace = ScheduleExecutor(bundle.initial_state, bundle.semantics).run(
+            schedule
+        )
+        total_edits = sum(
+            1 for tx in bundle.transactions for op in tx if op.is_write
+        )
+        assert sum(trace.final_state.values()) == total_edits
+
+    def test_interface_untouched(self, bundle):
+        schedule = Schedule.serial(bundle.transactions)
+        trace = ScheduleExecutor(bundle.initial_state, bundle.semantics).run(
+            schedule
+        )
+        assert trace.final_state["interface"] == 0
+
+
+class TestValidation:
+    def test_rejects_zero_teams(self):
+        with pytest.raises(ValueError):
+            CadWorkload(n_teams=0)
+
+    def test_rejects_zero_edits(self):
+        with pytest.raises(ValueError):
+            CadWorkload(edits_per_designer=0)

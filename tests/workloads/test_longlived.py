@@ -1,0 +1,66 @@
+"""Unit tests for the long-lived transaction workload."""
+
+import pytest
+
+from repro.workloads.longlived import LongLivedWorkload
+
+
+@pytest.fixture()
+def bundle():
+    return LongLivedWorkload(
+        n_objects=4, n_long=1, n_short=3, short_ops=1, seed=0
+    ).build()
+
+
+class TestStructure:
+    def test_roles(self, bundle):
+        assert len(bundle.transactions_with_role("long")) == 1
+        assert len(bundle.transactions_with_role("short")) == 3
+
+    def test_long_transaction_scans_everything(self, bundle):
+        (long_tx,) = bundle.transactions_with_role("long")
+        assert long_tx.objects == set(bundle.metadata["objects"])
+        assert len(long_tx) == 8  # read+write per object
+
+    def test_short_transactions_touch_few_objects(self, bundle):
+        for tx in bundle.transactions_with_role("short"):
+            assert len(tx.objects) == 1
+            assert len(tx) == 2
+
+
+class TestSpec:
+    def test_long_exposes_per_object_breakpoints(self, bundle):
+        (long_tx,) = bundle.transactions_with_role("long")
+        for short in bundle.transactions_with_role("short"):
+            view = bundle.spec.atomicity(long_tx.tx_id, short.tx_id)
+            assert view.breakpoints == {2, 4, 6}
+            # Units are exactly the read+write pairs.
+            assert all(unit.size == 2 for unit in view.units)
+
+    def test_shorts_remain_absolute(self, bundle):
+        (long_tx,) = bundle.transactions_with_role("long")
+        for short in bundle.transactions_with_role("short"):
+            assert bundle.spec.atomicity(
+                short.tx_id, long_tx.tx_id
+            ).is_absolute
+
+    def test_absolute_variant_has_absolute_spec(self):
+        bundle = LongLivedWorkload(
+            n_objects=3, n_long=1, n_short=2, relative=False, seed=0
+        ).build()
+        assert bundle.spec.is_absolute
+        assert bundle.metadata["relative"] is False
+
+
+class TestValidation:
+    def test_needs_some_transaction(self):
+        with pytest.raises(ValueError):
+            LongLivedWorkload(n_long=0, n_short=0)
+
+    def test_short_ops_positive(self):
+        with pytest.raises(ValueError):
+            LongLivedWorkload(short_ops=0)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            LongLivedWorkload(n_objects=0)

@@ -1,0 +1,144 @@
+"""Unit + integration tests for the order-processing workload."""
+
+import pytest
+
+from repro.core.rsg import is_relatively_serializable
+from repro.core.schedules import Schedule
+from repro.engine.executor import ScheduleExecutor
+from repro.protocols import RSGTScheduler, TwoPhaseLockingScheduler
+from repro.sim.runner import simulate_bundle
+from repro.workloads.orders import OrderProcessingWorkload
+
+
+@pytest.fixture()
+def bundle():
+    return OrderProcessingWorkload(
+        n_districts=2,
+        n_items=3,
+        n_new_orders=3,
+        n_payments=1,
+        seed=0,
+    ).build()
+
+
+def _orders_placed_per_district(bundle):
+    placed = {d: 0 for d in range(bundle.metadata["n_districts"])}
+    for tx in bundle.transactions_with_role("new-order"):
+        district = int(tx[0].obj.split("_")[0][1:])
+        placed[district] += 1
+    return placed
+
+
+class TestStructure:
+    def test_roles(self, bundle):
+        roles = {role for role in bundle.roles.values()}
+        assert roles == {"new-order", "payment", "delivery", "stock-scan"}
+
+    def test_delivery_sweeps_every_district(self, bundle):
+        (delivery,) = bundle.transactions_with_role("delivery")
+        touched = {
+            obj for obj in delivery.objects if obj.endswith("_pending")
+        }
+        assert touched == {"d0_pending", "d1_pending"}
+
+    def test_scan_reads_every_item(self, bundle):
+        (scan,) = bundle.transactions_with_role("stock-scan")
+        assert scan.read_set == {"s0", "s1", "s2"}
+        assert not scan.write_set
+
+
+class TestSpec:
+    def test_delivery_has_per_district_donate_points(self, bundle):
+        (delivery,) = bundle.transactions_with_role("delivery")
+        for other in bundle.transactions:
+            if other.tx_id == delivery.tx_id:
+                continue
+            view = bundle.spec.atomicity(delivery.tx_id, other.tx_id)
+            assert view.breakpoints == {4}
+            assert all(unit.size == 4 for unit in view.units)
+
+    def test_scan_relaxed_towards_shorts_only(self, bundle):
+        (scan,) = bundle.transactions_with_role("stock-scan")
+        (delivery,) = bundle.transactions_with_role("delivery")
+        for short in bundle.transactions_with_role("new-order"):
+            assert bundle.spec.atomicity(scan.tx_id, short.tx_id).is_finest
+        assert bundle.spec.atomicity(scan.tx_id, delivery.tx_id).is_absolute
+
+    def test_shorts_are_absolute(self, bundle):
+        for short in bundle.transactions_with_role("new-order"):
+            for other in bundle.transactions:
+                if other.tx_id == short.tx_id:
+                    continue
+                assert bundle.spec.atomicity(
+                    short.tx_id, other.tx_id
+                ).is_absolute
+
+
+class TestInvariants:
+    def _check(self, bundle, schedule):
+        trace = ScheduleExecutor(bundle.initial_state, bundle.semantics).run(
+            schedule
+        )
+        placed = _orders_placed_per_district(bundle)
+        for district, count in placed.items():
+            pending = trace.final_state[f"d{district}_pending"]
+            delivered = trace.final_state[f"d{district}_delivered"]
+            assert pending + delivered == count, (district, schedule)
+        total_stock = sum(
+            trace.final_state[f"s{i}"]
+            for i in range(bundle.metadata["n_items"])
+        )
+        expected = (
+            bundle.metadata["initial_stock"] * bundle.metadata["n_items"]
+            - len(bundle.transactions_with_role("new-order"))
+        )
+        assert total_stock == expected
+
+    def test_serial_execution_preserves_bookkeeping(self, bundle):
+        self._check(bundle, Schedule.serial(bundle.transactions))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_rsgt_runs_preserve_bookkeeping(self, seed):
+        bundle = OrderProcessingWorkload(
+            n_districts=2, n_items=3, n_new_orders=3, n_payments=1,
+            seed=seed,
+        ).build()
+        result = simulate_bundle(bundle, RSGTScheduler(bundle.spec))
+        assert is_relatively_serializable(result.schedule, bundle.spec)
+        self._check(bundle, result.schedule)
+
+    def test_2pl_runs_preserve_bookkeeping(self, bundle):
+        result = simulate_bundle(bundle, TwoPhaseLockingScheduler())
+        self._check(bundle, result.schedule)
+
+
+class TestConcurrencyGain:
+    def test_rsgt_beats_2pl_on_new_order_latency(self):
+        import statistics
+
+        gains = []
+        for seed in range(4):
+            bundle = OrderProcessingWorkload(
+                n_districts=3,
+                n_items=3,
+                n_new_orders=4,
+                n_payments=2,
+                seed=seed,
+            ).build()
+            strict = simulate_bundle(bundle, TwoPhaseLockingScheduler())
+            relaxed = simulate_bundle(bundle, RSGTScheduler(bundle.spec))
+            gains.append(
+                strict.mean_response_time_of("new-order")
+                - relaxed.mean_response_time_of("new-order")
+            )
+        assert statistics.mean(gains) >= 0
+
+
+class TestValidation:
+    def test_rejects_zero_districts(self):
+        with pytest.raises(ValueError):
+            OrderProcessingWorkload(n_districts=0)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            OrderProcessingWorkload(n_new_orders=-1)

@@ -1,0 +1,89 @@
+"""Unit tests for the random workload generators."""
+
+import pytest
+
+from repro.workloads.random_schedules import (
+    random_interleaving,
+    random_schedules,
+    random_transactions,
+)
+
+
+class TestRandomTransactions:
+    def test_shape(self):
+        txs = random_transactions(3, 4, n_objects=2, seed=0)
+        assert len(txs) == 3
+        assert [tx.tx_id for tx in txs] == [1, 2, 3]
+        assert all(len(tx) == 4 for tx in txs)
+
+    def test_length_range(self):
+        txs = random_transactions(10, (1, 3), n_objects=2, seed=1)
+        assert all(1 <= len(tx) <= 3 for tx in txs)
+
+    def test_objects_from_pool(self):
+        txs = random_transactions(3, 5, n_objects=2, seed=2)
+        objects = {op.obj for tx in txs for op in tx}
+        assert objects <= {"x0", "x1"}
+
+    def test_write_probability_extremes(self):
+        all_writes = random_transactions(
+            2, 5, 2, write_probability=1.0, seed=3
+        )
+        assert all(op.is_write for tx in all_writes for op in tx)
+        all_reads = random_transactions(
+            2, 5, 2, write_probability=0.0, seed=3
+        )
+        assert all(op.is_read for tx in all_reads for op in tx)
+
+    def test_deterministic_for_seed(self):
+        a = random_transactions(3, 4, 3, seed=7)
+        b = random_transactions(3, 4, 3, seed=7)
+        assert a == b
+        c = random_transactions(3, 4, 3, seed=8)
+        assert a != c
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_transactions": 0, "ops_per_transaction": 1, "n_objects": 1},
+            {"n_transactions": 1, "ops_per_transaction": 0, "n_objects": 1},
+            {"n_transactions": 1, "ops_per_transaction": 1, "n_objects": 0},
+            {
+                "n_transactions": 1,
+                "ops_per_transaction": 1,
+                "n_objects": 1,
+                "write_probability": 2.0,
+            },
+        ],
+    )
+    def test_invalid_arguments(self, kwargs):
+        with pytest.raises(ValueError):
+            random_transactions(**kwargs, seed=0)
+
+
+class TestRandomInterleaving:
+    def test_valid_schedule(self):
+        txs = random_transactions(3, 3, 2, seed=0)
+        schedule = random_interleaving(txs, seed=1)
+        assert len(schedule) == 9
+        for tx in txs:
+            positions = [schedule.position(op) for op in tx]
+            assert positions == sorted(positions)
+
+    def test_deterministic_for_seed(self):
+        txs = random_transactions(3, 3, 2, seed=0)
+        assert random_interleaving(txs, seed=5) == random_interleaving(
+            txs, seed=5
+        )
+
+    def test_different_seeds_usually_differ(self):
+        txs = random_transactions(3, 4, 2, seed=0)
+        schedules = {
+            str(random_interleaving(txs, seed=s)) for s in range(10)
+        }
+        assert len(schedules) > 1
+
+    def test_batch_generation(self):
+        txs = random_transactions(2, 2, 2, seed=0)
+        batch = random_schedules(txs, count=5, seed=0)
+        assert len(batch) == 5
