@@ -1,9 +1,42 @@
-"""Report emission helper shared by the benchmark modules."""
+"""Report emission helpers shared by the benchmark modules."""
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Machine-readable results file tracked across PRs (repo root).
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_rsg.json"
+
+#: Recorded seed-revision timings for speedup accounting.
+BASELINES = Path(__file__).resolve().parent / "baselines" / "seed_rsg.json"
 
 
 def emit(title: str, body: str) -> None:
     """Print a clearly delimited experiment report block (run with -s)."""
     bar = "=" * 72
     print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+def load_baselines() -> dict:
+    """The seed revision's recorded timings (ms), keyed by benchmark."""
+    with BASELINES.open() as handle:
+        return json.load(handle)
+
+
+def emit_json(section: str, payload: dict, path: Path | None = None) -> None:
+    """Merge ``payload`` under ``section`` in the BENCH_rsg.json tracker.
+
+    The file accumulates one object per benchmark section so partial
+    re-runs update only their own section; keys are sorted to keep the
+    diff stable across runs.
+    """
+    target = BENCH_JSON if path is None else path
+    document: dict = {}
+    if target.exists():
+        try:
+            document = json.loads(target.read_text())
+        except json.JSONDecodeError:
+            document = {}
+    document[section] = payload
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,214 @@
+"""E13 — incremental RSG certification vs the seed's copy-and-rescan.
+
+The seed certifier paid O(V+E) per granted operation: copy the whole
+graph, add the new arcs, rerun a full DFS.  The incremental engine
+(`IncrementalRsg` on a Pearce–Kelly ordered graph) certifies each
+operation against the live graph in amortized sub-linear time.  This
+module measures the three shapes the claim rests on and records them in
+``BENCH_rsg.json`` (machine-readable, tracked across PRs) against the
+baselines recorded from the seed revision:
+
+* RSGT protocol simulation scaling as the short-transaction count grows
+  (the certifier dominates the sim's cost at the larger sizes);
+* offline RSG build + acyclicity test at growing schedule sizes
+  (id-space arc masks + lazy graph materialization);
+* per-operation certification latency as the history grows (flat-ish
+  curve instead of the seed's linear-in-history growth).
+
+Quick mode (``BENCH_QUICK=1``, used by the CI smoke job) drops the
+largest configurations and the speedup assertions; the full run asserts
+the >=5x improvement at the largest size of each suite.
+"""
+
+import os
+import time
+
+from benchmarks._report import emit, emit_json, load_baselines
+from repro.analysis.tables import format_table
+from repro.core.rsg import IncrementalRsg, RelativeSerializationGraph
+from repro.protocols import RSGTScheduler
+from repro.sim.runner import simulate_bundle
+from repro.specs.builders import uniform_spec
+from repro.workloads.longlived import LongLivedWorkload
+from repro.workloads.random_schedules import (
+    random_interleaving,
+    random_transactions,
+)
+
+QUICK = os.environ.get("BENCH_QUICK") == "1"
+
+#: Required improvement over the seed at the largest configuration.
+SPEEDUP_FLOOR = 5.0
+
+RSGT_SIZES = (5, 10) if QUICK else (5, 10, 20, 40)
+RSG_SIZES = ((4, 5), (8, 8)) if QUICK else (
+    (4, 5), (8, 8), (12, 10), (16, 12), (20, 15)
+)
+
+
+def _longlived(n_short, seed=0):
+    return LongLivedWorkload(
+        n_objects=6, n_long=1, n_short=n_short, short_ops=2, seed=seed
+    ).build()
+
+
+def _time(fn, repetitions):
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        fn()
+    return (time.perf_counter() - start) / repetitions * 1000.0
+
+
+def test_report_rsgt_scaling(benchmark):
+    """RSGT sim wall-clock by short count, vs the seed baselines."""
+    baselines = load_baselines()["rsgt_longlived_ms"]
+
+    def compute():
+        results = {}
+        for n_short in RSGT_SIZES:
+            bundle = _longlived(n_short)
+            repetitions = 3 if n_short <= 20 else 1
+
+            def run(bundle=bundle):
+                result = simulate_bundle(bundle, RSGTScheduler(bundle.spec))
+                assert result.committed == len(bundle.transactions)
+
+            results[str(n_short)] = _time(run, repetitions)
+        return results
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for key, elapsed in results.items():
+        seed_ms = baselines.get(key)
+        speedup = seed_ms / elapsed if seed_ms else None
+        rows.append(
+            [key, f"{elapsed:.1f}",
+             "-" if seed_ms is None else f"{seed_ms:.1f}",
+             "-" if speedup is None else f"{speedup:.1f}x"]
+        )
+    emit(
+        "E13a — RSGT long-lived sim (1 long + N shorts), incremental "
+        "certifier vs seed",
+        format_table(["shorts", "now (ms)", "seed (ms)", "speedup"], rows),
+    )
+    largest = str(RSGT_SIZES[-1])
+    payload = {
+        "config": "LongLivedWorkload(n_objects=6, n_long=1, short_ops=2)",
+        "now_ms": {k: round(v, 2) for k, v in results.items()},
+        "seed_ms": {k: baselines[k] for k in results if k in baselines},
+        "speedup_at_largest": round(
+            baselines[largest] / results[largest], 2
+        ) if largest in baselines else None,
+    }
+    if not QUICK:  # quick smoke runs don't overwrite the tracked results
+        emit_json("rsgt_longlived", payload)
+        assert payload["speedup_at_largest"] >= SPEEDUP_FLOOR
+
+
+def _instance(n_transactions, ops, seed=0):
+    txs = random_transactions(
+        n_transactions, ops, n_objects=max(2, n_transactions),
+        write_probability=0.3, seed=seed,
+    )
+    spec = uniform_spec(txs, max(1, ops // 3))
+    schedule = random_interleaving(txs, seed=seed + 1)
+    return txs, spec, schedule
+
+
+def test_report_rsg_build_scaling(benchmark):
+    """Offline RSG build + acyclicity test, vs the seed baselines."""
+    baselines = load_baselines()["rsg_build_ms"]
+
+    def compute():
+        results = {}
+        for n_tx, ops in RSG_SIZES:
+            _txs, spec, schedule = _instance(n_tx, ops)
+
+            def run(spec=spec, schedule=schedule):
+                RelativeSerializationGraph(schedule, spec).is_acyclic
+
+            results[f"{n_tx}x{ops}"] = _time(run, repetitions=5)
+        return results
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for key, elapsed in results.items():
+        seed_ms = baselines.get(key)
+        speedup = seed_ms / elapsed if seed_ms else None
+        rows.append(
+            [key, f"{elapsed:.2f}",
+             "-" if seed_ms is None else f"{seed_ms:.2f}",
+             "-" if speedup is None else f"{speedup:.1f}x"]
+        )
+    emit(
+        "E13b — RSG build + acyclicity (id-space arcs, lazy graph) vs seed",
+        format_table(
+            ["txs x ops", "now (ms)", "seed (ms)", "speedup"], rows
+        ),
+    )
+    largest = "{}x{}".format(*RSG_SIZES[-1])
+    payload = {
+        "config": "random_transactions(write_probability=0.3), "
+                  "uniform_spec(ops//3), random_interleaving",
+        "now_ms": {k: round(v, 3) for k, v in results.items()},
+        "seed_ms": {k: baselines[k] for k in results if k in baselines},
+        "speedup_at_largest": round(
+            baselines[largest] / results[largest], 2
+        ) if largest in baselines else None,
+    }
+    if not QUICK:
+        emit_json("rsg_build", payload)
+        assert payload["speedup_at_largest"] >= SPEEDUP_FLOOR
+
+
+def test_report_per_op_latency(benchmark):
+    """Per-operation certification latency as the history grows.
+
+    The seed paid for a full copy + DFS per grant, so per-op cost grew
+    linearly with history length.  The incremental engine's per-op cost
+    should stay near-flat (Pearce-Kelly touches only the affected
+    order region).  Measured in windows over one long serial feed.
+    """
+    n_tx, ops = (8, 8) if QUICK else (20, 15)
+    txs, spec, schedule = _instance(n_tx, ops)
+    operations = schedule.operations
+    window = max(1, len(operations) // 6)
+
+    def compute():
+        engine = IncrementalRsg(spec)
+        for tx in txs:
+            engine.add_transaction(tx)
+        windows = []
+        position = 0
+        while position < len(operations):
+            chunk = operations[position:position + window]
+            start = time.perf_counter()
+            for op in chunk:
+                if not (engine.acyclic and engine.try_push(op)):
+                    engine.push_uncertified(op)
+            elapsed = time.perf_counter() - start
+            windows.append(
+                (position + len(chunk), elapsed / len(chunk) * 1e6)
+            )
+            position += len(chunk)
+        return windows
+
+    windows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "E13c — per-operation certification latency by history length",
+        format_table(
+            ["history length", "us/op (window mean)"],
+            [[length, f"{per_op:.1f}"] for length, per_op in windows],
+        ),
+    )
+    if not QUICK:
+        emit_json(
+            "per_op_latency",
+            {
+                "config": f"{n_tx} txs x {ops} ops, window={window}",
+                "us_per_op_by_history": {
+                    str(length): round(per_op, 2)
+                    for length, per_op in windows
+                },
+            },
+        )

@@ -55,6 +55,7 @@ from repro.core.recovery import (
 )
 from repro.core.rsg import (
     ArcKind,
+    IncrementalRsg,
     RelativeSerializationGraph,
     is_relatively_serializable,
 )
@@ -85,6 +86,7 @@ __all__ = [
     "RelativeAtomicitySpec",
     "DependencyRelation",
     "ArcKind",
+    "IncrementalRsg",
     "RelativeSerializationGraph",
     "is_relatively_serializable",
     "is_serial",

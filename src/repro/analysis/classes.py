@@ -19,7 +19,7 @@ from repro.core.rsg import RelativeSerializationGraph
 from repro.core.schedules import Schedule
 from repro.core.serializability import is_conflict_serializable
 from repro.core.transactions import Transaction
-from repro.workloads.enumerate import all_interleavings
+from repro.workloads.enumerate import rsg_interleavings, shared_prefix_rsgs
 
 __all__ = ["ClassCensus", "census", "census_exhaustive"]
 
@@ -65,17 +65,49 @@ def census(
     schedules: Iterable[Schedule],
     spec: RelativeAtomicitySpec,
     consistency_budget: int | None = 200_000,
+    *,
+    shared_prefixes: bool = False,
 ) -> ClassCensus:
     """Count class memberships over ``schedules``.
 
     Also records separation witnesses: the first schedule found in each
     of the interesting set differences (e.g. relatively serial but not
     relatively consistent — the Figure 4 phenomenon).
+
+    With ``shared_prefixes=True`` the population is sorted and driven
+    through one incremental RSG engine
+    (:func:`~repro.workloads.enumerate.shared_prefix_rsgs`), so each
+    schedule pays only for its delta against the previous one instead
+    of a full closure-and-graph rebuild.  Counts are identical; which
+    schedule becomes a witness may differ (first-found in sorted rather
+    than input order).
     """
+    if shared_prefixes:
+        ordered = sorted(schedules, key=_lex_key)
+        pairs: Iterable[tuple[Schedule, RelativeSerializationGraph]] = (
+            shared_prefix_rsgs(spec, ordered)
+        )
+    else:
+        pairs = (
+            (schedule, RelativeSerializationGraph(schedule, spec))
+            for schedule in schedules
+        )
+    return _census_pairs(pairs, spec, consistency_budget)
+
+
+def _lex_key(schedule: Schedule) -> tuple[tuple[int, int], ...]:
+    """Sort key grouping schedules by common prefixes."""
+    return tuple((op.tx, op.index) for op in schedule.operations)
+
+
+def _census_pairs(
+    pairs: Iterable[tuple[Schedule, RelativeSerializationGraph]],
+    spec: RelativeAtomicitySpec,
+    consistency_budget: int | None,
+) -> ClassCensus:
     result = ClassCensus()
-    for schedule in schedules:
+    for schedule, rsg in pairs:
         result.total += 1
-        rsg = RelativeSerializationGraph(schedule, spec)
         serial = schedule.is_serial
         atomic = is_relatively_atomic(schedule, spec)
         rel_serial = is_relatively_serial(schedule, spec, rsg.dependency)
@@ -135,9 +167,12 @@ def census_exhaustive(
 ) -> ClassCensus:
     """Census over *every* schedule of the transaction set.
 
-    Only sensible at small sizes; see
-    :func:`repro.workloads.enumerate.count_interleavings` first.
+    Enumeration order is lexicographic, so consecutive schedules share
+    long prefixes — the census rides one incremental RSG engine
+    (:func:`~repro.workloads.enumerate.rsg_interleavings`) instead of
+    rebuilding the graph per schedule.  Only sensible at small sizes;
+    see :func:`repro.workloads.enumerate.count_interleavings` first.
     """
-    return census(
-        all_interleavings(transactions), spec, consistency_budget
+    return _census_pairs(
+        rsg_interleavings(transactions, spec), spec, consistency_budget
     )

@@ -72,12 +72,34 @@ def check_containments(
     schedules: Iterable[Schedule],
     spec: RelativeAtomicitySpec,
     consistency_budget: int | None = 200_000,
+    *,
+    shared_prefixes: bool = False,
 ) -> ContainmentReport:
-    """Check every expected containment over ``schedules``."""
+    """Check every expected containment over ``schedules``.
+
+    ``shared_prefixes=True`` sorts the population and classifies it
+    through one incremental RSG engine (schedules pay for their delta
+    against the previous one, not a per-schedule rebuild); violations
+    and witnesses are found on the same population, just visited in
+    sorted order.
+    """
+    if shared_prefixes:
+        from repro.workloads.enumerate import shared_prefix_rsgs
+
+        from repro.analysis.classes import _lex_key
+
+        ordered = sorted(schedules, key=_lex_key)
+        pairs: Iterable[tuple[Schedule, RelativeSerializationGraph]] = (
+            shared_prefix_rsgs(spec, ordered)
+        )
+    else:
+        pairs = (
+            (schedule, RelativeSerializationGraph(schedule, spec))
+            for schedule in schedules
+        )
     report = ContainmentReport()
-    for schedule in schedules:
+    for schedule, rsg in pairs:
         report.checked += 1
-        rsg = RelativeSerializationGraph(schedule, spec)
         membership: dict[str, bool | None] = {
             "serial": schedule.is_serial,
             "conflict serializable": is_conflict_serializable(schedule),

@@ -20,6 +20,7 @@ from collections.abc import Iterator
 
 from repro.core.operations import Operation
 from repro.core.schedules import Schedule, conflicts
+from repro.errors import InvalidScheduleError
 from repro.graphs.digraph import DiGraph
 
 __all__ = ["DependencyRelation"]
@@ -56,6 +57,55 @@ class DependencyRelation:
             reach[p] = bits
         self._reach = reach
 
+    @classmethod
+    def _from_state(
+        cls, schedule: Schedule, reach: list[int], transitive: bool
+    ) -> "DependencyRelation":
+        """Adopt precomputed reachability bitsets (no O(n^2) rebuild).
+
+        Used by the incremental RSG machinery, which maintains the
+        closure operation by operation; ``reach`` must follow the
+        constructor's convention and is adopted without copying.
+        """
+        relation = cls.__new__(cls)
+        relation._schedule = schedule
+        relation._transitive = transitive
+        relation._reach = reach
+        return relation
+
+    def extended_with(self, schedule: Schedule) -> "DependencyRelation":
+        """The relation for this schedule plus one appended operation.
+
+        ``schedule`` must be this relation's schedule with exactly one
+        operation appended; the closure is extended in O(n) bitset
+        operations instead of recomputed from scratch, sharing every
+        untouched row with the parent (rows are immutable ints).
+        """
+        ops = schedule.operations
+        n = len(ops) - 1
+        if len(self._schedule) != n or ops[:n] != self._schedule.operations:
+            raise InvalidScheduleError(
+                "extended_with needs the parent schedule plus one operation"
+            )
+        new_op = ops[n]
+        direct = 0
+        for p in range(n):
+            earlier = ops[p]
+            if earlier.tx == new_op.tx or conflicts(earlier, new_op):
+                direct |= 1 << p
+        bit = 1 << n
+        reach = list(self._reach)
+        if self._transitive:
+            for p in range(n):
+                if (direct >> p) & 1 or (reach[p] & direct):
+                    reach[p] |= bit
+        else:
+            for p in range(n):
+                if (direct >> p) & 1:
+                    reach[p] |= bit
+        reach.append(0)
+        return DependencyRelation._from_state(schedule, reach, self._transitive)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -85,17 +135,30 @@ class DependencyRelation:
         """Whether a dependency exists in either direction."""
         return self.depends_on(first, second) or self.depends_on(second, first)
 
+    def dependents_bits(self, position: int) -> int:
+        """The raw dependents row: bit ``q`` is set iff the operation at
+        schedule position ``q`` depends on the one at ``position``.
+
+        This is the zero-copy interface the RSG arc builder iterates
+        with low-bit extraction; everything else should prefer the
+        operation-level queries.
+        """
+        return self._reach[position]
+
     def dependents_of(self, op: Operation) -> list[Operation]:
-        """Every operation that depends on ``op``, in schedule order."""
+        """Every operation that depends on ``op``, in schedule order.
+
+        Set bits are visited directly via low-bit extraction
+        (``bits & -bits``) instead of shifting one position at a time,
+        so sparse rows cost O(popcount) instead of O(n) big-int shifts.
+        """
         ops = self._schedule.operations
         bits = self._reach[self._schedule.position(op)]
         result: list[Operation] = []
-        index = 0
         while bits:
-            if bits & 1:
-                result.append(ops[index])
-            bits >>= 1
-            index += 1
+            low = bits & -bits
+            result.append(ops[low.bit_length() - 1])
+            bits ^= low
         return result
 
     def dependencies_of(self, op: Operation) -> list[Operation]:
@@ -115,12 +178,13 @@ class DependencyRelation:
         ops = self._schedule.operations
         for p, earlier in enumerate(ops):
             bits = self._reach[p]
-            index = 0
+            tx = earlier.tx
             while bits:
-                if bits & 1 and ops[index].tx != earlier.tx:
-                    yield earlier, ops[index]
-                bits >>= 1
-                index += 1
+                low = bits & -bits
+                later = ops[low.bit_length() - 1]
+                if later.tx != tx:
+                    yield earlier, later
+                bits ^= low
 
     def as_graph(self) -> DiGraph:
         """The relation as a digraph (edge ``a -> b`` iff ``b`` depends on
@@ -138,12 +202,10 @@ class DependencyRelation:
         ops = self._schedule.operations
         for p, earlier in enumerate(ops):
             bits = self._reach[p]
-            index = 0
             while bits:
-                if bits & 1:
-                    yield earlier, ops[index]
-                bits >>= 1
-                index += 1
+                low = bits & -bits
+                yield earlier, ops[low.bit_length() - 1]
+                bits ^= low
 
     def __repr__(self) -> str:
         kind = "transitive" if self._transitive else "direct"

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import NotationError
 
@@ -51,6 +51,20 @@ class Operation:
     obj: str
     tx: int | None = None
     index: int | None = None
+    # Operations are the vertices of every graph in the library, so they
+    # get hashed millions of times per run; the generated dataclass hash
+    # re-hashes all four fields (including the enum) on every call.
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.op_type.value, self.obj, self.tx, self.index)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # ------------------------------------------------------------------
     # Derived properties

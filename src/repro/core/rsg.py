@@ -33,14 +33,35 @@ import enum
 
 from repro.core.atomicity import RelativeAtomicitySpec
 from repro.core.dependency import DependencyRelation
-from repro.core.operations import Operation
+from repro.core.operations import OpType, Operation
 from repro.core.schedules import Schedule
-from repro.errors import CycleError, InvalidSpecError
+from repro.core.transactions import Transaction
+from repro.errors import CycleError, GraphError, InvalidSpecError
 from repro.graphs.cycles import find_cycle
 from repro.graphs.digraph import DiGraph
+from repro.graphs.incremental import IncrementalDiGraph
 from repro.graphs.toposort import topological_sort
 
-__all__ = ["ArcKind", "RelativeSerializationGraph", "is_relatively_serializable"]
+__all__ = [
+    "ArcKind",
+    "IncrementalRsg",
+    "RelativeSerializationGraph",
+    "is_relatively_serializable",
+]
+
+
+class _Unset:
+    """Sentinel type for "cycle not computed yet" (a proper sentinel
+    instead of overloading ``False``, which type checkers conflate with
+    ``bool`` and readers conflate with "acyclic")."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return "<cycle unset>"
+
+
+_UNSET = _Unset()
 
 
 class ArcKind(enum.Enum):
@@ -53,6 +74,16 @@ class ArcKind(enum.Enum):
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
+
+
+# Id-space label encoding for the arc-mask representation.
+_I_BIT, _D_BIT, _F_BIT, _B_BIT = 1, 2, 4, 8
+_BIT_KINDS = (
+    (_I_BIT, ArcKind.INTERNAL),
+    (_D_BIT, ArcKind.DEPENDENCY),
+    (_F_BIT, ArcKind.PUSH_FORWARD),
+    (_B_BIT, ArcKind.PULL_BACKWARD),
+)
 
 
 class RelativeSerializationGraph:
@@ -82,32 +113,184 @@ class RelativeSerializationGraph:
         _check_spec_matches(schedule, spec)
         self._schedule = schedule
         self._spec = spec
+        self._include_f_arcs = include_f_arcs
+        self._include_b_arcs = include_b_arcs
         self._dependency = DependencyRelation(
             schedule, transitive=transitive_dependencies
         )
-        self._graph = self._build(include_f_arcs, include_b_arcs)
-        self._cycle: list[Operation] | None | bool = False  # False = unknown
+        self._ops_table, self._arc_masks = self._build_arcs(
+            include_f_arcs, include_b_arcs
+        )
+        self._graph_cache: DiGraph | None = None
+        self._cycle: list[Operation] | None | _Unset = _UNSET
 
-    def _build(self, include_f_arcs: bool, include_b_arcs: bool) -> DiGraph:
+    @classmethod
+    def _from_parts(
+        cls,
+        schedule: Schedule,
+        spec: RelativeAtomicitySpec,
+        dependency: DependencyRelation,
+        graph: DiGraph,
+        cycle: "list[Operation] | None | _Unset" = _UNSET,
+    ) -> "RelativeSerializationGraph":
+        """Assemble an RSG from already-computed parts (no rebuild).
+
+        The incremental machinery (:class:`IncrementalRsg`,
+        :meth:`extended_with`, the prefix-sharing enumerators) uses this
+        to hand out RSG views without paying the O(n^2) closure and arc
+        construction again.  ``graph`` is adopted, not copied.
+        """
+        rsg = object.__new__(cls)
+        rsg._schedule = schedule
+        rsg._spec = spec
+        rsg._include_f_arcs = True
+        rsg._include_b_arcs = True
+        rsg._dependency = dependency
+        rsg._ops_table = []
+        rsg._arc_masks = {}
+        rsg._graph_cache = graph
+        rsg._cycle = cycle
+        return rsg
+
+    def _build_arcs(
+        self, include_f_arcs: bool, include_b_arcs: bool
+    ) -> tuple[list[Operation], dict[int, int]]:
+        """Compute the arc set in integer id-space.
+
+        Every operation of every transaction gets a dense integer id
+        (``ops_table`` is the inverse map); an arc ``src -> dst`` is the
+        key ``src_id * len(ops_table) + dst_id`` in ``arc_masks``, whose
+        value ORs one bit per :class:`ArcKind` the arc carries.  Working
+        on ints instead of :class:`Operation` objects removes object
+        hashing from the O(n^2)-pair hot loop, and the mask dict dedups
+        the (heavily colliding) D/F/B triples before any graph exists —
+        the :class:`DiGraph` view is materialized lazily from this.
+        """
+        transactions = self._schedule.transactions
+        ops_table: list[Operation] = []
+        tx_base: dict[int, int] = {}
+        for tx_id in sorted(transactions):
+            tx_base[tx_id] = len(ops_table)
+            ops_table.extend(transactions[tx_id].operations)
+        total = len(ops_table)
+        masks: dict[int, int] = {}
+        # I-arcs: consecutive operations of each transaction.
+        for tx_id, transaction in transactions.items():
+            base = tx_base[tx_id]
+            for offset in range(len(transaction) - 1):
+                masks[(base + offset) * total + base + offset + 1] = _I_BIT
+        # Schedule-position lookups (no Operation hashing below here).
+        ops = self._schedule.operations
+        n = len(ops)
+        ids = [0] * n
+        stx = [0] * n
+        sidx = [0] * n
+        txmask: dict[int, int] = dict.fromkeys(transactions, 0)
+        for p, op in enumerate(ops):
+            ids[p] = tx_base[op.tx] + op.index
+            stx[p] = op.tx
+            sidx[p] = op.index
+            txmask[op.tx] |= 1 << p
+        # D-arcs plus their induced F- and B-arcs, one observing
+        # transaction at a time: all dependents of position p inside
+        # transaction j share the same PushForward source and the same
+        # PullBackward row, so both resolve once per (p, j).
+        spec = self._spec
+        dependency = self._dependency
+        push_rows: dict[tuple[int, int], list[int]] = {}
+        pull_rows: dict[tuple[int, int], list[int]] = {}
+        tx_items = list(txmask.items())
+        get = masks.get
+        for p in range(n):
+            bits = dependency.dependents_bits(p)
+            if not bits:
+                continue
+            ptx = stx[p]
+            pkey = ids[p] * total
+            for j, jmask in tx_items:
+                deps = bits & jmask
+                if not deps or j == ptx:
+                    continue
+                if include_f_arcs:
+                    row = push_rows.get((ptx, j))
+                    if row is None:
+                        row = push_rows[(ptx, j)] = _push_id_row(
+                            spec, transactions[ptx], j, tx_base[ptx]
+                        )
+                    fkey = row[sidx[p]] * total
+                if include_b_arcs:
+                    brow = pull_rows.get((j, ptx))
+                    if brow is None:
+                        brow = pull_rows[(j, ptx)] = _pull_id_row(
+                            spec, transactions[j], ptx, tx_base[j]
+                        )
+                while deps:
+                    low = deps & -deps
+                    deps ^= low
+                    q = low.bit_length() - 1
+                    qid = ids[q]
+                    key = pkey + qid
+                    masks[key] = get(key, 0) | _D_BIT
+                    if include_f_arcs:
+                        key = fkey + qid
+                        masks[key] = get(key, 0) | _F_BIT
+                    if include_b_arcs:
+                        key = pkey + brow[sidx[q]]
+                        masks[key] = get(key, 0) | _B_BIT
+        return ops_table, masks
+
+    def _materialize(self) -> DiGraph:
+        """Expand the id-space arc masks into the labelled DiGraph."""
         graph = DiGraph()
-        # Vertices: every operation of every transaction.
         for op in self._schedule.operations:
             graph.add_node(op)
-        # I-arcs: consecutive operations of each transaction.
-        for transaction in self._schedule.transactions.values():
-            ops = transaction.operations
-            for first, second in zip(ops, ops[1:]):
-                graph.add_edge(first, second, label=ArcKind.INTERNAL)
-        # D-arcs plus their induced F- and B-arcs.
-        for earlier, later in self._dependency.cross_transaction_pairs():
-            graph.add_edge(earlier, later, label=ArcKind.DEPENDENCY)
-            if include_f_arcs:
-                push = self._spec.push_forward(earlier, observer=later.tx)
-                graph.add_edge(push, later, label=ArcKind.PUSH_FORWARD)
-            if include_b_arcs:
-                pull = self._spec.pull_backward(later, observer=earlier.tx)
-                graph.add_edge(earlier, pull, label=ArcKind.PULL_BACKWARD)
+        table = self._ops_table
+        total = len(table)
+        arcs: list[tuple[Operation, Operation, ArcKind]] = []
+        for key, mask in self._arc_masks.items():
+            src = table[key // total]
+            dst = table[key % total]
+            for bit, kind in _BIT_KINDS:
+                if mask & bit:
+                    arcs.append((src, dst, kind))
+        graph.add_labelled_edges(arcs)
         return graph
+
+    def _cycle_from_masks(self) -> list[Operation] | None:
+        """Three-colour DFS directly over the id-space arc set."""
+        table = self._ops_table
+        total = len(table)
+        succ: list[list[int]] = [[] for _ in range(total)]
+        for key in self._arc_masks:
+            succ[key // total].append(key % total)
+        colour = [0] * total  # 0 white, 1 grey, 2 black
+        parent = [0] * total
+        for root in range(total):
+            if colour[root]:
+                continue
+            colour[root] = 1
+            stack = [root]
+            while stack:
+                node = stack[-1]
+                pending = succ[node]
+                if pending:
+                    child = pending.pop()
+                    c = colour[child]
+                    if c == 0:
+                        colour[child] = 1
+                        parent[child] = node
+                        stack.append(child)
+                    elif c == 1:
+                        path = [node]
+                        while path[-1] != child:
+                            path.append(parent[path[-1]])
+                        path.reverse()
+                        path.append(child)
+                        return [table[i] for i in path]
+                else:
+                    colour[node] = 2
+                    stack.pop()
+        return None
 
     # ------------------------------------------------------------------
     # Queries
@@ -129,8 +312,15 @@ class RelativeSerializationGraph:
 
     @property
     def graph(self) -> DiGraph:
-        """The underlying digraph (arcs labelled with :class:`ArcKind`)."""
-        return self._graph
+        """The underlying digraph (arcs labelled with :class:`ArcKind`).
+
+        Materialized lazily from the id-space arc masks on first
+        access; the pure acyclicity test (:attr:`is_acyclic`) never
+        needs it.
+        """
+        if self._graph_cache is None:
+            self._graph_cache = self._materialize()
+        return self._graph_cache
 
     @property
     def is_acyclic(self) -> bool:
@@ -140,8 +330,11 @@ class RelativeSerializationGraph:
     @property
     def cycle(self) -> list[Operation] | None:
         """A witness cycle, or ``None`` when the graph is acyclic."""
-        if self._cycle is False:
-            self._cycle = find_cycle(self._graph)
+        if self._cycle is _UNSET:
+            if self._graph_cache is not None:
+                self._cycle = find_cycle(self._graph_cache)
+            else:
+                self._cycle = self._cycle_from_masks()
         return self._cycle
 
     def arcs(self, kind: ArcKind | None = None) -> list[tuple[Operation, Operation]]:
@@ -151,14 +344,14 @@ class RelativeSerializationGraph:
         is reported under each of its kinds.
         """
         result: list[tuple[Operation, Operation]] = []
-        for source, target, labels in self._graph.labelled_edges():
+        for source, target, labels in self.graph.labelled_edges():
             if kind is None or kind in labels:
                 result.append((source, target))
         return result
 
     def arc_kinds(self, source: Operation, target: Operation) -> frozenset[ArcKind]:
         """The set of kinds attached to the arc ``source -> target``."""
-        return frozenset(self._graph.edge_labels(source, target))
+        return frozenset(self.graph.edge_labels(source, target))
 
     # ------------------------------------------------------------------
     # Theorem 1, constructive direction
@@ -180,14 +373,437 @@ class RelativeSerializationGraph:
                 "RSG is cyclic; schedule is not relatively serializable",
                 cycle=witness,
             )
-        order = topological_sort(self._graph, key=self._schedule.position)
+        order = topological_sort(self.graph, key=self._schedule.position)
         return self._schedule.reordered(order)
+
+    # ------------------------------------------------------------------
+    # Prefix extension
+    # ------------------------------------------------------------------
+    def extended_with(self, op: Operation) -> "RelativeSerializationGraph":
+        """The RSG of this schedule with ``op`` appended.
+
+        Shares the dependency closure with the parent (extended in O(n)
+        bitset work instead of recomputed) and derives only the new
+        operation's D/F/B arcs; the parent is never mutated.  The
+        adjacency structure is copied, which is the remaining O(V + E)
+        term — for zero-copy sharing over many sibling extensions use
+        :class:`IncrementalRsg` (what the prefix-sharing enumerators
+        do).
+
+        Only supported for the full graph (F- and B-arcs included,
+        transitive dependencies) — the ablation variants have no
+        incremental story.
+        """
+        if not (self._include_f_arcs and self._include_b_arcs):
+            raise GraphError(
+                "extended_with requires the full RSG (F- and B-arcs)"
+            )
+        if not self._dependency.transitive:
+            raise GraphError(
+                "extended_with requires transitive dependencies"
+            )
+        schedule = self._schedule.extended_with(op)
+        dependency = self._dependency.extended_with(schedule)
+        graph = self.graph.copy()
+        spec = self._spec
+        arcs: list[tuple[Operation, Operation, ArcKind]] = []
+        for earlier in dependency.dependencies_of(op):
+            if earlier.tx == op.tx:
+                continue
+            arcs.append((earlier, op, ArcKind.DEPENDENCY))
+            push = spec.push_forward(earlier, observer=op.tx)
+            arcs.append((push, op, ArcKind.PUSH_FORWARD))
+            pull = spec.pull_backward(op, observer=earlier.tx)
+            arcs.append((earlier, pull, ArcKind.PULL_BACKWARD))
+        graph.add_labelled_edges(arcs)
+        cycle: list[Operation] | None | _Unset = _UNSET
+        if self._cycle is not _UNSET and self._cycle is not None:
+            # Arcs only ever accumulate as the prefix grows, so a
+            # parent's witness cycle survives in every extension.
+            cycle = self._cycle
+        return RelativeSerializationGraph._from_parts(
+            schedule, spec, dependency, graph, cycle
+        )
 
     def __repr__(self) -> str:
         return (
-            f"RSG(|V|={self._graph.node_count}, |E|={self._graph.edge_count}, "
+            f"RSG(|V|={self.graph.node_count}, |E|={self.graph.edge_count}, "
             f"{'acyclic' if self.is_acyclic else 'cyclic'})"
         )
+
+
+def _push_table(
+    spec: RelativeAtomicitySpec, transaction: Transaction, observer: int
+) -> tuple[Operation, ...]:
+    """``PushForward(op, observer)`` for every operation of the
+    transaction, as an index-addressed tuple."""
+    view = spec.atomicity(transaction.tx_id, observer)
+    ops = transaction.operations
+    row: list[Operation] = []
+    for unit in view.units:
+        row.extend([ops[unit.end]] * unit.size)
+    return tuple(row)
+
+
+def _pull_table(
+    spec: RelativeAtomicitySpec, transaction: Transaction, observer: int
+) -> tuple[Operation, ...]:
+    """``PullBackward(op, observer)`` for every operation of the
+    transaction, as an index-addressed tuple."""
+    view = spec.atomicity(transaction.tx_id, observer)
+    ops = transaction.operations
+    row: list[Operation] = []
+    for unit in view.units:
+        row.extend([ops[unit.start]] * unit.size)
+    return tuple(row)
+
+
+def _push_id_row(
+    spec: RelativeAtomicitySpec,
+    transaction: Transaction,
+    observer: int,
+    base: int,
+) -> list[int]:
+    """:func:`_push_table` in id-space: ``base`` is the transaction's
+    first operation id in the dense ops table."""
+    view = spec.atomicity(transaction.tx_id, observer)
+    row: list[int] = []
+    for unit in view.units:
+        row.extend([base + unit.end] * unit.size)
+    return row
+
+
+def _pull_id_row(
+    spec: RelativeAtomicitySpec,
+    transaction: Transaction,
+    observer: int,
+    base: int,
+) -> list[int]:
+    """:func:`_pull_table` in id-space."""
+    view = spec.atomicity(transaction.tx_id, observer)
+    row: list[int] = []
+    for unit in view.units:
+        row.extend([base + unit.start] * unit.size)
+    return row
+
+
+class _PushRecord:
+    """Per-operation undo record of :class:`IncrementalRsg`."""
+
+    __slots__ = ("op", "batch", "prev_tx_pos", "write_undo")
+
+    def __init__(self, op, batch, prev_tx_pos, write_undo) -> None:
+        self.op = op
+        self.batch = batch          # EdgeBatch, or None for uncertified
+        self.prev_tx_pos = prev_tx_pos
+        self.write_undo = write_undo  # (prev last write, prev read list)
+
+
+class IncrementalRsg:
+    """The RSG over a granted prefix, maintained operation by operation.
+
+    This is the engine under both the online certifier
+    (:class:`~repro.protocols.certifier.RsgCertifier`) and the offline
+    prefix-sharing enumerators: a stack of granted operations with
+
+    * ``try_push`` — append one operation, deriving its D/F/B arcs from
+      per-object trackers (O(#new-arcs), not O(history)) and inserting
+      them into a :class:`~repro.graphs.incremental.IncrementalDiGraph`
+      that keeps an online topological order.  A cycle-closing push is
+      refused with the graph left untouched.
+    * ``push_uncertified`` — append an operation *without* its arcs,
+      used by enumerators that must keep walking extensions of a prefix
+      already known to be cyclic (arcs only accumulate, so every
+      extension stays cyclic; the stored witness remains valid).
+    * ``pop`` — undo the latest push in O(#its-arcs): edge removal can
+      never invalidate a topological order, so no restoration pass.
+
+    Per-operation ancestor bitsets double as the transitive
+    ``depends-on`` closure, so a :class:`~repro.core.dependency.
+    DependencyRelation` for the current prefix is available for free
+    (``maintain_reach=True``).
+    """
+
+    def __init__(
+        self,
+        spec: RelativeAtomicitySpec,
+        *,
+        maintain_reach: bool = False,
+    ) -> None:
+        self._spec = spec
+        self._graph = IncrementalDiGraph()
+        self._history: list[Operation] = []
+        # _anc[n] has bit p set iff history[n] depends on history[p].
+        self._anc: list[int] = []
+        # _reach[p] has bit n set iff history[n] depends on history[p]
+        # (the DependencyRelation convention); only kept when asked.
+        self._maintain_reach = maintain_reach
+        self._reach: list[int] = []
+        self._log: list[_PushRecord] = []
+        # Per-object trackers: the covering set of direct dependencies.
+        # A new operation's ancestors are exactly the union of
+        # (position | anc[position]) over: the transaction's previous
+        # operation, the object's last write, and (for writes) the
+        # reads since that write — every other direct dependency is
+        # already inside one of those closures.
+        self._last_write: dict[str, int] = {}
+        self._reads_since_write: dict[str, list[int]] = {}
+        self._last_of_tx: dict[int, int] = {}
+        self._push_tables: dict[tuple[int, int], tuple[Operation, ...]] = {}
+        self._pull_tables: dict[tuple[int, int], tuple[Operation, ...]] = {}
+        self._uncertified_from: int | None = None
+        self._witness: list[Operation] | None = None
+        self._rejection: list[Operation] | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> RelativeAtomicitySpec:
+        """The relative atomicity specification in force."""
+        return self._spec
+
+    @property
+    def graph(self) -> IncrementalDiGraph:
+        """The maintained RSG (all declared vertices and I-arcs, plus
+        D/F/B arcs of the certified prefix)."""
+        return self._graph
+
+    @property
+    def history(self) -> list[Operation]:
+        """The pushed operations, in order (do not mutate)."""
+        return self._history
+
+    @property
+    def acyclic(self) -> bool:
+        """Whether the maintained prefix RSG is acyclic (always true
+        until the first ``push_uncertified``)."""
+        return self._uncertified_from is None
+
+    @property
+    def witness(self) -> list[Operation] | None:
+        """The cycle that doomed this prefix, when not acyclic."""
+        return self._witness
+
+    @property
+    def last_rejected_cycle(self) -> list[Operation] | None:
+        """Witness from the most recent refused ``try_push``."""
+        return self._rejection
+
+    def __len__(self) -> int:
+        return len(self._history)
+
+    # ------------------------------------------------------------------
+    # Growing
+    # ------------------------------------------------------------------
+    def add_transaction(self, transaction: Transaction) -> None:
+        """Add a transaction's vertices and I-arcs to the graph."""
+        ops = transaction.operations
+        graph = self._graph
+        for op in ops:
+            graph.add_node(op)
+        for first, second in zip(ops, ops[1:]):
+            graph.add_edge(first, second, label=ArcKind.INTERNAL)
+
+    def try_push(self, op: Operation) -> bool:
+        """Append ``op`` iff its arcs keep the RSG acyclic.
+
+        Returns ``True`` (op recorded, arcs committed) or ``False``
+        (nothing changed; the witness is in :attr:`last_rejected_cycle`).
+        """
+        if self._uncertified_from is not None:
+            raise GraphError(
+                "try_push on a cyclic prefix — use push_uncertified"
+            )
+        anc = self._ancestors_of(op)
+        batch = self._graph.try_add_edges(self._arcs_for(op, anc))
+        if batch is None:
+            self._rejection = self._graph.last_rejected_cycle
+            return False
+        self._record(op, anc, batch)
+        return True
+
+    def push_uncertified(self, op: Operation) -> None:
+        """Append ``op`` without adding its arcs to the graph.
+
+        Marks the prefix cyclic from this point on (callers do this
+        right after a refused :meth:`try_push`, whose witness is kept:
+        arcs only accumulate as the prefix grows, so the refused
+        operation's cycle exists in the full RSG of every extension).
+        The dependency closure and per-object trackers keep growing so
+        that materialized views stay exact.
+        """
+        if self._uncertified_from is None:
+            self._uncertified_from = len(self._history)
+            self._witness = self._rejection
+        self._record(op, self._ancestors_of(op), batch=None)
+
+    def pop(self) -> Operation:
+        """Undo the most recent push and return its operation."""
+        if not self._history:
+            raise GraphError("pop from an empty prefix")
+        record = self._log.pop()
+        op = self._history.pop()
+        n = len(self._history)
+        anc = self._anc.pop()
+        if record.batch is not None:
+            self._graph.undo_batch(record.batch)
+        if self._uncertified_from is not None and self._uncertified_from >= n:
+            self._uncertified_from = None
+            self._witness = None
+        if self._maintain_reach:
+            self._reach.pop()
+            mask = ~(1 << n)
+            reach = self._reach
+            bits = anc
+            while bits:
+                low = bits & -bits
+                reach[low.bit_length() - 1] &= mask
+                bits ^= low
+        # Per-object trackers.
+        if record.prev_tx_pos is None:
+            del self._last_of_tx[op.tx]
+        else:
+            self._last_of_tx[op.tx] = record.prev_tx_pos
+        if record.write_undo is not None:
+            prev_write, prev_reads = record.write_undo
+            if prev_write is None:
+                del self._last_write[op.obj]
+            else:
+                self._last_write[op.obj] = prev_write
+            if prev_reads is None:
+                self._reads_since_write.pop(op.obj, None)
+            else:
+                self._reads_since_write[op.obj] = prev_reads
+        else:
+            self._reads_since_write[op.obj].pop()
+        return op
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def dependency_for(self, schedule: Schedule) -> DependencyRelation:
+        """The ``depends-on`` relation of the current prefix, for free.
+
+        ``schedule`` must be over exactly the pushed operations (the
+        caller usually just built it from :attr:`history`).  Requires
+        ``maintain_reach=True``.
+        """
+        if not self._maintain_reach:
+            raise GraphError(
+                "dependency_for requires maintain_reach=True"
+            )
+        return DependencyRelation._from_state(
+            schedule, list(self._reach), transitive=True
+        )
+
+    def materialize(
+        self, schedule: Schedule, *, copy_graph: bool = True
+    ) -> RelativeSerializationGraph:
+        """A :class:`RelativeSerializationGraph` view of the prefix.
+
+        With ``copy_graph=False`` the view *borrows* this engine's live
+        graph — valid only until the next push/pop, which is exactly
+        the lifetime the prefix-sharing enumerators need.  For cyclic
+        prefixes the view's graph carries the arcs up to the first
+        uncertified operation plus the stored witness; acyclicity and
+        the witness are exact, the remaining arcs are not materialized.
+        """
+        graph = self._graph.copy() if copy_graph else self._graph
+        cycle: list[Operation] | None | _Unset
+        cycle = None if self._uncertified_from is None else self._witness
+        return RelativeSerializationGraph._from_parts(
+            schedule,
+            self._spec,
+            self.dependency_for(schedule),
+            graph,
+            cycle,
+        )
+
+    # ------------------------------------------------------------------
+    # Arc derivation
+    # ------------------------------------------------------------------
+    def _ancestors_of(self, op: Operation) -> int:
+        """Bitset of history positions ``op`` depends on."""
+        anc = 0
+        hist_anc = self._anc
+        p = self._last_of_tx.get(op.tx)
+        if p is not None:
+            anc |= (1 << p) | hist_anc[p]
+        w = self._last_write.get(op.obj)
+        if w is not None:
+            anc |= (1 << w) | hist_anc[w]
+        if op.op_type is OpType.WRITE:
+            for r in self._reads_since_write.get(op.obj, ()):
+                anc |= (1 << r) | hist_anc[r]
+        return anc
+
+    def _arcs_for(
+        self, op: Operation, anc: int
+    ) -> list[tuple[Operation, Operation, ArcKind]]:
+        """The new D/F/B arcs for appending ``op``, one triple per
+        cross-transaction ancestor (Definition 3 items 2-4)."""
+        arcs: list[tuple[Operation, Operation, ArcKind]] = []
+        append = arcs.append
+        history = self._history
+        push_tables = self._push_tables
+        pull_tables = self._pull_tables
+        spec = self._spec
+        transactions = spec.transactions
+        op_tx = op.tx
+        op_index = op.index
+        d_kind = ArcKind.DEPENDENCY
+        f_kind = ArcKind.PUSH_FORWARD
+        b_kind = ArcKind.PULL_BACKWARD
+        bits = anc
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            earlier = history[low.bit_length() - 1]
+            etx = earlier.tx
+            if etx == op_tx:
+                continue
+            append((earlier, op, d_kind))
+            key = (etx, op_tx)
+            row = push_tables.get(key)
+            if row is None:
+                row = _push_table(spec, transactions[etx], op_tx)
+                push_tables[key] = row
+            append((row[earlier.index], op, f_kind))
+            key = (op_tx, etx)
+            row = pull_tables.get(key)
+            if row is None:
+                row = _pull_table(spec, transactions[op_tx], etx)
+                pull_tables[key] = row
+            append((earlier, row[op_index], b_kind))
+        return arcs
+
+    def _record(self, op: Operation, anc: int, batch) -> None:
+        n = len(self._history)
+        prev_tx_pos = self._last_of_tx.get(op.tx)
+        self._last_of_tx[op.tx] = n
+        write_undo = None
+        if op.op_type is OpType.WRITE:
+            write_undo = (
+                self._last_write.get(op.obj),
+                self._reads_since_write.get(op.obj),
+            )
+            self._last_write[op.obj] = n
+            self._reads_since_write[op.obj] = []
+        else:
+            self._reads_since_write.setdefault(op.obj, []).append(n)
+        if self._maintain_reach:
+            reach = self._reach
+            bit = 1 << n
+            bits = anc
+            while bits:
+                low = bits & -bits
+                reach[low.bit_length() - 1] |= bit
+                bits ^= low
+            reach.append(0)
+        self._history.append(op)
+        self._anc.append(anc)
+        self._log.append(_PushRecord(op, batch, prev_tx_pos, write_undo))
 
 
 def is_relatively_serializable(

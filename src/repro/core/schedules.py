@@ -33,16 +33,22 @@ class Schedule:
             them); notation strings such as ``"r1[x]"`` are also accepted
             and resolved against the transaction set by
             :meth:`from_notation`.
+        complete: require every operation of every transaction to appear
+            (the paper's definition).  :meth:`prefix` relaxes this to
+            build growing prefixes for the incremental machinery.
     """
 
     def __init__(
         self,
         transactions: Sequence[Transaction],
         order: Iterable[Operation],
+        *,
+        complete: bool = True,
     ) -> None:
         self._transactions = as_transaction_map(transactions)
         self._order: tuple[Operation, ...] = tuple(order)
         self._position: dict[Operation, int] = {}
+        self._complete = complete
         self._validate()
 
     def _validate(self) -> None:
@@ -68,7 +74,7 @@ class Schedule:
             next_index[op.tx] += 1
             self._position[op] = position
 
-        if len(self._order) != len(expected):
+        if self._complete and len(self._order) != len(expected):
             missing = expected.difference(self._order)
             sample = ", ".join(sorted(op.label for op in missing)[:5])
             raise InvalidScheduleError(
@@ -145,9 +151,38 @@ class Schedule:
             order.extend(by_id[tx_id].operations)
         return cls(transactions, order)
 
+    @classmethod
+    def prefix(
+        cls, transactions: Sequence[Transaction], order: Iterable[Operation]
+    ) -> "Schedule":
+        """A schedule *prefix*: program order enforced, completeness not.
+
+        Prefixes are what the online protocols and the incremental RSG
+        machinery grow one granted operation at a time; every other
+        schedule query (positions, projections, conflicts) works on
+        them unchanged.
+        """
+        return cls(transactions, order, complete=False)
+
+    def extended_with(self, op: Operation) -> "Schedule":
+        """This schedule with ``op`` appended.
+
+        The result is a complete :class:`Schedule` when ``op`` was the
+        last missing operation, and a prefix otherwise.
+        """
+        order = self._order + (op,)
+        total = sum(len(tx) for tx in self._transactions.values())
+        return Schedule(
+            list(self._transactions.values()),
+            order,
+            complete=len(order) == total,
+        )
+
     def reordered(self, order: Iterable[Operation]) -> "Schedule":
         """A new schedule over the same transactions with a new order."""
-        return Schedule(list(self._transactions.values()), order)
+        return Schedule(
+            list(self._transactions.values()), order, complete=self._complete
+        )
 
     # ------------------------------------------------------------------
     # Accessors
@@ -183,6 +218,14 @@ class Schedule:
         if tx_id not in self._transactions:
             raise InvalidScheduleError(f"unknown transaction T{tx_id}")
         return tuple(op for op in self._order if op.tx == tx_id)
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every operation of every transaction appears."""
+        if self._complete:
+            return True
+        total = sum(len(tx) for tx in self._transactions.values())
+        return len(self._order) == total
 
     @property
     def is_serial(self) -> bool:

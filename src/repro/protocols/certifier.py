@@ -7,25 +7,53 @@ granted history.  Used by :class:`~repro.protocols.rsgt.RSGTScheduler`
 :class:`~repro.protocols.relative_locking.RelativeLockingScheduler`
 (locking for blocking discipline + certification for soundness).
 
+The heavy lifting lives in :class:`~repro.core.rsg.IncrementalRsg`: a
+Pearce–Kelly incrementally ordered graph certifies each granted
+operation in amortized sub-linear time (no graph copy, no full DFS), and
+``forget`` (restarting a victim) pops the history back to the victim's
+first granted operation and replays the survivors — each pop and each
+replayed push costs O(#its-arcs).
+
 A key monotonicity fact makes online use sound: granting more operations
 only ever *adds* arcs, so an operation whose tentative insertion closes
 a cycle will close it forever — certification failures are final and the
-requester must abort, never wait.
+requester must abort, never wait.  The same fact makes forget-replay
+infallible: the survivors' arc set is a subset of the arcs the graph
+already held acyclically, so re-pushing them cannot close a cycle.  A
+from-scratch :meth:`RsgCertifier.rebuild` is kept purely as a defensive
+fallback (and for tests); :attr:`RsgCertifier.stats` records if it ever
+fires.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
+from dataclasses import dataclass
 
 from repro.core.atomicity import RelativeAtomicitySpec
 from repro.core.operations import Operation
-from repro.core.rsg import ArcKind
-from repro.core.schedules import conflicts
+from repro.core.rsg import IncrementalRsg
 from repro.core.transactions import Transaction
-from repro.graphs.cycles import find_cycle
-from repro.graphs.digraph import DiGraph
+from repro.errors import CycleError
+from repro.graphs.incremental import IncrementalDiGraph
 
-__all__ = ["RsgCertifier"]
+__all__ = ["CertifierStats", "RsgCertifier"]
+
+
+@dataclass
+class CertifierStats:
+    """Operational counters of one :class:`RsgCertifier`.
+
+    ``fallback_rebuilds`` should stay zero: forget-replay is provably
+    infallible (see the module docstring), so a non-zero count means the
+    defensive path fired on a bug worth investigating.
+    """
+
+    certified: int = 0
+    rejected: int = 0
+    forgets: int = 0
+    replayed: int = 0
+    fallback_rebuilds: int = 0
 
 
 class RsgCertifier:
@@ -38,21 +66,29 @@ class RsgCertifier:
 
     def __init__(self, spec: RelativeAtomicitySpec) -> None:
         self._spec = spec
-        self._graph = DiGraph()
-        self._history: list[Operation] = []
-        # _anc[k] has bit j set iff history[k] depends on history[j].
-        self._anc: list[int] = []
+        self._engine = IncrementalRsg(spec)
         self._declared: dict[int, Transaction] = {}
+        self._stats = CertifierStats()
 
     @property
-    def graph(self) -> DiGraph:
+    def graph(self) -> IncrementalDiGraph:
         """The current RSG over all declared operations."""
-        return self._graph
+        return self._engine.graph
 
     @property
     def history(self) -> tuple[Operation, ...]:
         """The certified (granted) operations, in order."""
-        return tuple(self._history)
+        return tuple(self._engine.history)
+
+    @property
+    def stats(self) -> CertifierStats:
+        """Operational counters (grants, rejections, restarts)."""
+        return self._stats
+
+    @property
+    def last_rejected_cycle(self) -> list[Operation] | None:
+        """Witness cycle from the most recent refused certification."""
+        return self._engine.last_rejected_cycle
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -60,11 +96,7 @@ class RsgCertifier:
     def declare(self, transaction: Transaction) -> None:
         """Add a transaction's vertices and I-arcs to the graph."""
         self._declared[transaction.tx_id] = transaction
-        ops = transaction.operations
-        for op in ops:
-            self._graph.add_node(op)
-        for first, second in zip(ops, ops[1:]):
-            self._graph.add_edge(first, second, label=ArcKind.INTERNAL)
+        self._engine.add_transaction(transaction)
 
     def try_certify(self, op: Operation) -> bool:
         """Tentatively append ``op``; commit the arcs iff still acyclic.
@@ -73,70 +105,62 @@ class RsgCertifier:
         by monotonicity the op can never be certified in this
         incarnation).
         """
-        anc, arcs = self._arcs_for(op)
-        candidate = self._graph.copy()
-        for source, target, kind in arcs:
-            candidate.add_edge(source, target, label=kind)
-        if find_cycle(candidate) is not None:
-            return False
-        self._graph = candidate
-        self._anc.append(anc)
-        self._history.append(op)
-        return True
+        if self._engine.try_push(op):
+            self._stats.certified += 1
+            return True
+        self._stats.rejected += 1
+        return False
 
     def forget(self, tx_id: int) -> None:
-        """Drop a victim's granted operations and rebuild the graph.
+        """Drop a victim's granted operations, keeping everyone else's.
 
         The transaction stays declared (its vertices and I-arcs remain),
-        matching restart semantics.
+        matching restart semantics.  Implemented as suffix replay: pop
+        the history back to the victim's first granted operation, then
+        re-push the popped survivors — O(arcs touched), not O(graph).
         """
-        ops = set(self._declared[tx_id].operations)
-        remaining = [op for op in self._history if op not in ops]
-        self.rebuild(self._declared.values(), remaining)
+        self._stats.forgets += 1
+        victim_ops = set(self._declared[tx_id].operations)
+        history = self._engine.history
+        first = next(
+            (i for i, op in enumerate(history) if op in victim_ops), None
+        )
+        if first is None:
+            return
+        survivors = [op for op in history if op not in victim_ops]
+        popped: list[Operation] = []
+        while len(self._engine) > first:
+            popped.append(self._engine.pop())
+        popped.reverse()
+        for op in popped:
+            if op in victim_ops:
+                continue
+            if not self._engine.try_push(op):  # pragma: no cover
+                # Provably unreachable (survivor arcs are a subset of an
+                # acyclic graph's); kept as a defensive fallback.
+                self._stats.fallback_rebuilds += 1
+                self.rebuild(list(self._declared.values()), survivors)
+                return
+            self._stats.replayed += 1
 
     def rebuild(
         self,
         transactions: Iterable[Transaction],
         history: Iterable[Operation],
     ) -> None:
-        """Reconstruct graph state from scratch for the given history."""
-        self._graph = DiGraph()
+        """Reconstruct certifier state from scratch for the given history.
+
+        Raises:
+            CycleError: when the given history is not certifiable (it
+                closes an RSG cycle), carrying the witness.
+        """
+        self._engine = IncrementalRsg(self._spec)
         self._declared = {}
-        self._history = []
-        self._anc = []
         for transaction in transactions:
             self.declare(transaction)
         for op in history:
-            anc, arcs = self._arcs_for(op)
-            for source, target, kind in arcs:
-                self._graph.add_edge(source, target, label=kind)
-            self._anc.append(anc)
-            self._history.append(op)
-
-    # ------------------------------------------------------------------
-    # Arc derivation
-    # ------------------------------------------------------------------
-    def _arcs_for(
-        self, op: Operation
-    ) -> tuple[int, list[tuple[Operation, Operation, ArcKind]]]:
-        """The ancestor bitset and new D/F/B arcs for appending ``op``."""
-        history = self._history
-        anc = 0
-        for position, earlier in enumerate(history):
-            if earlier.tx == op.tx or conflicts(earlier, op):
-                anc |= (1 << position) | self._anc[position]
-        arcs: list[tuple[Operation, Operation, ArcKind]] = []
-        bits = anc
-        position = 0
-        while bits:
-            if bits & 1:
-                earlier = history[position]
-                if earlier.tx != op.tx:
-                    arcs.append((earlier, op, ArcKind.DEPENDENCY))
-                    push = self._spec.push_forward(earlier, observer=op.tx)
-                    arcs.append((push, op, ArcKind.PUSH_FORWARD))
-                    pull = self._spec.pull_backward(op, observer=earlier.tx)
-                    arcs.append((earlier, pull, ArcKind.PULL_BACKWARD))
-            bits >>= 1
-            position += 1
-        return anc, arcs
+            if not self._engine.try_push(op):
+                raise CycleError(
+                    f"rebuild history is not certifiable at {op!r}",
+                    cycle=self._engine.last_rejected_cycle,
+                )

@@ -1,0 +1,152 @@
+"""Tests for the prefix-extension APIs: ``Schedule.prefix``,
+``RelativeSerializationGraph.extended_with`` and ``IncrementalRsg``."""
+
+import pytest
+
+from repro.core.dependency import DependencyRelation
+from repro.core.rsg import IncrementalRsg, RelativeSerializationGraph
+from repro.core.schedules import Schedule
+from repro.core.transactions import Transaction
+from repro.errors import GraphError, InvalidScheduleError
+from repro.specs.builders import absolute_spec, finest_spec
+
+
+def _figure2_like():
+    txs = [
+        Transaction.from_notation(1, "r[x] w[x]"),
+        Transaction.from_notation(2, "r[x] w[x]"),
+        Transaction.from_notation(3, "r[x] w[y]"),
+    ]
+    return txs, finest_spec(txs)
+
+
+def _edge_set(graph):
+    return {(a, b, labels) for a, b, labels in graph.labelled_edges()}
+
+
+class TestSchedulePrefix:
+    def test_prefix_relaxes_completeness_only(self):
+        txs, _spec = _figure2_like()
+        prefix = Schedule.prefix(txs, [txs[0][0], txs[1][0]])
+        assert not prefix.is_complete
+        assert len(prefix) == 2
+        with pytest.raises(InvalidScheduleError):
+            # Program order still enforced.
+            Schedule.prefix(txs, [txs[0][1]])
+
+    def test_extended_with_becomes_complete_at_the_end(self):
+        txs = [Transaction.from_notation(1, "r[x] w[x]")]
+        prefix = Schedule.prefix(txs, [txs[0][0]])
+        full = prefix.extended_with(txs[0][1])
+        assert full.is_complete
+
+    def test_dependency_extension_matches_scratch(self):
+        txs, _spec = _figure2_like()
+        order = [txs[0][0], txs[1][0], txs[2][0], txs[0][1], txs[1][1]]
+        parent = Schedule.prefix(txs, order[:-1])
+        child = parent.extended_with(order[-1])
+        extended = DependencyRelation(parent).extended_with(child)
+        scratch = DependencyRelation(child)
+        for earlier in order:
+            for later in order:
+                assert extended.depends_on(later, earlier) == (
+                    scratch.depends_on(later, earlier)
+                )
+
+
+class TestExtendedWith:
+    def test_matches_from_scratch_construction(self):
+        txs, spec = _figure2_like()
+        order = [
+            txs[0][0], txs[1][0], txs[2][0],
+            txs[0][1], txs[1][1], txs[2][1],
+        ]
+        rsg = RelativeSerializationGraph(Schedule.prefix(txs, []), spec)
+        for position, op in enumerate(order):
+            rsg = rsg.extended_with(op)
+            oracle = RelativeSerializationGraph(
+                Schedule.prefix(txs, order[: position + 1]), spec
+            )
+            assert _edge_set(rsg.graph) == _edge_set(oracle.graph)
+            assert rsg.is_acyclic == oracle.is_acyclic
+
+    def test_requires_the_full_graph(self):
+        txs, spec = _figure2_like()
+        partial = RelativeSerializationGraph(
+            Schedule.prefix(txs, []), spec, include_b_arcs=False
+        )
+        with pytest.raises(GraphError):
+            partial.extended_with(txs[0][0])
+
+
+class TestIncrementalRsg:
+    def test_push_pop_roundtrip_restores_graph(self):
+        txs, spec = _figure2_like()
+        engine = IncrementalRsg(spec)
+        for tx in txs:
+            engine.add_transaction(tx)
+        baseline = _edge_set(engine.graph)
+        assert engine.try_push(txs[0][0])
+        assert engine.try_push(txs[1][0])
+        assert engine.try_push(txs[0][1])
+        assert len(engine) == 3
+        for _ in range(3):
+            engine.pop()
+        assert _edge_set(engine.graph) == baseline
+
+    def test_rejection_is_exact_against_oracle(self):
+        txs = [
+            Transaction.from_notation(1, "r[x] w[x]"),
+            Transaction.from_notation(2, "r[x] w[x]"),
+        ]
+        spec = absolute_spec(txs)
+        engine = IncrementalRsg(spec)
+        for tx in txs:
+            engine.add_transaction(tx)
+        for op in (txs[0][0], txs[1][0], txs[0][1]):
+            assert engine.try_push(op)
+        assert not engine.try_push(txs[1][1])
+        witness = engine.last_rejected_cycle
+        assert witness is not None and witness[0] == witness[-1]
+        # Refusal left nothing behind: the op can be re-tried and the
+        # answer is stable (monotonicity).
+        assert not engine.try_push(txs[1][1])
+        assert len(engine) == 3
+
+    def test_push_uncertified_tracks_cyclic_extensions(self):
+        txs = [
+            Transaction.from_notation(1, "r[x] w[x]"),
+            Transaction.from_notation(2, "r[x] w[x] r[y]"),
+        ]
+        spec = absolute_spec(txs)
+        engine = IncrementalRsg(spec, maintain_reach=True)
+        for tx in txs:
+            engine.add_transaction(tx)
+        for op in (txs[0][0], txs[1][0], txs[0][1]):
+            assert engine.try_push(op)
+        assert not engine.try_push(txs[1][1])
+        engine.push_uncertified(txs[1][1])
+        assert not engine.acyclic
+        assert engine.witness is not None
+        engine.push_uncertified(txs[1][2])
+        assert not engine.acyclic  # extensions of a cyclic prefix stay cyclic
+        schedule = Schedule(txs, engine.history)
+        view = engine.materialize(schedule)
+        assert not view.is_acyclic
+        # Popping back above the first uncertified op clears the state.
+        engine.pop()
+        engine.pop()
+        assert engine.acyclic
+
+    def test_materialized_dependency_matches_scratch(self):
+        txs, spec = _figure2_like()
+        engine = IncrementalRsg(spec, maintain_reach=True)
+        for tx in txs:
+            engine.add_transaction(tx)
+        order = [txs[0][0], txs[2][0], txs[1][0], txs[2][1]]
+        for op in order:
+            assert engine.try_push(op)
+        schedule = Schedule.prefix(txs, order)
+        dependency = engine.dependency_for(schedule)
+        scratch = DependencyRelation(schedule)
+        assert list(dependency.pairs()) == list(scratch.pairs())

@@ -1,0 +1,154 @@
+"""Tests for the Pearce–Kelly incremental topological ordering graph."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import CycleError
+from repro.graphs.cycles import find_cycle
+from repro.graphs.digraph import DiGraph
+from repro.graphs.incremental import IncrementalDiGraph
+
+NODES = list(range(8))
+
+
+class TestBasics:
+    def test_forward_insert_is_accepted(self):
+        g = IncrementalDiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        assert g.has_edge("a", "b")
+        assert g.check_order_invariant()
+        order = g.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_back_insert_reorders(self):
+        g = IncrementalDiGraph()
+        for node in ("a", "b", "c"):
+            g.add_node(node)
+        # "c" got the largest index at creation; this edge forces a
+        # local reorder instead of a rebuild.
+        g.add_edge("c", "a")
+        assert g.check_order_invariant()
+        assert g.order_index("c") < g.order_index("a")
+
+    def test_cycle_is_refused_and_graph_untouched(self):
+        g = IncrementalDiGraph()
+        g.add_edge("a", "b", label="x")
+        g.add_edge("b", "c", label="y")
+        before_edges = set(g.edges())
+        before_order = g.topological_order()
+        with pytest.raises(CycleError) as err:
+            g.add_edge("c", "a")
+        assert set(g.edges()) == before_edges
+        assert g.topological_order() == before_order
+        cycle = err.value.cycle
+        assert cycle[0] == cycle[-1]
+        # All but the refused closing arc are real edges.
+        for a, b in zip(cycle, cycle[1:-1]):
+            assert g.has_edge(a, b)
+
+    def test_self_loop_is_refused(self):
+        g = IncrementalDiGraph()
+        g.add_node("a")
+        with pytest.raises(CycleError):
+            g.add_edge("a", "a")
+        assert not g.has_edge("a", "a")
+
+    def test_batch_is_all_or_nothing(self):
+        g = IncrementalDiGraph()
+        g.add_edge("a", "b")
+        result = g.try_add_edges(
+            [("b", "c", None), ("c", "d", None), ("d", "b", None)]
+        )
+        assert result is None
+        assert not g.has_edge("b", "c")
+        assert not g.has_edge("c", "d")
+        assert "c" not in g  # nodes created for the failed batch go too
+        assert "d" not in g
+        assert g.last_rejected_cycle is not None
+
+    def test_undo_batch_restores_previous_state(self):
+        g = IncrementalDiGraph()
+        g.add_edge("a", "b", label="I")
+        batch = g.try_add_edges(
+            [("b", "c", "D"), ("a", "b", "F")]  # second arc: label merge
+        )
+        assert batch is not None
+        assert g.edge_labels("a", "b") == {"I", "F"}
+        g.undo_batch(batch)
+        assert not g.has_edge("b", "c")
+        assert g.edge_labels("a", "b") == {"I"}
+        assert g.check_order_invariant()
+
+    def test_copy_preserves_order(self):
+        g = IncrementalDiGraph()
+        for node in ("a", "b", "c"):
+            g.add_node(node)
+        g.add_edge("c", "a")
+        clone = g.copy()
+        assert clone.topological_order() == g.topological_order()
+        clone.add_edge("a", "b")
+        assert not g.has_edge("a", "b")
+
+    def test_add_labelled_edges_goes_through_order_maintenance(self):
+        g = IncrementalDiGraph()
+        g.add_labelled_edges([("a", "b", "I"), ("b", "c", "D")])
+        assert g.check_order_invariant()
+        with pytest.raises(CycleError):
+            g.add_labelled_edges([("c", "d", None), ("d", "a", None)])
+        assert not g.has_edge("c", "d")
+
+
+@st.composite
+def edge_sequences(draw):
+    return draw(
+        st.lists(
+            st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)),
+            max_size=30,
+        )
+    )
+
+
+@given(edge_sequences())
+@settings(max_examples=200, deadline=None)
+def test_agrees_with_dfs_reference(edges):
+    """Insert-by-insert equivalence with the copy-and-rescan reference."""
+    incremental = IncrementalDiGraph()
+    reference = DiGraph()
+    for node in NODES:
+        incremental.add_node(node)
+        reference.add_node(node)
+    for source, target in edges:
+        candidate = reference.copy()
+        candidate.add_edge(source, target)
+        should_accept = find_cycle(candidate) is None
+        batch = incremental.try_add_edges([(source, target, None)])
+        assert (batch is not None) == should_accept
+        if should_accept:
+            reference = candidate
+        assert set(incremental.edges()) == set(reference.edges())
+        assert incremental.check_order_invariant()
+
+
+@given(edge_sequences(), st.integers(0, 29))
+@settings(max_examples=150, deadline=None)
+def test_undo_is_exact_inverse(edges, split):
+    """Applying then undoing a suffix of batches restores the prefix."""
+    g = IncrementalDiGraph()
+    for node in NODES:
+        g.add_node(node)
+    batches = []
+    snapshot = None
+    for i, (source, target) in enumerate(edges):
+        if i == split:
+            snapshot = (set(g.edges()), dict(g._ord))
+        batch = g.try_add_edges([(source, target, "L")])
+        if batch is not None and i >= split:
+            batches.append(batch)
+    if snapshot is None:
+        return
+    for batch in reversed(batches):
+        g.undo_batch(batch)
+    assert set(g.edges()) == snapshot[0]
+    assert g.check_order_invariant()

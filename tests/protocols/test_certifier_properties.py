@@ -1,0 +1,151 @@
+"""Hypothesis equivalence: incremental certifier vs from-scratch RSG.
+
+Drives :class:`~repro.protocols.certifier.RsgCertifier` through random
+admit/grant/restart sequences (including the abort-and-retry path that
+exercises ``forget``'s suffix replay) and checks, after every event,
+that the certifier's state is exactly what rebuilding the relative
+serialization graph from scratch over the granted prefix would give:
+
+* same labelled arc set,
+* grant/reject decisions match offline RSG acyclicity (Theorem 1),
+* ``forget`` drops exactly the victim's operations, preserving order.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.operations import read, write
+from repro.core.rsg import RelativeSerializationGraph
+from repro.core.schedules import Schedule
+from repro.core.transactions import Transaction
+from repro.protocols.certifier import RsgCertifier
+
+OBJECTS = ("x", "y")
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def scenarios(draw):
+    """A workload plus a random schedule-and-restart driver script."""
+    n = draw(st.integers(2, 3))
+    transactions = []
+    for tx_id in range(1, n + 1):
+        length = draw(st.integers(1, 3))
+        ops = []
+        for _ in range(length):
+            obj = draw(st.sampled_from(OBJECTS))
+            ops.append(write(obj) if draw(st.booleans()) else read(obj))
+        transactions.append(Transaction(tx_id, ops))
+    views = {}
+    for tx in transactions:
+        for other in transactions:
+            if tx.tx_id == other.tx_id:
+                continue
+            cuts = [
+                position
+                for position in range(1, len(tx))
+                if draw(st.booleans())
+            ]
+            views[(tx.tx_id, other.tx_id)] = cuts
+    spec = RelativeAtomicitySpec(transactions, views)
+    actions = draw(st.lists(st.integers(0, 20), min_size=5, max_size=40))
+    return transactions, spec, actions
+
+
+def _edge_set(graph):
+    return {
+        (source, target, labels)
+        for source, target, labels in graph.labelled_edges()
+    }
+
+
+def _assert_matches_oracle(certifier, transactions, spec):
+    """The certifier state must equal the from-scratch RSG."""
+    schedule = Schedule.prefix(transactions, certifier.history)
+    oracle = RelativeSerializationGraph(schedule, spec)
+    assert oracle.is_acyclic
+    assert _edge_set(certifier.graph) == _edge_set(oracle.graph)
+
+
+@given(scenarios())
+@_SETTINGS
+def test_certifier_agrees_with_offline_rsg(scenario):
+    transactions, spec, actions = scenario
+    certifier = RsgCertifier(spec)
+    for transaction in transactions:
+        certifier.declare(transaction)
+    cursor = {tx.tx_id: 0 for tx in transactions}
+    programs = {tx.tx_id: tx.operations for tx in transactions}
+    tx_ids = sorted(programs)
+
+    for action in actions:
+        tx_id = tx_ids[action % len(tx_ids)]
+        if action % 7 == 0 and cursor[tx_id] > 0:
+            # Voluntary restart: exercises forget's suffix replay on a
+            # victim with granted operations anywhere in the history.
+            history_before = certifier.history
+            victim_ops = set(programs[tx_id])
+            certifier.forget(tx_id)
+            expected = tuple(
+                op for op in history_before if op not in victim_ops
+            )
+            assert certifier.history == expected
+            cursor[tx_id] = 0
+            _assert_matches_oracle(certifier, transactions, spec)
+            continue
+        if cursor[tx_id] >= len(programs[tx_id]):
+            continue
+        op = programs[tx_id][cursor[tx_id]]
+        tentative = Schedule.prefix(
+            transactions, list(certifier.history) + [op]
+        )
+        should_grant = RelativeSerializationGraph(tentative, spec).is_acyclic
+        granted = certifier.try_certify(op)
+        assert granted == should_grant
+        if granted:
+            cursor[tx_id] += 1
+        else:
+            # Protocol behaviour: rejection is final, the requester
+            # aborts and restarts from its first operation.
+            assert certifier.last_rejected_cycle is not None
+            certifier.forget(tx_id)
+            cursor[tx_id] = 0
+        _assert_matches_oracle(certifier, transactions, spec)
+
+    # The defensive rebuild path must never have fired: forget-replay
+    # is provably infallible.
+    assert certifier.stats.fallback_rebuilds == 0
+
+
+@given(scenarios())
+@_SETTINGS
+def test_forget_equals_fresh_certifier(scenario):
+    """After any forget, state equals a fresh certifier fed the survivors."""
+    transactions, spec, actions = scenario
+    certifier = RsgCertifier(spec)
+    for transaction in transactions:
+        certifier.declare(transaction)
+    cursor = {tx.tx_id: 0 for tx in transactions}
+    programs = {tx.tx_id: tx.operations for tx in transactions}
+    tx_ids = sorted(programs)
+    for action in actions:
+        tx_id = tx_ids[action % len(tx_ids)]
+        if cursor[tx_id] >= len(programs[tx_id]):
+            continue
+        if not certifier.try_certify(programs[tx_id][cursor[tx_id]]):
+            break
+        cursor[tx_id] += 1
+    victim = tx_ids[actions[0] % len(tx_ids)]
+    certifier.forget(victim)
+    fresh = RsgCertifier(spec)
+    for transaction in transactions:
+        fresh.declare(transaction)
+    for op in certifier.history:
+        assert fresh.try_certify(op)
+    assert _edge_set(certifier.graph) == _edge_set(fresh.graph)
