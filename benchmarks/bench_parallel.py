@@ -1,0 +1,197 @@
+"""E15 — parallel sweep engine: serial vs multi-process scaling.
+
+The tentpole claim of the parallel subsystem is *determinism first*:
+any job count produces bit-identical censuses, reports, and simulation
+batches, because the schedule space is split into contiguous
+lexicographic-rank blocks (each worker re-seeds its shared-prefix
+incremental RSG engine at its block-start rank) and results are merged
+in block order — a reassociation of the serial fold.  This module
+asserts that equality on every run, measures the wall-clock scaling,
+and records both into ``BENCH_parallel.json``:
+
+* exhaustive Figure-5 census over the full interleaving space, ranked
+  block partitioning (``census_exhaustive(jobs=N)``);
+* batched protocol simulations, one task per seed x protocol
+  (``run_batch(jobs=N)``).
+
+Speedup on a multi-core box should be near-linear (the sweeps are
+embarrassingly parallel; only the merge is serial).  The >=2.5x floor
+at 4 workers is asserted only when the machine actually has >= 4 cores
+— on smaller hosts (CI smoke runs on 1-2 cores) the honest measured
+numbers are still recorded, where parallel overhead without parallel
+hardware shows up as speedup < 1.
+
+Quick mode (``BENCH_QUICK=1``) shrinks the workloads, drops the
+4-worker point, and skips writing the tracked JSON.
+"""
+
+import os
+import time
+from pathlib import Path
+
+from benchmarks._report import emit, emit_json
+from repro.analysis.classes import census_exhaustive
+from repro.analysis.tables import format_table
+from repro.core.transactions import Transaction
+from repro.sim.batch import SimulationTask, run_batch
+from repro.specs.builders import uniform_spec
+from repro.workloads.longlived import LongLivedWorkload
+
+QUICK = os.environ.get("BENCH_QUICK") == "1"
+
+#: Machine-readable scaling results, tracked across PRs (repo root).
+BENCH_PARALLEL = (
+    Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+)
+
+#: Required speedup at 4 workers — asserted only on >=4-core hosts.
+SPEEDUP_FLOOR = 2.5
+CORES = os.cpu_count() or 1
+
+JOB_COUNTS = (1, 2) if QUICK else (1, 2, 4)
+
+
+def _census_instance():
+    if QUICK:
+        txs = [
+            Transaction.from_notation(1, "r[x] w[x] r[y]"),
+            Transaction.from_notation(2, "w[x] r[y] w[y]"),
+            Transaction.from_notation(3, "r[y] w[z]"),
+        ]
+    else:
+        txs = [
+            Transaction.from_notation(1, "r[x] w[x] r[y] w[z]"),
+            Transaction.from_notation(2, "w[x] r[y] w[y]"),
+            Transaction.from_notation(3, "r[y] w[z] r[x]"),
+        ]
+    return txs, uniform_spec(txs, 1)
+
+
+def _census_key(result):
+    """Everything a census reports, witnesses included."""
+    return (
+        result.total,
+        result.serial,
+        result.conflict_serializable,
+        result.relatively_atomic,
+        result.relatively_serial,
+        result.relatively_consistent,
+        result.relatively_serializable,
+        result.undecided_consistent,
+        sorted(
+            (name, tuple(schedule.operations))
+            for name, schedule in result.witnesses.items()
+        ),
+    )
+
+
+def _scaling_rows(timings):
+    serial = timings["1"]
+    rows, speedups = [], {}
+    for jobs, elapsed in timings.items():
+        speedups[jobs] = serial / elapsed
+        rows.append([jobs, f"{elapsed * 1000.0:.0f}", f"{speedups[jobs]:.2f}x"])
+    return rows, speedups
+
+
+def test_report_parallel_census(benchmark):
+    """Exhaustive census wall-clock by job count; results must match."""
+    txs, spec = _census_instance()
+
+    def compute():
+        timings, keys = {}, {}
+        for jobs in JOB_COUNTS:
+            start = time.perf_counter()
+            result = census_exhaustive(txs, spec, jobs=jobs)
+            timings[str(jobs)] = time.perf_counter() - start
+            keys[str(jobs)] = _census_key(result)
+        return timings, keys
+
+    timings, keys = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for jobs, key in keys.items():
+        assert key == keys["1"], f"jobs={jobs} census differs from serial"
+
+    rows, speedups = _scaling_rows(timings)
+    population = keys["1"][0]
+    emit(
+        f"E15a — exhaustive census over {population} interleavings, "
+        f"ranked block partitioning ({CORES} cores)",
+        format_table(["jobs", "wall (ms)", "speedup"], rows),
+    )
+    if not QUICK:
+        emit_json(
+            "census_scaling",
+            {
+                "config": "3 txs (4+3+3 ops), uniform_spec(1), "
+                          f"population={population}",
+                "cores": CORES,
+                "wall_ms": {
+                    k: round(v * 1000.0, 1) for k, v in timings.items()
+                },
+                "speedup": {k: round(v, 2) for k, v in speedups.items()},
+            },
+            path=BENCH_PARALLEL,
+        )
+        if CORES >= 4:
+            assert speedups["4"] >= SPEEDUP_FLOOR
+
+
+def test_report_parallel_simulation_batch(benchmark):
+    """Batched seed x protocol simulations; results must match serial."""
+    seeds = range(2) if QUICK else range(6)
+    protocols = ("2pl", "sgt", "altruistic", "rel-locking", "rsgt")
+    tasks = []
+    for seed in seeds:
+        bundle = LongLivedWorkload(
+            n_objects=6, n_long=1, n_short=8, short_ops=2, seed=seed
+        ).build()
+        for name in protocols:
+            tasks.append(
+                SimulationTask(
+                    transactions=tuple(bundle.transactions),
+                    protocol=name,
+                    spec=bundle.spec,
+                    roles=dict(bundle.roles),
+                    tag=(seed, name),
+                )
+            )
+
+    def compute():
+        timings, histories = {}, {}
+        for jobs in JOB_COUNTS:
+            start = time.perf_counter()
+            results = run_batch(tasks, jobs=jobs)
+            timings[str(jobs)] = time.perf_counter() - start
+            histories[str(jobs)] = [
+                tuple(result.schedule.operations) for result in results
+            ]
+        return timings, histories
+
+    timings, histories = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for jobs, history in histories.items():
+        assert history == histories["1"], (
+            f"jobs={jobs} batch differs from serial"
+        )
+
+    rows, speedups = _scaling_rows(timings)
+    emit(
+        f"E15b — simulation batch, {len(tasks)} runs "
+        f"(seed x protocol, {CORES} cores)",
+        format_table(["jobs", "wall (ms)", "speedup"], rows),
+    )
+    if not QUICK:
+        emit_json(
+            "simulation_batch_scaling",
+            {
+                "config": "LongLivedWorkload(1 long + 8 shorts), "
+                          f"{len(tasks)} tasks",
+                "cores": CORES,
+                "wall_ms": {
+                    k: round(v * 1000.0, 1) for k, v in timings.items()
+                },
+                "speedup": {k: round(v, 2) for k, v in speedups.items()},
+            },
+            path=BENCH_PARALLEL,
+        )
+        if CORES >= 4:
+            assert speedups["4"] >= SPEEDUP_FLOOR

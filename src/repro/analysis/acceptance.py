@@ -53,16 +53,21 @@ def acceptance_for_spec(
     samples: int,
     seed: int = 0,
     consistency_budget: int | None = 100_000,
+    jobs: int | None = 1,
 ) -> ClassCensus:
     """Census over ``samples`` uniform random schedules under ``spec``.
 
     The population is classified with prefix sharing (sorted, one
     incremental RSG engine) — counts are order-independent, so the
-    result matches a plain per-schedule census.
+    result matches a plain per-schedule census.  ``jobs > 1`` splits
+    the sorted population over worker processes (identical result; see
+    :mod:`repro.parallel`).
     """
     rng = random.Random(seed)
     population = random_schedules(transactions, samples, rng)
-    return census(population, spec, consistency_budget, shared_prefixes=True)
+    return census(
+        population, spec, consistency_budget, shared_prefixes=True, jobs=jobs
+    )
 
 
 def acceptance_sweep(
@@ -73,6 +78,7 @@ def acceptance_sweep(
     samples: int = 200,
     seed: int = 0,
     consistency_budget: int | None = 100_000,
+    jobs: int | None = 1,
 ) -> list[AcceptanceRow]:
     """Acceptance rates by unit granularity.
 
@@ -81,6 +87,10 @@ def acceptance_sweep(
     absolute/traditional model; ``1`` the finest) and the *same* random
     schedule population is classified under it — so rates across rows are
     directly comparable (and monotone in the unit granularity).
+
+    ``jobs > 1`` classifies each row's population across worker
+    processes (sorted contiguous blocks, ordered merge) — rows are
+    identical to the serial sweep.
     """
     transactions = random_transactions(
         n_transactions,
@@ -94,7 +104,11 @@ def acceptance_sweep(
     for unit_size in unit_sizes:
         spec = uniform_spec(transactions, unit_size)
         result = census(
-            population, spec, consistency_budget, shared_prefixes=True
+            population,
+            spec,
+            consistency_budget,
+            shared_prefixes=True,
+            jobs=jobs,
         )
         decided = result.total - result.undecided_consistent
         rows.append(

@@ -48,6 +48,26 @@ class ClassCensus:
         """``count`` as a fraction of the population."""
         return count / self.total if self.total else 0.0
 
+    def merge(self, other: "ClassCensus") -> "ClassCensus":
+        """Fold ``other`` (a census of a *later* population block) in.
+
+        Counts add; witnesses keep the first-found schedule, which under
+        an ordered reduce over contiguous blocks is exactly the witness
+        the serial sweep would have recorded.  Returns ``self`` (the
+        accumulator) for use as a fold step.
+        """
+        self.total += other.total
+        self.serial += other.serial
+        self.conflict_serializable += other.conflict_serializable
+        self.relatively_atomic += other.relatively_atomic
+        self.relatively_serial += other.relatively_serial
+        self.relatively_consistent += other.relatively_consistent
+        self.relatively_serializable += other.relatively_serializable
+        self.undecided_consistent += other.undecided_consistent
+        for name, schedule in other.witnesses.items():
+            self.witnesses.setdefault(name, schedule)
+        return self
+
     def as_rows(self) -> list[tuple[str, int, float]]:
         """(class, count, fraction) rows, largest class last."""
         pairs = [
@@ -67,6 +87,7 @@ def census(
     consistency_budget: int | None = 200_000,
     *,
     shared_prefixes: bool = False,
+    jobs: int = 1,
 ) -> ClassCensus:
     """Count class memberships over ``schedules``.
 
@@ -81,7 +102,18 @@ def census(
     of a full closure-and-graph rebuild.  Counts are identical; which
     schedule becomes a witness may differ (first-found in sorted rather
     than input order).
+
+    ``jobs > 1`` classifies the (sorted, prefix-shared) population in
+    contiguous blocks across worker processes with an ordered merge —
+    results are identical to ``shared_prefixes=True`` serially; see
+    :func:`repro.parallel.census_schedules`.
     """
+    if jobs != 1:
+        from repro.parallel.sweeps import census_schedules
+
+        return census_schedules(
+            list(schedules), spec, consistency_budget, jobs=jobs
+        )
     if shared_prefixes:
         ordered = sorted(schedules, key=_lex_key)
         pairs: Iterable[tuple[Schedule, RelativeSerializationGraph]] = (
@@ -164,6 +196,8 @@ def census_exhaustive(
     transactions: Sequence[Transaction],
     spec: RelativeAtomicitySpec,
     consistency_budget: int | None = 200_000,
+    *,
+    jobs: int = 1,
 ) -> ClassCensus:
     """Census over *every* schedule of the transaction set.
 
@@ -172,7 +206,18 @@ def census_exhaustive(
     (:func:`~repro.workloads.enumerate.rsg_interleavings`) instead of
     rebuilding the graph per schedule.  Only sensible at small sizes;
     see :func:`repro.workloads.enumerate.count_interleavings` first.
+
+    ``jobs > 1`` fans the schedule space out over worker processes in
+    contiguous rank blocks (each worker seeds its own engine at its
+    block start) and merges in block order — identical counts *and*
+    witnesses; see :func:`repro.parallel.census_exhaustive_parallel`.
     """
+    if jobs != 1:
+        from repro.parallel.sweeps import census_exhaustive_parallel
+
+        return census_exhaustive_parallel(
+            transactions, spec, consistency_budget, jobs=jobs
+        )
     return _census_pairs(
         rsg_interleavings(transactions, spec), spec, consistency_budget
     )

@@ -67,6 +67,17 @@ class ContainmentReport:
         """Whether every expected containment held."""
         return not self.violations
 
+    def merge(self, other: "ContainmentReport") -> "ContainmentReport":
+        """Fold in the report of a *later* population block (ordered
+        reduce): counts add, violations concatenate in visit order, and
+        proper-inclusion witnesses keep the first-found schedule."""
+        self.checked += other.checked
+        self.undecided += other.undecided
+        self.violations.extend(other.violations)
+        for pair, schedule in other.proper_witnesses.items():
+            self.proper_witnesses.setdefault(pair, schedule)
+        return self
+
 
 def check_containments(
     schedules: Iterable[Schedule],
@@ -74,6 +85,7 @@ def check_containments(
     consistency_budget: int | None = 200_000,
     *,
     shared_prefixes: bool = False,
+    jobs: int = 1,
 ) -> ContainmentReport:
     """Check every expected containment over ``schedules``.
 
@@ -82,7 +94,18 @@ def check_containments(
     against the previous one, not a per-schedule rebuild); violations
     and witnesses are found on the same population, just visited in
     sorted order.
+
+    ``jobs > 1`` checks the sorted population in contiguous blocks
+    across worker processes with an ordered merge — identical to the
+    ``shared_prefixes=True`` serial report; see
+    :func:`repro.parallel.check_containments_parallel`.
     """
+    if jobs != 1:
+        from repro.parallel.sweeps import check_containments_parallel
+
+        return check_containments_parallel(
+            list(schedules), spec, consistency_budget, jobs=jobs
+        )
     if shared_prefixes:
         from repro.workloads.enumerate import shared_prefix_rsgs
 

@@ -18,7 +18,6 @@ from dataclasses import dataclass
 
 from repro.core.rsg import is_relatively_serializable
 from repro.core.serializability import is_conflict_serializable
-from repro.errors import SimulationError
 from repro.protocols import (
     AltruisticLockingScheduler,
     RelativeLockingScheduler,
@@ -27,7 +26,6 @@ from repro.protocols import (
     Scheduler,
     TwoPhaseLockingScheduler,
 )
-from repro.sim.runner import simulate_bundle
 from repro.workloads.base import WorkloadBundle
 
 __all__ = ["ProtocolRow", "compare_protocols", "default_protocols"]
@@ -66,6 +64,7 @@ def compare_protocols(
     seeds: Sequence[int] = tuple(range(5)),
     backoff: int = 2,
     short_role: str = "short",
+    jobs: int | None = 1,
 ) -> list[ProtocolRow]:
     """Run every protocol over every seed of a workload family.
 
@@ -76,26 +75,47 @@ def compare_protocols(
         backoff: restart backoff passed to the simulator.
         short_role: role whose response time is reported separately
             (``None`` row cell when the role is absent).
+        jobs: worker processes for the independent simulation runs
+            (``1`` = inline).  Bundles are built in the parent (cheap,
+            and ``make_bundle`` may be a closure); only the materialized
+            per-run tasks cross process boundaries, so rows are
+            identical at any job count.
     """
+    from repro.sim.batch import SimulationTask, simulate_batch
+
     per_protocol: dict[str, list] = {}
     correctness: dict[str, bool] = {}
 
+    tasks = []
+    specs = []
     for seed in seeds:
         bundle = make_bundle(seed)
-        for name, factory in default_protocols(bundle):
-            try:
-                result = simulate_bundle(
-                    bundle, factory(), backoff=backoff
+        for name, _factory in default_protocols(bundle):
+            tasks.append(
+                SimulationTask(
+                    transactions=tuple(bundle.transactions),
+                    protocol=name,
+                    spec=bundle.spec,
+                    backoff=backoff,
+                    roles=dict(bundle.roles),
+                    tag=(seed, name),
                 )
-            except SimulationError:
-                correctness[name] = False
-                continue
-            if name in ("rsgt", "rel-locking"):
-                ok = is_relatively_serializable(result.schedule, bundle.spec)
-            else:
-                ok = is_conflict_serializable(result.schedule)
-            correctness[name] = correctness.get(name, True) and ok
-            per_protocol.setdefault(name, []).append(result)
+            )
+            specs.append(bundle.spec)
+
+    for task, spec, result in zip(
+        tasks, specs, simulate_batch(tasks, jobs=jobs)
+    ):
+        name = task.protocol
+        if result is None:  # SimulationError in that run
+            correctness[name] = False
+            continue
+        if name in ("rsgt", "rel-locking"):
+            ok = is_relatively_serializable(result.schedule, spec)
+        else:
+            ok = is_conflict_serializable(result.schedule)
+        correctness[name] = correctness.get(name, True) and ok
+        per_protocol.setdefault(name, []).append(result)
 
     rows = []
     for name, results in per_protocol.items():

@@ -49,22 +49,9 @@ _FIGURES = {1: figure1, 2: figure2, 3: figure3, 4: figure4}
 
 
 def _make_protocol(name, spec):
-    from repro.protocols import (
-        AltruisticLockingScheduler,
-        RelativeLockingScheduler,
-        RSGTScheduler,
-        SGTScheduler,
-        TwoPhaseLockingScheduler,
-    )
+    from repro.protocols import make_scheduler
 
-    factories = {
-        "2pl": TwoPhaseLockingScheduler,
-        "sgt": SGTScheduler,
-        "altruistic": AltruisticLockingScheduler,
-        "rel-locking": lambda: RelativeLockingScheduler(spec),
-        "rsgt": lambda: RSGTScheduler(spec),
-    }
-    return factories[name]()
+    return make_scheduler(name, spec)
 
 
 _PROTOCOLS = ("2pl", "sgt", "altruistic", "rel-locking", "rsgt")
@@ -127,6 +114,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=50_000,
         help="refuse to enumerate more interleavings than this",
+    )
+    census_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the sweep (0 = one per CPU core; "
+            "results are identical at any job count)"
+        ),
     )
 
     simulate_cmd = commands.add_parser(
@@ -264,7 +260,9 @@ def _cmd_census(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    result = census_exhaustive(problem.transactions, problem.spec)
+    result = census_exhaustive(
+        problem.transactions, problem.spec, jobs=args.jobs
+    )
     rows = [(name, count, rate) for name, count, rate in result.as_rows()]
     print(
         format_table(

@@ -24,6 +24,7 @@ __all__ = [
     "TransactionAborted",
     "ProtocolError",
     "SimulationError",
+    "ParallelExecutionError",
 ]
 
 
@@ -107,3 +108,12 @@ class ProtocolError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator detected an inconsistent state."""
+
+
+class ParallelExecutionError(ReproError):
+    """A parallel sweep could not complete.
+
+    Raised when a worker process dies without reporting a result (hard
+    crash, out-of-memory kill, broken pool); exceptions *raised* by
+    worker code propagate unchanged instead.
+    """

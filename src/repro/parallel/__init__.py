@@ -1,0 +1,39 @@
+"""Process-level parallel sweep engine.
+
+The schedule-space sweeps (Figure 5 census, acceptance/containment
+populations) and the simulation campaigns are the repo's dominant
+wall-clock cost and are embarrassingly parallel once partitioned
+deterministically.  This package provides:
+
+* :class:`ParallelExecutor` — chunked process-pool map with ordered
+  reduce, worker-crash surfacing, and a bit-identical ``jobs=1``
+  serial fallback;
+* ranked schedule-space partitioning
+  (:func:`census_exhaustive_parallel`) — contiguous lexicographic-rank
+  blocks via :func:`repro.workloads.enumerate.interleaving_blocks`,
+  each worker seeding its own shared-prefix incremental RSG engine at
+  its block-start rank;
+* population partitioning (:func:`census_schedules`,
+  :func:`check_containments_parallel`) — sort once, split into
+  contiguous slices, merge in order.
+
+The batched simulation driver lives in :mod:`repro.sim.batch`.
+Everything is reachable through ``jobs=`` keywords on the serial entry
+points (``census``, ``census_exhaustive``, ``check_containments``,
+``compare_protocols``) and ``--jobs`` on the CLI.
+"""
+
+from repro.parallel.executor import ParallelExecutor, resolve_jobs
+from repro.parallel.sweeps import (
+    census_exhaustive_parallel,
+    census_schedules,
+    check_containments_parallel,
+)
+
+__all__ = [
+    "ParallelExecutor",
+    "census_exhaustive_parallel",
+    "census_schedules",
+    "check_containments_parallel",
+    "resolve_jobs",
+]

@@ -1,0 +1,129 @@
+"""Deterministic process-level parallelism for schedule-space sweeps.
+
+The consistency-checking sweeps this repo runs (class census, acceptance
+and containment sweeps, protocol-comparison simulations) are
+embarrassingly parallel once the work is partitioned deterministically:
+every task is a pure function of picklable inputs, and the merged result
+must not depend on worker timing.  :class:`ParallelExecutor` provides
+exactly that discipline:
+
+* **chunked work queue** — tasks are submitted in fixed-size chunks
+  (several per worker, so stragglers rebalance) to a
+  :class:`concurrent.futures.ProcessPoolExecutor`;
+* **ordered reduce** — results are folded in *task order* no matter
+  which worker finished first, so a parallel run is a reassociation of
+  the serial fold, not a reordering;
+* **crash surfacing** — a worker that dies without reporting (hard
+  crash, OOM kill) raises :class:`~repro.errors.ParallelExecutionError`
+  naming the failed chunk; exceptions *raised* by worker code propagate
+  unchanged, exactly as they would serially;
+* **serial fallback** — ``jobs=1`` (the default) never touches
+  :mod:`multiprocessing`: the worker runs inline in submission order,
+  so results are bit-identical and debuggers/profilers/coverage see
+  straight-line code.
+
+Workers must be module-level callables and tasks picklable values —
+the same constraint :mod:`multiprocessing` always imposes.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import TypeVar
+
+from repro.errors import ParallelExecutionError
+
+__all__ = ["ParallelExecutor", "resolve_jobs"]
+
+Task = TypeVar("Task")
+Result = TypeVar("Result")
+Merged = TypeVar("Merged")
+
+#: Chunks submitted per worker: enough that an uneven chunk costs only
+#: ``1/chunks_per_worker`` of a worker's share, few enough that
+#: per-chunk pickling overhead stays negligible.
+_CHUNKS_PER_WORKER = 4
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` means all CPUs."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    return jobs
+
+
+class ParallelExecutor:
+    """Run pure tasks over a process pool with deterministic merging.
+
+    Args:
+        jobs: worker process count; ``1`` runs everything inline (no
+            pool, bit-identical results), ``None``/``0`` uses every CPU.
+        chunks_per_worker: task-queue granularity for load balancing.
+    """
+
+    def __init__(
+        self, jobs: int | None = 1, *, chunks_per_worker: int = _CHUNKS_PER_WORKER
+    ) -> None:
+        if chunks_per_worker < 1:
+            raise ValueError("chunks_per_worker must be at least 1")
+        self.jobs = resolve_jobs(jobs)
+        self._chunks_per_worker = chunks_per_worker
+
+    # ------------------------------------------------------------------
+    # Core primitive: ordered map
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        worker: Callable[[Task], Result],
+        tasks: Iterable[Task],
+    ) -> list[Result]:
+        """``[worker(t) for t in tasks]``, possibly across processes.
+
+        Results are returned in task order.  With ``jobs=1`` this *is*
+        the list comprehension; with more jobs the tasks are spread over
+        a process pool and any worker exception re-raises here.
+        """
+        tasks = list(tasks)
+        workers = min(self.jobs, len(tasks))
+        if workers <= 1:
+            return [worker(task) for task in tasks]
+        chunksize = max(
+            1, -(-len(tasks) // (workers * self._chunks_per_worker))
+        )
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(worker, tasks, chunksize=chunksize))
+        except BrokenProcessPool as exc:
+            raise ParallelExecutionError(
+                f"a worker process died while mapping {len(tasks)} tasks "
+                f"over {workers} workers (chunksize {chunksize}); "
+                "the partial results were discarded"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Ordered reduce
+    # ------------------------------------------------------------------
+    def map_reduce(
+        self,
+        worker: Callable[[Task], Result],
+        tasks: Sequence[Task],
+        merge: Callable[[Merged, Result], Merged],
+        initial: Merged,
+    ) -> Merged:
+        """Map ``worker`` over ``tasks`` and fold results in task order.
+
+        ``merge`` is applied left-to-right over the *ordered* results,
+        so as long as the serial computation is itself a left fold over
+        the same partition, the parallel result is identical — witness
+        selection, first-found semantics, and accumulated counts all
+        come out the same.
+        """
+        merged = initial
+        for result in self.map(worker, tasks):
+            merged = merge(merged, result)
+        return merged

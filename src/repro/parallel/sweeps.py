@@ -1,0 +1,177 @@
+"""Ranked schedule-space partitioning for the analysis sweeps.
+
+The census, acceptance, and containment sweeps are all left folds over
+an ordered stream of classified schedules.  This module splits those
+streams into contiguous blocks, classifies each block in a worker
+process (each block riding its own shared-prefix
+:class:`~repro.core.rsg.IncrementalRsg` engine seeded at the block
+start), and merges the partial results in block order — so the parallel
+result is the *same fold*, just reassociated, and counts, violations,
+and first-found witnesses come out identical to the serial sweep.
+
+Two partitioning strategies:
+
+* **exhaustive sweeps** split the lexicographic *rank space* of the
+  interleavings (:func:`~repro.workloads.enumerate.interleaving_blocks`)
+  — workers never materialize schedules outside their block, entering
+  the enumeration tree directly at their start rank;
+* **population sweeps** (random schedule lists) sort once and split the
+  sorted list into contiguous slices, preserving the prefix sharing the
+  serial path gets from sorting.
+
+Workers are module-level functions over picklable tuples, as
+:mod:`multiprocessing` requires.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.classes import ClassCensus, _census_pairs, _lex_key, census
+from repro.analysis.containment import ContainmentReport, check_containments
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.schedules import Schedule
+from repro.core.transactions import Transaction
+from repro.parallel.executor import ParallelExecutor
+from repro.workloads.enumerate import (
+    interleaving_blocks,
+    interleavings_block,
+    shared_prefix_rsgs,
+)
+
+__all__ = [
+    "census_exhaustive_parallel",
+    "census_schedules",
+    "check_containments_parallel",
+]
+
+#: Rank blocks per worker.  More blocks than workers lets the pool
+#: rebalance (block costs vary with the NP-complete consistency test),
+#: while each block stays large enough to amortize its engine seeding.
+_BLOCKS_PER_WORKER = 4
+
+
+def _chunk_count(jobs: int, tasks_hint: int) -> int:
+    return max(1, min(jobs * _BLOCKS_PER_WORKER, tasks_hint))
+
+
+# ----------------------------------------------------------------------
+# Exhaustive census over the ranked schedule space
+# ----------------------------------------------------------------------
+def _census_rank_block(
+    task: tuple[list[Transaction], RelativeAtomicitySpec, int, int, int | None],
+) -> ClassCensus:
+    """Worker: census the interleavings with ranks in ``[start, stop)``."""
+    transactions, spec, start, stop, budget = task
+    pairs = shared_prefix_rsgs(
+        spec, interleavings_block(transactions, start, stop)
+    )
+    return _census_pairs(pairs, spec, budget)
+
+
+def census_exhaustive_parallel(
+    transactions: Sequence[Transaction],
+    spec: RelativeAtomicitySpec,
+    consistency_budget: int | None = 200_000,
+    *,
+    jobs: int | None = 1,
+) -> ClassCensus:
+    """Exhaustive class census, fanned out over rank blocks.
+
+    Identical to :func:`repro.analysis.classes.census_exhaustive` —
+    same counts *and* same witnesses, because blocks partition the
+    lexicographic enumeration contiguously and merge in rank order.
+    """
+    executor = ParallelExecutor(jobs)
+    transactions = list(transactions)
+    blocks = interleaving_blocks(
+        transactions, _chunk_count(executor.jobs, 1 << 30)
+    )
+    tasks = [
+        (transactions, spec, start, stop, consistency_budget)
+        for start, stop in blocks
+    ]
+    return executor.map_reduce(
+        _census_rank_block, tasks, ClassCensus.merge, ClassCensus()
+    )
+
+
+# ----------------------------------------------------------------------
+# Population sweeps (random schedule lists)
+# ----------------------------------------------------------------------
+def _census_slice(
+    task: tuple[list[Schedule], RelativeAtomicitySpec, int | None],
+) -> ClassCensus:
+    """Worker: census one already-sorted contiguous population slice."""
+    schedules, spec, budget = task
+    return census(schedules, spec, budget, shared_prefixes=True)
+
+
+def census_schedules(
+    schedules: Sequence[Schedule],
+    spec: RelativeAtomicitySpec,
+    consistency_budget: int | None = 200_000,
+    *,
+    jobs: int | None = 1,
+) -> ClassCensus:
+    """Census a schedule population across worker processes.
+
+    The population is sorted once (the prefix-sharing order the serial
+    path uses) and split into contiguous slices; the ordered merge
+    makes the result identical to
+    ``census(schedules, spec, shared_prefixes=True)``.
+    """
+    executor = ParallelExecutor(jobs)
+    ordered = sorted(schedules, key=_lex_key)
+    tasks = [
+        (chunk, spec, consistency_budget)
+        for chunk in _slices(ordered, _chunk_count(executor.jobs, len(ordered)))
+    ]
+    return executor.map_reduce(
+        _census_slice, tasks, ClassCensus.merge, ClassCensus()
+    )
+
+
+def _containment_slice(
+    task: tuple[list[Schedule], RelativeAtomicitySpec, int | None],
+) -> ContainmentReport:
+    """Worker: containment-check one sorted contiguous slice."""
+    schedules, spec, budget = task
+    return check_containments(schedules, spec, budget, shared_prefixes=True)
+
+
+def check_containments_parallel(
+    schedules: Sequence[Schedule],
+    spec: RelativeAtomicitySpec,
+    consistency_budget: int | None = 200_000,
+    *,
+    jobs: int | None = 1,
+) -> ContainmentReport:
+    """Containment check across worker processes (sorted, contiguous
+    slices, ordered merge) — identical to the ``shared_prefixes=True``
+    serial report."""
+    executor = ParallelExecutor(jobs)
+    ordered = sorted(schedules, key=_lex_key)
+    tasks = [
+        (chunk, spec, consistency_budget)
+        for chunk in _slices(ordered, _chunk_count(executor.jobs, len(ordered)))
+    ]
+    return executor.map_reduce(
+        _containment_slice, tasks, ContainmentReport.merge, ContainmentReport()
+    )
+
+
+def _slices(items: list, chunks: int) -> list[list]:
+    """Split ``items`` into ``chunks`` contiguous near-equal slices."""
+    if not items:
+        return []
+    base, extra = divmod(len(items), chunks)
+    out = []
+    start = 0
+    for i in range(chunks):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            break
+        out.append(items[start:start + size])
+        start += size
+    return out

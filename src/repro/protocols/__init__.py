@@ -33,6 +33,7 @@ from repro.protocols.two_phase import TwoPhaseLockingScheduler
 __all__ = [
     "Decision",
     "Outcome",
+    "PROTOCOL_NAMES",
     "Scheduler",
     "TwoPhaseLockingScheduler",
     "SGTScheduler",
@@ -40,4 +41,43 @@ __all__ = [
     "RelativeLockingScheduler",
     "AltruisticLockingScheduler",
     "RsgCertifier",
+    "make_scheduler",
 ]
+
+#: Canonical protocol names, in the E10 comparison order.  Names (not
+#: scheduler instances or factories) are what crosses process
+#: boundaries in the parallel simulation driver.
+PROTOCOL_NAMES: tuple[str, ...] = (
+    "2pl",
+    "sgt",
+    "altruistic",
+    "rel-locking",
+    "rsgt",
+)
+
+
+def make_scheduler(name: str, spec=None) -> Scheduler:
+    """Construct a fresh scheduler by canonical protocol name.
+
+    The spec-aware protocols (``rel-locking``, ``rsgt``) require a
+    :class:`~repro.core.atomicity.RelativeAtomicitySpec`; the classical
+    ones ignore ``spec``.  ``strict-2pl`` (the E10 display name) is an
+    accepted alias for ``2pl``.
+    """
+    if name in ("2pl", "strict-2pl"):
+        return TwoPhaseLockingScheduler()
+    if name == "sgt":
+        return SGTScheduler()
+    if name == "altruistic":
+        return AltruisticLockingScheduler()
+    if name == "rel-locking":
+        if spec is None:
+            raise ValueError("rel-locking requires an atomicity spec")
+        return RelativeLockingScheduler(spec)
+    if name == "rsgt":
+        if spec is None:
+            raise ValueError("rsgt requires an atomicity spec")
+        return RSGTScheduler(spec)
+    raise ValueError(
+        f"unknown protocol {name!r}; expected one of {PROTOCOL_NAMES}"
+    )

@@ -18,6 +18,15 @@ of scope; see DESIGN.md's substitution notes):
   donated it.  (This is what makes the donor/borrower serialization
   order consistent: the borrower always sits entirely "behind" the
   donor.)
+* **wake taint** — objects accessed by an indebted transaction carry
+  that wake with them: a later transaction whose access *conflicts*
+  with an in-wake access joins the donor's wake too (it serializes
+  after the borrower, hence after the donor), so it must pass the same
+  containment check or wait for the donor.  Without this a borrower
+  could commit, launder its in-wake write through the lock table, and
+  let a third transaction read the wake data while racing *ahead* of
+  the donor elsewhere — a serialization cycle the first two rules
+  cannot see (pinned as a regression test).
 
 Deadlock handling is the same waits-for check as plain 2PL.  The test
 suite asserts every final committed history is conflict serializable.
@@ -48,6 +57,11 @@ class AltruisticLockingScheduler(Scheduler):
         self._access_set: dict[int, frozenset[str]] = {}
         # Dynamic wake state: borrower -> donors it is indebted to.
         self._indebted_to: dict[int, set[int]] = {}
+        # Wake taint: obj -> donor -> {contributor: strongest access mode}.
+        # Records which objects were touched by transactions indebted to a
+        # still-active donor; survives the contributor's commit, cleared
+        # when the donor retires or the contributor aborts.
+        self._taint: dict[str, dict[int, dict[int, LockMode]]] = {}
 
     def _on_admit(self, transaction: Transaction) -> None:
         last_use: dict[str, int] = {}
@@ -63,11 +77,14 @@ class AltruisticLockingScheduler(Scheduler):
             op.obj, op.tx, mode, ignore_donated_of=donors
         )
         blockers.update(self._wake_blockers(op))
+        blockers.update(self._taint_blockers(op))
         blockers.discard(op.tx)
         if not blockers:
             self._waiting_on.pop(op.tx, None)
             self._locks.acquire(op.obj, op.tx, mode)
             self._record_borrowings(op)
+            self._join_tainted_wakes(op)
+            self._record_taint(op)
             self._maybe_donate(op)
             return Outcome.grant()
         self._waiting_on[op.tx] = blockers
@@ -126,6 +143,54 @@ class AltruisticLockingScheduler(Scheduler):
                 blocking.add(donor)
         return blocking
 
+    def _conflicting_taint_donors(self, op: Operation) -> set[int]:
+        """Active donors whose wake ``op`` would join through tainted data.
+
+        A donor is relevant when some transaction indebted to it accessed
+        ``op.obj`` in a mode conflicting with this request: the requester
+        then serializes after that in-wake access, hence after the donor.
+        """
+        donors = set()
+        for donor, contributors in self._taint.get(op.obj, {}).items():
+            if donor == op.tx or self.is_committed(donor):
+                continue
+            for contributor, held in contributors.items():
+                if contributor == op.tx:
+                    continue
+                if held is LockMode.EXCLUSIVE or op.is_write:
+                    donors.add(donor)
+                    break
+        return donors
+
+    def _taint_blockers(self, op: Operation) -> set[int]:
+        """Donors whose tainted wake the requester may not join yet."""
+        return {
+            donor
+            for donor in self._conflicting_taint_donors(op)
+            if not self._in_wake(op.tx, donor)
+        }
+
+    def _join_tainted_wakes(self, op: Operation) -> None:
+        """Inherit debts to every donor whose tainted data ``op`` touches
+        (the grant already verified the requester is in those wakes)."""
+        donors = self._conflicting_taint_donors(op)
+        if donors:
+            debts = self._indebted_to.setdefault(op.tx, set())
+            debts.update(donors)
+            debts.discard(op.tx)
+
+    def _record_taint(self, op: Operation) -> None:
+        """Mark ``op.obj`` as carrying the wakes ``op.tx`` is in."""
+        mode = LockMode.EXCLUSIVE if op.is_write else LockMode.SHARED
+        for donor in self._indebted_to.get(op.tx, ()):
+            if self.is_committed(donor):
+                continue
+            contributors = self._taint.setdefault(op.obj, {}).setdefault(
+                donor, {}
+            )
+            if contributors.get(op.tx) is not LockMode.EXCLUSIVE:
+                contributors[op.tx] = mode
+
     def _record_borrowings(self, op: Operation) -> None:
         for holder, _mode in self._locks.holders(op.obj).items():
             if holder == op.tx or self.is_committed(holder):
@@ -169,6 +234,10 @@ class AltruisticLockingScheduler(Scheduler):
         self._locks.release_all(tx_id)
         self._waiting_on.pop(tx_id, None)
         self._indebted_to.pop(tx_id, None)
+        # A committed donor's wake is over; its taints are moot.  Taints
+        # *contributed* by tx_id stay: they guard the donor's still-open
+        # wake even after the contributor commits.
+        self._drop_taint_donor(tx_id)
 
     def _on_remove(self, tx_id: int) -> None:
         self._locks.release_all(tx_id)
@@ -178,3 +247,22 @@ class AltruisticLockingScheduler(Scheduler):
         # gone, so the debt is moot.
         for debts in self._indebted_to.values():
             debts.discard(tx_id)
+        # The victim's history is undone, so both the wakes it anchored
+        # and the taints its accesses contributed disappear.
+        self._drop_taint_donor(tx_id)
+        for by_donor in list(self._taint.values()):
+            for donor, contributors in list(by_donor.items()):
+                contributors.pop(tx_id, None)
+                if not contributors:
+                    del by_donor[donor]
+        self._prune_taint()
+
+    def _drop_taint_donor(self, tx_id: int) -> None:
+        for by_donor in self._taint.values():
+            by_donor.pop(tx_id, None)
+        self._prune_taint()
+
+    def _prune_taint(self) -> None:
+        for obj in list(self._taint):
+            if not self._taint[obj]:
+                del self._taint[obj]

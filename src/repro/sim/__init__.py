@@ -8,6 +8,7 @@ throughput, response times, waits, and restarts.
 * :mod:`~repro.sim.runner` — the tick loop;
 * :mod:`~repro.sim.metrics` — the result/metric dataclasses;
 * :mod:`~repro.sim.arrivals` — arrival processes for open-system runs;
+* :mod:`~repro.sim.batch` — batched (optionally multi-process) runs;
 * :mod:`~repro.sim.pipeline` — schedule-execute-verify in one call.
 """
 
@@ -16,6 +17,7 @@ from repro.sim.arrivals import (
     role_delayed_arrivals,
     uniform_arrivals,
 )
+from repro.sim.batch import SimulationTask, run_batch, simulate_batch
 from repro.sim.metrics import SimulationResult, TransactionOutcome
 from repro.sim.pipeline import WorkloadRun, run_workload
 from repro.sim.runner import simulate, simulate_bundle
@@ -23,6 +25,9 @@ from repro.sim.runner import simulate, simulate_bundle
 __all__ = [
     "simulate",
     "simulate_bundle",
+    "SimulationTask",
+    "run_batch",
+    "simulate_batch",
     "SimulationResult",
     "TransactionOutcome",
     "uniform_arrivals",

@@ -1,0 +1,109 @@
+"""Batched simulation: many independent runs, optionally in parallel.
+
+Protocol comparisons and randomized campaigns run hundreds of
+independent simulations (one per seed x protocol x workload).  Each run
+is a pure function of its inputs, so the batch fans out over the
+:class:`~repro.parallel.ParallelExecutor` process pool and returns
+results in task order — a ``jobs=1`` batch is exactly the loop it
+replaces.
+
+Tasks carry the *materialized* inputs (transactions, spec, protocol
+name) rather than factories or scheduler instances: names and value
+objects pickle across process boundaries, closures do not.  Schedulers
+are reconstructed inside the worker via
+:func:`repro.protocols.make_scheduler`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.transactions import Transaction
+from repro.parallel.executor import ParallelExecutor
+from repro.protocols import make_scheduler
+from repro.sim.metrics import SimulationResult
+from repro.sim.runner import simulate
+
+__all__ = ["SimulationTask", "run_batch", "simulate_batch"]
+
+
+@dataclass(frozen=True)
+class SimulationTask:
+    """One independent simulation: everything a worker needs, by value.
+
+    Attributes:
+        transactions: the transaction set to run.
+        protocol: canonical protocol name (see
+            :data:`repro.protocols.PROTOCOL_NAMES`).
+        spec: atomicity spec for the spec-aware protocols (``None`` is
+            fine for the classical ones).
+        arrivals: per-transaction arrival ticks (default: all zero).
+        backoff: restart backoff base.
+        max_ticks: livelock guard.
+        roles: transaction roles to attach to the result's metrics.
+        tag: free-form label (e.g. the seed) carried through untouched,
+            for matching results back to their configuration.
+    """
+
+    transactions: tuple[Transaction, ...]
+    protocol: str
+    spec: RelativeAtomicitySpec | None = None
+    arrivals: Mapping[int, int] | None = None
+    backoff: int = 2
+    max_ticks: int = 100_000
+    roles: Mapping[int, str] = field(default_factory=dict)
+    tag: object = None
+
+
+def run_task(task: SimulationTask) -> SimulationResult:
+    """Run one task to completion (the worker function)."""
+    scheduler = make_scheduler(task.protocol, task.spec)
+    result = simulate(
+        list(task.transactions),
+        scheduler,
+        arrivals=task.arrivals,
+        backoff=task.backoff,
+        max_ticks=task.max_ticks,
+    )
+    result.roles = dict(task.roles)
+    return result
+
+
+def run_batch(
+    tasks: Sequence[SimulationTask], *, jobs: int | None = 1
+) -> list[SimulationResult]:
+    """Run every task, returning results in task order.
+
+    ``jobs=1`` runs the loop inline; more jobs spread the independent
+    simulations over a process pool.  A :class:`~repro.errors.
+    SimulationError` in any run propagates (same as the serial loop);
+    campaigns that tolerate failed runs should use
+    :func:`simulate_batch`, which yields ``None`` per failed slot.
+    """
+    return ParallelExecutor(jobs).map(run_task, list(tasks))
+
+
+def _run_task_guarded(
+    task: SimulationTask,
+) -> SimulationResult | tuple[str, str]:
+    """Worker that converts simulation failures into markers."""
+    from repro.errors import SimulationError
+
+    try:
+        return run_task(task)
+    except SimulationError as exc:
+        return ("error", str(exc))
+
+
+def simulate_batch(
+    tasks: Sequence[SimulationTask], *, jobs: int | None = 1
+) -> list[SimulationResult | None]:
+    """Like :func:`run_batch`, but a failed run yields ``None`` in its
+    slot instead of aborting the whole batch (protocol-comparison
+    campaigns count failures rather than crash)."""
+    out: list[SimulationResult | None] = []
+    for result in ParallelExecutor(jobs).map(_run_task_guarded, list(tasks)):
+        out.append(None if isinstance(result, tuple) else result)
+    return out

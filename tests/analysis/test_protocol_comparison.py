@@ -51,3 +51,13 @@ class TestCompareProtocols:
             by_name["rsgt"].mean_short_response
             <= by_name["strict-2pl"].mean_short_response
         )
+
+    def test_parallel_rows_identical_to_serial(self, rows):
+        parallel = compare_protocols(
+            lambda seed: LongLivedWorkload(
+                n_objects=4, n_long=1, n_short=3, short_ops=1, seed=seed
+            ).build(),
+            seeds=(0, 1, 2),
+            jobs=2,
+        )
+        assert parallel == rows

@@ -1,0 +1,101 @@
+"""Tests for the ordered process-pool executor."""
+
+import os
+
+import pytest
+
+from repro.errors import ParallelExecutionError
+from repro.parallel.executor import ParallelExecutor, resolve_jobs
+
+
+# Workers must be module-level so they pickle across process boundaries.
+def _square(value):
+    return value * value
+
+
+def _fail_on_three(value):
+    if value == 3:
+        raise ValueError("three is right out")
+    return value
+
+
+def _die_on_three(value):
+    if value == 3:
+        os._exit(17)  # hard crash: no exception crosses the pipe
+    return value
+
+
+class TestResolveJobs:
+    def test_one_is_one(self):
+        assert resolve_jobs(1) == 1
+
+    def test_none_and_zero_mean_all_cpus(self):
+        expected = os.cpu_count() or 1
+        assert resolve_jobs(None) == expected
+        assert resolve_jobs(0) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestMap:
+    def test_serial_results_in_task_order(self):
+        assert ParallelExecutor(1).map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_parallel_results_in_task_order(self):
+        tasks = list(range(23))
+        assert ParallelExecutor(2).map(_square, tasks) == [
+            t * t for t in tasks
+        ]
+
+    def test_parallel_matches_serial(self):
+        tasks = list(range(17))
+        serial = ParallelExecutor(1).map(_square, tasks)
+        assert ParallelExecutor(3).map(_square, tasks) == serial
+
+    def test_empty_task_list(self):
+        assert ParallelExecutor(4).map(_square, []) == []
+
+    def test_single_task_runs_inline(self):
+        # One task never needs a pool, whatever the job count says.
+        assert ParallelExecutor(8).map(_square, [5]) == [25]
+
+    def test_worker_exception_propagates_unchanged_serial(self):
+        with pytest.raises(ValueError, match="three is right out"):
+            ParallelExecutor(1).map(_fail_on_three, [1, 2, 3, 4])
+
+    def test_worker_exception_propagates_unchanged_parallel(self):
+        with pytest.raises(ValueError, match="three is right out"):
+            ParallelExecutor(2).map(_fail_on_three, list(range(8)))
+
+    def test_worker_crash_surfaces_as_parallel_error(self):
+        with pytest.raises(ParallelExecutionError):
+            ParallelExecutor(2).map(_die_on_three, list(range(8)))
+
+    def test_bad_chunks_per_worker_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(1, chunks_per_worker=0)
+
+
+class TestMapReduce:
+    def test_folds_in_task_order(self):
+        # Subtraction is order-sensitive: any reordering changes it.
+        tasks = list(range(1, 9))
+        expected = 0
+        for value in tasks:
+            expected -= value * value
+        merged = ParallelExecutor(2).map_reduce(
+            _square, tasks, lambda acc, r: acc - r, 0
+        )
+        assert merged == expected
+
+    def test_matches_serial_fold(self):
+        tasks = list(range(11))
+        serial = ParallelExecutor(1).map_reduce(
+            _square, tasks, lambda acc, r: acc + [r], []
+        )
+        parallel = ParallelExecutor(3).map_reduce(
+            _square, tasks, lambda acc, r: acc + [r], []
+        )
+        assert parallel == serial == [t * t for t in tasks]

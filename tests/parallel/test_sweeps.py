@@ -1,0 +1,83 @@
+"""Parallel sweeps must be indistinguishable from the serial sweeps."""
+
+import dataclasses
+import random
+
+from repro.analysis.acceptance import acceptance_for_spec, acceptance_sweep
+from repro.analysis.classes import census, census_exhaustive
+from repro.analysis.containment import check_containments
+from repro.core.transactions import Transaction
+from repro.specs.builders import uniform_spec
+from repro.workloads.random_schedules import random_schedules
+
+
+def _txs():
+    return [
+        Transaction.from_notation(1, "r[x] w[x] r[y]"),
+        Transaction.from_notation(2, "w[x] r[y] w[y]"),
+        Transaction.from_notation(3, "r[y] w[z]"),
+    ]
+
+
+def _census_fields(result):
+    return {
+        f.name: getattr(result, f.name)
+        for f in dataclasses.fields(result)
+        if f.name != "witnesses"
+    }
+
+
+class TestCensusParallel:
+    def test_exhaustive_census_identical_across_job_counts(self):
+        txs = _txs()
+        spec = uniform_spec(txs, 1)
+        serial = census_exhaustive(txs, spec)
+        for jobs in (2, 3):
+            parallel = census_exhaustive(txs, spec, jobs=jobs)
+            assert _census_fields(parallel) == _census_fields(serial)
+            assert parallel.witnesses == serial.witnesses
+
+    def test_population_census_matches_shared_prefix_serial(self):
+        txs = _txs()
+        spec = uniform_spec(txs, 1)
+        population = random_schedules(txs, 50, random.Random(11))
+        serial = census(population, spec, shared_prefixes=True)
+        parallel = census(population, spec, jobs=2)
+        assert _census_fields(parallel) == _census_fields(serial)
+        assert parallel.witnesses == serial.witnesses
+
+    def test_more_jobs_than_schedules(self):
+        txs = _txs()
+        spec = uniform_spec(txs, 1)
+        population = random_schedules(txs, 3, random.Random(5))
+        serial = census(population, spec, shared_prefixes=True)
+        parallel = census(population, spec, jobs=16)
+        assert _census_fields(parallel) == _census_fields(serial)
+
+
+class TestContainmentParallel:
+    def test_report_identical_to_serial(self):
+        txs = _txs()
+        spec = uniform_spec(txs, 1)
+        population = random_schedules(txs, 60, random.Random(7))
+        serial = check_containments(population, spec, shared_prefixes=True)
+        parallel = check_containments(population, spec, jobs=2)
+        assert parallel.checked == serial.checked
+        assert parallel.undecided == serial.undecided
+        assert parallel.violations == serial.violations
+        assert parallel.proper_witnesses == serial.proper_witnesses
+
+
+class TestAcceptanceParallel:
+    def test_spec_census_identical_to_serial(self):
+        txs = _txs()
+        spec = uniform_spec(txs, 1)
+        serial = acceptance_for_spec(txs, spec, samples=40, seed=2)
+        parallel = acceptance_for_spec(txs, spec, samples=40, seed=2, jobs=2)
+        assert _census_fields(parallel) == _census_fields(serial)
+        assert parallel.witnesses == serial.witnesses
+
+    def test_sweep_rows_identical_to_serial(self):
+        assert acceptance_sweep(samples=20, jobs=2) == acceptance_sweep(
+            samples=20
+        )

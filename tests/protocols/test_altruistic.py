@@ -101,3 +101,43 @@ class TestCorrectness:
         scheduler.request(long_tx[0])
         scheduler.finish(1)
         assert scheduler.request(other[0]).decision is Decision.GRANT
+
+
+class TestWakeTaint:
+    def test_wake_written_data_propagates_the_wake(self):
+        # Found by hypothesis: T1 donates y after its read, T2 writes y
+        # in T1's wake and commits, then T3 — which already raced ahead
+        # of T1 on x — asks to read the wake-written y.  Granting would
+        # close the serialization cycle T1 -> T2 -> T3 -> T1, so T3 must
+        # wait even though the lock table alone (shared on shared) would
+        # happily grant.
+        t1 = Transaction.from_notation(1, "r[y] w[x]")
+        t2 = Transaction.from_notation(2, "w[y] r[y]")
+        t3 = Transaction.from_notation(3, "r[x] r[y]")
+        scheduler = AltruisticLockingScheduler()
+        _admit(scheduler, t1, t2, t3)
+        assert scheduler.request(t1[0]).decision is Decision.GRANT  # donates y
+        assert scheduler.request(t2[0]).decision is Decision.GRANT  # in wake
+        assert scheduler.request(t3[0]).decision is Decision.GRANT  # r3[x]
+        assert scheduler.request(t2[1]).decision is Decision.GRANT
+        scheduler.finish(2)
+        # y now carries T1's wake; T3 touched x, which T1 declared and
+        # has not donated, so T3 is outside the wake and must wait.
+        assert scheduler.request(t3[1]).decision is Decision.WAIT
+
+    def test_in_wake_reader_joins_through_tainted_data(self):
+        # Same shape, but the third transaction never raced ahead of the
+        # donor: it is allowed through and inherits the debt.
+        t1 = Transaction.from_notation(1, "r[y] w[x]")
+        t2 = Transaction.from_notation(2, "w[y] r[y]")
+        t3 = Transaction.from_notation(3, "r[y] r[x]")
+        scheduler = AltruisticLockingScheduler()
+        _admit(scheduler, t1, t2, t3)
+        scheduler.request(t1[0])
+        scheduler.request(t2[0])
+        scheduler.request(t2[1])
+        scheduler.finish(2)
+        # T3's prefix is empty, so it is (vacuously) in T1's wake.
+        assert scheduler.request(t3[0]).decision is Decision.GRANT
+        # ... and now indebted: x is declared by T1 and undonated.
+        assert scheduler.request(t3[1]).decision is Decision.WAIT

@@ -1,0 +1,121 @@
+"""Tests for batched (optionally multi-process) simulation runs."""
+
+import pytest
+
+from repro.core.transactions import Transaction
+from repro.errors import SimulationError
+from repro.protocols import PROTOCOL_NAMES, make_scheduler
+from repro.sim.batch import SimulationTask, run_batch, run_task, simulate_batch
+from repro.sim.runner import simulate
+from repro.specs.builders import uniform_spec
+
+
+def _txs():
+    return (
+        Transaction.from_notation(1, "r[x] w[x]"),
+        Transaction.from_notation(2, "w[x] r[y]"),
+        Transaction.from_notation(3, "r[y] w[y]"),
+    )
+
+
+def _tasks(protocols=("2pl", "sgt"), seeds=(0, 1)):
+    txs = _txs()
+    spec = uniform_spec(txs, 1)
+    return [
+        SimulationTask(
+            transactions=txs,
+            protocol=name,
+            spec=spec,
+            roles={1: "short"},
+            tag=(seed, name),
+        )
+        for seed in seeds
+        for name in protocols
+    ]
+
+
+class TestMakeScheduler:
+    def test_every_canonical_name_constructs(self):
+        txs = _txs()
+        spec = uniform_spec(txs, 1)
+        for name in PROTOCOL_NAMES:
+            assert make_scheduler(name, spec) is not None
+
+    def test_strict_2pl_alias(self):
+        assert type(make_scheduler("strict-2pl")) is type(
+            make_scheduler("2pl")
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheduler("mvcc")
+
+    def test_spec_required_for_relative_protocols(self):
+        with pytest.raises(ValueError):
+            make_scheduler("rsgt")
+
+
+class TestRunTask:
+    def test_matches_direct_simulation(self):
+        task = _tasks()[0]
+        direct = simulate(
+            list(task.transactions),
+            make_scheduler(task.protocol, task.spec),
+            backoff=task.backoff,
+        )
+        result = run_task(task)
+        assert result.schedule == direct.schedule
+        assert result.roles == {1: "short"}
+
+
+class TestRunBatch:
+    def test_results_in_task_order(self):
+        tasks = _tasks()
+        results = run_batch(tasks)
+        assert len(results) == len(tasks)
+        for task, result in zip(tasks, results):
+            assert result.protocol == make_scheduler(
+                task.protocol, task.spec
+            ).name
+
+    def test_parallel_batch_identical_to_serial(self):
+        tasks = _tasks(protocols=("2pl", "sgt", "rsgt"), seeds=(0, 1))
+        serial = run_batch(tasks)
+        parallel = run_batch(tasks, jobs=2)
+        for left, right in zip(serial, parallel):
+            assert left.schedule == right.schedule
+            assert left.outcomes == right.outcomes
+
+    def test_failure_propagates(self):
+        task = _tasks()[0]
+        doomed = SimulationTask(
+            transactions=task.transactions,
+            protocol=task.protocol,
+            spec=task.spec,
+            max_ticks=1,
+        )
+        with pytest.raises(SimulationError):
+            run_batch([task, doomed])
+
+
+class TestSimulateBatch:
+    def test_failed_slot_becomes_none(self):
+        task = _tasks()[0]
+        doomed = SimulationTask(
+            transactions=task.transactions,
+            protocol=task.protocol,
+            spec=task.spec,
+            max_ticks=1,
+        )
+        results = simulate_batch([task, doomed, task])
+        assert results[0] is not None
+        assert results[1] is None
+        assert results[2] is not None
+
+    def test_parallel_matches_serial(self):
+        tasks = _tasks()
+        serial = simulate_batch(tasks)
+        parallel = simulate_batch(tasks, jobs=2)
+        assert [r.schedule for r in serial] == [
+            r.schedule for r in parallel
+        ]

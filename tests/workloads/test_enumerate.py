@@ -1,7 +1,19 @@
 """Unit tests for exhaustive interleaving enumeration."""
 
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
 from repro.core.transactions import Transaction
-from repro.workloads.enumerate import all_interleavings, count_interleavings
+from repro.errors import InvalidTransactionError
+from repro.workloads.enumerate import (
+    all_interleavings,
+    count_interleavings,
+    interleaving_blocks,
+    interleavings_block,
+    rank_interleaving,
+    unrank_interleaving,
+)
 
 
 def _txs(*lengths):
@@ -56,3 +68,125 @@ class TestEnumeration:
         schedules = set(all_interleavings(txs))
         assert Schedule.serial(txs, [1, 2]) in schedules
         assert Schedule.serial(txs, [2, 1]) in schedules
+
+
+class TestGuards:
+    def test_empty_transaction_set_counts_one(self):
+        assert count_interleavings([]) == 1
+
+    def test_empty_transaction_set_yields_one_empty_schedule(self):
+        schedules = list(all_interleavings([]))
+        assert len(schedules) == 1
+        assert list(schedules[0].operations) == []
+
+    def test_zero_op_transactions_skip_cleanly(self):
+        # Transaction itself refuses an empty program, but the
+        # enumeration guards against empty programs arriving through
+        # other construction paths: they contribute a factor of one.
+        class EmptyTx:
+            tx_id = 2
+            operations = ()
+
+        txs = [_txs(2)[0], EmptyTx(), Transaction(3, ["w[y]", "r[y]"])]
+        assert count_interleavings(txs) == 6
+
+    def test_duplicate_tx_id_rejected(self):
+        txs = [
+            Transaction(1, ["w[x]"]),
+            Transaction(1, ["w[y]"]),
+        ]
+        with pytest.raises(InvalidTransactionError):
+            count_interleavings(txs)
+        with pytest.raises(InvalidTransactionError):
+            next(all_interleavings(txs))
+
+
+class TestRankUnrank:
+    def test_rank_matches_enumeration_position(self):
+        txs = _txs(2, 3, 1)
+        for position, schedule in enumerate(all_interleavings(txs)):
+            assert rank_interleaving(schedule) == position
+
+    def test_unrank_matches_enumeration(self):
+        txs = _txs(3, 2, 2)
+        for position, schedule in enumerate(all_interleavings(txs)):
+            assert unrank_interleaving(txs, position) == schedule
+
+    def test_out_of_range_rejected(self):
+        txs = _txs(2, 2)
+        with pytest.raises(IndexError):
+            unrank_interleaving(txs, count_interleavings(txs))
+        with pytest.raises(IndexError):
+            unrank_interleaving(txs, -1)
+
+    @given(st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_unrank_rank_roundtrip(self, data):
+        lengths = data.draw(
+            st.lists(st.integers(1, 3), min_size=1, max_size=4),
+            label="lengths",
+        )
+        txs = _txs(*lengths)
+        index = data.draw(
+            st.integers(0, count_interleavings(txs) - 1), label="index"
+        )
+        schedule = unrank_interleaving(txs, index)
+        assert rank_interleaving(schedule) == index
+        assert unrank_interleaving(txs, rank_interleaving(schedule)) == (
+            schedule
+        )
+
+
+class TestBlocks:
+    def test_block_concatenation_reproduces_enumeration(self):
+        txs = _txs(2, 3, 2)
+        full = list(all_interleavings(txs))
+        for workers in (1, 2, 3, 5, 8):
+            blocks = interleaving_blocks(txs, workers)
+            joined = [
+                schedule
+                for start, stop in blocks
+                for schedule in interleavings_block(txs, start, stop)
+            ]
+            assert joined == full, f"workers={workers}"
+
+    def test_blocks_are_contiguous_and_cover(self):
+        txs = _txs(3, 3)
+        total = count_interleavings(txs)
+        blocks = interleaving_blocks(txs, 4)
+        assert blocks[0][0] == 0
+        assert blocks[-1][1] == total
+        for (_, stop), (start, _) in zip(blocks, blocks[1:]):
+            assert stop == start
+
+    def test_more_workers_than_schedules(self):
+        txs = _txs(1, 1)
+        blocks = interleaving_blocks(txs, 10)
+        joined = [
+            schedule
+            for start, stop in blocks
+            for schedule in interleavings_block(txs, start, stop)
+        ]
+        assert joined == list(all_interleavings(txs))
+
+    def test_block_starts_at_unranked_schedule(self):
+        txs = _txs(2, 2, 2)
+        for start, stop in interleaving_blocks(txs, 3):
+            if start == stop:
+                continue
+            first = next(iter(interleavings_block(txs, start, stop)))
+            assert first == unrank_interleaving(txs, start)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_random_window_matches_enumeration_slice(self, data):
+        lengths = data.draw(
+            st.lists(st.integers(1, 3), min_size=2, max_size=3),
+            label="lengths",
+        )
+        txs = _txs(*lengths)
+        total = count_interleavings(txs)
+        start = data.draw(st.integers(0, total), label="start")
+        stop = data.draw(st.integers(start, total), label="stop")
+        window = list(interleavings_block(txs, start, stop))
+        assert window == list(all_interleavings(txs))[start:stop]
