@@ -1,0 +1,178 @@
+"""E16 — fault campaigns: WAL overhead and retry throughput.
+
+Two costs of the robustness subsystem are worth tracking:
+
+* **undo-log overhead on the write path** (E16a) — every
+  :meth:`~repro.engine.kvstore.KVStore.write` appends a before-image
+  record to the write-ahead undo log; this benchmark times raw
+  transactional writes against plain dict stores, plus the commit
+  (WAL truncation with supersession scan) and abort (reverse splice)
+  epilogues;
+* **retry throughput under rising fault rates** (E16b) — seeded
+  campaigns at increasing abort rates, recording committed/makespan
+  throughput, restart counts, and wait percentiles.  Every campaign
+  must still hold the certified-survivor invariants — degradation is
+  allowed, incorrectness is not.
+
+Quick mode (``BENCH_QUICK=1``) shrinks the write volume and campaign
+sizes and skips writing the tracked JSON.
+"""
+
+import os
+import time
+from pathlib import Path
+
+from benchmarks._report import emit, emit_json
+from repro.analysis.tables import format_table
+from repro.engine.kvstore import KVStore
+from repro.faults import CampaignConfig, run_campaign
+
+QUICK = os.environ.get("BENCH_QUICK") == "1"
+
+#: Machine-readable fault-campaign results, tracked across PRs.
+BENCH_FAULTS = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+
+WRITES = 2_000 if QUICK else 20_000
+RUNS = 10 if QUICK else 40
+ABORT_RATES = (0.0, 0.3, 0.6, 0.9)
+
+
+def _time_plain_writes(n):
+    data = {}
+    start = time.perf_counter()
+    for i in range(n):
+        data[f"x{i % 64}"] = i
+    return time.perf_counter() - start
+
+
+def _time_wal_writes(n, epilogue):
+    store = KVStore({f"x{i}": 0 for i in range(64)})
+    store.begin(1)
+    start = time.perf_counter()
+    for i in range(n):
+        store.write(1, f"x{i % 64}", i)
+    if epilogue == "commit":
+        store.commit(1)
+    else:
+        store.abort(1)
+    return time.perf_counter() - start
+
+
+def test_report_wal_write_overhead(benchmark):
+    """E16a: before-image logging cost per write, commit/abort included."""
+
+    def compute():
+        return {
+            "plain": _time_plain_writes(WRITES),
+            "wal_commit": _time_wal_writes(WRITES, "commit"),
+            "wal_abort": _time_wal_writes(WRITES, "abort"),
+        }
+
+    timings = benchmark.pedantic(compute, rounds=1, iterations=1)
+    per_write = {
+        key: value / WRITES * 1e6 for key, value in timings.items()
+    }
+    overhead = timings["wal_commit"] / max(timings["plain"], 1e-9)
+    rows = [
+        [key, f"{value * 1000.0:.2f}", f"{per_write[key]:.3f}"]
+        for key, value in timings.items()
+    ]
+    emit(
+        f"E16a — undo-log write-path overhead ({WRITES} writes, "
+        "64 objects)",
+        format_table(["path", "wall (ms)", "us/write"], rows)
+        + f"\nWAL+commit vs plain dict: {overhead:.1f}x",
+    )
+    # Before-image logging costs a small constant factor, not an
+    # asymptotic blowup; the generous bound catches accidental
+    # quadratic behaviour in the WAL (e.g. the supersession scan).
+    assert overhead < 200.0
+    if not QUICK:
+        emit_json(
+            "wal_write_overhead",
+            {
+                "writes": WRITES,
+                "wall_ms": {
+                    k: round(v * 1000.0, 2) for k, v in timings.items()
+                },
+                "us_per_write": {
+                    k: round(v, 3) for k, v in per_write.items()
+                },
+                "overhead_vs_plain": round(overhead, 2),
+            },
+            path=BENCH_FAULTS,
+        )
+
+
+def test_report_retry_throughput_under_faults(benchmark):
+    """E16b: campaign throughput and degradation as abort rates rise."""
+
+    def compute():
+        results = {}
+        for rate in ABORT_RATES:
+            config = CampaignConfig(
+                protocol="rsgt",
+                runs=RUNS,
+                seed=7,
+                abort_rate=rate,
+                stall_rate=rate / 2,
+                kill_rate=rate / 4,
+                crash_rate=rate / 2,
+            )
+            start = time.perf_counter()
+            report = run_campaign(config)
+            elapsed = time.perf_counter() - start
+            results[f"{rate:.1f}"] = (report, elapsed)
+        return results
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows, payload = [], {}
+    for rate, (report, elapsed) in results.items():
+        assert report.ok, f"abort_rate={rate}: invariants violated"
+        totals = report.totals()
+        ticks = sum(r.makespan for r in report.records)
+        throughput = totals["committed"] / ticks if ticks else 0.0
+        rows.append(
+            [
+                rate,
+                totals["committed"],
+                totals["aborted"],
+                totals["restarts"],
+                f"{throughput:.3f}",
+                f"{elapsed * 1000.0:.0f}",
+            ]
+        )
+        payload[rate] = {
+            "committed": totals["committed"],
+            "aborted": totals["aborted"],
+            "restarts": totals["restarts"],
+            "injected_crashes": totals["injected_crashes"],
+            "throughput_tx_per_tick": round(throughput, 3),
+            "wall_ms": round(elapsed * 1000.0, 1),
+        }
+    emit(
+        f"E16b — rsgt campaigns ({RUNS} runs each) under rising fault "
+        "rates; every run certified",
+        format_table(
+            [
+                "abort rate",
+                "committed",
+                "aborted",
+                "restarts",
+                "tx/tick",
+                "wall (ms)",
+            ],
+            rows,
+        ),
+    )
+    baseline = results["0.0"][0].totals()["committed"]
+    stressed = results["0.9"][0].totals()["committed"]
+    # Kills permanently remove transactions, so commits must drop — if
+    # they do not, the injector is not actually firing.
+    assert stressed < baseline
+    if not QUICK:
+        emit_json(
+            "retry_throughput",
+            {"runs_per_campaign": RUNS, "by_abort_rate": payload},
+            path=BENCH_FAULTS,
+        )

@@ -21,7 +21,13 @@ Subcommands:
   as ``atomicity`` lines ready to paste back into a problem file;
 * ``chop FILE`` — compute a finest correct transaction chopping
   [SSV92] of the file's transactions and print it as ``atomicity``
-  lines (the chopping embedded into the relative model).
+  lines (the chopping embedded into the relative model);
+* ``faults --seed N --runs K --protocol NAME`` — run a seeded,
+  deterministic fault-injection campaign (aborts, stalls, kills, store
+  crashes) and check the certified-survivor invariants on every run;
+  exits 0 only if each committed projection certifies relatively
+  serializable and the recovered store state matches a fault-free
+  execution of exactly the committed transactions.
 
 The problem-file format is documented in :mod:`repro.io.notation`.
 """
@@ -151,6 +157,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chop_cmd.add_argument("file", type=Path)
 
+    faults_cmd = commands.add_parser(
+        "faults",
+        help="seeded fault-injection campaign with invariant checks",
+    )
+    faults_cmd.add_argument(
+        "--seed", type=int, default=0, help="campaign base seed"
+    )
+    faults_cmd.add_argument(
+        "--runs", type=int, default=20, help="independent runs"
+    )
+    faults_cmd.add_argument(
+        "--protocol",
+        choices=sorted(_PROTOCOLS),
+        default="rsgt",
+    )
+    faults_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes (0 = one per CPU core; reports are "
+            "byte-identical at any job count)"
+        ),
+    )
+    faults_cmd.add_argument(
+        "--abort-rate", type=float, default=0.3, dest="abort_rate"
+    )
+    faults_cmd.add_argument(
+        "--stall-rate", type=float, default=0.3, dest="stall_rate"
+    )
+    faults_cmd.add_argument(
+        "--kill-rate", type=float, default=0.15, dest="kill_rate"
+    )
+    faults_cmd.add_argument(
+        "--crash-rate", type=float, default=0.25, dest="crash_rate"
+    )
+    faults_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full byte-stable JSON report instead of the summary",
+    )
+
     return parser
 
 
@@ -175,6 +223,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_infer(args)
         if args.command == "chop":
             return _cmd_chop(args)
+        if args.command == "faults":
+            return _cmd_faults(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -379,6 +429,35 @@ def _cmd_chop(args: argparse.Namespace) -> int:
     if not emitted:
         print("# (no transaction can be chopped: SC-cycles everywhere)")
     return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import CampaignConfig, run_campaign
+
+    config = CampaignConfig(
+        protocol=args.protocol,
+        runs=args.runs,
+        seed=args.seed,
+        abort_rate=args.abort_rate,
+        stall_rate=args.stall_rate,
+        kill_rate=args.kill_rate,
+        crash_rate=args.crash_rate,
+    )
+    report = run_campaign(config, jobs=args.jobs)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+        for record in report.records:
+            survivors = ",".join(f"T{tx}" for tx in record.survivors)
+            print(
+                f"  run {record.index:>3} seed={record.seed}: "
+                f"committed={record.committed} aborted={record.aborted} "
+                f"survivors=[{survivors}] "
+                f"certified={'yes' if record.certified else 'NO'} "
+                f"state={'ok' if record.state_ok else 'MISMATCH'}"
+            )
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - module CLI shim

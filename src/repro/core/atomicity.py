@@ -341,6 +341,30 @@ class RelativeAtomicitySpec:
         ids = sorted(self._transactions)
         return [(i, j) for i in ids for j in ids if i != j]
 
+    def restricted_to(self, tx_ids: Iterable[int]) -> "RelativeAtomicitySpec":
+        """The spec induced on a subset of the transactions.
+
+        Views between surviving pairs are kept verbatim; views involving
+        a dropped transaction disappear with it.  This is how the fault
+        campaigns certify a *committed projection*: the survivors'
+        mutual atomicity requirements are unchanged by other
+        transactions' aborts.
+        """
+        keep = set(tx_ids)
+        unknown = keep.difference(self._transactions)
+        if unknown:
+            raise InvalidSpecError(
+                f"cannot restrict to unknown transactions "
+                f"{sorted(unknown)}"
+            )
+        transactions = [self._transactions[tx_id] for tx_id in sorted(keep)]
+        views = {
+            (tx, observer): view
+            for (tx, observer), view in self._views.items()
+            if tx in keep and observer in keep
+        }
+        return RelativeAtomicitySpec(transactions, views)
+
     @property
     def is_absolute(self) -> bool:
         """Whether every view is absolute (the traditional model)."""

@@ -1,13 +1,31 @@
-"""An in-memory key-value store with transactional undo.
+"""An in-memory key-value store with transactional undo and crash recovery.
 
 Minimal but honest: reads and writes are routed through open transactions,
-each write appends to the transaction's undo log, commit discards the log
-and abort replays it backwards.  Per-object version counters let callers
-observe "who wrote last" without inspecting values.  There is no
-durability and no internal concurrency control — ordering decisions belong
-to the schedulers in :mod:`repro.protocols`; the store just applies
-whatever order it is handed (which is exactly the separation the paper's
-theory assumes).
+each write appends a before-image record to a write-ahead undo log (WAL),
+commit discards the transaction's records and abort splices them back out.
+Per-object version counters let callers observe "who wrote last" without
+inspecting values.  There is no internal concurrency control — ordering
+decisions belong to the schedulers in :mod:`repro.protocols`; the store
+just applies whatever order it is handed (which is exactly the separation
+the paper's theory assumes).
+
+Two failure paths are supported:
+
+* **Single-transaction abort** (:meth:`KVStore.abort`) splices the
+  transaction's writes out of each object's undo chain.  A write that is
+  still the live value is rolled back to its before-image; a write that a
+  *later open transaction* has already overwritten is removed by patching
+  the overwriter's before-image instead (the dirty value it saved never
+  legitimately existed).  This keeps abort correct even for the non-strict
+  histories the relaxed protocols (altruistic donation, RSGT) can emit.
+* **Whole-store crash** (:meth:`KVStore.crash` / :meth:`KVStore.recover`).
+  A crash freezes the store — the in-memory image stands in for a durable
+  state written under a steal buffer policy, so it may contain dirty
+  pages.  Recovery replays the WAL backwards, restoring the before-image
+  of every in-flight write; every open transaction is rolled back and
+  closed, and only committed effects survive.  (Commit removes a
+  transaction's records from the WAL, so committed writes are never
+  undone: undo-only recovery with a logical log truncation at commit.)
 """
 
 from __future__ import annotations
@@ -15,15 +33,44 @@ from __future__ import annotations
 from collections.abc import Mapping
 from typing import Any
 
-from repro.errors import EngineError
+from repro.errors import CrashedStoreError, EngineError
 
-__all__ = ["KVStore"]
+__all__ = ["KVStore", "UndoRecord"]
 
 _MISSING = object()
 
 
+class UndoRecord:
+    """One WAL entry: a before-image for a single write.
+
+    Attributes:
+        seq: global log sequence number (monotone across the store).
+        tx_id: the writing transaction.
+        obj: the object written.
+        before: the object's value before the write (a private sentinel
+            when the write created the object; see :attr:`created`).
+    """
+
+    __slots__ = ("seq", "tx_id", "obj", "before")
+
+    def __init__(self, seq: int, tx_id: int, obj: str, before: Any) -> None:
+        self.seq = seq
+        self.tx_id = tx_id
+        self.obj = obj
+        self.before = before
+
+    @property
+    def created(self) -> bool:
+        """Whether the logged write brought the object into existence."""
+        return self.before is _MISSING
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        before = "<created>" if self.created else repr(self.before)
+        return f"UndoRecord(#{self.seq} T{self.tx_id} {self.obj}<-{before})"
+
+
 class KVStore:
-    """A dictionary of database objects with transactional undo logs.
+    """A dictionary of database objects with a write-ahead undo log.
 
     Args:
         initial: initial object values (copied).
@@ -32,40 +79,146 @@ class KVStore:
     def __init__(self, initial: Mapping[str, Any] | None = None) -> None:
         self._data: dict[str, Any] = dict(initial or {})
         self._versions: dict[str, int] = {obj: 0 for obj in self._data}
-        # tx id -> list of (object, previous value or _MISSING) pairs, in
-        # write order; replayed backwards on abort.
-        self._undo: dict[int, list[tuple[str, Any]]] = {}
+        # tx id -> that transaction's WAL records, in write order (the
+        # same record objects the global WAL holds).
+        self._undo: dict[int, list[UndoRecord]] = {}
+        # Global write-ahead undo log: records of *open* transactions in
+        # write order.  Commit truncates a transaction's records out.
+        self._wal: list[UndoRecord] = []
+        self._next_seq = 0
+        self._crashed = False
 
     # ------------------------------------------------------------------
     # Transaction lifecycle
     # ------------------------------------------------------------------
     def begin(self, tx_id: int) -> None:
         """Open a transaction (idempotent begin is an error)."""
+        self._require_up()
         if tx_id in self._undo:
             raise EngineError(f"transaction T{tx_id} already open")
         self._undo[tx_id] = []
 
     def commit(self, tx_id: int) -> None:
-        """Commit: discard the undo log, making writes permanent."""
-        self._require_open(tx_id)
+        """Commit: discard the undo records, making writes permanent.
+
+        A committed write also *supersedes* any earlier still-open write
+        to the same object: once the commit lands, rolling the earlier
+        writer back must not resurface a pre-commit value.  Those stale
+        undo records are dropped from the WAL (and from their owners'
+        logs) here — without this, a non-strict history in which T2
+        overwrites T1's dirty value and commits first would see T1's
+        later abort (or a crash recovery) clobber T2's committed write.
+        """
+        self._require_up()
+        log = self._require_open(tx_id)
+        if log:
+            drop = set(id(record) for record in log)
+            # Newest committed write per object; anything older on the
+            # same object (whoever wrote it) is superseded.
+            newest = {record.obj: record.seq for record in log}
+            for earlier in self._wal:
+                cutoff = newest.get(earlier.obj)
+                if cutoff is not None and earlier.seq < cutoff:
+                    drop.add(id(earlier))
+            for other_log in self._undo.values():
+                if other_log is not log:
+                    other_log[:] = [
+                        r for r in other_log if id(r) not in drop
+                    ]
+            self._wal = [r for r in self._wal if id(r) not in drop]
         del self._undo[tx_id]
 
     def abort(self, tx_id: int) -> None:
-        """Abort: undo the transaction's writes in reverse order."""
+        """Abort: splice the transaction's writes out, newest first.
+
+        Each undone write either restores its before-image (when it is
+        still the object's live value) or, when a later open transaction
+        has overwritten it, patches that overwriter's before-image — the
+        dirty intermediate value must not resurface if the overwriter
+        aborts afterwards.
+        """
+        self._require_up()
         log = self._require_open(tx_id)
-        for obj, previous in reversed(log):
-            if previous is _MISSING:
-                self._data.pop(obj, None)
-                self._versions.pop(obj, None)
-            else:
-                self._data[obj] = previous
-                self._versions[obj] -= 1
+        if log:
+            by_obj: dict[str, list[UndoRecord]] = {}
+            for record in self._wal:
+                by_obj.setdefault(record.obj, []).append(record)
+            dropped: set[int] = set()
+            for record in reversed(log):
+                chain = by_obj[record.obj]
+                position = len(chain) - 1
+                while chain[position] is not record:
+                    position -= 1
+                successor = (
+                    chain[position + 1]
+                    if position + 1 < len(chain)
+                    else None
+                )
+                if successor is None:
+                    if record.created:
+                        self._data.pop(record.obj, None)
+                        self._versions.pop(record.obj, None)
+                    else:
+                        self._data[record.obj] = record.before
+                        self._versions[record.obj] -= 1
+                else:
+                    successor.before = record.before
+                    self._versions[record.obj] -= 1
+                del chain[position]
+                dropped.add(id(record))
+            self._wal = [r for r in self._wal if id(r) not in dropped]
         del self._undo[tx_id]
 
     @property
     def open_transactions(self) -> frozenset[int]:
         """Ids of transactions currently open."""
         return frozenset(self._undo)
+
+    # ------------------------------------------------------------------
+    # Crash and recovery
+    # ------------------------------------------------------------------
+    @property
+    def crashed(self) -> bool:
+        """Whether the store is down (crashed and not yet recovered)."""
+        return self._crashed
+
+    def crash(self) -> None:
+        """Simulate a crash: freeze the store until :meth:`recover`.
+
+        The in-memory image is kept as-is — it plays the role of the
+        durable state under a steal policy, dirty pages included.  Every
+        transactional entry point raises :class:`~repro.errors.
+        CrashedStoreError` until recovery runs; :meth:`peek` and
+        :meth:`snapshot` stay available for diagnostics.
+        """
+        self._crashed = True
+
+    def recover(self) -> frozenset[int]:
+        """Roll back every in-flight transaction from the WAL.
+
+        Replays the write-ahead undo log backwards, restoring each
+        record's before-image in reverse global write order (correct even
+        when open transactions interleaved writes to the same object),
+        closes all open transactions, and brings the store back up.
+
+        Returns:
+            The ids of the transactions that were rolled back.
+
+        Idempotent and also callable on a healthy store (restart
+        recovery): with an empty WAL it is a no-op.
+        """
+        rolled_back = frozenset(self._undo)
+        for record in reversed(self._wal):
+            if record.created:
+                self._data.pop(record.obj, None)
+                self._versions.pop(record.obj, None)
+            else:
+                self._data[record.obj] = record.before
+                self._versions[record.obj] -= 1
+        self._wal.clear()
+        self._undo.clear()
+        self._crashed = False
+        return rolled_back
 
     # ------------------------------------------------------------------
     # Data access
@@ -76,16 +229,27 @@ class KVStore:
         Raises :class:`~repro.errors.EngineError` if the object does not
         exist or the transaction is not open.
         """
+        self._require_up()
         self._require_open(tx_id)
         if obj not in self._data:
             raise EngineError(f"object {obj!r} does not exist")
         return self._data[obj]
 
     def write(self, tx_id: int, obj: str, value: Any) -> None:
-        """Write ``value`` to ``obj`` on behalf of transaction ``tx_id``."""
+        """Write ``value`` to ``obj`` on behalf of transaction ``tx_id``.
+
+        The before-image is appended to the write-ahead undo log before
+        the in-place update, so abort and crash recovery can always roll
+        the write back.
+        """
+        self._require_up()
         log = self._require_open(tx_id)
-        previous = self._data.get(obj, _MISSING)
-        log.append((obj, previous))
+        record = UndoRecord(
+            self._next_seq, tx_id, obj, self._data.get(obj, _MISSING)
+        )
+        self._next_seq += 1
+        log.append(record)
+        self._wal.append(record)
         self._data[obj] = value
         self._versions[obj] = self._versions.get(obj, -1) + 1
 
@@ -105,11 +269,21 @@ class KVStore:
         """All existing object names."""
         return frozenset(self._data)
 
-    def _require_open(self, tx_id: int) -> list[tuple[str, Any]]:
+    def wal_records(self) -> tuple[UndoRecord, ...]:
+        """The live write-ahead undo log, oldest first (open txs only)."""
+        return tuple(self._wal)
+
+    def _require_open(self, tx_id: int) -> list[UndoRecord]:
         try:
             return self._undo[tx_id]
         except KeyError:
             raise EngineError(f"transaction T{tx_id} is not open") from None
+
+    def _require_up(self) -> None:
+        if self._crashed:
+            raise CrashedStoreError(
+                "the store has crashed; call recover() before using it"
+            )
 
     def __len__(self) -> int:
         return len(self._data)
@@ -118,7 +292,9 @@ class KVStore:
         return obj in self._data
 
     def __repr__(self) -> str:
+        state = "crashed, " if self._crashed else ""
         return (
-            f"KVStore({len(self._data)} objects, "
-            f"{len(self._undo)} open transactions)"
+            f"KVStore({state}{len(self._data)} objects, "
+            f"{len(self._undo)} open transactions, "
+            f"{len(self._wal)} WAL records)"
         )

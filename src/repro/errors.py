@@ -5,6 +5,14 @@ catch everything coming out of the package with a single ``except`` clause,
 while still being able to distinguish model errors (bad transactions or
 schedules), specification errors (invalid relative atomicity specs), and
 parse errors (malformed textual notation).
+
+Every exception in this hierarchy pickles losslessly.  Exceptions cross
+process boundaries when a :class:`~repro.parallel.ParallelExecutor`
+worker raises, and the default ``Exception`` reduction only replays
+``self.args`` — an exception whose constructor takes extra payload
+(``CycleError.cycle``, ``LivelockError.waiting``) would silently drop it
+on the way back to the parent.  Exceptions with extra constructor
+arguments therefore define ``__reduce__`` so the payload round-trips.
 """
 
 from __future__ import annotations
@@ -22,9 +30,13 @@ __all__ = [
     "CycleError",
     "EngineError",
     "TransactionAborted",
+    "CrashedStoreError",
     "ProtocolError",
     "SimulationError",
+    "LivelockError",
     "ParallelExecutionError",
+    "FaultError",
+    "FaultPlanError",
 ]
 
 
@@ -89,6 +101,9 @@ class CycleError(GraphError):
         super().__init__(message)
         self.cycle = cycle
 
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.cycle))
+
 
 class EngineError(ReproError):
     """Base class for execution-engine errors (key-value store, executor)."""
@@ -96,6 +111,12 @@ class EngineError(ReproError):
 
 class TransactionAborted(EngineError):
     """Raised/recorded when the engine aborts a transaction."""
+
+
+class CrashedStoreError(EngineError):
+    """An operation was attempted on a crashed :class:`~repro.engine.
+    kvstore.KVStore` before :meth:`~repro.engine.kvstore.KVStore.recover`
+    was called."""
 
 
 class ProtocolError(ReproError):
@@ -110,10 +131,43 @@ class SimulationError(ReproError):
     """The discrete-event simulator detected an inconsistent state."""
 
 
+class LivelockError(SimulationError):
+    """The simulator detected an all-WAIT stall (no request granted for
+    too many consecutive ticks).
+
+    Carries the ids of the transactions that were waiting when the guard
+    fired in :attr:`waiting`, so the diagnostic names the participants of
+    the suspected wait cycle instead of just "it hung".
+    """
+
+    def __init__(
+        self, message: str, waiting: tuple[int, ...] = ()
+    ) -> None:
+        super().__init__(message)
+        self.waiting = tuple(waiting)
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.waiting))
+
+
 class ParallelExecutionError(ReproError):
     """A parallel sweep could not complete.
 
     Raised when a worker process dies without reporting a result (hard
-    crash, out-of-memory kill, broken pool); exceptions *raised* by
-    worker code propagate unchanged instead.
+    crash, out-of-memory kill, broken pool) more times than the
+    executor's retry budget allows; exceptions *raised* by worker code
+    propagate unchanged instead.
+    """
+
+
+class FaultError(ReproError):
+    """Base class for errors raised by the fault-injection subsystem."""
+
+
+class FaultPlanError(FaultError):
+    """A fault plan is structurally invalid.
+
+    Examples: a trigger count below 1, a stall with non-positive
+    duration, a per-transaction fault without a transaction id, or a
+    crash event carrying one.
     """

@@ -1,0 +1,47 @@
+"""Deterministic fault injection and crash-recovery campaigns.
+
+The paper motivates relative atomicity with long-lived transactions whose
+failures must not cascade; this package makes failures first-class inputs
+instead of a happy-path afterthought:
+
+* :mod:`~repro.faults.plan` — seeded, deterministic fault plans: one-shot
+  abort-on-operation, WAIT stalls, permanent scheduler-victim kills, and
+  whole-store crashes, all triggered by request/grant *counts* so the
+  same plan replays identically run after run;
+* :mod:`~repro.faults.injector` — :class:`FaultInjector`, a transparent
+  :class:`~repro.protocols.base.Scheduler` wrapper that fires the plan
+  against any protocol and drives the
+  :class:`~repro.engine.kvstore.KVStore` crash/recovery path;
+* :mod:`~repro.faults.campaign` — seeded campaign runner enforcing the
+  **certified-survivor invariants**: after any injected fault campaign,
+  the committed projection of the emitted history certifies relative
+  serializability via the existing RSG machinery, and the final store
+  state equals a fault-free execution of exactly the committed
+  transactions (their relatively serial witness, which is a genuinely
+  serial schedule for the classical protocols).
+"""
+
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    FaultyRun,
+    RunRecord,
+    run_campaign,
+    run_faulty,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan, random_plan
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "random_plan",
+    "FaultInjector",
+    "FaultyRun",
+    "run_faulty",
+    "CampaignConfig",
+    "RunRecord",
+    "CampaignReport",
+    "run_campaign",
+]

@@ -1,0 +1,395 @@
+"""Seeded fault campaigns with certified-survivor invariants.
+
+A *campaign* is a batch of independent faulty runs.  Each run derives a
+random workload, a random relative-atomicity spec, and a random fault
+plan from one integer seed, executes it through a fault-injected
+protocol with a live key-value store, and then checks the two headline
+invariants the whole subsystem exists to enforce:
+
+1. **Certified survivors** — the committed projection of the emitted
+   history certifies relatively serializable via the existing RSG
+   machinery, under the spec restricted to the committed transactions
+   (Lemma 1 makes this the conflict-serializability test for the
+   classical protocols, which run under an absolute spec).
+2. **Recovered state** — the final store state equals a fault-free
+   execution of exactly the committed transactions: both a replay of the
+   committed projection itself and a run of its relatively serial RSG
+   witness (a genuinely *serial* schedule under an absolute spec)
+   produce the same state the faulty run left behind.  Every effect of
+   every aborted, killed, or crash-rolled-back incarnation is gone;
+   every committed effect survives.
+
+Campaigns are deterministic: the report is a pure function of the
+config, same seed ⇒ byte-identical JSON, at any ``jobs=`` count (runs
+fan out over :class:`~repro.parallel.ParallelExecutor` and merge in task
+order).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.core.rsg import RelativeSerializationGraph
+from repro.core.schedules import Schedule
+from repro.core.transactions import Transaction
+from repro.engine.executor import ScheduleExecutor
+from repro.engine.kvstore import KVStore
+from repro.errors import FaultError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, random_plan
+from repro.parallel.executor import ParallelExecutor
+from repro.protocols import PROTOCOL_NAMES, make_scheduler
+from repro.sim.metrics import SimulationResult
+from repro.sim.runner import simulate
+from repro.specs.builders import absolute_spec, random_spec
+from repro.workloads.random_schedules import random_transactions
+
+__all__ = [
+    "CampaignConfig",
+    "FaultyRun",
+    "RunRecord",
+    "CampaignReport",
+    "run_faulty",
+    "run_campaign",
+]
+
+#: Protocols whose scheduler takes a relative atomicity spec.
+_SPEC_PROTOCOLS = ("rel-locking", "rsgt")
+
+
+def run_faulty(
+    transactions,
+    protocol: str,
+    plan: FaultPlan,
+    spec=None,
+    *,
+    initial_state=None,
+    backoff: int = 1,
+    max_attempts: int = 4,
+    max_ticks: int = 50_000,
+    watchdog_threshold: int | None = 32,
+) -> "FaultyRun":
+    """One faulty run, invariants checked.
+
+    Args:
+        transactions: the transaction set.
+        protocol: canonical protocol name (see
+            :data:`repro.protocols.PROTOCOL_NAMES`).
+        plan: the fault plan to inject.
+        spec: relative atomicity spec for the spec-aware protocols; the
+            classical ones are certified under the absolute spec.
+        initial_state: store contents before the run; defaults to
+            ``"init"`` for every object any transaction touches.
+        backoff: restart backoff base (exponential policy).
+        max_attempts: incarnation budget per transaction.
+        max_ticks: hard tick guard.
+        watchdog_threshold: stall watchdog setting for the scheduler.
+
+    Returns:
+        A :class:`FaultyRun` with the simulation result, the survivor
+        set, the injection counters, and both invariant verdicts.
+    """
+    transactions = list(transactions)
+    if initial_state is None:
+        initial_state = {
+            obj: "init" for tx in transactions for obj in tx.objects
+        }
+    full_spec = spec if protocol in _SPEC_PROTOCOLS else None
+    scheduler = make_scheduler(protocol, full_spec)
+    scheduler.watchdog_threshold = watchdog_threshold
+    store = KVStore(initial_state)
+    injector = FaultInjector(scheduler, plan, store=store)
+    result = simulate(
+        transactions,
+        injector,
+        backoff=backoff,
+        max_ticks=max_ticks,
+        max_attempts=max_attempts,
+        restart_policy="exponential",
+        store=store,
+    )
+
+    survivors = result.survivor_ids
+    certifying_spec = (
+        full_spec if full_spec is not None else absolute_spec(transactions)
+    ).restricted_to(survivors)
+    projection = result.schedule
+    rsg = RelativeSerializationGraph(projection, certifying_spec)
+    certified = rsg.is_acyclic
+
+    final_state = store.snapshot()
+    replay_state = ScheduleExecutor(initial_state).run(projection).final_state
+    state_ok = final_state == replay_state
+    witness: Schedule | None = None
+    if certified:
+        witness = rsg.equivalent_relatively_serial_schedule()
+        witness_state = ScheduleExecutor(initial_state).run(
+            witness
+        ).final_state
+        state_ok = state_ok and final_state == witness_state
+
+    return FaultyRun(
+        result=result,
+        plan=plan,
+        survivors=survivors,
+        certified=certified,
+        state_ok=state_ok,
+        counters=injector.counters(),
+        watchdog_fires=scheduler.watchdog_fires,
+        final_state=final_state,
+        witness=witness,
+    )
+
+
+@dataclass
+class FaultyRun:
+    """Everything one fault-injected run produced.
+
+    Attributes:
+        result: the simulation result (committed projection + metrics).
+        plan: the injected fault plan.
+        survivors: ids of the committed transactions, ascending.
+        certified: whether the committed projection's RSG is acyclic
+            under the survivor-restricted spec.
+        state_ok: whether the final store state matched both fault-free
+            re-executions (projection replay and RSG witness).
+        counters: the injector's fault counters.
+        watchdog_fires: stall-watchdog victim picks during the run.
+        final_state: the store contents after the run.
+        witness: the relatively serial witness schedule (``None`` when
+            certification failed).
+    """
+
+    result: SimulationResult
+    plan: FaultPlan
+    survivors: tuple[int, ...]
+    certified: bool
+    state_ok: bool
+    counters: dict[str, int]
+    watchdog_fires: int
+    final_state: dict[str, object]
+    witness: Schedule | None
+
+    @property
+    def ok(self) -> bool:
+        """Both invariants at once."""
+        return self.certified and self.state_ok
+
+
+# ----------------------------------------------------------------------
+# Campaigns
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything a campaign derives its runs from.
+
+    All fields are primitives, so configs pickle across process
+    boundaries and hash into reports unchanged.
+    """
+
+    protocol: str = "rsgt"
+    runs: int = 20
+    seed: int = 0
+    n_transactions: int = 4
+    min_ops: int = 2
+    max_ops: int = 4
+    n_objects: int = 3
+    write_probability: float = 0.6
+    cut_probability: float = 0.5
+    abort_rate: float = 0.3
+    stall_rate: float = 0.3
+    kill_rate: float = 0.15
+    crash_rate: float = 0.25
+    backoff: int = 1
+    max_attempts: int = 4
+    max_ticks: int = 50_000
+    watchdog_threshold: int = 32
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOL_NAMES:
+            raise FaultError(
+                f"unknown protocol {self.protocol!r}; expected one of "
+                f"{PROTOCOL_NAMES}"
+            )
+        if self.runs < 1:
+            raise FaultError(f"a campaign needs >= 1 run, got {self.runs}")
+
+    def run_seed(self, index: int) -> int:
+        """The derived seed of run ``index`` (stable, collision-spread)."""
+        return (self.seed * 2_654_435_761 + index * 97) % (2**31 - 1)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The flat, picklable summary of one campaign run."""
+
+    index: int
+    seed: int
+    committed: int
+    aborted: int
+    survivors: tuple[int, ...]
+    certified: bool
+    state_ok: bool
+    makespan: int
+    restarts: int
+    waits: int
+    watchdog_fires: int
+    injected: dict[str, int]
+    wait_percentiles: dict[str, int]
+    history: str
+
+    @property
+    def ok(self) -> bool:
+        return self.certified and self.state_ok
+
+
+def _run_campaign_task(task: tuple[CampaignConfig, int]) -> RunRecord:
+    """Worker: derive and execute one run from (config, index)."""
+    config, index = task
+    seed = config.run_seed(index)
+    transactions = random_transactions(
+        config.n_transactions,
+        (config.min_ops, config.max_ops),
+        config.n_objects,
+        write_probability=config.write_probability,
+        seed=seed,
+    )
+    spec = (
+        random_spec(transactions, config.cut_probability, seed=seed + 1)
+        if config.protocol in _SPEC_PROTOCOLS
+        else None
+    )
+    plan = random_plan(
+        transactions,
+        seed + 2,
+        abort_rate=config.abort_rate,
+        stall_rate=config.stall_rate,
+        kill_rate=config.kill_rate,
+        crash_rate=config.crash_rate,
+    )
+    # Seed the full object pool so random reads always find their object.
+    initial_state = {f"x{i}": "init" for i in range(config.n_objects)}
+    run = run_faulty(
+        transactions,
+        config.protocol,
+        plan,
+        spec=spec,
+        initial_state=initial_state,
+        backoff=config.backoff,
+        max_attempts=config.max_attempts,
+        max_ticks=config.max_ticks,
+        watchdog_threshold=config.watchdog_threshold,
+    )
+    return RunRecord(
+        index=index,
+        seed=seed,
+        committed=run.result.committed,
+        aborted=run.result.aborted,
+        survivors=run.survivors,
+        certified=run.certified,
+        state_ok=run.state_ok,
+        makespan=run.result.makespan,
+        restarts=run.result.total_restarts,
+        waits=run.result.total_waits,
+        watchdog_fires=run.watchdog_fires,
+        injected=run.counters,
+        wait_percentiles=run.result.wait_percentiles(),
+        history=str(run.result.schedule),
+    )
+
+
+@dataclass
+class CampaignReport:
+    """A whole campaign's outcome, deterministic and serializable."""
+
+    config: CampaignConfig
+    records: list[RunRecord] = field(default_factory=list)
+
+    @property
+    def runs(self) -> int:
+        return len(self.records)
+
+    @property
+    def all_certified(self) -> bool:
+        return all(record.certified for record in self.records)
+
+    @property
+    def all_state_ok(self) -> bool:
+        return all(record.state_ok for record in self.records)
+
+    @property
+    def ok(self) -> bool:
+        """The campaign's headline verdict: every run held both
+        invariants."""
+        return self.all_certified and self.all_state_ok
+
+    def totals(self) -> dict[str, int]:
+        """Summed counters across runs."""
+        totals = {
+            "committed": 0,
+            "aborted": 0,
+            "restarts": 0,
+            "waits": 0,
+            "watchdog_fires": 0,
+            "injected_aborts": 0,
+            "injected_stall_waits": 0,
+            "injected_kills": 0,
+            "injected_crashes": 0,
+            "crash_rollbacks": 0,
+        }
+        for record in self.records:
+            totals["committed"] += record.committed
+            totals["aborted"] += record.aborted
+            totals["restarts"] += record.restarts
+            totals["waits"] += record.waits
+            totals["watchdog_fires"] += record.watchdog_fires
+            totals["injected_aborts"] += record.injected["aborts"]
+            totals["injected_stall_waits"] += record.injected["stall_waits"]
+            totals["injected_kills"] += record.injected["kills"]
+            totals["injected_crashes"] += record.injected["crashes"]
+            totals["crash_rollbacks"] += record.injected["crash_rollbacks"]
+        return totals
+
+    def to_dict(self) -> dict:
+        """A plain-data rendering (stable key order via ``to_json``)."""
+        return {
+            "config": asdict(self.config),
+            "ok": self.ok,
+            "all_certified": self.all_certified,
+            "all_state_ok": self.all_state_ok,
+            "totals": self.totals(),
+            "runs": [asdict(record) for record in self.records],
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable JSON: sorted keys, no floats derived from timing."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def summary(self) -> str:
+        """A short human-readable digest."""
+        totals = self.totals()
+        return (
+            f"campaign[{self.config.protocol}] seed={self.config.seed} "
+            f"runs={self.runs}: "
+            f"committed={totals['committed']} aborted={totals['aborted']} "
+            f"restarts={totals['restarts']} "
+            f"crashes={totals['injected_crashes']} "
+            f"kills={totals['injected_kills']} "
+            f"certified={'all' if self.all_certified else 'FAILED'} "
+            f"state={'all' if self.all_state_ok else 'FAILED'}"
+        )
+
+
+def run_campaign(
+    config: CampaignConfig, *, jobs: int | None = 1
+) -> CampaignReport:
+    """Run every seeded faulty run of ``config`` and report.
+
+    ``jobs=1`` runs the loop inline; more jobs fan the independent runs
+    over a process pool.  Records are merged in run order, so the report
+    is byte-identical at any job count.
+    """
+    tasks = [(config, index) for index in range(config.runs)]
+    records = ParallelExecutor(jobs).map(_run_campaign_task, tasks)
+    return CampaignReport(config=config, records=list(records))

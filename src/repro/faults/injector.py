@@ -1,0 +1,178 @@
+"""The fault injector: a transparent scheduler wrapper that fires plans.
+
+:class:`FaultInjector` sits between the simulator and any
+:class:`~repro.protocols.base.Scheduler`.  The wrapped protocol keeps
+making its own decisions; the injector overrides them only at the
+plan's trigger points:
+
+* **stall** — the victim's requests in the window come back WAIT without
+  reaching the protocol (the transaction looks slow, not wrong);
+* **abort** — the victim's request comes back ``ABORT(victim)``; the
+  simulator restarts it like any protocol-initiated abort;
+* **kill** — as abort, but the victim's id is also added to
+  :attr:`FaultInjector.killed`, which the simulator treats as permanent
+  (no re-admission — the long-lived client that never comes back);
+* **crash** — the attached :class:`~repro.engine.kvstore.KVStore` is
+  crashed and immediately recovered (rolling every in-flight write back
+  from before-images), and every in-flight transaction is reported as an
+  abort victim so the simulator restarts them as fresh incarnations.
+
+Everything else — including attribute access such as ``scheduler.spec``,
+which the verification pipeline sniffs for — delegates to the wrapped
+scheduler, so an injected protocol is drop-in wherever a bare one is
+accepted.
+"""
+
+from __future__ import annotations
+
+from repro.core.operations import Operation
+from repro.core.transactions import Transaction
+from repro.engine.kvstore import KVStore
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.protocols.base import Decision, Outcome, Scheduler
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Wrap ``scheduler`` and fire ``plan`` against it.
+
+    Args:
+        scheduler: the protocol to wrap (any :class:`Scheduler`).
+        plan: the fault plan to execute (events fire at most once).
+        store: optional key-value store; when given, crash events drive
+            its :meth:`~repro.engine.kvstore.KVStore.crash` /
+            :meth:`~repro.engine.kvstore.KVStore.recover` cycle so the
+            in-flight rollback happens through the WAL, not through
+            per-victim aborts.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        plan: FaultPlan,
+        store: KVStore | None = None,
+    ) -> None:
+        self._inner = scheduler
+        self._plan = plan
+        self._store = store
+        self._requests: dict[int, int] = {}
+        self._grants = 0
+        self._killed: set[int] = set()
+        self._fired: set[FaultEvent] = set()
+        self.injected_aborts = 0
+        self.injected_stalls = 0  # WAITs returned, not stall events
+        self.injected_kills = 0
+        self.injected_crashes = 0
+        self.crash_rollbacks = 0  # transactions rolled back by crashes
+
+    # ------------------------------------------------------------------
+    # Injector introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return f"faulty({self._inner.name})"
+
+    @property
+    def inner(self) -> Scheduler:
+        """The wrapped scheduler."""
+        return self._inner
+
+    @property
+    def plan(self) -> FaultPlan:
+        """The plan being executed."""
+        return self._plan
+
+    @property
+    def killed(self) -> frozenset[int]:
+        """Ids of permanently killed transactions (the simulator polls
+        this to decide which abort victims never come back)."""
+        return frozenset(self._killed)
+
+    def counters(self) -> dict[str, int]:
+        """All injection counters, keyed for campaign reports."""
+        return {
+            "aborts": self.injected_aborts,
+            "stall_waits": self.injected_stalls,
+            "kills": self.injected_kills,
+            "crashes": self.injected_crashes,
+            "crash_rollbacks": self.crash_rollbacks,
+        }
+
+    # ------------------------------------------------------------------
+    # Scheduler interface (the simulator's contract)
+    # ------------------------------------------------------------------
+    def admit(self, transaction: Transaction) -> None:
+        self._requests.setdefault(transaction.tx_id, 0)
+        self._inner.admit(transaction)
+
+    def request(self, op: Operation) -> Outcome:
+        tx_id = op.tx
+        self._requests[tx_id] = self._requests.get(tx_id, 0) + 1
+        count = self._requests[tx_id]
+
+        for event in self._plan.for_tx(tx_id):
+            if event.kind is FaultKind.STALL:
+                if event.at <= count < event.at + event.duration:
+                    self.injected_stalls += 1
+                    return Outcome.wait()
+            elif event not in self._fired and count >= event.at:
+                self._fired.add(event)
+                if event.kind is FaultKind.KILL:
+                    self._killed.add(tx_id)
+                    self.injected_kills += 1
+                else:
+                    self.injected_aborts += 1
+                return Outcome.abort(tx_id)
+
+        for event in self._plan.of_kind(FaultKind.CRASH):
+            if event not in self._fired and self._grants >= event.at:
+                self._fired.add(event)
+                self.injected_crashes += 1
+                victims = self._in_flight()
+                if self._store is not None:
+                    self._store.crash()
+                    rolled_back = self._store.recover()
+                    self.crash_rollbacks += len(rolled_back)
+                else:
+                    self.crash_rollbacks += len(victims)
+                if victims:
+                    return Outcome.abort(*victims)
+
+        outcome = self._inner.request(op)
+        if outcome.decision is Decision.GRANT:
+            self._grants += 1
+        return outcome
+
+    def finish(self, tx_id: int) -> None:
+        self._inner.finish(tx_id)
+
+    def remove(self, tx_id: int) -> None:
+        self._inner.remove(tx_id)
+
+    @property
+    def history(self) -> tuple[Operation, ...]:
+        return self._inner.history
+
+    def _in_flight(self) -> tuple[int, ...]:
+        """Uncommitted transactions with granted operations, ascending
+        (the rollback set of a crash)."""
+        return tuple(
+            sorted(
+                tx_id
+                for tx_id in self._inner.admitted_ids
+                if not self._inner.is_committed(tx_id)
+                and self._inner.progress(tx_id) > 0
+            )
+        )
+
+    def __getattr__(self, attribute: str):
+        # Transparent delegation (spec, progress, admitted_ids, ...);
+        # only called for attributes not defined on the injector.
+        return getattr(self._inner, attribute)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector({self._inner!r}, {len(self._plan)} events, "
+            f"{len(self._fired)} fired)"
+        )

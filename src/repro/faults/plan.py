@@ -1,0 +1,226 @@
+"""Fault plans: what goes wrong, where, deterministically.
+
+A :class:`FaultPlan` is a finite set of one-shot :class:`FaultEvent`\\ s.
+Triggers are *counts*, not wall-clock times: per-transaction faults fire
+on the victim's ``at``-th operation request (cumulative across
+incarnations, so a restarted transaction can be hit again later), and
+store crashes fire once the whole system has granted ``at`` operations.
+Because the simulator's tick loop is deterministic, a (workload, plan,
+protocol) triple replays to the byte — which is what lets campaign
+reports be golden-tested and lets any failure be re-run under a debugger
+with nothing more than its seed.
+
+Plans are value objects (frozen dataclasses of ints), so they pickle
+across :class:`~repro.parallel.ParallelExecutor` process boundaries
+unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.transactions import Transaction
+from repro.errors import FaultPlanError
+
+__all__ = ["FaultKind", "FaultEvent", "FaultPlan", "random_plan"]
+
+
+class FaultKind(enum.Enum):
+    """The four injectable fault families."""
+
+    #: Abort the transaction (it restarts, budget permitting).
+    ABORT = "abort"
+    #: Return WAIT for a window of the transaction's requests.
+    STALL = "stall"
+    #: Permanently kill the transaction (no re-admission, ever).
+    KILL = "kill"
+    #: Crash the store: every in-flight transaction rolls back.
+    CRASH = "crash"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One one-shot fault.
+
+    Attributes:
+        kind: the fault family.
+        at: the trigger — the victim's cumulative request count for the
+            per-transaction kinds, the global granted-operation count for
+            :attr:`FaultKind.CRASH`.  At least 1.
+        tx_id: the victim (required for per-transaction kinds, forbidden
+            for crashes).
+        duration: for stalls, how many consecutive requests (from the
+            trigger on) return WAIT; ignored otherwise.
+    """
+
+    kind: FaultKind
+    at: int
+    tx_id: int | None = None
+    duration: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at < 1:
+            raise FaultPlanError(
+                f"fault trigger must be >= 1, got {self.at}"
+            )
+        if self.kind is FaultKind.CRASH:
+            if self.tx_id is not None:
+                raise FaultPlanError(
+                    "crash faults hit the whole store; tx_id must be None"
+                )
+        elif self.tx_id is None:
+            raise FaultPlanError(
+                f"{self.kind.value} faults need a victim transaction id"
+            )
+        if self.kind is FaultKind.STALL and self.duration < 1:
+            raise FaultPlanError(
+                f"stall duration must be >= 1, got {self.duration}"
+            )
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        if self.kind is FaultKind.CRASH:
+            return f"crash after {self.at} granted ops"
+        if self.kind is FaultKind.STALL:
+            return (
+                f"stall T{self.tx_id} for {self.duration} requests "
+                f"from its request #{self.at}"
+            )
+        return f"{self.kind.value} T{self.tx_id} at its request #{self.at}"
+
+
+def _sort_key(event: FaultEvent) -> tuple:
+    return (event.at, event.kind.value, event.tx_id or 0, event.duration)
+
+
+class FaultPlan:
+    """An immutable, canonically ordered collection of fault events.
+
+    Args:
+        events: the events; stored sorted by (trigger, kind, victim) so
+            two plans with the same events compare and render equal.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        self._events: tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=_sort_key)
+        )
+
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        """All events, canonically ordered."""
+        return self._events
+
+    def of_kind(self, kind: FaultKind) -> tuple[FaultEvent, ...]:
+        """The events of one family, canonically ordered."""
+        return tuple(e for e in self._events if e.kind is kind)
+
+    def for_tx(self, tx_id: int) -> tuple[FaultEvent, ...]:
+        """The per-transaction events targeting ``tx_id``."""
+        return tuple(e for e in self._events if e.tx_id == tx_id)
+
+    def counts(self) -> dict[str, int]:
+        """Event counts by kind name (all four keys always present)."""
+        return {
+            kind.value: sum(1 for e in self._events if e.kind is kind)
+            for kind in FaultKind
+        }
+
+    def describe(self) -> str:
+        """The whole plan, one event per line (empty string if none)."""
+        return "\n".join(e.describe() for e in self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self._events == other._events
+
+    def __hash__(self) -> int:
+        return hash(self._events)
+
+    def __repr__(self) -> str:
+        counts = {k: v for k, v in self.counts().items() if v}
+        return f"FaultPlan({len(self._events)} events, {counts})"
+
+
+def random_plan(
+    transactions: Sequence[Transaction],
+    seed: int | random.Random = 0,
+    *,
+    abort_rate: float = 0.0,
+    stall_rate: float = 0.0,
+    kill_rate: float = 0.0,
+    crash_rate: float = 0.0,
+    max_stall: int = 4,
+) -> FaultPlan:
+    """A seeded random fault plan over a transaction set.
+
+    Each transaction independently draws at most one abort, one stall,
+    and one kill (with the respective probabilities); the store draws at
+    most one crash.  Trigger counts are sampled beyond the program length
+    too, so faults also land on retry incarnations.  Transactions are
+    visited in ascending id order, so the plan is a pure function of
+    (transactions, seed, rates).
+
+    Args:
+        transactions: the transaction set the plan targets.
+        seed: an ``int`` or a pre-seeded ``random.Random``.
+        abort_rate: per-transaction probability of one abort fault.
+        stall_rate: per-transaction probability of one stall fault.
+        kill_rate: per-transaction probability of one permanent kill.
+        crash_rate: probability of one store crash.
+        max_stall: maximum stall window length.
+    """
+    for name, rate in (
+        ("abort_rate", abort_rate),
+        ("stall_rate", stall_rate),
+        ("kill_rate", kill_rate),
+        ("crash_rate", crash_rate),
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise FaultPlanError(f"{name} must be in [0, 1], got {rate}")
+    if max_stall < 1:
+        raise FaultPlanError(f"max_stall must be >= 1, got {max_stall}")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    events: list[FaultEvent] = []
+    for tx in sorted(transactions, key=lambda t: t.tx_id):
+        horizon = 2 * len(tx)
+        if rng.random() < abort_rate:
+            events.append(
+                FaultEvent(
+                    FaultKind.ABORT, rng.randint(1, horizon), tx.tx_id
+                )
+            )
+        if rng.random() < stall_rate:
+            events.append(
+                FaultEvent(
+                    FaultKind.STALL,
+                    rng.randint(1, horizon),
+                    tx.tx_id,
+                    duration=rng.randint(1, max_stall),
+                )
+            )
+        if rng.random() < kill_rate:
+            events.append(
+                FaultEvent(
+                    FaultKind.KILL, rng.randint(1, 3 * len(tx)), tx.tx_id
+                )
+            )
+    total_ops = sum(len(tx) for tx in transactions)
+    if total_ops and rng.random() < crash_rate:
+        events.append(
+            FaultEvent(FaultKind.CRASH, rng.randint(1, total_ops))
+        )
+    return FaultPlan(events)

@@ -13,10 +13,14 @@ exactly that discipline:
 * **ordered reduce** — results are folded in *task order* no matter
   which worker finished first, so a parallel run is a reassociation of
   the serial fold, not a reordering;
-* **crash surfacing** — a worker that dies without reporting (hard
-  crash, OOM kill) raises :class:`~repro.errors.ParallelExecutionError`
-  naming the failed chunk; exceptions *raised* by worker code propagate
-  unchanged, exactly as they would serially;
+* **bounded crash retry** — a worker that dies without reporting (hard
+  crash, OOM kill) no longer aborts the sweep: the partial results are
+  discarded and the whole map is retried on a fresh pool up to
+  ``max_retries`` times (tasks are pure, so a rerun is bit-identical).
+  Only when the retry budget is exhausted does
+  :class:`~repro.errors.ParallelExecutionError` surface; exceptions
+  *raised* by worker code propagate unchanged and immediately, exactly
+  as they would serially;
 * **serial fallback** — ``jobs=1`` (the default) never touches
   :mod:`multiprocessing`: the worker runs inline in submission order,
   so results are bit-identical and debuggers/profilers/coverage see
@@ -47,6 +51,11 @@ Merged = TypeVar("Merged")
 #: per-chunk pickling overhead stays negligible.
 _CHUNKS_PER_WORKER = 4
 
+#: Pool rebuilds tolerated after worker deaths before giving up.  A
+#: deterministic crash (a bug in the worker) re-crashes immediately, so
+#: a small budget suffices for the transient cases (OOM kill, signal).
+_MAX_RETRIES = 2
+
 
 def resolve_jobs(jobs: int | None) -> int:
     """Normalize a ``--jobs`` value: ``None``/``0`` means all CPUs."""
@@ -64,15 +73,26 @@ class ParallelExecutor:
         jobs: worker process count; ``1`` runs everything inline (no
             pool, bit-identical results), ``None``/``0`` uses every CPU.
         chunks_per_worker: task-queue granularity for load balancing.
+        max_retries: how many times a map whose pool broke (a worker
+            died without reporting) is retried on a fresh pool before
+            :class:`~repro.errors.ParallelExecutionError` is raised.
+            ``0`` restores the old fail-fast behaviour.
     """
 
     def __init__(
-        self, jobs: int | None = 1, *, chunks_per_worker: int = _CHUNKS_PER_WORKER
+        self,
+        jobs: int | None = 1,
+        *,
+        chunks_per_worker: int = _CHUNKS_PER_WORKER,
+        max_retries: int = _MAX_RETRIES,
     ) -> None:
         if chunks_per_worker < 1:
             raise ValueError("chunks_per_worker must be at least 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
         self.jobs = resolve_jobs(jobs)
         self._chunks_per_worker = chunks_per_worker
+        self._max_retries = max_retries
 
     # ------------------------------------------------------------------
     # Core primitive: ordered map
@@ -95,15 +115,23 @@ class ParallelExecutor:
         chunksize = max(
             1, -(-len(tasks) // (workers * self._chunks_per_worker))
         )
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(worker, tasks, chunksize=chunksize))
-        except BrokenProcessPool as exc:
-            raise ParallelExecutionError(
-                f"a worker process died while mapping {len(tasks)} tasks "
-                f"over {workers} workers (chunksize {chunksize}); "
-                "the partial results were discarded"
-            ) from exc
+        crashes = 0
+        while True:
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    return list(pool.map(worker, tasks, chunksize=chunksize))
+            except BrokenProcessPool as exc:
+                # Partial results are discarded and the whole map reruns:
+                # tasks are pure, so the retry is a bit-identical redo,
+                # never a reordering.
+                crashes += 1
+                if crashes > self._max_retries:
+                    raise ParallelExecutionError(
+                        f"a worker process died while mapping {len(tasks)} "
+                        f"tasks over {workers} workers (chunksize "
+                        f"{chunksize}) in {crashes} consecutive attempts; "
+                        "giving up"
+                    ) from exc
 
     # ------------------------------------------------------------------
     # Ordered reduce

@@ -26,7 +26,17 @@ of scope; see DESIGN.md's substitution notes):
   could commit, launder its in-wake write through the lock table, and
   let a third transaction read the wake data while racing *ahead* of
   the donor elsewhere — a serialization cycle the first two rules
-  cannot see (pinned as a regression test).
+  cannot see (pinned as a regression test);
+* **wake acyclicity** — a donation is unusable when the donor is itself
+  (through any chain of debts, even via committed middlemen) in the
+  requester's wake: borrowing it would seat the requester both before
+  and after the donor.  Fault campaigns flushed this one out: a ring of
+  pairwise-legal donations (T1 donates to T2, T2 to T3, T3 back to T1)
+  used to commit a cyclic history.  The guard survives the chain's
+  commits: debts and taints of committed transactions are kept, and a
+  creditor left waiting only on committed blockers is restarted (that
+  wait could never clear — the conflicting accesses are already pinned
+  ahead of it).
 
 Deadlock handling is the same waits-for check as plain 2PL.  The test
 suite asserts every final committed history is conflict serializable.
@@ -87,6 +97,12 @@ class AltruisticLockingScheduler(Scheduler):
             self._record_taint(op)
             self._maybe_donate(op)
             return Outcome.grant()
+        if all(self.is_committed(blocker) for blocker in blockers):
+            # Every blocker is committed, so the wait can never clear:
+            # the conflicting accesses are pinned in the serialization
+            # order ahead of this transaction (it is a creditor of a
+            # committed donor).  Restart to serialize after them.
+            return Outcome.abort(op.tx)
         self._waiting_on[op.tx] = blockers
         victims = self._deadlocked(op.tx)
         if victims:
@@ -111,11 +127,34 @@ class AltruisticLockingScheduler(Scheduler):
         for holder, _mode in self._locks.holders(op.obj).items():
             if holder == op.tx or self.is_committed(holder):
                 continue
-            if self._locks.has_donated(op.obj, holder) and self._in_wake(
-                op.tx, holder
+            if (
+                self._locks.has_donated(op.obj, holder)
+                and self._in_wake(op.tx, holder)
+                and op.tx not in self._wake_creditors(holder)
             ):
                 donors.add(holder)
         return donors
+
+    def _wake_creditors(self, donor: int) -> set[int]:
+        """Everyone the donor is transitively indebted to.
+
+        Borrowing from a donor that is itself (through any chain of
+        donations) in the requester's wake would make the requester
+        serialize both before and after the donor — the indebtedness
+        relation must stay acyclic, so such a donation is unusable and
+        the holder blocks like an ordinary lock.  Debt edges are followed
+        through committed transactions too: commit pins the serialization
+        order, it does not dissolve it.
+        """
+        seen: set[int] = set()
+        frontier = list(self._indebted_to.get(donor, ()))
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(self._indebted_to.get(node, ()))
+        return seen
 
     def _in_wake(self, requester: int, donor: int) -> bool:
         """Whether the requester's executed prefix lies in the donor's wake."""
@@ -152,7 +191,15 @@ class AltruisticLockingScheduler(Scheduler):
         """
         donors = set()
         for donor, contributors in self._taint.get(op.obj, {}).items():
-            if donor == op.tx or self.is_committed(donor):
+            if donor == op.tx:
+                continue
+            if self.is_committed(donor) and op.tx not in self._wake_creditors(
+                donor
+            ):
+                # A committed donor's wake is over for everyone *except*
+                # its creditors: they are pinned before it in the
+                # serialization order, so serializing after its wake data
+                # would still close a cycle.
                 continue
             for contributor, held in contributors.items():
                 if contributor == op.tx:
@@ -168,6 +215,7 @@ class AltruisticLockingScheduler(Scheduler):
             donor
             for donor in self._conflicting_taint_donors(op)
             if not self._in_wake(op.tx, donor)
+            or op.tx in self._wake_creditors(donor)
         }
 
     def _join_tainted_wakes(self, op: Operation) -> None:
@@ -233,11 +281,14 @@ class AltruisticLockingScheduler(Scheduler):
     def _on_finish(self, tx_id: int) -> None:
         self._locks.release_all(tx_id)
         self._waiting_on.pop(tx_id, None)
-        self._indebted_to.pop(tx_id, None)
-        # A committed donor's wake is over; its taints are moot.  Taints
-        # *contributed* by tx_id stay: they guard the donor's still-open
-        # wake even after the contributor commits.
-        self._drop_taint_donor(tx_id)
+        # The committed transaction's debt edges *and* the taints
+        # anchored to it are deliberately kept: commit pins its place in
+        # the serialization order, and the wake acyclicity check
+        # (:meth:`_wake_creditors` via :meth:`_conflicting_taint_donors`)
+        # must still see chains that pass through committed middlemen —
+        # a creditor of the committed donor must never serialize after
+        # its wake data.  For everyone else the committed donor's taints
+        # are inert (skipped in :meth:`_conflicting_taint_donors`).
 
     def _on_remove(self, tx_id: int) -> None:
         self._locks.release_all(tx_id)

@@ -77,14 +77,33 @@ class Scheduler(abc.ABC):
     Subclasses implement :meth:`_decide` (policy for the next operation)
     plus the state hooks :meth:`_on_grant`, :meth:`_on_finish`, and
     :meth:`_on_remove`.
+
+    A built-in **deadlock/livelock watchdog** guards every protocol: when
+    :attr:`watchdog_threshold` consecutive requests come back WAIT with
+    no GRANT in between (the signature of a wait cycle or an all-WAIT
+    stall), the next WAIT is converted into an ABORT of a victim — the
+    live transaction holding the least progress (fewest granted
+    operations, lowest id as tie-break) among those that actually hold
+    resources.  Aborting a zero-progress transaction would release
+    nothing, so if only zero-progress transactions are live the WAIT
+    stands and the simulator's stall guard takes over.  Set
+    ``watchdog_threshold`` to ``None`` (class- or instance-level) to
+    disable.
     """
 
     #: Human-readable protocol name (overridden by subclasses).
     name = "abstract"
 
+    #: Consecutive zero-grant WAITs tolerated before a victim is picked.
+    #: High enough that normal contention never trips it; fault
+    #: campaigns lower it per instance.
+    watchdog_threshold: int | None = 256
+
     def __init__(self) -> None:
         self._admitted: dict[int, _AdmittedTransaction] = {}
         self._history: list[Operation] = []  # granted ops, in grant order
+        self._waits_since_grant = 0
+        self._watchdog_fires = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -114,6 +133,22 @@ class Scheduler(abc.ABC):
             state.executed += 1
             self._history.append(op)
             self._on_grant(op)
+            self._waits_since_grant = 0
+        elif outcome.decision is Decision.ABORT:
+            # Victims restart, which releases resources: progress enough
+            # to reset the stall counter.
+            self._waits_since_grant = 0
+        else:
+            self._waits_since_grant += 1
+            if (
+                self.watchdog_threshold is not None
+                and self._waits_since_grant >= self.watchdog_threshold
+            ):
+                victim = self._watchdog_victim()
+                if victim is not None:
+                    self._waits_since_grant = 0
+                    self._watchdog_fires += 1
+                    return Outcome.abort(victim)
         return outcome
 
     def finish(self, tx_id: int) -> None:
@@ -151,6 +186,27 @@ class Scheduler(abc.ABC):
     def admitted_ids(self) -> frozenset[int]:
         """Ids of all admitted transactions."""
         return frozenset(self._admitted)
+
+    @property
+    def watchdog_fires(self) -> int:
+        """How many times the stall watchdog converted a WAIT to ABORT."""
+        return self._watchdog_fires
+
+    def _watchdog_victim(self) -> int | None:
+        """Deterministic victim choice for the stall watchdog.
+
+        The live transaction with the fewest granted operations among
+        those with at least one (lowest id as tie-break) — cheapest to
+        redo while still releasing something.
+        """
+        candidates = [
+            (state.executed, tx_id)
+            for tx_id, state in self._admitted.items()
+            if not state.committed and state.executed > 0
+        ]
+        if not candidates:
+            return None
+        return min(candidates)[1]
 
     def progress(self, tx_id: int) -> int:
         """How many operations of ``T{tx_id}`` have been granted."""

@@ -1,10 +1,18 @@
 """Result and metric types for the simulator.
 
-The simulator's contract: every admitted transaction eventually commits
-(victims restart until they succeed), so a :class:`SimulationResult`
-always covers the full transaction set and its ``schedule`` is a complete
-:class:`~repro.core.schedules.Schedule` that the offline correctness
-tests can re-verify.
+The simulator's contract: every admitted transaction either commits or —
+in fault-injected runs with a bounded retry budget or permanent kill
+faults — is *permanently aborted*.  A :class:`SimulationResult` covers
+the full transaction set either way: committed transactions carry their
+commit tick, permanently aborted ones the tick they died, and
+``schedule`` is always the **committed projection** — a complete
+:class:`~repro.core.schedules.Schedule` over exactly the committed
+transactions that the offline correctness tests can re-verify.
+
+Fault campaigns need degradation numbers, not just pass/fail, so the
+result also exposes abort/retry/restart counters and wait-time
+percentiles (nearest-rank over per-transaction wait counts, so they are
+exact integers and byte-stable across platforms).
 """
 
 from __future__ import annotations
@@ -14,7 +22,27 @@ from statistics import mean
 
 from repro.core.schedules import Schedule
 
-__all__ = ["TransactionOutcome", "SimulationResult"]
+__all__ = ["TransactionOutcome", "SimulationResult", "nearest_rank"]
+
+#: Outcome statuses.
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+
+def nearest_rank(values: list[int], percentile: float) -> int:
+    """The nearest-rank percentile of ``values`` (exact, no interpolation).
+
+    Deterministic and integer-valued for integer inputs, which keeps
+    campaign reports byte-identical across platforms.  ``values`` must be
+    non-empty.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0 < percentile <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * percentile // 100))
+    return ordered[int(rank) - 1]
 
 
 @dataclass(frozen=True, slots=True)
@@ -24,9 +52,11 @@ class TransactionOutcome:
     Attributes:
         tx_id: the transaction.
         arrival: tick the transaction became ready.
-        commit_tick: tick its last operation was granted.
+        commit_tick: tick its last operation was granted — or, for a
+            permanently aborted transaction, the tick it was abandoned.
         restarts: how many times it was aborted and restarted.
         waits: how many of its requests returned WAIT.
+        status: ``"committed"`` or ``"aborted"`` (permanent).
     """
 
     tx_id: int
@@ -34,10 +64,20 @@ class TransactionOutcome:
     commit_tick: int
     restarts: int
     waits: int
+    status: str = COMMITTED
+
+    @property
+    def is_committed(self) -> bool:
+        """Whether the transaction committed (vs. permanently aborted)."""
+        return self.status == COMMITTED
 
     @property
     def response_time(self) -> int:
-        """Ticks from arrival to commit (inclusive of the commit tick)."""
+        """Ticks from arrival to commit (inclusive of the commit tick).
+
+        For a permanently aborted transaction this is the time it
+        occupied the system before being abandoned.
+        """
         return self.commit_tick - self.arrival + 1
 
 
@@ -47,7 +87,7 @@ class SimulationResult:
 
     Attributes:
         protocol: the scheduler's protocol name.
-        schedule: the committed history as a verifiable schedule.
+        schedule: the committed projection as a verifiable schedule.
         outcomes: per-transaction accounting, keyed by id.
         makespan: tick of the last commit (plus one: total ticks used).
         roles: optional transaction roles (copied from the workload).
@@ -61,8 +101,26 @@ class SimulationResult:
 
     @property
     def committed(self) -> int:
-        """Number of committed transactions (always the full set)."""
-        return len(self.outcomes)
+        """Number of committed transactions (the full set, fault-free)."""
+        return sum(
+            1 for outcome in self.outcomes.values() if outcome.is_committed
+        )
+
+    @property
+    def aborted(self) -> int:
+        """Number of permanently aborted transactions (0 fault-free)."""
+        return len(self.outcomes) - self.committed
+
+    @property
+    def survivor_ids(self) -> tuple[int, ...]:
+        """Ids of the committed transactions, ascending."""
+        return tuple(
+            sorted(
+                tx_id
+                for tx_id, outcome in self.outcomes.items()
+                if outcome.is_committed
+            )
+        )
 
     @property
     def total_restarts(self) -> int:
@@ -81,17 +139,48 @@ class SimulationResult:
 
     @property
     def mean_response_time(self) -> float:
-        """Average ticks from arrival to commit."""
-        return mean(
-            outcome.response_time for outcome in self.outcomes.values()
-        )
+        """Average ticks from arrival to commit, over committed txs."""
+        times = [
+            outcome.response_time
+            for outcome in self.outcomes.values()
+            if outcome.is_committed
+        ]
+        return mean(times) if times else 0.0
+
+    def wait_percentiles(
+        self, percentiles: tuple[float, ...] = (50, 90, 99)
+    ) -> dict[str, int]:
+        """Nearest-rank percentiles of per-transaction wait counts.
+
+        Keys are ``"p50"``-style labels; an empty transaction set yields
+        zeros under the same keys (report shapes stay constant).
+        Integer-exact, so campaign reports comparing these are
+        byte-stable.
+        """
+        waits = [outcome.waits for outcome in self.outcomes.values()]
+        if not waits:
+            return {f"p{percentile:g}": 0 for percentile in percentiles}
+        return {
+            f"p{percentile:g}": nearest_rank(waits, percentile)
+            for percentile in percentiles
+        }
+
+    def degradation(self) -> dict[str, object]:
+        """Abort/retry/wait summary for fault-campaign reporting."""
+        return {
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "restarts": self.total_restarts,
+            "waits": self.total_waits,
+            "wait_percentiles": self.wait_percentiles(),
+        }
 
     def mean_response_time_of(self, role: str) -> float | None:
         """Average response time of one role, or ``None`` if absent."""
         times = [
             outcome.response_time
             for tx_id, outcome in self.outcomes.items()
-            if self.roles.get(tx_id) == role
+            if self.roles.get(tx_id) == role and outcome.is_committed
         ]
         return mean(times) if times else None
 

@@ -4,16 +4,41 @@ Model: time advances in ticks; each live transaction submits at most one
 operation per tick (in a rotating round-robin order, so no transaction is
 structurally favoured).  A granted operation completes within the tick; a
 WAIT retries next tick; an ABORT restarts the victims after a backoff
-that grows with the restart count (a simple livelock damper).
+that grows with the restart count (linearly by default, exponentially
+under ``restart_policy="exponential"`` — the fault campaigns' setting).
 
-The loop runs until every transaction commits — a protocol that could
-starve a transaction forever would hit the ``max_ticks`` guard and raise
-:class:`~repro.errors.SimulationError` instead of spinning silently.
+Fault tolerance:
+
+* **Bounded retries** — with ``max_attempts=N`` a transaction gets at
+  most ``N`` incarnations; the abort that would start incarnation
+  ``N + 1`` *permanently* aborts it instead (its partial effects are
+  rolled back and it leaves the system).  The default (``None``) retries
+  forever, the fault-free contract.
+* **Permanent kills** — a scheduler (in practice the
+  :class:`~repro.faults.FaultInjector` wrapper) may expose a ``killed``
+  id set; victims in it are permanently aborted regardless of budget.
+* **Live store execution** — pass ``store=`` to apply every granted
+  operation to a :class:`~repro.engine.kvstore.KVStore` as it happens:
+  ``begin`` at a transaction's first operation, reads/writes in grant
+  order (writes tagged ``"T{tx}.{index}"``, the executor's structural
+  default), ``commit`` at its last, and ``abort`` — restoring
+  before-images — whenever it is chosen as a victim.  Crash faults
+  close their victims through :meth:`~repro.engine.kvstore.KVStore.
+  recover` before the simulator sees them, so the rollback happens
+  exactly once either way.
+* **All-WAIT stall guard** — ``max_stalled_ticks`` consecutive ticks in
+  which every submitted request returned WAIT raise
+  :class:`~repro.errors.LivelockError` naming the waiting transactions,
+  a diagnostic instead of a 100k-tick silent spin.  (The scheduler-side
+  watchdog in :class:`~repro.protocols.base.Scheduler` usually breaks
+  the cycle first by aborting a victim; this guard is the backstop for
+  schedulers that stall without holding anything.)
 
 The committed history is returned as a real
-:class:`~repro.core.schedules.Schedule` over the transaction set, so the
-offline theory (conflict serializability for 2PL/SGT/altruistic, relative
-serializability for RSGT) can re-verify every run.
+:class:`~repro.core.schedules.Schedule` over the *committed* transaction
+set, so the offline theory (conflict serializability for
+2PL/SGT/altruistic, relative serializability for RSGT) can re-verify
+every run — including the committed projection of a faulty one.
 """
 
 from __future__ import annotations
@@ -22,12 +47,38 @@ from collections.abc import Mapping, Sequence
 
 from repro.core.schedules import Schedule
 from repro.core.transactions import Transaction
-from repro.errors import SimulationError
+from repro.engine.kvstore import KVStore
+from repro.errors import LivelockError, SimulationError
 from repro.protocols.base import Decision, Scheduler
-from repro.sim.metrics import SimulationResult, TransactionOutcome
+from repro.sim.metrics import (
+    ABORTED,
+    COMMITTED,
+    SimulationResult,
+    TransactionOutcome,
+)
 from repro.workloads.base import WorkloadBundle
 
 __all__ = ["simulate", "simulate_bundle"]
+
+#: Exponential backoff is capped at this many doublings so a long
+#: campaign cannot overflow into astronomically long sleeps.
+_MAX_BACKOFF_DOUBLINGS = 16
+
+#: Default ceiling on consecutive all-WAIT ticks before the simulator
+#: raises a diagnostic LivelockError instead of spinning to max_ticks.
+_DEFAULT_MAX_STALLED_TICKS = 1_000
+
+
+def _restart_delay(policy: str, backoff: int, restarts: int) -> int:
+    """Ticks a victim stays blocked after its ``restarts``-th restart."""
+    if policy == "linear":
+        return backoff * restarts
+    if policy == "exponential":
+        return backoff * (2 ** min(restarts - 1, _MAX_BACKOFF_DOUBLINGS))
+    raise SimulationError(
+        f"unknown restart policy {policy!r}; expected 'linear' or "
+        "'exponential'"
+    )
 
 
 def simulate(
@@ -36,25 +87,43 @@ def simulate(
     arrivals: Mapping[int, int] | None = None,
     backoff: int = 2,
     max_ticks: int = 100_000,
+    *,
+    max_attempts: int | None = None,
+    max_stalled_ticks: int | None = _DEFAULT_MAX_STALLED_TICKS,
+    restart_policy: str = "linear",
+    store: KVStore | None = None,
 ) -> SimulationResult:
-    """Run ``transactions`` through ``scheduler`` until all commit.
+    """Run ``transactions`` through ``scheduler`` until all finish.
 
     Args:
         transactions: the transaction set (admitted at their arrival
             ticks).
-        scheduler: the concurrency-control protocol instance.
+        scheduler: the concurrency-control protocol instance (possibly
+            wrapped in a :class:`~repro.faults.FaultInjector`).
         arrivals: tick each transaction becomes ready (default: all 0).
-        backoff: base restart delay; the *n*-th restart of a transaction
-            waits ``backoff * n`` ticks.
+        backoff: base restart delay.
         max_ticks: hard guard against livelock.
+        max_attempts: incarnation budget per transaction; ``None`` (the
+            default) retries forever.  Exhausting the budget permanently
+            aborts the transaction.
+        max_stalled_ticks: consecutive all-WAIT ticks tolerated before a
+            :class:`~repro.errors.LivelockError` names the waiters;
+            ``None`` disables the guard.
+        restart_policy: ``"linear"`` (delay ``backoff * n`` after the
+            *n*-th restart) or ``"exponential"`` (``backoff * 2**(n-1)``,
+            capped).
+        store: optional key-value store to execute granted operations
+            against live (see the module docstring).
 
     Returns:
         A :class:`~repro.sim.metrics.SimulationResult` with the committed
-        history and per-transaction accounting.
+        projection and per-transaction accounting (committed and
+        permanently aborted alike).
 
     Raises:
         SimulationError: when ``max_ticks`` elapses before every
-            transaction commits.
+            transaction commits or dies.
+        LivelockError: when the all-WAIT stall guard fires.
     """
     arrivals = dict(arrivals or {})
     order = sorted(tx.tx_id for tx in transactions)
@@ -65,14 +134,26 @@ def simulate(
     blocked_until = {tx_id: arrival[tx_id] for tx_id in order}
     admitted: set[int] = set()
     committed: dict[int, int] = {}
+    dead: dict[int, int] = {}  # tx id -> tick it was permanently aborted
     restarts = {tx_id: 0 for tx_id in order}
     waits = {tx_id: 0 for tx_id in order}
 
+    def retire_victim(victim: int) -> None:
+        """Shared rollback path for restarts, kills, and exhaustion."""
+        scheduler.remove(victim)
+        if store is not None and victim in store.open_transactions:
+            store.abort(victim)
+        cursor[victim] = 0
+        restarts[victim] += 1
+
     tick = 0
     rotation = 0
-    while len(committed) < len(order):
+    stalled_ticks = 0
+    while len(committed) + len(dead) < len(order):
         if tick > max_ticks:
-            missing = sorted(set(order).difference(committed))
+            missing = sorted(
+                set(order).difference(committed).difference(dead)
+            )
             raise SimulationError(
                 f"simulation exceeded {max_ticks} ticks with "
                 f"{len(missing)} transactions uncommitted: {missing}"
@@ -81,45 +162,92 @@ def simulate(
         service_order = order[rotation:] + order[:rotation]
         rotation = (rotation + 1) % len(order)
 
+        requested: list[int] = []
+        progressed = False
         for tx_id in service_order:
-            if tx_id in committed or blocked_until[tx_id] > tick:
+            if (
+                tx_id in committed
+                or tx_id in dead
+                or blocked_until[tx_id] > tick
+            ):
                 continue
             if tx_id not in admitted:
                 scheduler.admit(by_id[tx_id])
                 admitted.add(tx_id)
+            requested.append(tx_id)
             op = by_id[tx_id][cursor[tx_id]]
             outcome = scheduler.request(op)
             if outcome.decision is Decision.GRANT:
+                progressed = True
+                if store is not None:
+                    if cursor[tx_id] == 0:
+                        store.begin(tx_id)
+                    if op.is_read:
+                        store.read(tx_id, op.obj)
+                    else:
+                        store.write(tx_id, op.obj, f"T{op.tx}.{op.index}")
                 cursor[tx_id] += 1
                 if cursor[tx_id] == len(by_id[tx_id]):
                     scheduler.finish(tx_id)
+                    if store is not None:
+                        store.commit(tx_id)
                     committed[tx_id] = tick
             elif outcome.decision is Decision.WAIT:
                 waits[tx_id] += 1
             else:
+                progressed = True
+                killed = getattr(scheduler, "killed", frozenset())
                 victims = outcome.victims or (tx_id,)
                 for victim in victims:
                     if victim in committed:
                         raise SimulationError(
                             f"protocol chose committed T{victim} as victim"
                         )
-                    scheduler.remove(victim)
-                    cursor[victim] = 0
-                    restarts[victim] += 1
-                    blocked_until[victim] = tick + backoff * restarts[victim]
+                    if victim in dead:
+                        continue
+                    retire_victim(victim)
+                    if victim in killed:
+                        dead[victim] = tick
+                    elif (
+                        max_attempts is not None
+                        and restarts[victim] >= max_attempts
+                    ):
+                        dead[victim] = tick
+                    else:
+                        blocked_until[victim] = tick + _restart_delay(
+                            restart_policy, backoff, restarts[victim]
+                        )
+        if requested and not progressed:
+            stalled_ticks += 1
+            if (
+                max_stalled_ticks is not None
+                and stalled_ticks > max_stalled_ticks
+            ):
+                raise LivelockError(
+                    f"no request granted for {stalled_ticks} consecutive "
+                    f"ticks; waiting transactions: {sorted(requested)}",
+                    waiting=tuple(sorted(requested)),
+                )
+        else:
+            stalled_ticks = 0
         tick += 1
 
-    history = Schedule(list(transactions), scheduler.history)
-    outcomes = {
-        tx_id: TransactionOutcome(
+    survivors = [tx for tx in transactions if tx.tx_id in committed]
+    history = Schedule(survivors, scheduler.history)
+    outcomes = {}
+    for tx_id in order:
+        if tx_id in committed:
+            final_tick, status = committed[tx_id], COMMITTED
+        else:
+            final_tick, status = dead[tx_id], ABORTED
+        outcomes[tx_id] = TransactionOutcome(
             tx_id=tx_id,
             arrival=arrival[tx_id],
-            commit_tick=committed[tx_id],
+            commit_tick=final_tick,
             restarts=restarts[tx_id],
             waits=waits[tx_id],
+            status=status,
         )
-        for tx_id in order
-    }
     return SimulationResult(
         protocol=scheduler.name,
         schedule=history,

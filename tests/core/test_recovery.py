@@ -141,3 +141,67 @@ class TestProtocolsAndRecovery:
             (r.label, w.label) for r, w in reads_from_pairs(sra)
         }
         assert ("r2[x]", "w1[x]") in pairs
+
+
+class TestEdgeCases:
+    def test_empty_schedule_is_in_every_class(self):
+        empty = Schedule([], [])
+        assert list(reads_from_pairs(empty)) == []
+        assert recovery_profile(empty) == {
+            "rc": True,
+            "aca": True,
+            "st": True,
+        }
+
+    def test_single_transaction_schedule_is_strict(self):
+        s = _schedule({1: "r[x] w[x] w[x]"}, "r1[x] w1[x] w1[x]")
+        assert recovery_profile(s) == {
+            "rc": True,
+            "aca": True,
+            "st": True,
+        }
+
+    def test_read_only_transactions_are_trivially_strict(self):
+        s = _schedule({1: "r[x]", 2: "r[x]"}, "r1[x] r2[x]")
+        assert recovery_profile(s) == {
+            "rc": True,
+            "aca": True,
+            "st": True,
+        }
+
+    def test_uncommitted_reader_breaks_aca_but_not_rc(self):
+        # T2 reads T1's write before T1's commit point but commits after
+        # it: recoverable, yet an abort of T1 would cascade into T2.
+        s = _schedule(
+            {1: "w[x] w[y]", 2: "r[x] r[y]"},
+            "w1[x] r2[x] w1[y] r2[y]",
+        )
+        assert is_recoverable(s)
+        assert not avoids_cascading_aborts(s)
+        assert not is_strict(s)
+
+    def test_dirty_read_with_early_commit_breaks_rc(self):
+        # The reader commits before the writer it read from: aborting
+        # the writer after the reader committed is unrecoverable.
+        s = _schedule(
+            {1: "w[x] w[y]", 2: "r[x]"},
+            "w1[x] r2[x] w1[y]",
+        )
+        assert not is_recoverable(s)
+        assert not avoids_cascading_aborts(s)
+
+    def test_blind_overwrite_breaks_only_strictness(self):
+        # No reads at all: RC and ACA hold vacuously, but overwriting an
+        # uncommitted write already loses before-image discipline.
+        s = _schedule(
+            {1: "w[x] w[y]", 2: "w[x]"},
+            "w1[x] w2[x] w1[y]",
+        )
+        assert is_recoverable(s)
+        assert avoids_cascading_aborts(s)
+        assert not is_strict(s)
+
+    def test_commit_position_of_single_op_transaction(self):
+        s = _schedule({1: "w[x]", 2: "r[x]"}, "w1[x] r2[x]")
+        assert commit_position(s, 1) == 0
+        assert commit_position(s, 2) == 1

@@ -118,3 +118,151 @@ class TestAccess:
         store = KVStore({"x": 1, "y": 2})
         assert store.objects() == {"x", "y"}
         assert len(store) == 2
+
+
+class TestAbortBeforeImages:
+    def test_repeated_writes_to_the_same_key_restore_the_original(self):
+        store = KVStore({"x": "init"})
+        store.begin(1)
+        for value in ("a", "b", "c", "d"):
+            store.write(1, "x", value)
+        assert store.peek("x") == "d"
+        store.abort(1)
+        assert store.peek("x") == "init"
+        assert store.version("x") == 0
+
+    def test_abort_of_created_object_removes_it(self):
+        store = KVStore()
+        store.begin(1)
+        store.write(1, "fresh", 1)
+        store.write(1, "fresh", 2)
+        store.abort(1)
+        assert "fresh" not in store
+        assert store.version("fresh") == 0
+
+    def test_interleaved_aborts_unwind_in_any_order(self):
+        store = KVStore({"x": "init"})
+        store.begin(1)
+        store.begin(2)
+        store.write(1, "x", "T1")
+        store.write(2, "x", "T2")
+        # Abort the *earlier* writer first: its value was already buried
+        # by T2's write, so the store must splice, not restore.
+        store.abort(1)
+        assert store.peek("x") == "T2"
+        store.abort(2)
+        assert store.peek("x") == "init"
+
+    def test_commit_supersedes_earlier_uncommitted_writes(self):
+        # Non-strict history: T2 overwrites T1's dirty value and commits
+        # first.  T1's later abort must NOT clobber the committed value.
+        store = KVStore({"x": "init"})
+        store.begin(1)
+        store.begin(2)
+        store.write(1, "x", "T1")
+        store.write(2, "x", "T2")
+        store.commit(2)
+        store.abort(1)
+        assert store.peek("x") == "T2"
+
+    def test_commit_supersession_spares_other_objects(self):
+        store = KVStore({"x": "init", "y": "init"})
+        store.begin(1)
+        store.begin(2)
+        store.write(1, "x", "T1x")
+        store.write(1, "y", "T1y")
+        store.write(2, "x", "T2x")
+        store.commit(2)
+        store.abort(1)  # x superseded, y rolls back normally
+        assert store.peek("x") == "T2x"
+        assert store.peek("y") == "init"
+
+
+class TestCrashRecovery:
+    def test_crash_blocks_transactional_access(self):
+        from repro.errors import CrashedStoreError
+
+        store = KVStore({"x": 1})
+        store.begin(1)
+        store.crash()
+        assert store.crashed
+        with pytest.raises(CrashedStoreError):
+            store.read(1, "x")
+        with pytest.raises(CrashedStoreError):
+            store.write(1, "x", 2)
+        with pytest.raises(CrashedStoreError):
+            store.commit(1)
+        # Diagnostics stay available on a downed store.
+        assert store.peek("x") == 1
+        assert store.snapshot() == {"x": 1}
+
+    def test_recover_rolls_back_every_open_transaction(self):
+        store = KVStore({"x": "init", "y": "init"})
+        store.begin(1)
+        store.begin(2)
+        store.write(1, "x", "T1")
+        store.write(2, "y", "T2")
+        store.crash()
+        rolled_back = store.recover()
+        assert rolled_back == frozenset({1, 2})
+        assert not store.crashed
+        assert store.snapshot() == {"x": "init", "y": "init"}
+        assert store.open_transactions == frozenset()
+        assert store.wal_records() == ()
+
+    def test_committed_writes_survive_the_crash(self):
+        store = KVStore({"x": "init", "y": "init"})
+        store.begin(1)
+        store.write(1, "x", "kept")
+        store.commit(1)
+        store.begin(2)
+        store.write(2, "y", "dirty")
+        store.crash()
+        store.recover()
+        assert store.snapshot() == {"x": "kept", "y": "init"}
+
+    def test_interleaved_same_object_writes_recover_to_original(self):
+        store = KVStore({"x": "init"})
+        store.begin(1)
+        store.begin(2)
+        store.write(1, "x", "T1a")
+        store.write(2, "x", "T2a")
+        store.write(1, "x", "T1b")
+        store.crash()
+        store.recover()
+        assert store.peek("x") == "init"
+
+    def test_commit_then_crash_supersedes_buried_write(self):
+        # Same supersession rule on the recovery path: T2's committed
+        # value must survive even though T1's older dirty write is still
+        # in the WAL at crash time.
+        store = KVStore({"x": "init"})
+        store.begin(1)
+        store.begin(2)
+        store.write(1, "x", "T1")
+        store.write(2, "x", "T2")
+        store.commit(2)
+        store.crash()
+        store.recover()
+        assert store.peek("x") == "T2"
+
+    def test_recover_is_idempotent_and_works_when_healthy(self):
+        store = KVStore({"x": 1})
+        assert store.recover() == frozenset()
+        store.begin(1)
+        store.write(1, "x", 2)
+        store.crash()
+        store.recover()
+        assert store.recover() == frozenset()
+        assert store.peek("x") == 1
+
+    def test_store_usable_again_after_recovery(self):
+        store = KVStore({"x": "init"})
+        store.begin(1)
+        store.write(1, "x", "lost")
+        store.crash()
+        store.recover()
+        store.begin(1)  # same id is fine: the old incarnation is gone
+        store.write(1, "x", "kept")
+        store.commit(1)
+        assert store.peek("x") == "kept"

@@ -1,0 +1,176 @@
+"""Campaign-level properties: the certified-survivor invariants.
+
+The headline property test drives 200 seeded fault campaigns (50 per
+protocol across RSGT, relative locking, strict 2PL, and altruistic
+locking) and asserts, for every run:
+
+* the committed projection of the emitted history certifies relatively
+  serializable (RSG acyclic under the survivor-restricted spec), and
+* the recovered store state equals a fault-free execution of exactly
+  the committed transactions (projection replay and RSG witness).
+
+Campaign reports must also be byte-deterministic: same seed, same
+bytes, at any worker count.
+"""
+
+import json
+
+import pytest
+
+from repro.core.transactions import Transaction
+from repro.errors import FaultError
+from repro.faults import (
+    CampaignConfig,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    run_campaign,
+    run_faulty,
+)
+
+PROTOCOLS = ("rsgt", "rel-locking", "2pl", "altruistic")
+
+
+class TestCertifiedSurvivors:
+    """The tentpole invariant, 200 seeded campaigns strong."""
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_every_run_certifies_and_recovers(self, protocol):
+        report = run_campaign(
+            CampaignConfig(protocol=protocol, runs=50, seed=97)
+        )
+        bad = [r.index for r in report.records if not r.ok]
+        assert not bad, (
+            f"{protocol}: runs {bad} violated the certified-survivor "
+            f"invariants"
+        )
+        # The campaign actually exercised faults, not a quiet baseline.
+        totals = report.totals()
+        assert totals["injected_kills"] > 0
+        assert totals["injected_crashes"] > 0
+        assert totals["restarts"] > 0
+        assert totals["aborted"] > 0
+
+    def test_survivors_match_committed_counts(self):
+        report = run_campaign(CampaignConfig(protocol="rsgt", runs=10, seed=3))
+        for record in report.records:
+            assert len(record.survivors) == record.committed
+            assert record.committed + record.aborted == 4
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_report(self):
+        config = CampaignConfig(protocol="rel-locking", runs=8, seed=21)
+        assert (
+            run_campaign(config).to_json() == run_campaign(config).to_json()
+        )
+
+    def test_jobs_do_not_change_the_report(self):
+        config = CampaignConfig(protocol="rsgt", runs=8, seed=21)
+        assert (
+            run_campaign(config, jobs=1).to_json()
+            == run_campaign(config, jobs=2).to_json()
+        )
+
+    def test_different_seeds_differ(self):
+        a = run_campaign(CampaignConfig(protocol="rsgt", runs=5, seed=1))
+        b = run_campaign(CampaignConfig(protocol="rsgt", runs=5, seed=2))
+        assert a.to_json() != b.to_json()
+
+    def test_report_json_is_loadable_and_sorted(self):
+        report = run_campaign(CampaignConfig(protocol="2pl", runs=3, seed=5))
+        payload = json.loads(report.to_json())
+        assert payload["ok"] is True
+        assert list(payload) == sorted(payload)
+        assert len(payload["runs"]) == 3
+
+
+class TestRunFaulty:
+    def _transactions(self):
+        return [
+            Transaction(1, ["w[x]", "w[y]"]),
+            Transaction(2, ["r[x]", "w[y]"]),
+        ]
+
+    def test_empty_plan_everything_commits(self):
+        run = run_faulty(self._transactions(), "2pl", FaultPlan())
+        assert run.survivors == (1, 2)
+        assert run.ok
+        assert run.counters["kills"] == 0
+
+    def test_killing_everyone_leaves_an_empty_certified_projection(self):
+        plan = FaultPlan(
+            [
+                FaultEvent(FaultKind.KILL, 1, tx_id=1),
+                FaultEvent(FaultKind.KILL, 1, tx_id=2),
+            ]
+        )
+        run = run_faulty(
+            self._transactions(),
+            "2pl",
+            plan,
+            initial_state={"x": "init", "y": "init"},
+        )
+        assert run.survivors == ()
+        assert run.ok
+        # Nothing committed, so recovery restored the initial image.
+        assert run.final_state == {"x": "init", "y": "init"}
+
+    def test_killed_transaction_leaves_no_trace_in_state(self):
+        plan = FaultPlan([FaultEvent(FaultKind.KILL, 2, tx_id=1)])
+        run = run_faulty(
+            self._transactions(),
+            "2pl",
+            plan,
+            initial_state={"x": "init", "y": "init"},
+        )
+        assert run.survivors == (2,)
+        assert run.ok
+        assert run.final_state["y"] == "T2.1"
+        assert run.final_state["x"] == "init"
+
+
+class TestConfig:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(FaultError):
+            CampaignConfig(protocol="optimistic")
+
+    def test_zero_runs_rejected(self):
+        with pytest.raises(FaultError):
+            CampaignConfig(runs=0)
+
+    def test_run_seeds_are_distinct(self):
+        config = CampaignConfig(runs=100, seed=5)
+        seeds = [config.run_seed(i) for i in range(100)]
+        assert len(set(seeds)) == 100
+
+
+class TestGoldenReport:
+    """The CLI's seeded campaign must reproduce the checked-in report
+    byte for byte (the CI smoke job diffs the same command's output)."""
+
+    def test_cli_matches_golden_summary(self, capsys):
+        from pathlib import Path
+
+        from repro.cli import main
+
+        golden = (
+            Path(__file__).resolve().parent.parent
+            / "golden"
+            / "faults_seed7.json"
+        )
+        exit_code = main(
+            [
+                "faults",
+                "--seed",
+                "7",
+                "--runs",
+                "10",
+                "--protocol",
+                "rsgt",
+                "--json",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert output == golden.read_text()

@@ -1,0 +1,122 @@
+"""Scripted behaviour tests for :class:`repro.faults.FaultInjector`."""
+
+from repro.core.transactions import Transaction
+from repro.engine.kvstore import KVStore
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
+from repro.protocols import make_scheduler
+from repro.protocols.base import Decision
+
+
+def _wrap(plan, store=None):
+    """A 2PL scheduler wrapped by the injector, two transactions admitted."""
+    t1 = Transaction(1, ["w[x]", "w[y]"])
+    t2 = Transaction(2, ["w[z]", "r[z]"])
+    injector = FaultInjector(make_scheduler("2pl"), plan, store=store)
+    injector.admit(t1)
+    injector.admit(t2)
+    return injector, t1, t2
+
+
+class TestPassThrough:
+    def test_empty_plan_is_transparent(self):
+        injector, t1, _ = _wrap(FaultPlan())
+        outcome = injector.request(t1.operations[0])
+        assert outcome.decision is Decision.GRANT
+        assert injector.history == (t1.operations[0],)
+        assert injector.counters() == {
+            "aborts": 0,
+            "stall_waits": 0,
+            "kills": 0,
+            "crashes": 0,
+            "crash_rollbacks": 0,
+        }
+
+    def test_name_and_attribute_delegation(self):
+        injector, _, _ = _wrap(FaultPlan())
+        assert injector.name == "faulty(strict-2pl)"
+        assert injector.admitted_ids == frozenset({1, 2})
+        assert injector.progress(1) == 0
+
+
+class TestAbortAndKill:
+    def test_abort_fires_once_at_the_trigger(self):
+        plan = FaultPlan([FaultEvent(FaultKind.ABORT, 2, tx_id=1)])
+        injector, t1, _ = _wrap(plan)
+        assert injector.request(t1.operations[0]).decision is Decision.GRANT
+        outcome = injector.request(t1.operations[1])
+        assert outcome.decision is Decision.ABORT
+        assert outcome.victims == (1,)
+        assert injector.injected_aborts == 1
+        # One-shot: the restarted incarnation does not re-fire it.
+        injector.remove(1)
+        assert injector.request(t1.operations[0]).decision is Decision.GRANT
+
+    def test_kill_marks_the_victim_permanently(self):
+        plan = FaultPlan([FaultEvent(FaultKind.KILL, 1, tx_id=2)])
+        injector, _, t2 = _wrap(plan)
+        outcome = injector.request(t2.operations[0])
+        assert outcome.decision is Decision.ABORT
+        assert injector.killed == frozenset({2})
+        assert injector.injected_kills == 1
+
+    def test_counts_are_cumulative_across_incarnations(self):
+        # Trigger beyond the first incarnation's length: fires on retry.
+        plan = FaultPlan([FaultEvent(FaultKind.ABORT, 3, tx_id=1)])
+        injector, t1, _ = _wrap(plan)
+        assert injector.request(t1.operations[0]).decision is Decision.GRANT
+        assert injector.request(t1.operations[1]).decision is Decision.GRANT
+        # The protocol restarts T1 (e.g. a deadlock victim) ...
+        injector.remove(1)
+        # ... and the third lifetime request fires the trigger.
+        assert injector.request(t1.operations[0]).decision is Decision.ABORT
+
+
+class TestStall:
+    def test_stall_returns_wait_for_the_window(self):
+        plan = FaultPlan(
+            [FaultEvent(FaultKind.STALL, 1, tx_id=1, duration=2)]
+        )
+        injector, t1, _ = _wrap(plan)
+        assert injector.request(t1.operations[0]).decision is Decision.WAIT
+        assert injector.request(t1.operations[0]).decision is Decision.WAIT
+        assert injector.request(t1.operations[0]).decision is Decision.GRANT
+        assert injector.injected_stalls == 2
+        # The stalled requests never reached the wrapped protocol.
+        assert injector.history == (t1.operations[0],)
+
+
+class TestCrash:
+    def test_crash_rolls_back_in_flight_and_reports_victims(self):
+        store = KVStore({"x": 0, "z": 0})
+        plan = FaultPlan([FaultEvent(FaultKind.CRASH, 1)])
+        injector, t1, t2 = _wrap(plan, store=store)
+
+        assert injector.request(t1.operations[0]).decision is Decision.GRANT
+        store.begin(1)
+        store.write(1, "x", "dirty")
+        # t2's next request trips the crash (1 grant so far).
+        outcome = injector.request(t2.operations[0])
+        assert outcome.decision is Decision.ABORT
+        assert outcome.victims == (1,)
+        assert injector.injected_crashes == 1
+        assert injector.crash_rollbacks == 1
+        # The store recovered: rolled back and usable again.
+        assert not store.crashed
+        assert store.peek("x") == 0
+        assert store.open_transactions == frozenset()
+
+    def test_crash_with_nothing_in_flight_is_silent(self):
+        store = KVStore({"x": 0})
+        plan = FaultPlan([FaultEvent(FaultKind.CRASH, 2)])
+        injector, t1, t2 = _wrap(plan, store=store)
+        assert injector.request(t1.operations[0]).decision is Decision.GRANT
+        assert injector.request(t1.operations[1]).decision is Decision.GRANT
+        injector.finish(1)
+        store.begin(1)
+        store.write(1, "x", "v")
+        store.commit(1)
+        # t1 committed; crash finds no in-flight victims, so t2 proceeds.
+        outcome = injector.request(t2.operations[0])
+        assert outcome.decision is Decision.GRANT
+        assert injector.injected_crashes == 1
+        assert store.peek("x") == "v"

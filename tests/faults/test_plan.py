@@ -1,0 +1,118 @@
+"""Fault-plan construction, validation, and determinism."""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.transactions import Transaction
+from repro.errors import FaultPlanError
+from repro.faults import FaultEvent, FaultKind, FaultPlan, random_plan
+
+
+def _transactions():
+    return [
+        Transaction(1, ["r[x]", "w[y]"]),
+        Transaction(2, ["w[x]", "r[y]", "w[y]"]),
+        Transaction(3, ["w[z]"]),
+    ]
+
+
+class TestFaultEvent:
+    def test_per_tx_kinds_need_a_victim(self):
+        for kind in (FaultKind.ABORT, FaultKind.STALL, FaultKind.KILL):
+            with pytest.raises(FaultPlanError):
+                FaultEvent(kind, 1)
+
+    def test_crash_forbids_a_victim(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(FaultKind.CRASH, 1, tx_id=2)
+        FaultEvent(FaultKind.CRASH, 1)  # fine without one
+
+    def test_trigger_must_be_positive(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(FaultKind.ABORT, 0, tx_id=1)
+
+    def test_stall_duration_must_be_positive(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(FaultKind.STALL, 1, tx_id=1, duration=0)
+
+    def test_describe_mentions_the_victim(self):
+        event = FaultEvent(FaultKind.KILL, 3, tx_id=7)
+        assert "T7" in event.describe()
+        assert "#3" in event.describe()
+
+
+class TestFaultPlan:
+    def test_canonical_order_makes_plans_equal(self):
+        a = FaultEvent(FaultKind.ABORT, 2, tx_id=1)
+        b = FaultEvent(FaultKind.KILL, 1, tx_id=2)
+        assert FaultPlan([a, b]) == FaultPlan([b, a])
+        assert hash(FaultPlan([a, b])) == hash(FaultPlan([b, a]))
+
+    def test_selectors(self):
+        plan = FaultPlan(
+            [
+                FaultEvent(FaultKind.ABORT, 2, tx_id=1),
+                FaultEvent(FaultKind.STALL, 1, tx_id=1, duration=2),
+                FaultEvent(FaultKind.CRASH, 4),
+            ]
+        )
+        assert len(plan.for_tx(1)) == 2
+        assert plan.for_tx(9) == ()
+        assert len(plan.of_kind(FaultKind.CRASH)) == 1
+        assert plan.counts() == {
+            "abort": 1,
+            "stall": 1,
+            "kill": 0,
+            "crash": 1,
+        }
+
+    def test_plans_pickle(self):
+        plan = random_plan(
+            _transactions(), 3, abort_rate=1.0, crash_rate=1.0
+        )
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestRandomPlan:
+    def test_same_seed_same_plan(self):
+        txs = _transactions()
+        kwargs = dict(
+            abort_rate=0.5, stall_rate=0.5, kill_rate=0.5, crash_rate=0.5
+        )
+        assert random_plan(txs, 42, **kwargs) == random_plan(
+            txs, 42, **kwargs
+        )
+
+    def test_different_seeds_eventually_differ(self):
+        txs = _transactions()
+        plans = {
+            random_plan(txs, seed, abort_rate=0.5, stall_rate=0.5)
+            for seed in range(20)
+        }
+        assert len(plans) > 1
+
+    def test_rate_one_hits_every_transaction(self):
+        txs = _transactions()
+        plan = random_plan(txs, 0, abort_rate=1.0, kill_rate=1.0)
+        for tx in txs:
+            kinds = {e.kind for e in plan.for_tx(tx.tx_id)}
+            assert kinds == {FaultKind.ABORT, FaultKind.KILL}
+
+    def test_rate_zero_is_an_empty_plan(self):
+        assert len(random_plan(_transactions(), 5)) == 0
+
+    def test_rates_validated(self):
+        with pytest.raises(FaultPlanError):
+            random_plan(_transactions(), 0, abort_rate=1.5)
+        with pytest.raises(FaultPlanError):
+            random_plan(_transactions(), 0, crash_rate=-0.1)
+        with pytest.raises(FaultPlanError):
+            random_plan(_transactions(), 0, max_stall=0)
+
+    def test_accepts_a_prng_instance(self):
+        txs = _transactions()
+        a = random_plan(txs, random.Random(9), abort_rate=1.0)
+        b = random_plan(txs, random.Random(9), abort_rate=1.0)
+        assert a == b

@@ -99,3 +99,42 @@ class TestMapReduce:
             _square, tasks, lambda acc, r: acc + [r], []
         )
         assert parallel == serial == [t * t for t in tasks]
+
+
+# A crash counter shared through the filesystem: each attempt's worker
+# reads how many times it has crashed so far and dies only the first
+# ``n`` times, letting the retry loop eventually succeed.
+def _die_first_time(task):
+    marker, value = task
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("crashed")
+        os._exit(17)
+    return value * value
+
+
+class TestBoundedCrashRetry:
+    def test_transient_crash_is_retried_to_success(self, tmp_path):
+        marker = str(tmp_path / "crashed-once")
+        tasks = [(marker, value) for value in range(8)]
+        result = ParallelExecutor(2, max_retries=2).map(
+            _die_first_time, tasks
+        )
+        assert result == [value * value for value in range(8)]
+
+    def test_deterministic_crash_exhausts_the_budget(self):
+        with pytest.raises(ParallelExecutionError) as info:
+            ParallelExecutor(2, max_retries=1).map(
+                _die_on_three, list(range(8))
+            )
+        assert "2 consecutive attempts" in str(info.value)
+
+    def test_zero_budget_fails_fast(self):
+        with pytest.raises(ParallelExecutionError):
+            ParallelExecutor(2, max_retries=0).map(
+                _die_on_three, list(range(8))
+            )
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(1, max_retries=-1)

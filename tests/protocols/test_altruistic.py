@@ -141,3 +141,61 @@ class TestWakeTaint:
         assert scheduler.request(t3[0]).decision is Decision.GRANT
         # ... and now indebted: x is declared by T1 and undonated.
         assert scheduler.request(t3[1]).decision is Decision.WAIT
+
+
+class TestWakeAcyclicity:
+    """Rings of pairwise-legal donations, found by fault campaigns.
+
+    T1 donates a to T2, T2 donates b to T3, T3 donates d — if T1 then
+    borrowed d, the serialization order would need T1 both before (its
+    debtors' chain) and after (the borrow) T3.  The closing borrow must
+    be refused, and the refusal must survive the middlemen's commits.
+    """
+
+    def _ring(self):
+        t1 = Transaction.from_notation(1, "w[a] w[d]")
+        t2 = Transaction.from_notation(2, "w[b] w[a]")
+        t3 = Transaction.from_notation(3, "w[b] w[d]")
+        scheduler = AltruisticLockingScheduler()
+        _admit(scheduler, t1, t2, t3)
+        assert scheduler.request(t2[0]).decision is Decision.GRANT  # donate b
+        assert scheduler.request(t3[0]).decision is Decision.GRANT  # borrow b
+        assert scheduler.request(t1[0]).decision is Decision.GRANT  # donate a
+        assert scheduler.request(t2[1]).decision is Decision.GRANT  # borrow a
+        assert scheduler.request(t3[1]).decision is Decision.GRANT  # donate d
+        return scheduler, t1, t2, t3
+
+    def test_closing_borrow_is_refused(self):
+        scheduler, t1, _t2, _t3 = self._ring()
+        # T3 is transitively indebted to T1 (via T2), so its donated d
+        # is unusable to T1: the ring must not close.
+        assert scheduler.request(t1[1]).decision is Decision.WAIT
+
+    def test_refusal_survives_the_middlemen_commits(self):
+        # Regression: taints anchored to a donor used to be dropped at
+        # its commit, so once T3 and T2 committed the creditor T1 was
+        # granted d — committing the cycle T1 -> T2 -> T3 -> T1.
+        scheduler, t1, _t2, _t3 = self._ring()
+        scheduler.finish(3)
+        assert scheduler.request(t1[1]).decision is Decision.WAIT
+        scheduler.finish(2)
+        outcome = scheduler.request(t1[1])
+        # Every blocker is committed: waiting can never clear, so the
+        # creditor is restarted to serialize after the ring instead.
+        assert outcome.decision is Decision.ABORT
+        assert outcome.victims == (1,)
+
+    def test_restarted_creditor_serializes_after_the_ring(self):
+        from repro.core.schedules import Schedule
+        from repro.core.serializability import is_conflict_serializable
+
+        scheduler, t1, t2, t3 = self._ring()
+        scheduler.finish(3)
+        scheduler.finish(2)
+        assert scheduler.request(t1[1]).decision is Decision.ABORT
+        scheduler.remove(1)
+        assert scheduler.request(t1[0]).decision is Decision.GRANT
+        assert scheduler.request(t1[1]).decision is Decision.GRANT
+        scheduler.finish(1)
+        schedule = Schedule([t1, t2, t3], scheduler.history)
+        assert is_conflict_serializable(schedule)

@@ -119,3 +119,77 @@ class TestCommitAndRemove:
         scheduler.request(tx[1])
         scheduler.finish(1)
         assert scheduler.history == (tx[0], tx[1])
+
+
+class _AlwaysWait(Scheduler):
+    """Trivial scheduler: WAITs everything (for watchdog tests)."""
+
+    name = "always-wait"
+
+    def _decide(self, op: Operation) -> Outcome:
+        return Outcome.wait()
+
+
+class TestWatchdog:
+    def test_fires_after_threshold_consecutive_waits(self):
+        scheduler = _AlwaysWait()
+        scheduler.watchdog_threshold = 5
+        t1 = Transaction.from_notation(1, "w[x]")
+        t2 = Transaction.from_notation(2, "w[y] w[z]")
+        scheduler.admit(t1)
+        scheduler.admit(t2)
+        # Give T2 some progress so the watchdog has a victim (_AlwaysWait
+        # never grants, so fake it via the state table).
+        scheduler._state_of(2).executed = 1
+        outcomes = [scheduler.request(t1.operations[0]) for _ in range(5)]
+        assert all(o.decision is Decision.WAIT for o in outcomes[:4])
+        assert outcomes[4].decision is Decision.ABORT
+        assert outcomes[4].victims == (2,)
+        assert scheduler.watchdog_fires == 1
+
+    def test_grant_resets_the_counter(self):
+        scheduler = _AlwaysGrant()
+        scheduler.watchdog_threshold = 3
+        tx = Transaction.from_notation(1, "r[x] w[x]")
+        scheduler.admit(tx)
+        for op in tx.operations:
+            assert scheduler.request(op).decision is Decision.GRANT
+        assert scheduler.watchdog_fires == 0
+
+    def test_no_victim_without_progress_keeps_waiting(self):
+        scheduler = _AlwaysWait()
+        scheduler.watchdog_threshold = 3
+        tx = Transaction.from_notation(1, "w[x]")
+        scheduler.admit(tx)
+        # No live transaction has progress, so there is nothing worth
+        # aborting: the watchdog stays silent.
+        for _ in range(10):
+            assert scheduler.request(tx.operations[0]).decision \
+                is Decision.WAIT
+        assert scheduler.watchdog_fires == 0
+
+    def test_disabled_with_none_threshold(self):
+        scheduler = _AlwaysWait()
+        scheduler.watchdog_threshold = None
+        t1 = Transaction.from_notation(1, "w[x]")
+        scheduler.admit(t1)
+        scheduler._state_of(1).executed = 0
+        for _ in range(500):
+            assert scheduler.request(t1.operations[0]).decision \
+                is Decision.WAIT
+        assert scheduler.watchdog_fires == 0
+
+    def test_victim_is_cheapest_live_transaction(self):
+        scheduler = _AlwaysWait()
+        scheduler.watchdog_threshold = 2
+        t1 = Transaction.from_notation(1, "w[x] w[y] w[x]")
+        t2 = Transaction.from_notation(2, "w[z] w[z]")
+        scheduler.admit(t1)
+        scheduler.admit(t2)
+        scheduler._state_of(1).executed = 2
+        scheduler._state_of(2).executed = 1
+        scheduler.request(t1.operations[2])
+        outcome = scheduler.request(t1.operations[2])
+        # T2 has the least progress to throw away.
+        assert outcome.decision is Decision.ABORT
+        assert outcome.victims == (2,)

@@ -62,3 +62,86 @@ class TestSimulationResult:
         assert result.mean_response_time_of("short") == 5
         assert result.mean_response_time_of("long") == 8
         assert result.mean_response_time_of("nope") is None
+
+
+class TestFaultAccounting:
+    def _mixed(self):
+        from repro.sim.metrics import ABORTED
+
+        txs = [
+            Transaction.from_notation(1, "r[x]"),
+            Transaction.from_notation(2, "w[y]"),
+        ]
+        schedule = Schedule.serial([txs[0]])
+        outcomes = {
+            1: TransactionOutcome(
+                tx_id=1, arrival=0, commit_tick=4, restarts=1, waits=2
+            ),
+            2: TransactionOutcome(
+                tx_id=2,
+                arrival=0,
+                commit_tick=7,
+                restarts=3,
+                waits=9,
+                status=ABORTED,
+            ),
+        }
+        return SimulationResult(
+            protocol="test",
+            schedule=schedule,
+            outcomes=outcomes,
+            makespan=5,
+        )
+
+    def test_committed_excludes_the_dead(self):
+        result = self._mixed()
+        assert result.committed == 1
+        assert result.aborted == 1
+        assert result.survivor_ids == (1,)
+
+    def test_totals_still_count_everyone(self):
+        result = self._mixed()
+        assert result.total_restarts == 4
+        assert result.total_waits == 11
+
+    def test_mean_response_time_over_committed_only(self):
+        result = self._mixed()
+        assert result.mean_response_time == 5.0
+
+    def test_degradation_summary(self):
+        degradation = self._mixed().degradation()
+        assert degradation["committed"] == 1
+        assert degradation["aborted"] == 1
+        assert degradation["restarts"] == 4
+
+
+class TestWaitPercentiles:
+    def test_nearest_rank_small_samples(self):
+        from repro.sim.metrics import nearest_rank
+
+        values = [1, 2, 3, 4, 10]
+        assert nearest_rank(values, 50) == 3
+        assert nearest_rank(values, 90) == 10
+        assert nearest_rank(values, 99) == 10
+        assert nearest_rank(values, 100) == 10
+
+    def test_nearest_rank_is_order_insensitive(self):
+        from repro.sim.metrics import nearest_rank
+
+        assert nearest_rank([10, 1, 4, 2, 3], 50) == 3
+
+    def test_wait_percentiles_keys_and_values(self):
+        result = _result()
+        percentiles = result.wait_percentiles()
+        assert set(percentiles) == {"p50", "p90", "p99"}
+        assert percentiles["p50"] == 2
+        assert percentiles["p99"] == 3
+
+    def test_wait_percentiles_of_empty_run(self):
+        result = SimulationResult(
+            protocol="test",
+            schedule=Schedule([], []),
+            outcomes={},
+            makespan=0,
+        )
+        assert result.wait_percentiles() == {"p50": 0, "p90": 0, "p99": 0}

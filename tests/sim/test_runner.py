@@ -3,10 +3,12 @@
 import pytest
 
 from repro.core.transactions import Transaction
-from repro.errors import SimulationError
+from repro.engine.kvstore import KVStore
+from repro.errors import LivelockError, SimulationError
 from repro.protocols.base import Outcome, Scheduler
 from repro.protocols.sgt import SGTScheduler
 from repro.protocols.two_phase import TwoPhaseLockingScheduler
+from repro.sim.metrics import ABORTED
 from repro.sim.runner import simulate, simulate_bundle
 from repro.workloads.longlived import LongLivedWorkload
 
@@ -23,6 +25,47 @@ class _NeverGrant(Scheduler):
 
     def _decide(self, op):
         return Outcome.wait()
+
+
+class _AbortEveryone(Scheduler):
+    name = "abort-everyone"
+
+    def _decide(self, op):
+        return Outcome.abort(op.tx)
+
+
+class _FlakyFor(Scheduler):
+    """Aborts the chosen transaction's first ``n`` requests, then grants."""
+
+    name = "flaky"
+
+    def __init__(self, victim, n):
+        super().__init__()
+        self._victim = victim
+        self._left = n
+
+    def _decide(self, op):
+        if op.tx == self._victim and self._left > 0:
+            self._left -= 1
+            return Outcome.abort(op.tx)
+        return Outcome.grant()
+
+
+class _KillOnFirstRequest(Scheduler):
+    """Aborts the chosen transaction once and marks it permanently dead."""
+
+    name = "killer"
+
+    def __init__(self, victim):
+        super().__init__()
+        self._victim = victim
+        self.killed = frozenset()
+
+    def _decide(self, op):
+        if op.tx == self._victim and not self.killed:
+            self.killed = frozenset({op.tx})
+            return Outcome.abort(op.tx)
+        return Outcome.grant()
 
 
 @pytest.fixture()
@@ -99,6 +142,98 @@ class TestWithRealProtocols:
         result = simulate(txs, SGTScheduler())
         assert result.total_restarts >= 1
         assert result.committed == 2
+
+
+class TestStallGuard:
+    def test_all_wait_raises_livelock_error_naming_waiters(self, txs):
+        with pytest.raises(LivelockError) as info:
+            simulate(txs, _NeverGrant(), max_stalled_ticks=10)
+        assert info.value.waiting == (1, 2)
+        assert "1" in str(info.value) and "2" in str(info.value)
+
+    def test_guard_can_be_disabled(self, txs):
+        # Falls through to the max_ticks guard instead.
+        with pytest.raises(SimulationError) as info:
+            simulate(
+                txs, _NeverGrant(), max_ticks=40, max_stalled_ticks=None
+            )
+        assert not isinstance(info.value, LivelockError)
+
+    def test_guard_does_not_trip_on_progress(self, txs):
+        # A healthy run never accumulates stalled ticks.
+        result = simulate(txs, _GrantAll(), max_stalled_ticks=1)
+        assert result.committed == 2
+
+
+class TestBoundedRetry:
+    def test_max_attempts_permanently_aborts(self, txs):
+        result = simulate(txs, _AbortEveryone(), max_attempts=3)
+        assert result.committed == 0
+        assert result.aborted == 2
+        assert result.survivor_ids == ()
+        assert len(result.schedule) == 0
+        for outcome in result.outcomes.values():
+            assert outcome.status == ABORTED
+            assert outcome.restarts == 3
+
+    def test_unbounded_retry_is_the_default(self, txs):
+        # Without a budget the flaky victim eventually commits.
+        result = simulate(txs, _FlakyFor(1, 5), backoff=1)
+        assert result.committed == 2
+        assert result.outcomes[1].restarts == 5
+
+    def test_exponential_backoff_delays_restarts_longer(self, txs):
+        linear = simulate(txs, _FlakyFor(1, 4), backoff=1)
+        exponential = simulate(
+            txs, _FlakyFor(1, 4), backoff=1, restart_policy="exponential"
+        )
+        # Delays 1+2+3+4 < 1+2+4+8: the victim lands strictly later.
+        assert (
+            exponential.outcomes[1].commit_tick
+            > linear.outcomes[1].commit_tick
+        )
+        assert exponential.committed == 2
+
+    def test_unknown_restart_policy_rejected(self, txs):
+        with pytest.raises(SimulationError):
+            simulate(txs, _FlakyFor(1, 1), restart_policy="fibonacci")
+
+    def test_killed_set_overrides_the_retry_budget(self, txs):
+        result = simulate(txs, _KillOnFirstRequest(1))
+        assert result.survivor_ids == (2,)
+        assert result.outcomes[1].status == ABORTED
+        assert result.committed == 1
+
+
+class TestStoreIntegration:
+    def test_committed_writes_land_structurally(self, txs):
+        store = KVStore({"x": "init", "y": "init"})
+        result = simulate(txs, _GrantAll(), store=store)
+        assert result.committed == 2
+        # Each tx reads then writes its object: w[x] is T1's op #1.
+        assert store.snapshot() == {"x": "T1.1", "y": "T2.1"}
+        assert store.open_transactions == frozenset()
+
+    def test_dead_transactions_leave_no_trace(self, txs):
+        store = KVStore({"x": "init", "y": "init"})
+        result = simulate(
+            txs, _AbortEveryone(), max_attempts=2, store=store
+        )
+        assert result.committed == 0
+        assert store.snapshot() == {"x": "init", "y": "init"}
+        assert store.open_transactions == frozenset()
+
+    def test_killed_transactions_writes_rolled_back(self):
+        txs = [
+            Transaction.from_notation(1, "w[x] w[y]"),
+            Transaction.from_notation(2, "w[z]"),
+        ]
+        store = KVStore({"x": 0, "y": 0, "z": 0})
+        scheduler = _FlakyFor(1, 10**6)  # T1 never succeeds
+        result = simulate(txs, scheduler, max_attempts=2, store=store)
+        assert result.survivor_ids == (2,)
+        assert store.peek("x") == 0
+        assert store.peek("z") == "T2.0"
 
 
 class TestBundleRunner:

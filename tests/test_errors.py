@@ -1,5 +1,7 @@
 """Contract tests for the exception hierarchy."""
 
+import pickle
+
 import pytest
 
 from repro import errors
@@ -49,3 +51,57 @@ class TestHierarchy:
 
         with pytest.raises(errors.ReproError):
             Transaction(0, ["r[x]"])
+
+    def test_fault_errors_grouped(self):
+        assert issubclass(errors.FaultError, errors.ReproError)
+        assert issubclass(errors.FaultPlanError, errors.FaultError)
+        assert issubclass(errors.CrashedStoreError, errors.EngineError)
+        assert issubclass(errors.LivelockError, errors.SimulationError)
+
+
+class TestPicklability:
+    """Every exception must survive a process boundary intact —
+    ParallelExecutor workers re-raise them in the parent."""
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ReproError("boom"),
+            errors.ModelError("boom"),
+            errors.InvalidTransactionError("boom"),
+            errors.InvalidScheduleError("boom"),
+            errors.SpecError("boom"),
+            errors.InvalidSpecError("boom"),
+            errors.MissingSpecError("boom"),
+            errors.NotationError("boom"),
+            errors.GraphError("boom"),
+            errors.CycleError("boom"),
+            errors.CycleError("boom", cycle=[1, 2, 1]),
+            errors.EngineError("boom"),
+            errors.TransactionAborted("boom"),
+            errors.CrashedStoreError("boom"),
+            errors.ProtocolError("boom"),
+            errors.SimulationError("boom"),
+            errors.LivelockError("boom"),
+            errors.LivelockError("boom", waiting=(1, 2, 3)),
+            errors.ParallelExecutionError("boom"),
+            errors.FaultError("boom"),
+            errors.FaultPlanError("boom"),
+        ],
+        ids=lambda exc: type(exc).__name__ + str(len(exc.args)),
+    )
+    def test_round_trip(self, exc):
+        clone = pickle.loads(pickle.dumps(exc))
+        assert type(clone) is type(exc)
+        assert clone.args == exc.args
+        assert str(clone) == str(exc)
+
+    def test_cycle_error_witness_survives_pickling(self):
+        exc = errors.CycleError("boom", cycle=[3, 1, 3])
+        clone = pickle.loads(pickle.dumps(exc))
+        assert clone.cycle == [3, 1, 3]
+
+    def test_livelock_error_waiters_survive_pickling(self):
+        exc = errors.LivelockError("stuck", waiting=(2, 5))
+        clone = pickle.loads(pickle.dumps(exc))
+        assert clone.waiting == (2, 5)
