@@ -27,7 +27,19 @@ Subcommands:
   crashes) and check the certified-survivor invariants on every run;
   exits 0 only if each committed projection certifies relatively
   serializable and the recovered store state matches a fault-free
-  execution of exactly the committed transactions.
+  execution of exactly the committed transactions;
+* ``trace FILE --protocol NAME [--format jsonl|chrome]`` — simulate with
+  tracing enabled and emit the run's event trace (native JSONL or the
+  ``chrome://tracing`` timeline format);
+* ``explain FILE --schedule NAME [--json | --dot]`` — replay a schedule
+  against the file's spec and explain the verdict: the labelled RSG
+  witness cycle on rejection, the equivalent relatively serial schedule
+  on admission.
+
+``simulate`` and ``faults`` additionally accept ``--trace FILE`` and
+``--metrics FILE`` (``census``: ``--metrics FILE``) to write the
+deterministic JSONL trace / metrics report alongside their normal
+output.
 
 The problem-file format is documented in :mod:`repro.io.notation`.
 """
@@ -130,6 +142,12 @@ def build_parser() -> argparse.ArgumentParser:
             "results are identical at any job count)"
         ),
     )
+    census_cmd.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        help="write the census counters as a deterministic JSON report",
+    )
 
     simulate_cmd = commands.add_parser(
         "simulate",
@@ -143,6 +161,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate_cmd.add_argument(
         "--backoff", type=int, default=2, help="restart backoff base"
+    )
+    simulate_cmd.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help="write the run's JSONL event trace to this file",
+    )
+    simulate_cmd.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        help="write the run's deterministic metrics report to this file",
     )
 
     infer_cmd = commands.add_parser(
@@ -198,6 +228,68 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the full byte-stable JSON report instead of the summary",
     )
+    faults_cmd.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help=(
+            "collect per-run traces and write the campaign's JSONL "
+            "trace to this file (byte-identical at any --jobs count)"
+        ),
+    )
+    faults_cmd.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        help=(
+            "collect per-run metrics and write the merged deterministic "
+            "report to this file"
+        ),
+    )
+
+    trace_cmd = commands.add_parser(
+        "trace",
+        help="simulate with tracing enabled and emit the event trace",
+    )
+    trace_cmd.add_argument("file", type=Path)
+    trace_cmd.add_argument(
+        "--protocol",
+        choices=sorted(_PROTOCOLS),
+        default="rsgt",
+    )
+    trace_cmd.add_argument(
+        "--backoff", type=int, default=2, help="restart backoff base"
+    )
+    trace_cmd.add_argument(
+        "--format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help="native JSONL or the chrome://tracing timeline format",
+    )
+    trace_cmd.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=None,
+        help="write the trace to this file instead of stdout",
+    )
+
+    explain_cmd = commands.add_parser(
+        "explain",
+        help="explain a schedule's verdict (witness cycle or serial witness)",
+    )
+    explain_cmd.add_argument("file", type=Path)
+    explain_cmd.add_argument("--schedule", required=True)
+    explain_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the explanation as byte-stable JSON",
+    )
+    explain_cmd.add_argument(
+        "--dot",
+        action="store_true",
+        help="emit the witness cycle as Graphviz DOT (rejections only)",
+    )
 
     return parser
 
@@ -225,6 +317,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_chop(args)
         if args.command == "faults":
             return _cmd_faults(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "explain":
+            return _cmd_explain(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -326,19 +422,40 @@ def _cmd_census(args: argparse.Namespace) -> int:
             f"(relative consistency undecided for "
             f"{result.undecided_consistent} schedules)"
         )
+    if args.metrics is not None:
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        for name, count, _rate in result.as_rows():
+            registry.inc("census.schedules", count, cls=name)
+        registry.gauge("census.total", result.total)
+        args.metrics.write_text(registry.to_json() + "\n", encoding="utf-8")
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.core.rsg import is_relatively_serializable
     from repro.core.serializability import is_conflict_serializable
+    from repro.obs.bus import RingBufferSink, TraceBus
+    from repro.obs.metrics import MetricsRegistry
     from repro.sim.runner import simulate
 
     problem = _load(args.file)
     scheduler = _make_protocol(args.protocol, problem.spec)
+    sink = RingBufferSink() if args.trace is not None else None
+    bus = TraceBus(sink) if sink is not None else None
+    metrics = MetricsRegistry() if args.metrics is not None else None
     result = simulate(
-        problem.transactions, scheduler, backoff=args.backoff
+        problem.transactions,
+        scheduler,
+        backoff=args.backoff,
+        bus=bus,
+        metrics=metrics,
     )
+    if sink is not None:
+        args.trace.write_text(sink.text(), encoding="utf-8")
+    if metrics is not None:
+        args.metrics.write_text(metrics.to_json() + "\n", encoding="utf-8")
     print(f"protocol: {result.protocol}")
     print(f"committed history: {result.schedule}")
     rows = [
@@ -442,8 +559,15 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         stall_rate=args.stall_rate,
         kill_rate=args.kill_rate,
         crash_rate=args.crash_rate,
+        trace=args.trace is not None or args.metrics is not None,
     )
     report = run_campaign(config, jobs=args.jobs)
+    if args.trace is not None:
+        args.trace.write_text(report.trace_jsonl(), encoding="utf-8")
+    if args.metrics is not None:
+        args.metrics.write_text(
+            report.metrics_json() + "\n", encoding="utf-8"
+        )
     if args.json:
         print(report.to_json())
     else:
@@ -458,6 +582,57 @@ def _cmd_faults(args: argparse.Namespace) -> int:
                 f"state={'ok' if record.state_ok else 'MISMATCH'}"
             )
     return 0 if report.ok else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.bus import RingBufferSink, TraceBus
+    from repro.obs.trace import chrome_trace_json
+    from repro.sim.runner import simulate
+
+    problem = _load(args.file)
+    scheduler = _make_protocol(args.protocol, problem.spec)
+    sink = RingBufferSink()
+    simulate(
+        problem.transactions,
+        scheduler,
+        backoff=args.backoff,
+        bus=TraceBus(sink),
+    )
+    if args.format == "chrome":
+        text = chrome_trace_json(sink.events) + "\n"
+    else:
+        text = sink.text()
+    if args.output is not None:
+        args.output.write_text(text, encoding="utf-8")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.io.dot import witness_to_dot
+    from repro.obs.explain import explain_schedule
+
+    problem = _load(args.file)
+    schedule = problem.schedule(args.schedule)
+    explanation = explain_schedule(schedule, problem.spec)
+    if args.dot:
+        if explanation.witness is None:
+            print(
+                "admissible: no witness cycle to render",
+                file=sys.stderr,
+            )
+            return 0
+        print(witness_to_dot(explanation.witness), end="")
+        return 0
+    if args.json:
+        print(json.dumps(explanation.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"schedule {args.schedule}: {schedule}")
+    print(explanation.format())
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - module CLI shim

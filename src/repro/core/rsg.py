@@ -554,6 +554,15 @@ class IncrementalRsg:
         self._uncertified_from: int | None = None
         self._witness: list[Operation] | None = None
         self._rejection: list[Operation] | None = None
+        # Tentative arcs of the most recent refused try_push: they were
+        # rolled back before entering the graph, but the rejection
+        # witness may ride on them, so labelling needs them.
+        self._rejection_arcs: (
+            list[tuple[Operation, Operation, ArcKind]] | None
+        ) = None
+        self._labelled_rejection_cache: (
+            list[tuple[Operation, Operation, frozenset[ArcKind]]] | None
+        ) = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -590,6 +599,42 @@ class IncrementalRsg:
         """Witness from the most recent refused ``try_push``."""
         return self._rejection
 
+    def labelled_rejection(
+        self,
+    ) -> list[tuple[Operation, Operation, frozenset[ArcKind]]] | None:
+        """The last rejection's witness with per-arc kind labels.
+
+        Each consecutive cycle pair is labelled from the live graph
+        where the arc survives, plus the refused push's tentative arcs
+        (rolled back before entering the graph — the refused D/F/B arc
+        that closed the cycle is always among these).  ``None`` when no
+        rejection has happened.
+
+        Memoized per rejection: the certifier asks once for the trace
+        event and once for the Outcome's reason, and the labelling must
+        reflect the graph at rejection time either way.
+        """
+        cycle = self._rejection
+        if cycle is None:
+            return None
+        if self._labelled_rejection_cache is not None:
+            return self._labelled_rejection_cache
+        tentative: dict[
+            tuple[Operation, Operation], set[ArcKind]
+        ] = {}
+        for source, target, kind in self._rejection_arcs or ():
+            tentative.setdefault((source, target), set()).add(kind)
+        graph = self._graph
+        labelled = []
+        for source, target in zip(cycle, cycle[1:]):
+            kinds: set[ArcKind] = set()
+            if graph.has_edge(source, target):
+                kinds.update(graph.edge_labels(source, target))
+            kinds.update(tentative.get((source, target), ()))
+            labelled.append((source, target, frozenset(kinds)))
+        self._labelled_rejection_cache = labelled
+        return labelled
+
     def __len__(self) -> int:
         return len(self._history)
 
@@ -616,9 +661,12 @@ class IncrementalRsg:
                 "try_push on a cyclic prefix — use push_uncertified"
             )
         anc = self._ancestors_of(op)
-        batch = self._graph.try_add_edges(self._arcs_for(op, anc))
+        arcs = self._arcs_for(op, anc)
+        batch = self._graph.try_add_edges(arcs)
         if batch is None:
             self._rejection = self._graph.last_rejected_cycle
+            self._rejection_arcs = arcs
+            self._labelled_rejection_cache = None
             return False
         self._record(op, anc, batch)
         return True

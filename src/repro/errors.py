@@ -136,18 +136,24 @@ class LivelockError(SimulationError):
     too many consecutive ticks).
 
     Carries the ids of the transactions that were waiting when the guard
-    fired in :attr:`waiting`, so the diagnostic names the participants of
-    the suspected wait cycle instead of just "it hung".
+    fired in :attr:`waiting`, plus the scheduler's waits-for edges at
+    that moment in :attr:`blocking` (waiter id -> ascending blocker ids,
+    empty for protocols that never block), so the diagnostic names both
+    sides of the suspected wait cycle instead of just "it hung".
     """
 
     def __init__(
-        self, message: str, waiting: tuple[int, ...] = ()
+        self,
+        message: str,
+        waiting: tuple[int, ...] = (),
+        blocking: dict[int, tuple[int, ...]] | None = None,
     ) -> None:
         super().__init__(message)
         self.waiting = tuple(waiting)
+        self.blocking = dict(blocking or {})
 
     def __reduce__(self):
-        return (type(self), (self.args[0], self.waiting))
+        return (type(self), (self.args[0], self.waiting, self.blocking))
 
 
 class ParallelExecutionError(ReproError):

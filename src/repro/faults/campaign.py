@@ -38,6 +38,8 @@ from repro.engine.kvstore import KVStore
 from repro.errors import FaultError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, random_plan
+from repro.obs.bus import RingBufferSink, TraceBus
+from repro.obs.metrics import MetricsRegistry
 from repro.parallel.executor import ParallelExecutor
 from repro.protocols import PROTOCOL_NAMES, make_scheduler
 from repro.sim.metrics import SimulationResult
@@ -69,6 +71,8 @@ def run_faulty(
     max_attempts: int = 4,
     max_ticks: int = 50_000,
     watchdog_threshold: int | None = 32,
+    bus: TraceBus | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> "FaultyRun":
     """One faulty run, invariants checked.
 
@@ -85,6 +89,10 @@ def run_faulty(
         max_attempts: incarnation budget per transaction.
         max_ticks: hard tick guard.
         watchdog_threshold: stall watchdog setting for the scheduler.
+        bus: optional trace bus threaded through the simulator, the
+            injected scheduler, and (for the certifying protocols) the
+            certifier.
+        metrics: optional registry receiving the run's counters.
 
     Returns:
         A :class:`FaultyRun` with the simulation result, the survivor
@@ -108,6 +116,8 @@ def run_faulty(
         max_attempts=max_attempts,
         restart_policy="exponential",
         store=store,
+        bus=bus,
+        metrics=metrics,
     )
 
     survivors = result.survivor_ids
@@ -205,6 +215,9 @@ class CampaignConfig:
     max_attempts: int = 4
     max_ticks: int = 50_000
     watchdog_threshold: int = 32
+    #: Collect a per-run JSONL trace and metrics report.  Off by default:
+    #: traces are sizeable, and the golden report stays lean without them.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOL_NAMES:
@@ -238,6 +251,10 @@ class RunRecord:
     injected: dict[str, int]
     wait_percentiles: dict[str, int]
     history: str
+    #: JSONL trace of the run (empty unless ``CampaignConfig.trace``).
+    trace: str = ""
+    #: Deterministic metrics report (empty unless ``CampaignConfig.trace``).
+    metrics: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -270,6 +287,13 @@ def _run_campaign_task(task: tuple[CampaignConfig, int]) -> RunRecord:
     )
     # Seed the full object pool so random reads always find their object.
     initial_state = {f"x{i}": "init" for i in range(config.n_objects)}
+    sink: RingBufferSink | None = None
+    bus: TraceBus | None = None
+    metrics: MetricsRegistry | None = None
+    if config.trace:
+        sink = RingBufferSink()
+        bus = TraceBus(sink)
+        metrics = MetricsRegistry()
     run = run_faulty(
         transactions,
         config.protocol,
@@ -280,6 +304,8 @@ def _run_campaign_task(task: tuple[CampaignConfig, int]) -> RunRecord:
         max_attempts=config.max_attempts,
         max_ticks=config.max_ticks,
         watchdog_threshold=config.watchdog_threshold,
+        bus=bus,
+        metrics=metrics,
     )
     return RunRecord(
         index=index,
@@ -296,6 +322,8 @@ def _run_campaign_task(task: tuple[CampaignConfig, int]) -> RunRecord:
         injected=run.counters,
         wait_percentiles=run.result.wait_percentiles(),
         history=str(run.result.schedule),
+        trace=sink.text() if sink is not None else "",
+        metrics=metrics.to_dict() if metrics is not None else {},
     )
 
 
@@ -350,6 +378,62 @@ class CampaignReport:
             totals["injected_crashes"] += record.injected["crashes"]
             totals["crash_rollbacks"] += record.injected["crash_rollbacks"]
         return totals
+
+    def trace_jsonl(self) -> str:
+        """The campaign's full trace: per-run JSONL sections in run order.
+
+        Each run contributes a one-line ``{"run": i, "seed": s}`` header
+        followed by its events.  Records merge in run order at any
+        ``jobs=`` count, so this text is byte-identical across worker
+        counts (empty unless the config enabled tracing).
+        """
+        sections = []
+        for record in self.records:
+            if not record.trace:
+                continue
+            header = json.dumps(
+                {"run": record.index, "seed": record.seed},
+                separators=(",", ":"),
+            )
+            sections.append(header + "\n" + record.trace)
+        return "".join(sections)
+
+    def merged_metrics(self) -> dict:
+        """Per-run metrics reports folded into one (counters add, gauges
+        keep the maximum, observations combine) — the same associative
+        merge :meth:`~repro.obs.metrics.MetricsRegistry.merge` performs,
+        so the result is independent of the ``jobs=`` partitioning."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, int] = {}
+        observations: dict[str, dict[str, int]] = {}
+        for record in self.records:
+            report = record.metrics
+            if not report:
+                continue
+            for key, value in report.get("counters", {}).items():
+                counters[key] = counters.get(key, 0) + value
+            for key, value in report.get("gauges", {}).items():
+                mine = gauges.get(key)
+                if mine is None or value > mine:
+                    gauges[key] = value
+            for key, stats in report.get("observations", {}).items():
+                mine = observations.get(key)
+                if mine is None:
+                    observations[key] = dict(stats)
+                else:
+                    mine["sum"] += stats["sum"]
+                    mine["count"] += stats["count"]
+                    mine["min"] = min(mine["min"], stats["min"])
+                    mine["max"] = max(mine["max"], stats["max"])
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "observations": dict(sorted(observations.items())),
+        }
+
+    def metrics_json(self) -> str:
+        """Byte-stable JSON rendering of :meth:`merged_metrics`."""
+        return json.dumps(self.merged_metrics(), indent=2, sort_keys=True)
 
     def to_dict(self) -> dict:
         """A plain-data rendering (stable key order via ``to_json``)."""

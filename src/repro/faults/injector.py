@@ -29,6 +29,8 @@ from repro.core.operations import Operation
 from repro.core.transactions import Transaction
 from repro.engine.kvstore import KVStore
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.obs.bus import TraceBus
+from repro.obs.events import EventKind, Reason
 from repro.protocols.base import Decision, Outcome, Scheduler
 
 __all__ = ["FaultInjector"]
@@ -89,6 +91,20 @@ class FaultInjector:
         this to decide which abort victims never come back)."""
         return frozenset(self._killed)
 
+    @property
+    def bus(self) -> TraceBus:
+        """The wrapped scheduler's trace bus (shared with the injector).
+
+        An explicit property because ``__getattr__`` only covers reads:
+        assigning through plain delegation would shadow the inner bus
+        with an injector-local attribute.
+        """
+        return self._inner.bus
+
+    @bus.setter
+    def bus(self, bus: TraceBus) -> None:
+        self._inner.bus = bus
+
     def counters(self) -> dict[str, int]:
         """All injection counters, keyed for campaign reports."""
         return {
@@ -110,39 +126,96 @@ class FaultInjector:
         tx_id = op.tx
         self._requests[tx_id] = self._requests.get(tx_id, 0) + 1
         count = self._requests[tx_id]
+        bus = self.bus
 
         for event in self._plan.for_tx(tx_id):
             if event.kind is FaultKind.STALL:
                 if event.at <= count < event.at + event.duration:
                     self.injected_stalls += 1
-                    return Outcome.wait()
+                    reason = Reason(
+                        "fault-stall",
+                        detail=(
+                            f"stall window [{event.at}, "
+                            f"{event.at + event.duration}) at request "
+                            f"{count}"
+                        ),
+                    )
+                    self._emit_fault(bus, op, "stall", reason)
+                    return Outcome.wait(reason)
             elif event not in self._fired and count >= event.at:
                 self._fired.add(event)
                 if event.kind is FaultKind.KILL:
                     self._killed.add(tx_id)
                     self.injected_kills += 1
+                    reason = Reason(
+                        "fault-kill",
+                        blockers=(tx_id,),
+                        detail=f"killed at request {count}",
+                    )
+                    self._emit_fault(bus, op, "kill", reason)
                 else:
                     self.injected_aborts += 1
-                return Outcome.abort(tx_id)
+                    reason = Reason(
+                        "fault-abort",
+                        blockers=(tx_id,),
+                        detail=f"aborted at request {count}",
+                    )
+                    self._emit_fault(bus, op, "abort", reason)
+                return Outcome.abort(tx_id, reason=reason)
 
         for event in self._plan.of_kind(FaultKind.CRASH):
             if event not in self._fired and self._grants >= event.at:
                 self._fired.add(event)
                 self.injected_crashes += 1
                 victims = self._in_flight()
+                if bus.active:
+                    bus.emit(
+                        EventKind.CRASH,
+                        protocol=self.name,
+                        extra=(("victims", list(victims)),),
+                    )
                 if self._store is not None:
                     self._store.crash()
                     rolled_back = self._store.recover()
                     self.crash_rollbacks += len(rolled_back)
                 else:
                     self.crash_rollbacks += len(victims)
+                if bus.active:
+                    bus.emit(
+                        EventKind.RECOVER,
+                        protocol=self.name,
+                        extra=(("rolled_back", len(victims)),),
+                    )
                 if victims:
-                    return Outcome.abort(*victims)
+                    return Outcome.abort(
+                        *victims,
+                        reason=Reason(
+                            "fault-crash",
+                            blockers=victims,
+                            detail=(
+                                f"crash after {self._grants} grants "
+                                "rolled back every in-flight transaction"
+                            ),
+                        ),
+                    )
 
         outcome = self._inner.request(op)
         if outcome.decision is Decision.GRANT:
             self._grants += 1
         return outcome
+
+    def _emit_fault(
+        self, bus: TraceBus, op: Operation, kind: str, reason: Reason
+    ) -> None:
+        if bus.active:
+            bus.emit(
+                EventKind.FAULT,
+                tx=op.tx,
+                op=op.label,
+                protocol=self.name,
+                reason=reason,
+                extra=(("fault", kind),),
+            )
 
     def finish(self, tx_id: int) -> None:
         self._inner.finish(tx_id)

@@ -5,6 +5,9 @@ Renders the library's graphs for inspection with ``dot -Tpng``:
 * :func:`rsg_to_dot` colours arcs by kind (I black, D blue, F green,
   B red) and clusters operations by transaction, mirroring the layout of
   the paper's Figure 3;
+* :func:`witness_to_dot` renders a rejection's witness cycle with
+  per-kind arc styling: I solid, D dashed, and the unit arcs (F/B,
+  Definition 3's push-forward/pull-backward closures) bold;
 * :func:`dependency_to_dot` and :func:`digraph_to_dot` are the generic
   fallbacks.
 """
@@ -15,8 +18,14 @@ from repro.core.dependency import DependencyRelation
 from repro.core.operations import Operation
 from repro.core.rsg import ArcKind, RelativeSerializationGraph
 from repro.graphs.digraph import DiGraph
+from repro.obs.explain import RejectionWitness
 
-__all__ = ["digraph_to_dot", "rsg_to_dot", "dependency_to_dot"]
+__all__ = [
+    "digraph_to_dot",
+    "rsg_to_dot",
+    "witness_to_dot",
+    "dependency_to_dot",
+]
 
 _ARC_COLOURS = {
     ArcKind.INTERNAL: "black",
@@ -76,6 +85,61 @@ def rsg_to_dot(rsg: RelativeSerializationGraph, name: str = "RSG") -> str:
         lines.append(
             f"  {_node_id(source)} -> {_node_id(target)} "
             f"[label={_quote(text)}, color={colour}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+#: Colours per compact kind letter (matches :data:`_ARC_COLOURS`).
+_KIND_LETTER_COLOURS = {
+    "I": "black",
+    "D": "blue",
+    "F": "forestgreen",
+    "B": "red",
+}
+
+
+def _witness_style(kinds: str) -> str:
+    """DOT edge attributes for one witness step's arc-kind string.
+
+    I renders solid, D dashed, and the unit arcs (F/B) bold; a step that
+    carries several kinds combines the styles (``"DB"`` → dashed bold).
+    The colour follows the first kind in canonical I/D/F/B order.
+    """
+    styles = []
+    if "D" in kinds and "I" not in kinds:
+        styles.append("dashed")
+    if "F" in kinds or "B" in kinds:
+        styles.append("bold")
+    if not styles:
+        styles.append("solid")
+    colour = next(
+        (
+            _KIND_LETTER_COLOURS[letter]
+            for letter in "IDFB"
+            if letter in kinds
+        ),
+        "black",
+    )
+    return f'style="{",".join(styles)}", color={colour}'
+
+
+def witness_to_dot(
+    witness: RejectionWitness, name: str = "WITNESS"
+) -> str:
+    """Render a rejection's witness cycle as DOT.
+
+    One node per cycle operation, one styled edge per arc: I solid, D
+    dashed, F/B (the unit arcs) bold, each labelled with its compact
+    kind string (``"DB"``).
+    """
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=box];"]
+    for label in witness.operations:
+        lines.append(f"  {_quote(label)} [label={_quote(label)}];")
+    for step in witness.steps:
+        lines.append(
+            f"  {_quote(step.source)} -> {_quote(step.target)} "
+            f"[label={_quote(step.kinds)}, {_witness_style(step.kinds)}];"
         )
     lines.append("}")
     return "\n".join(lines) + "\n"

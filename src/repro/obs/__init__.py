@@ -1,0 +1,62 @@
+"""Observability: deterministic tracing, provenance, and metrics.
+
+The paper's contribution is *explainable* admission — Theorem 1 makes
+every certification verdict a statement about a concrete graph, and
+every rejection carries a concrete cycle as its witness.  This package
+makes that explainability operational for the whole stack:
+
+* :class:`TraceBus` — typed, frozen trace events (one per scheduler
+  request, decision, restart, watchdog firing, fault injection, crash,
+  recovery, and certification attempt/verdict) ordered by logical time,
+  fanned out to pluggable sinks.  Traces are byte-deterministic: same
+  seed, same bytes, at any ``--jobs`` count.
+* :class:`Reason` — structured decision provenance attached to every
+  non-grant :class:`~repro.protocols.base.Outcome`: which lock conflict,
+  which donor debt, which atomic-unit containment, or which RSG cycle.
+* :class:`MetricsRegistry` — counters, gauges, and observations keyed by
+  name + labels, merged deterministically across parallel workers and
+  exported as stable JSON.
+* :func:`explain_schedule` / :class:`RejectionWitness` — the offline
+  explanation API: replay a schedule against a spec and, on rejection,
+  return the offending cycle as labelled arcs (I/D/F/B), renderable as
+  text, JSON, or Graphviz DOT (:func:`repro.io.dot.witness_to_dot`).
+"""
+
+from repro.obs.bus import (
+    NULL_BUS,
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    TraceBus,
+)
+from repro.obs.events import EventKind, Reason, TraceEvent
+from repro.obs.explain import (
+    Explanation,
+    RejectionWitness,
+    WitnessStep,
+    explain_schedule,
+    witness_from_certifier,
+    witness_from_rsg,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import chrome_trace_json, events_to_chrome
+
+__all__ = [
+    "EventKind",
+    "Reason",
+    "TraceEvent",
+    "TraceBus",
+    "NullSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "NULL_BUS",
+    "MetricsRegistry",
+    "Explanation",
+    "RejectionWitness",
+    "WitnessStep",
+    "explain_schedule",
+    "witness_from_rsg",
+    "witness_from_certifier",
+    "events_to_chrome",
+    "chrome_trace_json",
+]

@@ -1,0 +1,184 @@
+"""The trace bus: logical-time event ordering with pluggable sinks.
+
+One :class:`TraceBus` per run.  Emitters (schedulers, the certifier, the
+fault injector, the simulator) call :meth:`TraceBus.emit`; the bus
+stamps the event with the current logical tick (set once per tick by the
+simulator via :meth:`TraceBus.clock`) and a gap-free sequence number,
+then hands it to every attached sink.  Because the whole stack is
+single-threaded per run, emission order *is* logical order — traces are
+byte-identical across platforms and across ``--jobs`` counts (parallel
+campaigns give every run its own bus and concatenate in run order).
+
+Sinks:
+
+* :class:`RingBufferSink` — last-N events in memory, for tests and
+  post-mortem inspection;
+* :class:`JsonlSink` — one JSON object per line to any text stream;
+* :class:`NullSink` — counts events and drops them; keeps the full
+  emission path (event construction included) live so its overhead is
+  exactly what ``benchmarks/bench_obs.py`` gates.
+
+A bus with no sinks (the module-level :data:`NULL_BUS` default) skips
+event construction entirely, so un-traced runs pay one attribute check
+per would-be event.
+"""
+
+from __future__ import annotations
+
+import io
+from collections import deque
+from pathlib import Path
+from typing import IO
+
+from repro.obs.events import EventKind, Reason, TraceEvent
+
+__all__ = [
+    "TraceBus",
+    "NullSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "NULL_BUS",
+]
+
+
+class NullSink:
+    """Swallow events, counting them (the overhead-measurement sink)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def write(self, event: TraceEvent) -> None:
+        self.count += 1
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        """The buffered events, oldest first."""
+        return tuple(self._events)
+
+    def write(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    def close(self) -> None:
+        """Nothing to release (the buffer stays readable)."""
+
+    def text(self) -> str:
+        """The buffered events as JSONL (one line per event)."""
+        return "".join(
+            event.to_json_line() + "\n" for event in self._events
+        )
+
+
+class JsonlSink:
+    """Write one JSON line per event to a stream or file path."""
+
+    def __init__(self, target: IO[str] | str | Path) -> None:
+        if isinstance(target, (str, Path)):
+            self._stream: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+
+    def write(self, event: TraceEvent) -> None:
+        self._stream.write(event.to_json_line() + "\n")
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def text(self) -> str:
+        """The written JSONL, for in-memory streams only."""
+        if isinstance(self._stream, io.StringIO):
+            return self._stream.getvalue()
+        raise TypeError("text() requires an in-memory StringIO target")
+
+
+class TraceBus:
+    """Fan trace events out to sinks, stamped with logical time.
+
+    Args:
+        *sinks: initial sinks (more can be attached later).
+    """
+
+    __slots__ = ("_sinks", "_seq", "_tick", "active")
+
+    def __init__(self, *sinks) -> None:
+        self._sinks = list(sinks)
+        self._seq = 0
+        self._tick = -1
+        #: Whether any sink is attached (emitters gate on this).  A
+        #: plain attribute, not a property: it is read several times per
+        #: request on the hot path, and the attribute lookup is what
+        #: keeps the un-traced cost to a single dictionary-free check.
+        self.active = bool(sinks)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @property
+    def sinks(self) -> tuple:
+        return tuple(self._sinks)
+
+    def attach(self, sink) -> None:
+        """Add a sink (receives events from now on)."""
+        self._sinks.append(sink)
+        self.active = True
+
+    def close(self) -> None:
+        """Close every sink (flushes file-backed JSONL sinks)."""
+        for sink in self._sinks:
+            sink.close()
+
+    # ------------------------------------------------------------------
+    # Logical time
+    # ------------------------------------------------------------------
+    @property
+    def tick(self) -> int:
+        """The current logical tick (``-1`` outside any simulation)."""
+        return self._tick
+
+    def clock(self, tick: int) -> None:
+        """Advance the logical clock (the simulator calls this per tick)."""
+        self._tick = tick
+
+    @property
+    def events_emitted(self) -> int:
+        """How many events have been recorded so far."""
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        kind: EventKind,
+        tx: int | None = None,
+        op: str | None = None,
+        protocol: str = "",
+        reason: Reason | None = None,
+        extra: tuple[tuple[str, object], ...] = (),
+    ) -> None:
+        """Record one event (no-op when no sink is attached)."""
+        if not self._sinks:
+            return
+        event = TraceEvent(
+            self._seq, self._tick, kind, tx, op, protocol, reason, extra
+        )
+        self._seq += 1
+        for sink in self._sinks:
+            sink.write(event)
+
+
+#: Shared inert bus: the default for every scheduler/certifier, so the
+#: un-traced hot path costs a single truthiness check per event site.
+NULL_BUS = TraceBus()

@@ -1,0 +1,149 @@
+"""Typed trace events and structured decision provenance.
+
+Every observable step of the stack — a request arriving at a scheduler,
+the decision it got, a watchdog firing, a fault injection, a crash, a
+certification verdict — is recorded as one immutable :class:`TraceEvent`.
+Events carry only logical time (the simulator's tick plus a global
+sequence number), never wall-clock readings, so a trace is a pure
+function of the run's inputs: same seed, same bytes, on any platform and
+at any worker count.
+
+Non-grant decisions additionally carry a :class:`Reason`: a small
+structured record naming *why* — the blocking transaction ids of a lock
+conflict, the donor of a containment refusal, or the labelled RSG cycle
+a certification rejection witnessed.  The reason rides on the
+:class:`~repro.protocols.base.Outcome` itself, so it is available to
+callers whether or not a trace is being collected.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import NamedTuple
+
+__all__ = ["EventKind", "Reason", "TraceEvent"]
+
+
+class EventKind(enum.Enum):
+    """The event taxonomy (DESIGN.md section 9).
+
+    One kind per observable step; the string values are the stable wire
+    names used in JSONL traces and golden files.
+    """
+
+    REQUEST = "op-requested"
+    GRANT = "grant"
+    WAIT = "wait"
+    ABORT = "abort"
+    RESTART = "restart"
+    COMMIT = "commit"
+    WATCHDOG = "watchdog"
+    FAULT = "fault-injected"
+    CRASH = "crash"
+    RECOVER = "recover"
+    CERTIFY_ATTEMPT = "certify-attempt"
+    CERTIFY_VERDICT = "certify-verdict"
+    LIVELOCK = "livelock"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Reason:
+    """Machine-readable provenance of a non-grant decision.
+
+    Attributes:
+        code: stable identifier of the decision cause — e.g.
+            ``"lock-conflict"``, ``"deadlock"``, ``"rsg-cycle"``,
+            ``"sg-cycle"``, ``"unit-containment"``,
+            ``"committed-blockers"``, ``"watchdog"``, ``"fault-abort"``,
+            ``"fault-kill"``, ``"fault-stall"``, ``"fault-crash"``.
+        blockers: transaction ids implicated in the decision (lock
+            holders, deadlock participants, the containment donor, the
+            watchdog's victim), ascending.
+        cycle: the witness cycle for graph-based rejections, as
+            ``(node label, arc kinds)`` steps — each step names the arc
+            *leaving* that node (``"D"``, ``"DB"``, ``"I"``, …; empty
+            for the final node repeat or unlabelled graphs).
+        detail: free-form human amplification (never parsed).
+    """
+
+    code: str
+    blockers: tuple[int, ...] = ()
+    cycle: tuple[tuple[str, str], ...] = ()
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        """Plain-data form, empty fields omitted (compact JSONL)."""
+        payload: dict = {"code": self.code}
+        if self.blockers:
+            payload["blockers"] = list(self.blockers)
+        if self.cycle:
+            payload["cycle"] = [list(step) for step in self.cycle]
+        if self.detail:
+            payload["detail"] = self.detail
+        return payload
+
+
+class TraceEvent(NamedTuple):
+    """One observable step, stamped with logical time only.
+
+    A ``NamedTuple`` rather than a frozen dataclass: events are created
+    on the hot path (several per granted operation when a sink is
+    attached), and tuple construction is ~3x cheaper than the frozen
+    dataclass ``__init__`` — the difference is what keeps the null-sink
+    tracing overhead inside the <10% budget ``benchmarks/bench_obs.py``
+    gates.  Still typed, immutable, and equality-comparable.
+
+    Attributes:
+        seq: global emission order within the run's bus (gap-free).
+        tick: the simulator tick the event happened in (``-1`` outside
+            any simulation, e.g. offline certification).
+        kind: the event taxonomy entry.
+        tx: the transaction the event concerns, when there is one.
+        op: the operation label (``"r1[x]"``), when there is one.
+        protocol: the emitting component's protocol name.
+        reason: structured provenance for non-grant decisions.
+        extra: additional ``(key, value)`` pairs, sorted by key — victim
+            lists, fault kinds, verdict booleans.
+    """
+
+    seq: int
+    tick: int
+    kind: EventKind
+    tx: int | None = None
+    op: str | None = None
+    protocol: str = ""
+    reason: Reason | None = None
+    extra: tuple[tuple[str, object], ...] = ()
+
+    def to_dict(self) -> dict:
+        """Plain-data form with a fixed key order (byte-stable JSONL)."""
+        payload: dict = {
+            "seq": self.seq,
+            "tick": self.tick,
+            "kind": self.kind.value,
+        }
+        if self.tx is not None:
+            payload["tx"] = self.tx
+        if self.op is not None:
+            payload["op"] = self.op
+        if self.protocol:
+            payload["protocol"] = self.protocol
+        if self.reason is not None:
+            payload["reason"] = self.reason.to_dict()
+        for key, value in self.extra:
+            payload[key] = value
+        return payload
+
+    def to_json_line(self) -> str:
+        """The event as one JSONL line (no trailing newline).
+
+        Keys keep insertion order (fixed by :meth:`to_dict`), values are
+        rendered with no whitespace variance — byte-identical across
+        platforms for equal events.
+        """
+        return json.dumps(self.to_dict(), separators=(",", ":"))

@@ -1,0 +1,245 @@
+"""Decision explanation: labelled witness cycles for rejections.
+
+Theorem 1 makes every certification verdict checkable: a schedule is
+relatively serializable iff its RSG is acyclic, so every rejection has a
+concrete cycle as its witness.  This module turns those witnesses into a
+uniform, renderable artifact:
+
+* :class:`RejectionWitness` — the cycle as ``source --kinds--> target``
+  steps, where ``kinds`` names the I/D/F/B arc families the step rides
+  on (``"DB"`` for an arc that is both a dependency and a pull-backward
+  closure, as in the paper's Figure 3);
+* :func:`witness_from_rsg` — label an offline
+  :class:`~repro.core.rsg.RelativeSerializationGraph`'s cycle;
+* :func:`witness_from_certifier` — label an online
+  :class:`~repro.protocols.certifier.RsgCertifier` rejection (including
+  the refused arcs that never made it into the graph);
+* :func:`explain_schedule` — the one-call API behind ``repro explain``:
+  replay a schedule against a spec, return the verdict plus either the
+  witness cycle (rejected) or the equivalent relatively serial schedule
+  (admissible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.operations import Operation
+from repro.core.rsg import ArcKind, RelativeSerializationGraph
+from repro.core.schedules import Schedule
+
+__all__ = [
+    "WitnessStep",
+    "RejectionWitness",
+    "Explanation",
+    "explain_schedule",
+    "witness_from_rsg",
+    "witness_from_certifier",
+]
+
+#: Canonical rendering order of arc kinds within one step.
+_KIND_ORDER = {
+    ArcKind.INTERNAL: 0,
+    ArcKind.DEPENDENCY: 1,
+    ArcKind.PUSH_FORWARD: 2,
+    ArcKind.PULL_BACKWARD: 3,
+}
+
+
+def _kinds_text(kinds) -> str:
+    """Arc kinds as a compact string (``"DB"``), canonical I/D/F/B order."""
+    ordered = sorted(kinds, key=_KIND_ORDER.__getitem__)
+    return "".join(kind.value for kind in ordered)
+
+
+@dataclass(frozen=True, slots=True)
+class WitnessStep:
+    """One arc of a witness cycle.
+
+    Attributes:
+        source: label of the arc's source operation (``"w2[y]"``).
+        target: label of the arc's target operation.
+        kinds: the arc families the step carries, as a compact string in
+            I/D/F/B order (``"DB"``); ``"?"`` when the labelling is
+            unavailable (plain unlabelled graphs).
+    """
+
+    source: str
+    target: str
+    kinds: str
+
+    def __str__(self) -> str:
+        return f"{self.source} --{self.kinds}--> {self.target}"
+
+
+@dataclass(frozen=True, slots=True)
+class RejectionWitness:
+    """A labelled RSG cycle: the proof a schedule had to be rejected."""
+
+    steps: tuple[WitnessStep, ...]
+
+    @property
+    def operations(self) -> tuple[str, ...]:
+        """The cycle's operation labels, in order (first not repeated)."""
+        return tuple(step.source for step in self.steps)
+
+    def format(self) -> str:
+        """Multi-line human rendering, one arc per line."""
+        return "\n".join(str(step) for step in self.steps)
+
+    def to_dict(self) -> dict:
+        """Plain-data form for JSON reports and golden files."""
+        return {
+            "cycle": [
+                {
+                    "source": step.source,
+                    "target": step.target,
+                    "kinds": step.kinds,
+                }
+                for step in self.steps
+            ]
+        }
+
+    def reason_cycle(self) -> tuple[tuple[str, str], ...]:
+        """The cycle in :class:`~repro.obs.events.Reason` form:
+        ``(node label, outgoing arc kinds)`` per step."""
+        return tuple((step.source, step.kinds) for step in self.steps)
+
+    def __str__(self) -> str:
+        return " -> ".join(
+            [step.source for step in self.steps]
+            + [self.steps[0].source if self.steps else ""]
+        )
+
+
+def _close_cycle(nodes: list) -> list:
+    """Normalize a cycle node list so first == last."""
+    if nodes and nodes[0] != nodes[-1]:
+        return list(nodes) + [nodes[0]]
+    return list(nodes)
+
+
+def _label_of(node) -> str:
+    if isinstance(node, Operation):
+        return node.label
+    return f"T{node}" if isinstance(node, int) else str(node)
+
+
+def witness_from_cycle(
+    cycle: list, kinds_of=None
+) -> RejectionWitness:
+    """Build a witness from a cycle node list.
+
+    Args:
+        cycle: the cycle's nodes (first == last accepted and normalized).
+        kinds_of: optional ``(source, target) -> iterable[ArcKind]``
+            resolver; steps without one render their kinds as ``"?"``.
+    """
+    nodes = _close_cycle(cycle)
+    steps = []
+    for source, target in zip(nodes, nodes[1:]):
+        kinds = tuple(kinds_of(source, target)) if kinds_of else ()
+        steps.append(
+            WitnessStep(
+                _label_of(source),
+                _label_of(target),
+                _kinds_text(kinds) if kinds else "?",
+            )
+        )
+    return RejectionWitness(tuple(steps))
+
+
+def witness_from_rsg(
+    rsg: RelativeSerializationGraph,
+) -> RejectionWitness | None:
+    """The labelled witness of a cyclic RSG (``None`` when acyclic)."""
+    cycle = rsg.cycle
+    if cycle is None:
+        return None
+    return witness_from_cycle(
+        cycle, lambda source, target: rsg.arc_kinds(source, target)
+    )
+
+
+def witness_from_certifier(certifier) -> RejectionWitness | None:
+    """The labelled witness of an online certifier's last rejection.
+
+    Works on anything exposing ``labelled_witness()`` (duck-typed to
+    avoid importing the protocol layer); refused arcs that were rolled
+    back before ever entering the graph are still labelled, because the
+    engine remembers the tentative arc set of the rejected push.
+    """
+    labelled = certifier.labelled_witness()
+    if labelled is None:
+        return None
+    steps = tuple(
+        WitnessStep(
+            _label_of(source), _label_of(target), _kinds_text(kinds)
+        )
+        for source, target, kinds in labelled
+    )
+    return RejectionWitness(steps)
+
+
+@dataclass(frozen=True, slots=True)
+class Explanation:
+    """The verdict of replaying one schedule against one spec.
+
+    Attributes:
+        admissible: whether the schedule is relatively serializable.
+        witness: the labelled rejection cycle (``None`` when admissible).
+        serial_witness: the equivalent relatively serial schedule
+            (Theorem 1's constructive half; ``None`` when rejected).
+    """
+
+    admissible: bool
+    witness: RejectionWitness | None
+    serial_witness: Schedule | None
+
+    def to_dict(self) -> dict:
+        """Plain-data form for ``repro explain --json`` and goldens."""
+        payload: dict = {"admissible": self.admissible}
+        if self.witness is not None:
+            payload["witness"] = self.witness.to_dict()
+        if self.serial_witness is not None:
+            payload["serial_witness"] = str(self.serial_witness)
+        return payload
+
+    def format(self) -> str:
+        """Human rendering: the verdict plus the supporting evidence."""
+        if self.admissible:
+            lines = ["verdict: relatively serializable (RSG acyclic)"]
+            if self.serial_witness is not None:
+                lines.append(
+                    f"equivalent relatively serial schedule: "
+                    f"{self.serial_witness}"
+                )
+            return "\n".join(lines)
+        assert self.witness is not None
+        return "\n".join(
+            [
+                "verdict: NOT relatively serializable (RSG cycle)",
+                "witness cycle:",
+                *(f"  {step}" for step in self.witness.steps),
+            ]
+        )
+
+
+def explain_schedule(
+    schedule: Schedule, spec: RelativeAtomicitySpec
+) -> Explanation:
+    """Replay ``schedule`` against ``spec`` and explain the verdict.
+
+    The offline path of ``repro explain``: builds the full RSG, and
+    returns either the labelled witness cycle (rejection — Definition 3
+    made concrete) or the equivalent relatively serial schedule
+    (admission — Theorem 1's constructive half).
+    """
+    rsg = RelativeSerializationGraph(schedule, spec)
+    witness = witness_from_rsg(rsg)
+    if witness is not None:
+        return Explanation(False, witness, None)
+    return Explanation(
+        True, None, rsg.equivalent_relatively_serial_schedule()
+    )

@@ -1,0 +1,193 @@
+"""A metrics registry with deterministic cross-worker merging.
+
+Counters, gauges, and observations are keyed by ``name`` plus sorted
+``label=value`` pairs, rendered as ``name{label=value,...}`` in reports.
+Everything that reaches the deterministic report is integer-valued and
+derived from logical quantities (ticks, counts), never wall-clock time,
+so a report is a pure function of the run's inputs.
+
+Wall-clock *timers* exist for diagnostics and benchmarks but live in a
+separate section that :meth:`MetricsRegistry.to_dict` excludes by
+default — including them would silently break the byte-determinism the
+campaign reports promise.
+
+Merging is associative and commutative per key (counters add, gauges
+take the max, observations combine sum/count/min/max), so folding
+per-run registries in task order over a
+:class:`~repro.parallel.ParallelExecutor` yields the same report at any
+worker count.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+
+__all__ = ["MetricsRegistry"]
+
+Key = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _key(name: str, labels: dict[str, object]) -> Key:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render(key: Key) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    body = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{body}}}"
+
+
+class MetricsRegistry:
+    """Counters, gauges, observations, and (non-deterministic) timers."""
+
+    def __init__(self) -> None:
+        self._counters: dict[Key, int] = {}
+        self._gauges: dict[Key, int] = {}
+        # key -> [sum, count, min, max]
+        self._observations: dict[Key, list[int]] = {}
+        # key -> [total_seconds, calls]
+        self._timers: dict[Key, list[float]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: int = 1, **labels: object) -> None:
+        """Add ``value`` to the counter ``name{labels}``."""
+        key = _key(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: int, **labels: object) -> None:
+        """Set the gauge ``name{labels}`` (merge keeps the maximum)."""
+        self._gauges[_key(name, labels)] = value
+
+    def observe(self, name: str, value: int, **labels: object) -> None:
+        """Record one sample of the distribution ``name{labels}``."""
+        key = _key(name, labels)
+        stats = self._observations.get(key)
+        if stats is None:
+            self._observations[key] = [value, 1, value, value]
+        else:
+            stats[0] += value
+            stats[1] += 1
+            if value < stats[2]:
+                stats[2] = value
+            if value > stats[3]:
+                stats[3] = value
+
+    @contextmanager
+    def timer(self, name: str, **labels: object):
+        """Accumulate wall-clock time under ``name{labels}``.
+
+        Diagnostics only: timers are excluded from the deterministic
+        report (see :meth:`to_dict`).
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            key = _key(name, labels)
+            stats = self._timers.setdefault(key, [0.0, 0])
+            stats[0] += elapsed
+            stats[1] += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str, **labels: object) -> int:
+        """The counter's current value (0 if never incremented)."""
+        return self._counters.get(_key(name, labels), 0)
+
+    def gauge_value(self, name: str, **labels: object) -> int | None:
+        """The gauge's current value (``None`` if never set)."""
+        return self._gauges.get(_key(name, labels))
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry (returns self).
+
+        Counters add, gauges keep the maximum, observations combine
+        exactly, timers add — all per key, so the merged result is
+        independent of how runs were partitioned over workers.
+        """
+        for key, value in other._counters.items():
+            self._counters[key] = self._counters.get(key, 0) + value
+        for key, value in other._gauges.items():
+            mine = self._gauges.get(key)
+            if mine is None or value > mine:
+                self._gauges[key] = value
+        for key, stats in other._observations.items():
+            mine = self._observations.get(key)
+            if mine is None:
+                self._observations[key] = list(stats)
+            else:
+                mine[0] += stats[0]
+                mine[1] += stats[1]
+                if stats[2] < mine[2]:
+                    mine[2] = stats[2]
+                if stats[3] > mine[3]:
+                    mine[3] = stats[3]
+        for key, stats in other._timers.items():
+            mine = self._timers.setdefault(key, [0.0, 0])
+            mine[0] += stats[0]
+            mine[1] += stats[1]
+        return self
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def to_dict(self, *, include_timers: bool = False) -> dict:
+        """A plain-data report with sorted, rendered keys.
+
+        Timers carry wall-clock readings, so they only appear when
+        explicitly requested — the default report is byte-deterministic.
+        """
+        report: dict = {
+            "counters": {
+                _render(key): self._counters[key]
+                for key in sorted(self._counters)
+            },
+            "gauges": {
+                _render(key): self._gauges[key]
+                for key in sorted(self._gauges)
+            },
+            "observations": {
+                _render(key): {
+                    "sum": stats[0],
+                    "count": stats[1],
+                    "min": stats[2],
+                    "max": stats[3],
+                }
+                for key, stats in sorted(self._observations.items())
+            },
+        }
+        if include_timers:
+            report["timers"] = {
+                _render(key): {
+                    "seconds": round(stats[0], 6),
+                    "calls": int(stats[1]),
+                }
+                for key, stats in sorted(self._timers.items())
+            }
+        return report
+
+    def to_json(self, *, include_timers: bool = False) -> str:
+        """Byte-stable JSON rendering of :meth:`to_dict`."""
+        return json.dumps(
+            self.to_dict(include_timers=include_timers),
+            indent=2,
+            sort_keys=True,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, "
+            f"observations={len(self._observations)})"
+        )

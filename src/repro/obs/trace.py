@@ -1,0 +1,58 @@
+"""Trace export formats.
+
+JSONL is the native format (one :meth:`~repro.obs.events.TraceEvent.
+to_json_line` per event); this module adds the ``chrome://tracing`` /
+Perfetto JSON format so a run can be inspected on a timeline: one track
+(``tid``) per transaction, instant events for decisions and faults, with
+the logical tick mapped to microseconds.  The conversion is a pure
+function of the events, so chrome traces inherit the byte-determinism of
+the bus.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+
+from repro.obs.events import TraceEvent
+
+__all__ = ["events_to_chrome", "chrome_trace_json"]
+
+#: Chrome's timeline sorts by ``ts`` (microseconds).  One tick maps to
+#: 1000us, and the sequence number breaks intra-tick ties so the
+#: rendered order always matches emission order.
+_TICK_US = 1000
+
+
+def events_to_chrome(events: Iterable[TraceEvent]) -> dict:
+    """The events as a ``chrome://tracing`` object (``traceEvents`` list).
+
+    Every event becomes an instant (``"ph": "i"``, thread scope); the
+    transaction id keys the thread track (``0`` for system-wide events
+    such as crashes), and the full native payload rides in ``args``.
+    """
+    trace_events = []
+    for event in events:
+        tick = max(event.tick, 0)
+        trace_events.append(
+            {
+                "name": (
+                    f"{event.kind.value}:{event.op}"
+                    if event.op
+                    else event.kind.value
+                ),
+                "cat": event.protocol or "repro",
+                "ph": "i",
+                "s": "t",
+                "ts": tick * _TICK_US + event.seq % _TICK_US,
+                "pid": 1,
+                "tid": event.tx if event.tx is not None else 0,
+                "args": event.to_dict(),
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(events: Iterable[TraceEvent]) -> str:
+    """Byte-stable JSON rendering of :func:`events_to_chrome`."""
+    return json.dumps(events_to_chrome(events), indent=2, sort_keys=True)

@@ -47,6 +47,7 @@ from __future__ import annotations
 from repro.core.operations import Operation
 from repro.core.transactions import Transaction
 from repro.graphs.digraph import DiGraph
+from repro.obs.events import Reason
 from repro.protocols.base import Outcome, Scheduler
 from repro.protocols.locks import LockMode, LockTable
 
@@ -97,17 +98,34 @@ class AltruisticLockingScheduler(Scheduler):
             self._record_taint(op)
             self._maybe_donate(op)
             return Outcome.grant()
+        sorted_blockers = tuple(sorted(blockers))
         if all(self.is_committed(blocker) for blocker in blockers):
             # Every blocker is committed, so the wait can never clear:
             # the conflicting accesses are pinned in the serialization
             # order ahead of this transaction (it is a creditor of a
             # committed donor).  Restart to serialize after them.
-            return Outcome.abort(op.tx)
+            return Outcome.abort(
+                op.tx,
+                reason=Reason(
+                    "committed-blockers",
+                    blockers=sorted_blockers,
+                    detail="wait can never clear: all blockers committed",
+                ),
+            )
         self._waiting_on[op.tx] = blockers
         victims = self._deadlocked(op.tx)
         if victims:
-            return Outcome.abort(*victims)
-        return Outcome.wait()
+            return Outcome.abort(
+                *victims,
+                reason=Reason(
+                    "deadlock",
+                    blockers=sorted_blockers,
+                    detail=f"waits-for cycle through T{op.tx}",
+                ),
+            )
+        return Outcome.wait(
+            Reason("lock-conflict", blockers=sorted_blockers)
+        )
 
     # ------------------------------------------------------------------
     # Altruistic rules

@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from repro.core.operations import Operation
 from repro.core.transactions import Transaction
 from repro.errors import ProtocolError
+from repro.obs.bus import NULL_BUS, TraceBus
+from repro.obs.events import EventKind, Reason
 
 __all__ = ["Decision", "Outcome", "Scheduler"]
 
@@ -40,24 +42,39 @@ class Decision(enum.Enum):
     ABORT = "abort"
 
 
+#: Trace-event kind emitted for each decision.
+_DECISION_EVENTS = {
+    Decision.GRANT: EventKind.GRANT,
+    Decision.WAIT: EventKind.WAIT,
+    Decision.ABORT: EventKind.ABORT,
+}
+
+
 @dataclass(frozen=True)
 class Outcome:
-    """A scheduling decision plus, for aborts, who must restart."""
+    """A scheduling decision plus, for aborts, who must restart.
+
+    Every non-grant outcome carries a machine-readable :class:`~repro.
+    obs.events.Reason` naming its cause (the lock conflict, the donor
+    debt, the RSG cycle).  The reason is provenance, not identity:
+    outcomes compare equal irrespective of it.
+    """
 
     decision: Decision
     victims: tuple[int, ...] = ()
+    reason: Reason | None = field(default=None, compare=False)
 
     @classmethod
     def grant(cls) -> "Outcome":
         return cls(Decision.GRANT)
 
     @classmethod
-    def wait(cls) -> "Outcome":
-        return cls(Decision.WAIT)
+    def wait(cls, reason: Reason | None = None) -> "Outcome":
+        return cls(Decision.WAIT, reason=reason)
 
     @classmethod
-    def abort(cls, *victims: int) -> "Outcome":
-        return cls(Decision.ABORT, tuple(victims))
+    def abort(cls, *victims: int, reason: Reason | None = None) -> "Outcome":
+        return cls(Decision.ABORT, tuple(victims), reason=reason)
 
 
 @dataclass
@@ -104,6 +121,20 @@ class Scheduler(abc.ABC):
         self._history: list[Operation] = []  # granted ops, in grant order
         self._waits_since_grant = 0
         self._watchdog_fires = 0
+        self._bus: TraceBus = NULL_BUS
+
+    @property
+    def bus(self) -> TraceBus:
+        """The trace bus this scheduler emits events to (inert default)."""
+        return self._bus
+
+    @bus.setter
+    def bus(self, bus: TraceBus) -> None:
+        self._bus = bus
+        self._on_bus_change(bus)
+
+    def _on_bus_change(self, bus: TraceBus) -> None:
+        """Hook for subclasses that own sub-emitters (e.g. a certifier)."""
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -128,6 +159,9 @@ class Scheduler(abc.ABC):
                 f"out-of-order request: T{op.tx} must run "
                 f"{expected.label} next, got {op.label}"
             )
+        bus = self._bus
+        if bus.active:
+            bus.emit(EventKind.REQUEST, op.tx, op.label, self.name)
         outcome = self._decide(op)
         if outcome.decision is Decision.GRANT:
             state.executed += 1
@@ -148,7 +182,37 @@ class Scheduler(abc.ABC):
                 if victim is not None:
                     self._waits_since_grant = 0
                     self._watchdog_fires += 1
-                    return Outcome.abort(victim)
+                    reason = Reason(
+                        "watchdog",
+                        blockers=(victim,),
+                        detail=(
+                            f"{self.watchdog_threshold} consecutive "
+                            "zero-grant WAITs"
+                        ),
+                    )
+                    if bus.active:
+                        bus.emit(
+                            EventKind.WATCHDOG,
+                            tx=op.tx,
+                            op=op.label,
+                            protocol=self.name,
+                            reason=reason,
+                        )
+                    outcome = Outcome.abort(victim, reason=reason)
+        if bus.active:
+            extra = (
+                (("victims", list(outcome.victims)),)
+                if outcome.victims
+                else ()
+            )
+            bus.emit(
+                _DECISION_EVENTS[outcome.decision],
+                op.tx,
+                op.label,
+                self.name,
+                outcome.reason,
+                extra,
+            )
         return outcome
 
     def finish(self, tx_id: int) -> None:
@@ -161,6 +225,10 @@ class Scheduler(abc.ABC):
             )
         state.committed = True
         self._on_finish(tx_id)
+        if self._bus.active:
+            self._bus.emit(
+                EventKind.COMMIT, tx=tx_id, protocol=self.name
+            )
 
     def remove(self, tx_id: int) -> None:
         """Forget a victim's executed operations (it will restart)."""
@@ -207,6 +275,22 @@ class Scheduler(abc.ABC):
         if not candidates:
             return None
         return min(candidates)[1]
+
+    def wait_edges(self) -> dict[int, tuple[int, ...]]:
+        """The current waits-for edges, waiter -> sorted blocker ids.
+
+        Protocols that track blocking (the lock-based family) record a
+        ``_waiting_on`` mapping; pure certification protocols never
+        block, so the default is empty.  The simulator uses this to name
+        the *blocking* side of a livelock diagnostic.
+        """
+        waiting = getattr(self, "_waiting_on", None)
+        if not waiting:
+            return {}
+        return {
+            waiter: tuple(sorted(blockers))
+            for waiter, blockers in sorted(waiting.items())
+        }
 
     def progress(self, tx_id: int) -> int:
         """How many operations of ``T{tx_id}`` have been granted."""

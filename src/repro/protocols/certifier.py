@@ -32,10 +32,13 @@ from dataclasses import dataclass
 
 from repro.core.atomicity import RelativeAtomicitySpec
 from repro.core.operations import Operation
-from repro.core.rsg import IncrementalRsg
+from repro.core.rsg import ArcKind, IncrementalRsg
 from repro.core.transactions import Transaction
 from repro.errors import CycleError
 from repro.graphs.incremental import IncrementalDiGraph
+from repro.obs.bus import NULL_BUS, TraceBus
+from repro.obs.events import EventKind, Reason
+from repro.obs.explain import RejectionWitness, witness_from_certifier
 
 __all__ = ["CertifierStats", "RsgCertifier"]
 
@@ -69,6 +72,9 @@ class RsgCertifier:
         self._engine = IncrementalRsg(spec)
         self._declared: dict[int, Transaction] = {}
         self._stats = CertifierStats()
+        #: Trace bus certification events are emitted to (owning
+        #: schedulers propagate theirs through ``_on_bus_change``).
+        self.bus: TraceBus = NULL_BUS
 
     @property
     def graph(self) -> IncrementalDiGraph:
@@ -105,11 +111,65 @@ class RsgCertifier:
         by monotonicity the op can never be certified in this
         incarnation).
         """
+        bus = self.bus
+        if bus.active:
+            bus.emit(
+                EventKind.CERTIFY_ATTEMPT, op.tx, op.label, "certifier"
+            )
         if self._engine.try_push(op):
             self._stats.certified += 1
+            if bus.active:
+                bus.emit(
+                    EventKind.CERTIFY_VERDICT,
+                    op.tx,
+                    op.label,
+                    "certifier",
+                    None,
+                    (("ok", True),),
+                )
             return True
         self._stats.rejected += 1
+        if bus.active:
+            bus.emit(
+                EventKind.CERTIFY_VERDICT,
+                tx=op.tx,
+                op=op.label,
+                protocol="certifier",
+                reason=self.rejection_reason(),
+                extra=(("ok", False),),
+            )
         return False
+
+    def labelled_witness(
+        self,
+    ) -> list[tuple[Operation, Operation, frozenset[ArcKind]]] | None:
+        """The last rejection's cycle with per-arc I/D/F/B labels.
+
+        Includes the refused arcs that were rolled back before entering
+        the graph (the engine remembers the rejected push's tentative
+        arc set).  ``None`` when no rejection has happened.
+        """
+        return self._engine.labelled_rejection()
+
+    def rejection_reason(self) -> Reason | None:
+        """The last rejection as a :class:`~repro.obs.events.Reason`.
+
+        Carries the implicated transaction ids (ascending) and the
+        labelled witness cycle; ``None`` when no rejection has happened.
+        """
+        witness = self.last_rejected_witness
+        if witness is None:
+            return None
+        cycle = self._engine.last_rejected_cycle or []
+        blockers = tuple(sorted({op.tx for op in cycle}))
+        return Reason(
+            "rsg-cycle", blockers=blockers, cycle=witness.reason_cycle()
+        )
+
+    @property
+    def last_rejected_witness(self) -> RejectionWitness | None:
+        """Labelled witness of the most recent refused certification."""
+        return witness_from_certifier(self)
 
     def forget(self, tx_id: int) -> None:
         """Drop a victim's granted operations, keeping everyone else's.

@@ -56,6 +56,8 @@ from repro.core.operations import Operation
 from repro.core.transactions import Transaction
 from repro.errors import ProtocolError
 from repro.graphs.digraph import DiGraph
+from repro.obs.bus import TraceBus
+from repro.obs.events import Reason
 from repro.protocols.base import Outcome, Scheduler
 from repro.protocols.certifier import RsgCertifier
 from repro.protocols.locks import LockMode, LockTable
@@ -119,14 +121,17 @@ class RelativeLockingScheduler(Scheduler):
     # ------------------------------------------------------------------
     def _decide(self, op: Operation) -> Outcome:
         mode = LockMode.SHARED if op.is_read else LockMode.EXCLUSIVE
-        blockers = self._lock_blockers(op, mode)
-        blockers.update(self._containment_blockers(op))
+        lock_blockers = self._lock_blockers(op, mode)
+        containment = self._containment_blockers(op)
+        blockers = lock_blockers | containment
         blockers.discard(op.tx)
         if not blockers:
             if not self._certifier.try_certify(op):
                 # Monotone: this operation would close an RSG cycle now
                 # and forever — restart the requester.
-                return Outcome.abort(op.tx)
+                return Outcome.abort(
+                    op.tx, reason=self._certifier.rejection_reason()
+                )
             self._waiting_on.pop(op.tx, None)
             self._locks.acquire(op.obj, op.tx, mode)
             self._record_borrowings(op)
@@ -135,8 +140,37 @@ class RelativeLockingScheduler(Scheduler):
         self._waiting_on[op.tx] = blockers
         victims = self._deadlocked(op.tx)
         if victims:
-            return Outcome.abort(*victims)
-        return Outcome.wait()
+            return Outcome.abort(
+                *victims,
+                reason=Reason(
+                    "deadlock",
+                    blockers=tuple(sorted(blockers)),
+                    detail=f"waits-for cycle through T{op.tx}",
+                ),
+            )
+        if containment - lock_blockers:
+            # The wait is (at least partly) the open-unit containment
+            # rule: name the donors whose unit interiors are off-limits.
+            return Outcome.wait(
+                Reason(
+                    "unit-containment",
+                    blockers=tuple(sorted(blockers)),
+                    detail=(
+                        "indebted to donors "
+                        + ", ".join(
+                            f"T{donor}" for donor in sorted(containment)
+                        )
+                        + " with open atomic units covering "
+                        + op.obj
+                    ),
+                )
+            )
+        return Outcome.wait(
+            Reason("lock-conflict", blockers=tuple(sorted(blockers)))
+        )
+
+    def _on_bus_change(self, bus: TraceBus) -> None:
+        self._certifier.bus = bus
 
     def _lock_blockers(self, op: Operation, mode: LockMode) -> set[int]:
         """Incompatible holders, ignoring locks donated to the requester."""

@@ -34,6 +34,7 @@ from repro.core.operations import Operation
 from repro.core.transactions import Transaction
 from repro.errors import ProtocolError
 from repro.graphs.digraph import DiGraph
+from repro.obs.bus import TraceBus
 from repro.protocols.base import Outcome, Scheduler
 from repro.protocols.certifier import RsgCertifier
 
@@ -79,7 +80,12 @@ class RSGTScheduler(Scheduler):
     def _decide(self, op: Operation) -> Outcome:
         if self._certifier.try_certify(op):
             return Outcome.grant()
-        return Outcome.abort(op.tx)
+        return Outcome.abort(
+            op.tx, reason=self._certifier.rejection_reason()
+        )
+
+    def _on_bus_change(self, bus: TraceBus) -> None:
+        self._certifier.bus = bus
 
     def _on_remove(self, tx_id: int) -> None:
         self._certifier.forget(tx_id)

@@ -19,6 +19,7 @@ from repro.core.schedules import conflicts
 from repro.core.transactions import Transaction
 from repro.graphs.cycles import find_cycle
 from repro.graphs.digraph import DiGraph
+from repro.obs.events import Reason
 from repro.protocols.base import Outcome, Scheduler
 
 __all__ = ["SGTScheduler"]
@@ -45,8 +46,19 @@ class SGTScheduler(Scheduler):
         candidate = self._graph.copy()
         for source, target in new_edges:
             candidate.add_edge(source, target)
-        if find_cycle(candidate) is not None:
-            return Outcome.abort(op.tx)
+        cycle = find_cycle(candidate)
+        if cycle is not None:
+            nodes = list(cycle)
+            if nodes and nodes[0] != nodes[-1]:
+                nodes.append(nodes[0])
+            return Outcome.abort(
+                op.tx,
+                reason=Reason(
+                    "sg-cycle",
+                    blockers=tuple(sorted(set(cycle))),
+                    cycle=tuple((f"T{node}", "") for node in nodes),
+                ),
+            )
         self._graph = candidate
         return Outcome.grant()
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.core.operations import Operation
 from repro.graphs.digraph import DiGraph
+from repro.obs.events import Reason
 from repro.protocols.base import Outcome, Scheduler
 from repro.protocols.locks import LockMode, LockTable
 
@@ -41,8 +42,17 @@ class TwoPhaseLockingScheduler(Scheduler):
         self._waiting_on[op.tx] = blockers
         victims = self._deadlocked(op.tx)
         if victims:
-            return Outcome.abort(*victims)
-        return Outcome.wait()
+            return Outcome.abort(
+                *victims,
+                reason=Reason(
+                    "deadlock",
+                    blockers=tuple(sorted(blockers)),
+                    detail=f"waits-for cycle through T{op.tx}",
+                ),
+            )
+        return Outcome.wait(
+            Reason("lock-conflict", blockers=tuple(sorted(blockers)))
+        )
 
     def _deadlocked(self, requester: int) -> tuple[int, ...]:
         """Abort the requester when its wait edge closes a cycle."""

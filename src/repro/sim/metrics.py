@@ -33,8 +33,18 @@ def nearest_rank(values: list[int], percentile: float) -> int:
     """The nearest-rank percentile of ``values`` (exact, no interpolation).
 
     Deterministic and integer-valued for integer inputs, which keeps
-    campaign reports byte-identical across platforms.  ``values`` must be
-    non-empty.
+    campaign reports byte-identical across platforms.
+
+    Args:
+        values: the sample; must be non-empty.
+        percentile: the requested percentile, in the half-open interval
+            ``(0, 100]`` — matching the nearest-rank definition, whose
+            rank ``ceil(p/100 * n)`` is undefined at ``p = 0`` and is
+            exactly ``max(values)`` at ``p = 100``.
+
+    Raises:
+        ValueError: on an empty sample or a percentile outside
+            ``(0, 100]``.
     """
     if not values:
         raise ValueError("percentile of an empty sequence")

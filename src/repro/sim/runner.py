@@ -49,6 +49,9 @@ from repro.core.schedules import Schedule
 from repro.core.transactions import Transaction
 from repro.engine.kvstore import KVStore
 from repro.errors import LivelockError, SimulationError
+from repro.obs.bus import TraceBus
+from repro.obs.events import EventKind
+from repro.obs.metrics import MetricsRegistry
 from repro.protocols.base import Decision, Scheduler
 from repro.sim.metrics import (
     ABORTED,
@@ -92,6 +95,8 @@ def simulate(
     max_stalled_ticks: int | None = _DEFAULT_MAX_STALLED_TICKS,
     restart_policy: str = "linear",
     store: KVStore | None = None,
+    bus: TraceBus | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> SimulationResult:
     """Run ``transactions`` through ``scheduler`` until all finish.
 
@@ -114,6 +119,12 @@ def simulate(
             capped).
         store: optional key-value store to execute granted operations
             against live (see the module docstring).
+        bus: optional trace bus; when given it is installed on the
+            scheduler, clocked once per tick, and receives restart and
+            livelock events from the simulator itself.
+        metrics: optional registry; when given the run's decision and
+            lifecycle counters are recorded under the scheduler's
+            protocol label.
 
     Returns:
         A :class:`~repro.sim.metrics.SimulationResult` with the committed
@@ -125,6 +136,14 @@ def simulate(
             transaction commits or dies.
         LivelockError: when the all-WAIT stall guard fires.
     """
+    if bus is not None:
+        scheduler.bus = bus
+    protocol = scheduler.name
+
+    def count(name: str, amount: int = 1) -> None:
+        if metrics is not None:
+            metrics.inc(name, amount, protocol=protocol)
+
     arrivals = dict(arrivals or {})
     order = sorted(tx.tx_id for tx in transactions)
     by_id = {tx.tx_id: tx for tx in transactions}
@@ -158,6 +177,8 @@ def simulate(
                 f"simulation exceeded {max_ticks} ticks with "
                 f"{len(missing)} transactions uncommitted: {missing}"
             )
+        if bus is not None:
+            bus.clock(tick)
         # Rotate the service order each tick for fairness.
         service_order = order[rotation:] + order[:rotation]
         rotation = (rotation + 1) % len(order)
@@ -177,8 +198,10 @@ def simulate(
             requested.append(tx_id)
             op = by_id[tx_id][cursor[tx_id]]
             outcome = scheduler.request(op)
+            count("sim.requests")
             if outcome.decision is Decision.GRANT:
                 progressed = True
+                count("sim.grants")
                 if store is not None:
                     if cursor[tx_id] == 0:
                         store.begin(tx_id)
@@ -192,10 +215,13 @@ def simulate(
                     if store is not None:
                         store.commit(tx_id)
                     committed[tx_id] = tick
+                    count("sim.commits")
             elif outcome.decision is Decision.WAIT:
                 waits[tx_id] += 1
+                count("sim.waits")
             else:
                 progressed = True
+                count("sim.aborts")
                 killed = getattr(scheduler, "killed", frozenset())
                 victims = outcome.victims or (tx_id,)
                 for victim in victims:
@@ -208,29 +234,79 @@ def simulate(
                     retire_victim(victim)
                     if victim in killed:
                         dead[victim] = tick
+                        count("sim.permanent_aborts")
                     elif (
                         max_attempts is not None
                         and restarts[victim] >= max_attempts
                     ):
                         dead[victim] = tick
+                        count("sim.permanent_aborts")
                     else:
                         blocked_until[victim] = tick + _restart_delay(
                             restart_policy, backoff, restarts[victim]
                         )
+                        count("sim.restarts")
+                        if bus is not None and bus.active:
+                            bus.emit(
+                                EventKind.RESTART,
+                                tx=victim,
+                                protocol=scheduler.name,
+                                extra=(
+                                    ("attempt", restarts[victim] + 1),
+                                    (
+                                        "blocked_until",
+                                        blocked_until[victim],
+                                    ),
+                                ),
+                            )
         if requested and not progressed:
             stalled_ticks += 1
             if (
                 max_stalled_ticks is not None
                 and stalled_ticks > max_stalled_ticks
             ):
+                waiting = tuple(sorted(requested))
+                blocking = getattr(scheduler, "wait_edges", dict)()
+                blocked_text = (
+                    "; blocking: "
+                    + ", ".join(
+                        f"T{waiter} on "
+                        + "/".join(f"T{b}" for b in blockers)
+                        for waiter, blockers in blocking.items()
+                    )
+                    if blocking
+                    else ""
+                )
+                if bus is not None and bus.active:
+                    bus.emit(
+                        EventKind.LIVELOCK,
+                        protocol=scheduler.name,
+                        extra=(
+                            (
+                                "blocking",
+                                {
+                                    str(w): list(bs)
+                                    for w, bs in blocking.items()
+                                },
+                            ),
+                            ("waiting", list(waiting)),
+                        ),
+                    )
                 raise LivelockError(
                     f"no request granted for {stalled_ticks} consecutive "
-                    f"ticks; waiting transactions: {sorted(requested)}",
-                    waiting=tuple(sorted(requested)),
+                    f"ticks; waiting transactions: {sorted(requested)}"
+                    f"{blocked_text}",
+                    waiting=waiting,
+                    blocking=blocking,
                 )
         else:
             stalled_ticks = 0
         tick += 1
+
+    makespan = max(committed.values()) + 1 if committed else 0
+    if metrics is not None:
+        metrics.gauge("sim.makespan", makespan, protocol=protocol)
+        metrics.gauge("sim.ticks", tick, protocol=protocol)
 
     survivors = [tx for tx in transactions if tx.tx_id in committed]
     history = Schedule(survivors, scheduler.history)
@@ -252,7 +328,7 @@ def simulate(
         protocol=scheduler.name,
         schedule=history,
         outcomes=outcomes,
-        makespan=max(committed.values()) + 1 if committed else 0,
+        makespan=makespan,
     )
 
 

@@ -85,6 +85,62 @@ class TestDeterminism:
         assert len(payload["runs"]) == 3
 
 
+class TestTraceDeterminism:
+    """Traced campaigns must be byte-identical at any worker count."""
+
+    def _traced(self, jobs):
+        config = CampaignConfig(
+            protocol="rsgt", runs=8, seed=21, trace=True
+        )
+        return run_campaign(config, jobs=jobs)
+
+    def test_traces_byte_identical_across_jobs(self):
+        serial, parallel = self._traced(1), self._traced(2)
+        assert serial.trace_jsonl() == parallel.trace_jsonl()
+        assert serial.metrics_json() == parallel.metrics_json()
+        assert serial.to_json() == parallel.to_json()
+
+    def test_trace_is_non_trivial_and_framed_per_run(self):
+        report = self._traced(1)
+        lines = report.trace_jsonl().splitlines()
+        headers = [
+            json.loads(line) for line in lines if '"run"' in line[:7]
+        ]
+        assert [header["run"] for header in headers] == list(range(8))
+        events = [json.loads(line) for line in lines if '"seq"' in line]
+        assert events, "traced campaign emitted no events"
+        kinds = {event["kind"] for event in events}
+        assert "op-requested" in kinds
+        assert "fault-injected" in kinds
+
+    def test_merged_metrics_cover_the_whole_campaign(self):
+        report = self._traced(1)
+        merged = json.loads(report.metrics_json())
+        requests = sum(
+            value
+            for name, value in merged["counters"].items()
+            if name.startswith("sim.requests")
+        )
+        assert requests > 0
+        # Per-run payloads fold losslessly into the campaign report.
+        per_run = sum(
+            sum(
+                value
+                for name, value in record.metrics["counters"].items()
+                if name.startswith("sim.requests")
+            )
+            for record in report.records
+        )
+        assert requests == per_run
+
+    def test_untraced_campaign_keeps_records_empty(self):
+        report = run_campaign(
+            CampaignConfig(protocol="rsgt", runs=3, seed=21)
+        )
+        assert all(record.trace == "" for record in report.records)
+        assert all(record.metrics == {} for record in report.records)
+
+
 class TestRunFaulty:
     def _transactions(self):
         return [

@@ -1,9 +1,24 @@
 """Unit tests for DOT export."""
 
+from pathlib import Path
+
 from repro.core.dependency import DependencyRelation
 from repro.core.rsg import RelativeSerializationGraph
 from repro.graphs.digraph import DiGraph
-from repro.io.dot import dependency_to_dot, digraph_to_dot, rsg_to_dot
+from repro.io.dot import (
+    dependency_to_dot,
+    digraph_to_dot,
+    rsg_to_dot,
+    witness_to_dot,
+)
+from repro.io.notation import parse_problem
+from repro.obs.explain import (
+    RejectionWitness,
+    WitnessStep,
+    explain_schedule,
+)
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
 
 class TestDigraphToDot:
@@ -53,3 +68,53 @@ class TestDependencyToDot:
         dot = dependency_to_dot(dep)
         arrow_lines = [line for line in dot.splitlines() if "->" in line]
         assert len(arrow_lines) == len(list(dep.pairs()))
+
+
+class TestWitnessToDot:
+    def test_arc_styling_per_kind(self):
+        witness = RejectionWitness(
+            (
+                WitnessStep("a", "b", "I"),
+                WitnessStep("b", "c", "D"),
+                WitnessStep("c", "d", "F"),
+                WitnessStep("d", "a", "DB"),
+            )
+        )
+        dot = witness_to_dot(witness)
+        lines = {
+            line.split(" -> ")[0].strip(): line
+            for line in dot.splitlines()
+            if "->" in line
+        }
+        # I solid, D dashed, unit arcs (F/B) bold, combinations compose.
+        assert 'style="solid"' in lines['"a"']
+        assert 'style="dashed"' in lines['"b"']
+        assert 'style="bold"' in lines['"c"']
+        assert 'style="dashed,bold"' in lines['"d"']
+        # Colour follows the first kind in I/D/F/B order.
+        assert "color=black" in lines['"a"']
+        assert "color=blue" in lines['"b"']
+        assert "color=forestgreen" in lines['"c"']
+        assert "color=blue" in lines['"d"']
+
+    def test_figure4_rejection_matches_the_golden_rendering(self):
+        problem = parse_problem((EXAMPLES / "figure4.txt").read_text())
+        explanation = explain_schedule(problem.schedule("R"), problem.spec)
+        assert witness_to_dot(explanation.witness) == (
+            "digraph WITNESS {\n"
+            "  rankdir=LR;\n"
+            "  node [shape=box];\n"
+            '  "w1[x]" [label="w1[x]"];\n'
+            '  "w4[t]" [label="w4[t]"];\n'
+            '  "w3[z]" [label="w3[z]"];\n'
+            '  "w2[y]" [label="w2[y]"];\n'
+            '  "w1[x]" -> "w4[t]" [label="D", style="dashed", '
+            "color=blue];\n"
+            '  "w4[t]" -> "w3[z]" [label="DFB", style="dashed,bold", '
+            "color=blue];\n"
+            '  "w3[z]" -> "w2[y]" [label="DF", style="dashed,bold", '
+            "color=blue];\n"
+            '  "w2[y]" -> "w1[x]" [label="B", style="bold", '
+            "color=red];\n"
+            "}\n"
+        )

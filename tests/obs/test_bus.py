@@ -1,0 +1,104 @@
+"""Unit tests for the trace bus and its sinks."""
+
+import io
+
+from repro.obs.bus import (
+    NULL_BUS,
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    TraceBus,
+)
+from repro.obs.events import EventKind
+
+
+class TestTraceBus:
+    def test_no_sink_means_inactive_and_no_sequence_advance(self):
+        bus = TraceBus()
+        assert not bus.active
+        bus.emit(EventKind.GRANT, tx=1)
+        assert bus.events_emitted == 0
+
+    def test_stamps_tick_and_gap_free_sequence(self):
+        sink = RingBufferSink()
+        bus = TraceBus(sink)
+        bus.clock(0)
+        bus.emit(EventKind.REQUEST, tx=1, op="r1[x]")
+        bus.emit(EventKind.GRANT, tx=1, op="r1[x]")
+        bus.clock(1)
+        bus.emit(EventKind.COMMIT, tx=1)
+        assert [e.seq for e in sink.events] == [0, 1, 2]
+        assert [e.tick for e in sink.events] == [0, 0, 1]
+
+    def test_tick_defaults_to_minus_one_outside_simulation(self):
+        sink = RingBufferSink()
+        bus = TraceBus(sink)
+        bus.emit(EventKind.CERTIFY_ATTEMPT, tx=1, op="w1[x]")
+        assert sink.events[0].tick == -1
+
+    def test_fans_out_to_every_sink(self):
+        counting, ring = NullSink(), RingBufferSink()
+        bus = TraceBus(counting, ring)
+        bus.emit(EventKind.WAIT, tx=2)
+        assert counting.count == 1
+        assert len(ring.events) == 1
+
+    def test_attach_after_construction(self):
+        bus = TraceBus()
+        sink = RingBufferSink()
+        bus.attach(sink)
+        assert bus.active
+        bus.emit(EventKind.CRASH)
+        assert len(sink.events) == 1
+
+    def test_null_bus_is_shared_and_inert(self):
+        assert not NULL_BUS.active
+        NULL_BUS.emit(EventKind.GRANT)
+        assert NULL_BUS.events_emitted == 0
+
+
+class TestSinks:
+    def test_ring_buffer_caps_at_capacity(self):
+        sink = RingBufferSink(capacity=2)
+        bus = TraceBus(sink)
+        for tx in (1, 2, 3):
+            bus.emit(EventKind.GRANT, tx=tx)
+        assert [e.tx for e in sink.events] == [2, 3]
+
+    def test_ring_buffer_text_is_jsonl(self):
+        sink = RingBufferSink()
+        bus = TraceBus(sink)
+        bus.emit(EventKind.GRANT, tx=1)
+        bus.emit(EventKind.COMMIT, tx=1)
+        lines = sink.text().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith('{"seq":0,')
+
+    def test_jsonl_sink_streams_lines(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        bus = TraceBus(sink)
+        bus.emit(EventKind.GRANT, tx=1)
+        assert sink.text() == '{"seq":0,"tick":-1,"kind":"grant","tx":1}\n'
+
+    def test_jsonl_sink_owns_file_path(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        bus = TraceBus(sink)
+        bus.emit(EventKind.GRANT, tx=1)
+        bus.close()
+        assert path.read_text().count("\n") == 1
+
+
+class TestDeterminism:
+    def test_identical_emission_identical_bytes(self):
+        def run():
+            sink = RingBufferSink()
+            bus = TraceBus(sink)
+            for tick in range(3):
+                bus.clock(tick)
+                bus.emit(EventKind.REQUEST, tx=tick, op=f"r{tick}[x]")
+                bus.emit(EventKind.GRANT, tx=tick, op=f"r{tick}[x]")
+            return sink.text()
+
+        assert run() == run()

@@ -1,0 +1,76 @@
+"""Unit tests for trace events and structured reasons."""
+
+import json
+
+import pytest
+
+from repro.obs.events import EventKind, Reason, TraceEvent
+
+
+class TestEventKind:
+    def test_wire_names_are_stable(self):
+        # These strings appear in JSONL traces and golden files; renaming
+        # one silently invalidates every checked-in trace.
+        assert EventKind.REQUEST.value == "op-requested"
+        assert EventKind.FAULT.value == "fault-injected"
+        assert EventKind.CERTIFY_VERDICT.value == "certify-verdict"
+        assert EventKind.LIVELOCK.value == "livelock"
+
+    def test_wire_names_are_unique(self):
+        values = [kind.value for kind in EventKind]
+        assert len(values) == len(set(values))
+
+
+class TestReason:
+    def test_to_dict_omits_empty_fields(self):
+        assert Reason("lock-conflict").to_dict() == {"code": "lock-conflict"}
+
+    def test_to_dict_carries_payload(self):
+        reason = Reason(
+            "rsg-cycle",
+            blockers=(1, 4),
+            cycle=(("w1[y]", "F"), ("w4[x]", "D")),
+            detail="online rejection",
+        )
+        assert reason.to_dict() == {
+            "code": "rsg-cycle",
+            "blockers": [1, 4],
+            "cycle": [["w1[y]", "F"], ["w4[x]", "D"]],
+            "detail": "online rejection",
+        }
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Reason("deadlock").code = "other"
+
+
+class TestTraceEvent:
+    def test_to_dict_key_order_is_fixed(self):
+        event = TraceEvent(
+            seq=3,
+            tick=1,
+            kind=EventKind.ABORT,
+            tx=2,
+            op="w2[y]",
+            protocol="2pl",
+            reason=Reason("deadlock", blockers=(1,)),
+            extra=(("victims", [2]),),
+        )
+        assert list(event.to_dict()) == [
+            "seq", "tick", "kind", "tx", "op", "protocol", "reason",
+            "victims",
+        ]
+
+    def test_json_line_is_compact_and_loadable(self):
+        event = TraceEvent(0, 0, EventKind.GRANT, tx=1, op="r1[x]")
+        line = event.to_json_line()
+        assert " " not in line
+        assert json.loads(line) == {
+            "seq": 0, "tick": 0, "kind": "grant", "tx": 1, "op": "r1[x]",
+        }
+
+    def test_equal_events_render_identically(self):
+        a = TraceEvent(5, 2, EventKind.WAIT, tx=3, protocol="rsgt")
+        b = TraceEvent(5, 2, EventKind.WAIT, tx=3, protocol="rsgt")
+        assert a == b
+        assert a.to_json_line() == b.to_json_line()

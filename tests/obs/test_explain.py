@@ -1,0 +1,136 @@
+"""Unit tests for decision explanation (witness cycles, explain API)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.rsg import ArcKind, RelativeSerializationGraph
+from repro.io.notation import parse_problem
+from repro.obs.explain import (
+    Explanation,
+    RejectionWitness,
+    WitnessStep,
+    explain_schedule,
+    witness_from_cycle,
+    witness_from_rsg,
+)
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.fixture(scope="module")
+def fig4_problem():
+    return parse_problem((EXAMPLES / "figure4.txt").read_text())
+
+
+class TestWitnessStep:
+    def test_renders_arrow_with_kinds(self):
+        step = WitnessStep("w2[y]", "w1[x]", "DB")
+        assert str(step) == "w2[y] --DB--> w1[x]"
+
+
+class TestWitnessFromCycle:
+    def test_closes_open_cycles(self):
+        witness = witness_from_cycle(["a", "b"])
+        assert [(s.source, s.target) for s in witness.steps] == [
+            ("a", "b"), ("b", "a"),
+        ]
+        assert all(step.kinds == "?" for step in witness.steps)
+
+    def test_kinds_resolver_labels_steps(self):
+        witness = witness_from_cycle(
+            ["a", "b", "a"],
+            kinds_of=lambda s, t: (ArcKind.DEPENDENCY,),
+        )
+        assert [step.kinds for step in witness.steps] == ["D", "D"]
+
+
+class TestExplainAdmissible:
+    def test_figure2_s1_is_admissible_with_serial_witness(self, fig2):
+        # The paper's subtlety: S1 is not relatively *serial* (T1 sees
+        # T3 split across a transitive dependency) but its RSG is
+        # acyclic, so it IS relatively serializable.
+        explanation = explain_schedule(fig2.schedule("S1"), fig2.spec)
+        assert explanation.admissible
+        assert explanation.witness is None
+        assert (
+            str(explanation.serial_witness)
+            == "w2[y] w1[x] r3[y] w3[z] r1[z]"
+        )
+        assert "relatively serializable" in explanation.format()
+
+    def test_to_dict_of_admission(self, fig2):
+        payload = explain_schedule(fig2.schedule("S1"), fig2.spec).to_dict()
+        assert payload["admissible"] is True
+        assert "witness" not in payload
+        assert payload["serial_witness"]
+
+
+class TestExplainRejection:
+    def test_figure4_r_yields_the_labelled_cycle(self, fig4_problem):
+        explanation = explain_schedule(
+            fig4_problem.schedule("R"), fig4_problem.spec
+        )
+        assert not explanation.admissible
+        assert explanation.serial_witness is None
+        steps = {
+            (step.source, step.target): step.kinds
+            for step in explanation.witness.steps
+        }
+        assert steps == {
+            ("w1[x]", "w4[t]"): "D",
+            ("w4[t]", "w3[z]"): "DFB",
+            ("w3[z]", "w2[y]"): "DF",
+            ("w2[y]", "w1[x]"): "B",
+        }
+
+    def test_witness_agrees_with_the_rsg(self, fig4_problem):
+        rsg = RelativeSerializationGraph(
+            fig4_problem.schedule("R"), fig4_problem.spec
+        )
+        assert not rsg.is_acyclic
+        witness = witness_from_rsg(rsg)
+        for step in witness.steps:
+            assert step.kinds != "?"
+            # Each step's kind string matches the RSG's own labelling.
+            source = next(
+                op for op in rsg.schedule if op.label == step.source
+            )
+            target = next(
+                op for op in rsg.schedule if op.label == step.target
+            )
+            kinds = rsg.arc_kinds(source, target)
+            assert set(step.kinds) == {kind.value for kind in kinds}
+
+    def test_format_names_the_cycle(self, fig4_problem):
+        explanation = explain_schedule(
+            fig4_problem.schedule("R"), fig4_problem.spec
+        )
+        text = explanation.format()
+        assert "NOT relatively serializable" in text
+        assert "w4[t] --DFB--> w3[z]" in text
+
+
+class TestRejectionWitness:
+    def _witness(self):
+        return RejectionWitness(
+            (
+                WitnessStep("a", "b", "D"),
+                WitnessStep("b", "a", "B"),
+            )
+        )
+
+    def test_operations_do_not_repeat_first(self):
+        assert self._witness().operations == ("a", "b")
+
+    def test_reason_cycle_pairs_nodes_with_outgoing_kinds(self):
+        assert self._witness().reason_cycle() == (("a", "D"), ("b", "B"))
+
+    def test_to_dict_round_trip_shape(self):
+        payload = self._witness().to_dict()
+        assert payload == {
+            "cycle": [
+                {"source": "a", "target": "b", "kinds": "D"},
+                {"source": "b", "target": "a", "kinds": "B"},
+            ]
+        }

@@ -1,0 +1,86 @@
+"""Unit tests for the metrics registry and its deterministic merge."""
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestRecording:
+    def test_counters_accumulate_per_label_set(self):
+        registry = MetricsRegistry()
+        registry.inc("sim.grants", protocol="rsgt")
+        registry.inc("sim.grants", 2, protocol="rsgt")
+        registry.inc("sim.grants", protocol="2pl")
+        assert registry.counter_value("sim.grants", protocol="rsgt") == 3
+        assert registry.counter_value("sim.grants", protocol="2pl") == 1
+        assert registry.counter_value("sim.grants") == 0
+
+    def test_gauges_overwrite(self):
+        registry = MetricsRegistry()
+        registry.gauge("sim.makespan", 10)
+        registry.gauge("sim.makespan", 7)
+        assert registry.gauge_value("sim.makespan") == 7
+        assert registry.gauge_value("missing") is None
+
+    def test_observations_track_sum_count_min_max(self):
+        registry = MetricsRegistry()
+        for value in (3, 1, 5):
+            registry.observe("waits", value)
+        report = registry.to_dict()
+        assert report["observations"]["waits"] == {
+            "sum": 9, "count": 3, "min": 1, "max": 5,
+        }
+
+    def test_label_rendering_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("x", b=1, a=2)
+        assert list(registry.to_dict()["counters"]) == ["x{a=2,b=1}"]
+
+
+class TestMerge:
+    def _one(self, grants, makespan):
+        registry = MetricsRegistry()
+        registry.inc("grants", grants, protocol="rsgt")
+        registry.gauge("makespan", makespan, protocol="rsgt")
+        registry.observe("waits", grants)
+        return registry
+
+    def test_counters_add_gauges_max_observations_combine(self):
+        merged = self._one(3, 10).merge(self._one(5, 7))
+        assert merged.counter_value("grants", protocol="rsgt") == 8
+        assert merged.gauge_value("makespan", protocol="rsgt") == 10
+        assert merged.to_dict()["observations"]["waits"] == {
+            "sum": 8, "count": 2, "min": 3, "max": 5,
+        }
+
+    def test_merge_order_does_not_change_the_report(self):
+        parts = [self._one(i, 10 - i) for i in range(4)]
+        forward = MetricsRegistry()
+        for part in parts:
+            forward.merge(part)
+        backward = MetricsRegistry()
+        for part in reversed([self._one(i, 10 - i) for i in range(4)]):
+            backward.merge(part)
+        assert forward.to_json() == backward.to_json()
+
+
+class TestReporting:
+    def test_timers_excluded_by_default(self):
+        registry = MetricsRegistry()
+        with registry.timer("phase", protocol="rsgt"):
+            pass
+        assert "timers" not in registry.to_dict()
+        timers = registry.to_dict(include_timers=True)["timers"]
+        assert timers["phase{protocol=rsgt}"]["calls"] == 1
+
+    def test_to_json_is_byte_stable(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.inc("b", 2, protocol="x")
+            registry.inc("a", 1)
+            registry.gauge("g", 5)
+            return registry.to_json()
+
+        assert build() == build()
+        payload = json.loads(build())
+        assert list(payload) == sorted(payload)

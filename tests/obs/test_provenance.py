@@ -1,0 +1,118 @@
+"""Decision provenance: every non-grant Outcome carries a Reason."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.transactions import Transaction
+from repro.io.notation import parse_problem
+from repro.protocols.base import Decision
+from repro.protocols.certifier import RsgCertifier
+from repro.protocols.rsgt import RSGTScheduler
+from repro.protocols.sgt import SGTScheduler
+from repro.protocols.two_phase import TwoPhaseLockingScheduler
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.fixture(scope="module")
+def fig4_problem():
+    return parse_problem((EXAMPLES / "figure4.txt").read_text())
+
+
+def _drive(scheduler, transactions, labels):
+    """Admit all transactions and submit operations by label, returning
+    the outcome of the last one."""
+    by_label = {}
+    for tx in transactions:
+        scheduler.admit(tx)
+        for op in tx:
+            by_label[op.label] = op
+    outcome = None
+    for label in labels:
+        outcome = scheduler.request(by_label[label])
+    return outcome
+
+
+class TestLockConflictProvenance:
+    def test_2pl_wait_names_the_lock_holder(self):
+        txs = [
+            Transaction.from_notation(1, "w[x] w[y]"),
+            Transaction.from_notation(2, "w[x]"),
+        ]
+        outcome = _drive(
+            TwoPhaseLockingScheduler(), txs, ["w1[x]", "w2[x]"]
+        )
+        assert outcome.decision is Decision.WAIT
+        assert outcome.reason is not None
+        assert outcome.reason.code == "lock-conflict"
+        assert outcome.reason.blockers == (1,)
+
+    def test_2pl_deadlock_names_the_cycle_parties(self):
+        txs = [
+            Transaction.from_notation(1, "w[x] w[y]"),
+            Transaction.from_notation(2, "w[y] w[x]"),
+        ]
+        outcome = _drive(
+            TwoPhaseLockingScheduler(),
+            txs,
+            ["w1[x]", "w2[y]", "w1[y]", "w2[x]"],
+        )
+        assert outcome.decision is Decision.ABORT
+        assert outcome.reason.code == "deadlock"
+        # blockers names the immediate lock holders; detail names the
+        # requester whose wait edge closed the cycle.
+        assert outcome.reason.blockers == (1,)
+        assert "T2" in outcome.reason.detail
+
+
+class TestSerializationGraphProvenance:
+    def test_sgt_abort_carries_the_sg_cycle(self):
+        txs = [
+            Transaction.from_notation(1, "r[x] w[y]"),
+            Transaction.from_notation(2, "r[y] w[x]"),
+        ]
+        outcome = _drive(
+            SGTScheduler(), txs, ["r1[x]", "r2[y]", "w1[y]", "w2[x]"]
+        )
+        assert outcome.decision is Decision.ABORT
+        assert outcome.reason.code == "sg-cycle"
+        assert set(outcome.reason.blockers) == {1, 2}
+        assert outcome.reason.cycle
+
+
+class TestCertifierProvenance:
+    def _reject(self, fig4_problem):
+        certifier = RsgCertifier(fig4_problem.spec)
+        for tx in fig4_problem.transactions:
+            certifier.declare(tx)
+        rejected = None
+        for op in fig4_problem.schedule("R"):
+            if not certifier.try_certify(op):
+                rejected = op
+        return certifier, rejected
+
+    def test_rejection_reason_carries_the_labelled_cycle(
+        self, fig4_problem
+    ):
+        certifier, rejected = self._reject(fig4_problem)
+        assert rejected is not None
+        reason = certifier.rejection_reason()
+        assert reason.code == "rsg-cycle"
+        assert reason.blockers
+        assert reason.cycle
+        # Every cycle step is labelled with real arc kinds, never "?".
+        for _node, kinds in reason.cycle:
+            assert kinds
+            assert set(kinds) <= set("IDFB")
+
+    def test_rsgt_abort_reason_matches_the_certifier(self, fig4_problem):
+        scheduler = RSGTScheduler(fig4_problem.spec)
+        outcome = _drive(
+            scheduler,
+            fig4_problem.transactions,
+            [op.label for op in fig4_problem.schedule("R")],
+        )
+        assert outcome.decision is Decision.ABORT
+        assert outcome.reason.code == "rsg-cycle"
+        assert outcome.reason.cycle

@@ -1,0 +1,127 @@
+"""Chrome-trace conversion and end-to-end simulation tracing."""
+
+import json
+
+from repro.core.transactions import Transaction
+from repro.obs.bus import RingBufferSink, TraceBus
+from repro.obs.events import EventKind, TraceEvent
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import chrome_trace_json, events_to_chrome
+from repro.protocols.two_phase import TwoPhaseLockingScheduler
+from repro.sim.runner import simulate
+
+
+def _conflicting():
+    return [
+        Transaction.from_notation(1, "w[x] w[x]"),
+        Transaction.from_notation(2, "w[x]"),
+    ]
+
+
+class TestChromeConversion:
+    def test_shape_of_one_event(self):
+        event = TraceEvent(0, 2, EventKind.GRANT, tx=1, op="r1[x]",
+                           protocol="rsgt")
+        payload = events_to_chrome([event])
+        assert payload["displayTimeUnit"] == "ms"
+        (entry,) = payload["traceEvents"]
+        assert entry["name"] == "grant:r1[x]"
+        assert entry["cat"] == "rsgt"
+        assert entry["ph"] == "i"
+        assert entry["ts"] == 2000
+        assert entry["tid"] == 1
+        assert entry["args"]["kind"] == "grant"
+
+    def test_system_events_land_on_track_zero(self):
+        event = TraceEvent(0, 1, EventKind.CRASH)
+        (entry,) = events_to_chrome([event])["traceEvents"]
+        assert entry["tid"] == 0
+        assert entry["name"] == "crash"
+        assert entry["cat"] == "repro"
+
+    def test_sequence_breaks_intra_tick_ties(self):
+        events = [
+            TraceEvent(seq, 0, EventKind.GRANT, tx=1) for seq in range(3)
+        ]
+        stamps = [
+            e["ts"] for e in events_to_chrome(events)["traceEvents"]
+        ]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 3
+
+    def test_json_is_byte_stable_and_loadable(self):
+        events = [TraceEvent(0, 0, EventKind.GRANT, tx=1, op="w1[x]")]
+        text = chrome_trace_json(events)
+        assert text == chrome_trace_json(events)
+        assert json.loads(text)["traceEvents"]
+
+
+class TestSimulationTracing:
+    def test_trace_covers_the_request_decision_lifecycle(self):
+        sink = RingBufferSink()
+        simulate(
+            _conflicting(), TwoPhaseLockingScheduler(), bus=TraceBus(sink)
+        )
+        kinds = [event.kind for event in sink.events]
+        assert EventKind.REQUEST in kinds
+        assert EventKind.GRANT in kinds
+        assert EventKind.WAIT in kinds
+        assert EventKind.COMMIT in kinds
+        # Decisions carry the scheduler's protocol name.
+        assert all(
+            event.protocol == "strict-2pl"
+            for event in sink.events
+            if event.kind is EventKind.GRANT
+        )
+
+    def test_wait_events_carry_lock_conflict_provenance(self):
+        sink = RingBufferSink()
+        simulate(
+            _conflicting(), TwoPhaseLockingScheduler(), bus=TraceBus(sink)
+        )
+        wait = next(
+            e for e in sink.events if e.kind is EventKind.WAIT
+        )
+        assert wait.reason is not None
+        assert wait.reason.code == "lock-conflict"
+        assert wait.reason.blockers
+
+    def test_trace_is_byte_deterministic(self):
+        def run():
+            sink = RingBufferSink()
+            simulate(
+                _conflicting(),
+                TwoPhaseLockingScheduler(),
+                bus=TraceBus(sink),
+            )
+            return sink.text()
+
+        assert run() == run()
+
+    def test_metrics_agree_with_the_result(self):
+        metrics = MetricsRegistry()
+        result = simulate(
+            _conflicting(), TwoPhaseLockingScheduler(), metrics=metrics
+        )
+        assert (
+            metrics.counter_value("sim.commits", protocol="strict-2pl")
+            == result.committed
+        )
+        assert (
+            metrics.counter_value("sim.waits", protocol="strict-2pl")
+            == result.total_waits
+        )
+        assert (
+            metrics.gauge_value("sim.makespan", protocol="strict-2pl")
+            == result.makespan
+        )
+
+    def test_untraced_run_matches_traced_run(self):
+        plain = simulate(_conflicting(), TwoPhaseLockingScheduler())
+        traced = simulate(
+            _conflicting(),
+            TwoPhaseLockingScheduler(),
+            bus=TraceBus(RingBufferSink()),
+        )
+        assert str(plain.schedule) == str(traced.schedule)
+        assert plain.makespan == traced.makespan

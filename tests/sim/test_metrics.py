@@ -130,6 +130,35 @@ class TestWaitPercentiles:
 
         assert nearest_rank([10, 1, 4, 2, 3], 50) == 3
 
+    def test_nearest_rank_single_element_any_percentile(self):
+        from repro.sim.metrics import nearest_rank
+
+        for percentile in (0.1, 1, 50, 99.9, 100):
+            assert nearest_rank([7], percentile) == 7
+
+    def test_nearest_rank_p100_is_exactly_the_maximum(self):
+        from repro.sim.metrics import nearest_rank
+
+        values = list(range(1, 42))
+        assert nearest_rank(values, 100) == max(values)
+
+    def test_nearest_rank_rejects_out_of_domain_percentiles(self):
+        import pytest
+
+        from repro.sim.metrics import nearest_rank
+
+        for percentile in (0, -1, 100.1):
+            with pytest.raises(ValueError, match=r"\(0, 100\]"):
+                nearest_rank([1, 2, 3], percentile)
+
+    def test_nearest_rank_rejects_empty_samples(self):
+        import pytest
+
+        from repro.sim.metrics import nearest_rank
+
+        with pytest.raises(ValueError, match="empty"):
+            nearest_rank([], 50)
+
     def test_wait_percentiles_keys_and_values(self):
         result = _result()
         percentiles = result.wait_percentiles()

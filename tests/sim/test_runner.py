@@ -164,6 +164,44 @@ class TestStallGuard:
         result = simulate(txs, _GrantAll(), max_stalled_ticks=1)
         assert result.committed == 2
 
+    def test_blocking_attribute_empty_without_wait_edges(self, txs):
+        # _NeverGrant records no waits-for edges, so the structured
+        # diagnostic names the waiters but carries no blocking map.
+        with pytest.raises(LivelockError) as info:
+            simulate(txs, _NeverGrant(), max_stalled_ticks=10)
+        assert info.value.blocking == {}
+
+    def test_blocking_attribute_carries_wait_edges(self, txs):
+        class _StickyWait(_NeverGrant):
+            """Waits forever while recording who it claims to wait on."""
+
+            def _decide(self, op):
+                waiting = getattr(self, "_waiting_on", None)
+                if waiting is None:
+                    waiting = self._waiting_on = {}
+                waiting[op.tx] = {(op.tx % 2) + 1}
+                return Outcome.wait()
+
+        with pytest.raises(LivelockError) as info:
+            simulate(txs, _StickyWait(), max_stalled_ticks=10)
+        error = info.value
+        assert error.waiting == (1, 2)
+        assert error.blocking == {1: (2,), 2: (1,)}
+        # The message names both sides of the suspected wait cycle.
+        assert "T1 on T2" in str(error)
+        assert "T2 on T1" in str(error)
+
+    def test_livelock_error_pickles_with_payload(self, txs):
+        import pickle
+
+        original = LivelockError(
+            "stalled", waiting=(1, 2), blocking={1: (2,)}
+        )
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone.waiting == (1, 2)
+        assert clone.blocking == {1: (2,)}
+        assert str(clone) == "stalled"
+
 
 class TestBoundedRetry:
     def test_max_attempts_permanently_aborts(self, txs):
