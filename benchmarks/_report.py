@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 #: Machine-readable results file tracked across PRs (repo root).
@@ -10,6 +11,11 @@ BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_rsg.json"
 
 #: Recorded seed-revision timings for speedup accounting.
 BASELINES = Path(__file__).resolve().parent / "baselines" / "seed_rsg.json"
+
+#: Per-op certification latency recorded at the last dict-of-sets
+#: engine revision; the flat-engine gate in bench_incremental.py
+#: measures against these.
+PREFLAT = Path(__file__).resolve().parent / "baselines" / "preflat_rsg.json"
 
 
 def emit(title: str, body: str) -> None:
@@ -22,6 +28,33 @@ def load_baselines() -> dict:
     """The seed revision's recorded timings (ms), keyed by benchmark."""
     with BASELINES.open() as handle:
         return json.load(handle)
+
+
+def load_preflat() -> dict:
+    """The dict-of-sets engine's recorded per-op latency baselines."""
+    with PREFLAT.open() as handle:
+        return json.load(handle)
+
+
+def record_json(
+    section: str, payload: dict, path: Path | None = None, quick: bool = False
+) -> None:
+    """Route results to the right place for the run mode.
+
+    Full runs merge into the tracked BENCH_*.json at the repo root.
+    When ``BENCH_OUT_DIR`` is set (the CI perf-smoke job), results go to
+    a same-named file in that directory instead — never the tracked
+    file — so ``check_regression.py`` can diff them against the
+    committed baselines.  Quick runs without ``BENCH_OUT_DIR`` record
+    nothing.
+    """
+    out_dir = os.environ.get("BENCH_OUT_DIR")
+    if out_dir:
+        target = Path(out_dir) / (BENCH_JSON if path is None else path).name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        emit_json(section, payload, target)
+    elif not quick:
+        emit_json(section, payload, path)
 
 
 def emit_json(section: str, payload: dict, path: Path | None = None) -> None:

@@ -18,7 +18,9 @@ Quick mode (``BENCH_QUICK=1``) shrinks the write volume and campaign
 sizes and skips writing the tracked JSON.
 """
 
+import gc
 import os
+import statistics
 import time
 from pathlib import Path
 
@@ -34,6 +36,7 @@ BENCH_FAULTS = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
 
 WRITES = 2_000 if QUICK else 20_000
 RUNS = 10 if QUICK else 40
+WRITE_REPS = 5 if QUICK else 9
 ABORT_RATES = (0.0, 0.3, 0.6, 0.9)
 
 
@@ -43,6 +46,14 @@ def _time_plain_writes(n):
     for i in range(n):
         data[f"x{i % 64}"] = i
     return time.perf_counter() - start
+
+
+def _time_wal_commit(n):
+    return _time_wal_writes(n, "commit")
+
+
+def _time_wal_abort(n):
+    return _time_wal_writes(n, "abort")
 
 
 def _time_wal_writes(n, epilogue):
@@ -58,14 +69,32 @@ def _time_wal_writes(n, epilogue):
     return time.perf_counter() - start
 
 
+def _median_of_reps(fn, n):
+    """Median wall time of ``fn(n)`` over WRITE_REPS runs, GC pinned.
+
+    Same methodology as ``bench_kvstore.py``: a single cold pass of a
+    micro-loop is dominated by allocator growth and collector pauses,
+    not the code under test (one cold quick run of this bench once
+    reported a 36x WAL ratio that the median puts at ~2x).
+    """
+    fn(n)  # untimed warmup: allocator growth, bytecode specialization
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        return statistics.median(fn(n) for _ in range(WRITE_REPS))
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
 def test_report_wal_write_overhead(benchmark):
     """E16a: before-image logging cost per write, commit/abort included."""
 
     def compute():
         return {
-            "plain": _time_plain_writes(WRITES),
-            "wal_commit": _time_wal_writes(WRITES, "commit"),
-            "wal_abort": _time_wal_writes(WRITES, "abort"),
+            "plain": _median_of_reps(_time_plain_writes, WRITES),
+            "wal_commit": _median_of_reps(_time_wal_commit, WRITES),
+            "wal_abort": _median_of_reps(_time_wal_abort, WRITES),
         }
 
     timings = benchmark.pedantic(compute, rounds=1, iterations=1)
@@ -79,14 +108,16 @@ def test_report_wal_write_overhead(benchmark):
     ]
     emit(
         f"E16a — undo-log write-path overhead ({WRITES} writes, "
-        "64 objects)",
+        f"64 objects, median of {WRITE_REPS})",
         format_table(["path", "wall (ms)", "us/write"], rows)
         + f"\nWAL+commit vs plain dict: {overhead:.1f}x",
     )
-    # Before-image logging costs a small constant factor, not an
-    # asymptotic blowup; the generous bound catches accidental
-    # quadratic behaviour in the WAL (e.g. the supersession scan).
-    assert overhead < 200.0
+    # The batched undo-log write path promises <3x a plain dict write
+    # (one flat tuple append per write; the commit epilogue amortizes
+    # over the whole transaction).  This run is one transaction of
+    # WRITES writes, so it must comfortably meet the same bound the
+    # per-transaction micro-bench (bench_kvstore.py) gates.
+    assert overhead < 3.0
     if not QUICK:
         emit_json(
             "wal_write_overhead",

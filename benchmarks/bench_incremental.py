@@ -20,10 +20,18 @@ largest configurations and the speedup assertions; the full run asserts
 the >=5x improvement at the largest size of each suite.
 """
 
+import gc
 import os
+import statistics
 import time
 
-from benchmarks._report import emit, emit_json, load_baselines
+from benchmarks._report import (
+    emit,
+    emit_json,
+    load_baselines,
+    load_preflat,
+    record_json,
+)
 from repro.analysis.tables import format_table
 from repro.core.rsg import IncrementalRsg, RelativeSerializationGraph
 from repro.protocols import RSGTScheduler
@@ -161,23 +169,39 @@ def test_report_rsg_build_scaling(benchmark):
         assert payload["speedup_at_largest"] >= SPEEDUP_FLOOR
 
 
+#: Latency-feed repetitions for the per-window medians.
+LATENCY_REPS = 5 if QUICK else 9
+
+#: Required improvement over the dict-of-sets engine at history >= 200.
+FLAT_SPEEDUP_FLOOR = 2.0
+
+
 def test_report_per_op_latency(benchmark):
     """Per-operation certification latency as the history grows.
 
     The seed paid for a full copy + DFS per grant, so per-op cost grew
-    linearly with history length.  The incremental engine's per-op cost
+    linearly with history length.  The flat array engine's per-op cost
     should stay near-flat (Pearce-Kelly touches only the affected
     order region).  Measured in windows over one long serial feed.
 
-    An untimed warmup pass runs the whole feed first (lazy imports,
-    allocator growth), and the first window is reported separately as
-    engine setup rather than folded into the latency curve: it absorbs
-    the one-time per-engine costs (every transaction's structures are
-    built on its first operation, and all of them first appear within
-    the opening window), which read ~10x worse than steady state and
-    look like a latency cliff at short histories but aren't one.
+    Methodology: GC is pinned around the timed sections and each window
+    reports the **median over LATENCY_REPS independent feeds** — a
+    single pass let one collector pause or scheduler blip land in one
+    window and print a spurious latency cliff (the recorded 2.94 us
+    outlier at history 200 against 1.5-1.9 everywhere around it).  Two
+    untimed warmup feeds run first (lazy imports, allocator growth,
+    bytecode specialization).
+
+    The first window is reported separately as engine setup rather than
+    folded into the latency curve: it absorbs the one-time per-engine
+    costs (every transaction's structures are built on its first
+    operation, and all of them first appear within the opening window).
+
+    The same configuration runs in quick mode — the feed is milliseconds
+    of work — so the >=2x gate against the recorded dict-of-sets
+    baselines (history >= 200) holds in CI smoke runs too.
     """
-    n_tx, ops = (8, 8) if QUICK else (20, 15)
+    n_tx, ops = 20, 15
     txs, spec, schedule = _instance(n_tx, ops)
     operations = schedule.operations
     window = max(1, len(operations) // 6)
@@ -186,12 +210,7 @@ def test_report_per_op_latency(benchmark):
         for tx in txs:
             engine.add_transaction(tx)
 
-    def compute():
-        warm = IncrementalRsg(spec)
-        feed(warm)
-        for op in operations:
-            if not (warm.acyclic and warm.try_push(op)):
-                warm.push_uncertified(op)
+    def one_pass():
         engine = IncrementalRsg(spec)
         feed(engine)
         windows = []
@@ -209,25 +228,66 @@ def test_report_per_op_latency(benchmark):
             position += len(chunk)
         return windows
 
+    def compute():
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(2):
+                one_pass()
+            passes = [one_pass() for _ in range(LATENCY_REPS)]
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return [
+            (
+                per_window[0][0],
+                statistics.median(us for _, us in per_window),
+            )
+            for per_window in zip(*passes)
+        ]
+
     windows = benchmark.pedantic(compute, rounds=1, iterations=1)
     setup_window, steady = windows[0], windows[1:]
+    preflat = load_preflat()["per_op_us_by_history"]
+    rows = [
+        [setup_window[0], f"{setup_window[1]:.2f} (engine setup)", "-"]
+    ]
+    for length, per_op in steady:
+        base = preflat.get(str(length))
+        rows.append(
+            [
+                length,
+                f"{per_op:.2f}",
+                "-" if base is None else f"{base / per_op:.1f}x",
+            ]
+        )
     emit(
-        "E13c — per-operation certification latency by history length",
+        "E13c — per-operation certification latency by history length "
+        f"(median of {LATENCY_REPS} feeds, GC pinned)",
         format_table(
-            ["history length", "us/op (window mean)"],
-            [[setup_window[0], f"{setup_window[1]:.1f} (engine setup)"]]
-            + [[length, f"{per_op:.1f}"] for length, per_op in steady],
-        ),
+            ["history length", "us/op (window median)", "vs dict engine"],
+            rows,
+        )
+        + f"\ngate: >= {FLAT_SPEEDUP_FLOOR:.0f}x at history >= 200",
     )
-    if not QUICK:
-        emit_json(
-            "per_op_latency",
-            {
-                "config": f"{n_tx} txs x {ops} ops, window={window}",
-                "setup_window_us_per_op": round(setup_window[1], 2),
-                "us_per_op_by_history": {
-                    str(length): round(per_op, 2)
-                    for length, per_op in steady
-                },
+    record_json(
+        "per_op_latency",
+        {
+            "config": f"{n_tx} txs x {ops} ops, window={window}, "
+                      f"median of {LATENCY_REPS}",
+            "setup_window_us_per_op": round(setup_window[1], 2),
+            "us_per_op_by_history": {
+                str(length): round(per_op, 2) for length, per_op in steady
             },
+        },
+        quick=QUICK,
+    )
+    for length, per_op in steady:
+        base = preflat.get(str(length))
+        if base is None or length < 200:
+            continue
+        assert per_op * FLAT_SPEEDUP_FLOOR <= base, (
+            f"per-op latency at history {length} is {per_op:.2f} us; "
+            f"the flat engine must be >= {FLAT_SPEEDUP_FLOOR:.0f}x "
+            f"faster than the dict engine's recorded {base:.2f} us"
         )

@@ -1,0 +1,142 @@
+"""E16c — KV-store write-path micro-bench: plain vs WAL vs batched WAL.
+
+The engine buffers undo records per transaction (one flat tuple append
+per write) and derives the global WAL view on demand, so the write path
+is promised to cost **<3x a plain dict write** when writes amortize over
+a transaction of realistic size.  This module pins that promise with
+three shapes:
+
+* ``plain`` — raw dict assignment, the floor;
+* ``wal_per_write_tx`` — one begin/write/commit cycle per write, the
+  worst case (every write pays the whole transaction epilogue);
+* ``wal_batched`` — ``BATCH`` writes per transaction, the realistic
+  shape (the simulator's transactions write many objects per commit).
+
+Timings are median-of-repeats with GC pinned and an untimed warmup pass
+(the same methodology as ``bench_incremental.py``'s latency windows —
+single cold runs of micro-loops are dominated by allocator growth and
+collector pauses, not the code under test).
+
+The ratios land in ``BENCH_faults.json`` under ``kvstore_write_path``
+and the batched ratio is asserted ``< 3.0`` in full and quick mode
+alike.
+"""
+
+import gc
+import os
+import statistics
+import time
+from pathlib import Path
+
+from benchmarks._report import emit, emit_json
+from repro.analysis.tables import format_table
+from repro.engine.kvstore import KVStore
+
+QUICK = os.environ.get("BENCH_QUICK") == "1"
+
+#: Machine-readable fault/engine results, tracked across PRs.
+BENCH_FAULTS = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+
+WRITES = 4_096 if QUICK else 32_768
+#: Writes per transaction in the batched shape.
+BATCH = 64
+REPS = 5 if QUICK else 9
+#: The gated bound: batched WAL write vs plain dict write.
+MAX_RATIO = 3.0
+
+_OBJECTS = {f"x{i}": 0 for i in range(BATCH)}
+
+
+# Every variant renders its key per write (``f"x{i % BATCH}"``) — the
+# committed-baseline methodology from ``bench_faults.py``: a write
+# request arrives with a freshly built key and value, as it does from
+# the simulator, so the ratio measures the undo-log machinery rather
+# than the gap to a bare C-level dict store.
+
+
+def _plain(n):
+    data = dict(_OBJECTS)
+    start = time.perf_counter()
+    for i in range(n):
+        data[f"x{i % BATCH}"] = i
+    return time.perf_counter() - start
+
+
+def _wal_per_write_tx(n):
+    store = KVStore(dict(_OBJECTS))
+    begin, write, commit = store.begin, store.write, store.commit
+    start = time.perf_counter()
+    for i in range(n):
+        begin(1)
+        write(1, f"x{i % BATCH}", i)
+        commit(1)
+    return time.perf_counter() - start
+
+
+def _wal_batched(n):
+    store = KVStore(dict(_OBJECTS))
+    begin, write, commit = store.begin, store.write, store.commit
+    start = time.perf_counter()
+    for base in range(0, n, BATCH):
+        begin(1)
+        for i in range(base, base + BATCH):
+            write(1, f"x{i % BATCH}", i)
+        commit(1)
+    return time.perf_counter() - start
+
+
+def _median_of_reps(fn, n):
+    """Median wall time of ``fn(n)`` over REPS runs, GC pinned."""
+    fn(n)  # untimed warmup: allocator growth, bytecode specialization
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        return statistics.median(fn(n) for _ in range(REPS))
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def test_report_kvstore_write_path(benchmark):
+    """E16c: batched WAL writes stay under 3x a plain dict write."""
+
+    def compute():
+        return {
+            "plain": _median_of_reps(_plain, WRITES),
+            "wal_per_write_tx": _median_of_reps(_wal_per_write_tx, WRITES),
+            "wal_batched": _median_of_reps(_wal_batched, WRITES),
+        }
+
+    timings = benchmark.pedantic(compute, rounds=1, iterations=1)
+    plain = max(timings["plain"], 1e-9)
+    per_write = {k: v / WRITES * 1e6 for k, v in timings.items()}
+    ratios = {k: v / plain for k, v in timings.items()}
+    rows = [
+        [key, f"{per_write[key]:.3f}", f"{ratios[key]:.2f}x"]
+        for key in timings
+    ]
+    emit(
+        f"E16c — KV-store write path ({WRITES} writes, batch={BATCH}, "
+        f"median of {REPS})",
+        format_table(["path", "us/write", "vs plain"], rows)
+        + f"\ngate: batched WAL < {MAX_RATIO:.0f}x plain",
+    )
+    if not QUICK:
+        emit_json(
+            "kvstore_write_path",
+            {
+                "writes": WRITES,
+                "batch": BATCH,
+                "us_per_write": {
+                    k: round(v, 3) for k, v in per_write.items()
+                },
+                "ratio_vs_plain": {
+                    k: round(v, 2) for k, v in ratios.items()
+                },
+            },
+            path=BENCH_FAULTS,
+        )
+    assert ratios["wal_batched"] < MAX_RATIO, (
+        f"batched WAL write costs {ratios['wal_batched']:.2f}x a plain "
+        f"write; the target is <{MAX_RATIO:.0f}x"
+    )

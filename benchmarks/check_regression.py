@@ -1,0 +1,120 @@
+"""Gate a perf-smoke run against the committed BENCH_*.json baselines.
+
+The CI perf-smoke job runs the hot-path benchmarks in quick mode with
+``BENCH_OUT_DIR`` set, so their results land in a scratch directory
+instead of the tracked files.  This script then compares the scratch
+results against the committed baselines and exits non-zero when any
+gated metric regressed by more than the tolerance.
+
+A metric "regresses" when::
+
+    new > old * (1 + tolerance) + epsilon
+
+with a relative tolerance of 25% and a small per-metric absolute
+epsilon: quick-mode runs on shared CI machines jitter, and several
+gated values (tracing overhead percentage points) sit near zero where
+a pure ratio test would flag noise.  Genuine hot-path regressions are
+multiples, not percentage points — the flat-engine rewrite moved per-op
+latency 2-5x — so the slack does not mask what this gate is for.
+
+Usage::
+
+    python benchmarks/check_regression.py <out_dir> [--tolerance 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: (file, section, path-into-section, absolute epsilon, unit).
+#: ``path`` may end with ``"*"`` to compare every numeric value of the
+#: innermost mapping (per-history latencies, per-protocol overheads).
+CHECKS = (
+    ("BENCH_rsg.json", "per_op_latency", ("us_per_op_by_history", "*"), 0.25, "us"),
+    # Overhead percentage swings by several points either way with
+    # ambient load (the same smoke run can read -9 and +8 on two
+    # protocols); bench_obs.py's own <10% assertion is the primary
+    # gate, so this check only catches order-of-magnitude blowups.
+    ("BENCH_obs.json", "obs_overhead", ("*", "overhead_pct"), 9.0, "pct-points"),
+    ("BENCH_obs.json", "obs_emit", ("per_event_ns",), 150.0, "ns"),
+)
+
+
+def _walk(payload, path):
+    """Yield ``(label, value)`` leaves of ``payload`` along ``path``."""
+    key, rest = path[0], path[1:]
+    if key == "*":
+        for name, value in sorted(payload.items()):
+            if rest:
+                for label, leaf in _walk(value, rest):
+                    yield f"{name}.{label}", leaf
+            else:
+                yield name, value
+    else:
+        value = payload[key]
+        if rest:
+            for label, leaf in _walk(value, rest):
+                yield f"{key}.{label}", leaf
+        else:
+            yield key, value
+
+
+def compare(out_dir: Path, tolerance: float) -> list[str]:
+    """All regression messages (empty when the run is clean)."""
+    problems = []
+    for filename, section, path, epsilon, unit in CHECKS:
+        committed_file = REPO_ROOT / filename
+        fresh_file = out_dir / filename
+        if not fresh_file.exists():
+            problems.append(
+                f"{filename}: perf-smoke produced no output "
+                f"(expected {fresh_file})"
+            )
+            continue
+        committed = json.loads(committed_file.read_text())
+        fresh = json.loads(fresh_file.read_text())
+        if section not in fresh:
+            problems.append(f"{filename}: section {section!r} missing from smoke run")
+            continue
+        baseline = dict(_walk(committed[section], path))
+        for label, new in _walk(fresh[section], path):
+            old = baseline.get(label)
+            if old is None:
+                # New configurations have no baseline yet; the next
+                # full-mode run commits one.
+                continue
+            bound = old * (1.0 + tolerance) + epsilon
+            verdict = "ok" if new <= bound else "REGRESSION"
+            print(
+                f"{filename} {section}.{label}: {old:g} -> {new:g} {unit} "
+                f"(bound {bound:g}) {verdict}"
+            )
+            if new > bound:
+                problems.append(
+                    f"{filename} {section}.{label}: {new:g} {unit} exceeds "
+                    f"{bound:g} (committed {old:g}, tolerance "
+                    f"{tolerance:.0%} + {epsilon:g})"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("out_dir", type=Path, help="BENCH_OUT_DIR of the smoke run")
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    arguments = parser.parse_args(argv)
+    problems = compare(arguments.out_dir, arguments.tolerance)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print("perf smoke within tolerance of committed baselines")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
-from repro.core.operations import Operation
-from repro.core.schedules import Schedule, conflicts
+from repro.core.operations import OpType, Operation
+from repro.core.schedules import Schedule
 from repro.errors import InvalidScheduleError
 from repro.graphs.digraph import DiGraph
 
@@ -43,14 +43,29 @@ class DependencyRelation:
         self._transitive = transitive
         ops = schedule.operations
         n = len(ops)
+        # Hoist the per-operation fields into flat rows once, so the
+        # O(n^2) pair loop compares local ints and strings instead of
+        # touching Operation attributes, with the conflict test (same
+        # object, at least one write; same-transaction pairs are
+        # dependent regardless) inlined.
+        txs = [0] * n
+        objs = [""] * n
+        writes = [False] * n
+        for p, op in enumerate(ops):
+            txs[p] = op.tx
+            objs[p] = op.obj
+            writes[p] = op.op_type is OpType.WRITE
         # _reach[p] has bit q set iff ops[q] depends on ops[p] (p < q).
         reach = [0] * n
         for p in range(n - 1, -1, -1):
-            earlier = ops[p]
+            ptx = txs[p]
+            pobj = objs[p]
+            pwrite = writes[p]
             bits = 0
             for q in range(p + 1, n):
-                later = ops[q]
-                if later.tx == earlier.tx or conflicts(earlier, later):
+                if txs[q] == ptx or (
+                    objs[q] == pobj and (pwrite or writes[q])
+                ):
                     bits |= 1 << q
                     if transitive:
                         bits |= reach[q]
@@ -88,10 +103,16 @@ class DependencyRelation:
                 "extended_with needs the parent schedule plus one operation"
             )
         new_op = ops[n]
+        new_tx = new_op.tx
+        new_obj = new_op.obj
+        new_write = new_op.op_type is OpType.WRITE
         direct = 0
         for p in range(n):
             earlier = ops[p]
-            if earlier.tx == new_op.tx or conflicts(earlier, new_op):
+            if earlier.tx == new_tx or (
+                earlier.obj == new_obj
+                and (new_write or earlier.op_type is OpType.WRITE)
+            ):
                 direct |= 1 << p
         bit = 1 << n
         reach = list(self._reach)

@@ -55,12 +55,22 @@ class Operation:
     # get hashed millions of times per run; the generated dataclass hash
     # re-hashes all four fields (including the enum) on every call.
     _hash: int = field(init=False, repr=False, compare=False, default=0)
+    #: The paper's notation for this operation, e.g. ``r1[x]``.  A cached
+    #: slot, not a property: traced runs read it several times per
+    #: granted operation (request, decision, and certification events),
+    #: and re-rendering the f-string each time dominated the tracing
+    #: overhead ``benchmarks/bench_obs.py`` gates.
+    label: str = field(init=False, repr=False, compare=False, default="")
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self,
             "_hash",
             hash((self.op_type.value, self.obj, self.tx, self.index)),
+        )
+        tx_part = "" if self.tx is None else str(self.tx)
+        object.__setattr__(
+            self, "label", f"{self.op_type.value}{tx_part}[{self.obj}]"
         )
 
     def __hash__(self) -> int:
@@ -103,12 +113,6 @@ class Operation:
     # ------------------------------------------------------------------
     # Notation
     # ------------------------------------------------------------------
-    @property
-    def label(self) -> str:
-        """The paper's notation for this operation, e.g. ``r1[x]``."""
-        tx_part = "" if self.tx is None else str(self.tx)
-        return f"{self.op_type.value}{tx_part}[{self.obj}]"
-
     def __str__(self) -> str:
         return self.label
 

@@ -39,7 +39,7 @@ from repro.core.transactions import Transaction
 from repro.errors import CycleError, GraphError, InvalidSpecError
 from repro.graphs.cycles import find_cycle
 from repro.graphs.digraph import DiGraph
-from repro.graphs.incremental import IncrementalDiGraph
+from repro.graphs.incremental import FlatBatch, FlatPkGraph, IncrementalDiGraph
 from repro.graphs.toposort import topological_sort
 
 __all__ = [
@@ -122,6 +122,7 @@ class RelativeSerializationGraph:
             include_f_arcs, include_b_arcs
         )
         self._graph_cache: DiGraph | None = None
+        self._graph_factory = None
         self._cycle: list[Operation] | None | _Unset = _UNSET
 
     @classmethod
@@ -130,15 +131,20 @@ class RelativeSerializationGraph:
         schedule: Schedule,
         spec: RelativeAtomicitySpec,
         dependency: DependencyRelation,
-        graph: DiGraph,
+        graph: DiGraph | None,
         cycle: "list[Operation] | None | _Unset" = _UNSET,
+        graph_factory=None,
     ) -> "RelativeSerializationGraph":
         """Assemble an RSG from already-computed parts (no rebuild).
 
         The incremental machinery (:class:`IncrementalRsg`,
         :meth:`extended_with`, the prefix-sharing enumerators) uses this
         to hand out RSG views without paying the O(n^2) closure and arc
-        construction again.  ``graph`` is adopted, not copied.
+        construction again.  ``graph`` is adopted, not copied; passing
+        ``graph_factory`` instead defers even the adjacency
+        materialization until :attr:`graph` is first touched, so views
+        whose consumers only ask for acyclicity (``cycle`` is always
+        supplied by those callers) never build a graph at all.
         """
         rsg = object.__new__(cls)
         rsg._schedule = schedule
@@ -149,6 +155,7 @@ class RelativeSerializationGraph:
         rsg._ops_table = []
         rsg._arc_masks = {}
         rsg._graph_cache = graph
+        rsg._graph_factory = graph_factory
         rsg._cycle = cycle
         return rsg
 
@@ -319,7 +326,11 @@ class RelativeSerializationGraph:
         needs it.
         """
         if self._graph_cache is None:
-            self._graph_cache = self._materialize()
+            factory = self._graph_factory
+            if factory is not None:
+                self._graph_cache = factory()
+            else:
+                self._graph_cache = self._materialize()
         return self._graph_cache
 
     @property
@@ -331,8 +342,8 @@ class RelativeSerializationGraph:
     def cycle(self) -> list[Operation] | None:
         """A witness cycle, or ``None`` when the graph is acyclic."""
         if self._cycle is _UNSET:
-            if self._graph_cache is not None:
-                self._cycle = find_cycle(self._graph_cache)
+            if self._graph_cache is not None or self._graph_factory is not None:
+                self._cycle = find_cycle(self.graph)
             else:
                 self._cycle = self._cycle_from_masks()
         return self._cycle
@@ -432,32 +443,6 @@ class RelativeSerializationGraph:
         )
 
 
-def _push_table(
-    spec: RelativeAtomicitySpec, transaction: Transaction, observer: int
-) -> tuple[Operation, ...]:
-    """``PushForward(op, observer)`` for every operation of the
-    transaction, as an index-addressed tuple."""
-    view = spec.atomicity(transaction.tx_id, observer)
-    ops = transaction.operations
-    row: list[Operation] = []
-    for unit in view.units:
-        row.extend([ops[unit.end]] * unit.size)
-    return tuple(row)
-
-
-def _pull_table(
-    spec: RelativeAtomicitySpec, transaction: Transaction, observer: int
-) -> tuple[Operation, ...]:
-    """``PullBackward(op, observer)`` for every operation of the
-    transaction, as an index-addressed tuple."""
-    view = spec.atomicity(transaction.tx_id, observer)
-    ops = transaction.operations
-    row: list[Operation] = []
-    for unit in view.units:
-        row.extend([ops[unit.start]] * unit.size)
-    return tuple(row)
-
-
 def _push_id_row(
     spec: RelativeAtomicitySpec,
     transaction: Transaction,
@@ -487,18 +472,6 @@ def _pull_id_row(
     return row
 
 
-class _PushRecord:
-    """Per-operation undo record of :class:`IncrementalRsg`."""
-
-    __slots__ = ("op", "batch", "prev_tx_pos", "write_undo")
-
-    def __init__(self, op, batch, prev_tx_pos, write_undo) -> None:
-        self.op = op
-        self.batch = batch          # EdgeBatch, or None for uncertified
-        self.prev_tx_pos = prev_tx_pos
-        self.write_undo = write_undo  # (prev last write, prev read list)
-
-
 class IncrementalRsg:
     """The RSG over a granted prefix, maintained operation by operation.
 
@@ -508,8 +481,9 @@ class IncrementalRsg:
 
     * ``try_push`` — append one operation, deriving its D/F/B arcs from
       per-object trackers (O(#new-arcs), not O(history)) and inserting
-      them into a :class:`~repro.graphs.incremental.IncrementalDiGraph`
-      that keeps an online topological order.  A cycle-closing push is
+      them into a :class:`~repro.graphs.incremental.FlatPkGraph` — an
+      integer-id adjacency structure with bitmask arc kinds — that
+      keeps an online topological order.  A cycle-closing push is
       refused with the graph left untouched.
     * ``push_uncertified`` — append an operation *without* its arcs,
       used by enumerators that must keep walking extensions of a prefix
@@ -522,6 +496,16 @@ class IncrementalRsg:
     ``depends-on`` closure, so a :class:`~repro.core.dependency.
     DependencyRelation` for the current prefix is available for free
     (``maintain_reach=True``).
+
+    Internally everything lives in flat, integer-indexed state: every
+    declared operation owns a node id in a :class:`FlatPkGraph`
+    (freelisted and reused across :meth:`remove_transaction`), arcs are
+    ``(u, v, kind-bit)`` triples written into one reusable flat buffer,
+    undo batches and push records are recycled through freelists, and
+    the labelled :class:`IncrementalDiGraph` view the diagnostics need
+    is materialized on demand and cached per mutation epoch.  In the
+    steady state a certify/forget cycle therefore allocates almost
+    nothing.
     """
 
     def __init__(
@@ -531,15 +515,45 @@ class IncrementalRsg:
         maintain_reach: bool = False,
     ) -> None:
         self._spec = spec
-        self._graph = IncrementalDiGraph()
+        self._flat = FlatPkGraph()
+        # Node-id space: _ids[tx_id][index] is the flat node id of that
+        # operation; _ops_of is the inverse (slot per node id, nulled
+        # and overwritten as ids are released and reused).
+        self._ids: dict[int, list[int]] = {}
+        self._tx_order: list[int] = []
+        self._ops_of: list[Operation | None] = []
         self._history: list[Operation] = []
-        # _anc[n] has bit p set iff history[n] depends on history[p].
-        self._anc: list[int] = []
+        # _hist_ids[n] is the flat node id of history[n].
+        self._hist_ids: list[int] = []
+        # _closed[n] has bit p set iff history[n] depends on history[p]
+        # OR p == n — the self-inclusive ancestor closure.  Storing it
+        # closed means a new operation's ancestors are a plain OR of
+        # the covering set's rows, with no per-member ``1 << p`` big-int
+        # shifts on the hot path.  Rows pushed while the prefix is
+        # cyclic are sentinel zeros unless ``maintain_reach`` is on:
+        # try_push raises on a cyclic prefix and pops are LIFO, so a
+        # zero row is gone before anything can read it (see
+        # push_uncertified).
+        self._closed: list[int] = []
         # _reach[p] has bit n set iff history[n] depends on history[p]
         # (the DependencyRelation convention); only kept when asked.
         self._maintain_reach = maintain_reach
         self._reach: list[int] = []
-        self._log: list[_PushRecord] = []
+        # Per-push undo log: one (batch, prev_tx_pos, write_undo)
+        # triple per push — the arc undo batch (None for uncertified
+        # pushes), the tx's previous history position, and the
+        # write-tracker undo pair.  A single list of tuples, not three
+        # parallel lists: one append per push on the hot path.
+        self._log: list[tuple] = []
+        # Prebound appends for the per-push hot path (the four lists
+        # are created here and never rebound — same trick as the trace
+        # bus's prebound sink writes).
+        self._hist_append = self._history.append
+        self._hist_ids_append = self._hist_ids.append
+        self._closed_append = self._closed.append
+        self._log_append = self._log.append
+        self._batch_pool: list[FlatBatch] = []
+        self._arc_buf: list[int] = []
         # Per-object trackers: the covering set of direct dependencies.
         # A new operation's ancestors are exactly the union of
         # (position | anc[position]) over: the transaction's previous
@@ -549,20 +563,31 @@ class IncrementalRsg:
         self._last_write: dict[str, int] = {}
         self._reads_since_write: dict[str, list[int]] = {}
         self._last_of_tx: dict[int, int] = {}
-        self._push_tables: dict[tuple[int, int], tuple[Operation, ...]] = {}
-        self._pull_tables: dict[tuple[int, int], tuple[Operation, ...]] = {}
+        # PushForward/PullBackward rows in node-id space, keyed
+        # [subject tx][observer tx]; dropped when either tx is removed.
+        self._push_rows: dict[int, dict[int, list[int]]] = {}
+        self._pull_rows: dict[int, dict[int, list[int]]] = {}
         self._uncertified_from: int | None = None
+        #: Whether the maintained prefix RSG is acyclic (always true
+        #: until the first ``push_uncertified``).  A plain attribute
+        #: mirroring ``_uncertified_from is None``, not a property: the
+        #: certification loop reads it once per operation and the
+        #: attribute read skips the descriptor call frame.
+        self.acyclic: bool = True
         self._witness: list[Operation] | None = None
         self._rejection: list[Operation] | None = None
-        # Tentative arcs of the most recent refused try_push: they were
-        # rolled back before entering the graph, but the rejection
-        # witness may ride on them, so labelling needs them.
-        self._rejection_arcs: (
-            list[tuple[Operation, Operation, ArcKind]] | None
-        ) = None
+        self._rejection_ids: list[int] | None = None
+        # Tentative arc triples of the most recent refused try_push:
+        # they were rolled back before entering the graph, but the
+        # rejection witness may ride on them, so labelling needs them.
+        self._rejection_arcs: list[int] | None = None
         self._labelled_rejection_cache: (
             list[tuple[Operation, Operation, frozenset[ArcKind]]] | None
         ) = None
+        # Materialized-view cache, invalidated by the mutation counter.
+        self._mutations = 0
+        self._graph_cache: IncrementalDiGraph | None = None
+        self._graph_version = -1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -575,19 +600,22 @@ class IncrementalRsg:
     @property
     def graph(self) -> IncrementalDiGraph:
         """The maintained RSG (all declared vertices and I-arcs, plus
-        D/F/B arcs of the certified prefix)."""
-        return self._graph
+        D/F/B arcs of the certified prefix).
+
+        A labelled :class:`IncrementalDiGraph` view materialized from
+        the flat engine on first access and cached until the next
+        mutation — diagnostics and tests pay O(V + E) per epoch, the
+        certification hot path never builds it.
+        """
+        if self._graph_cache is None or self._graph_version != self._mutations:
+            self._graph_cache = self._materialized_graph()
+            self._graph_version = self._mutations
+        return self._graph_cache
 
     @property
     def history(self) -> list[Operation]:
         """The pushed operations, in order (do not mutate)."""
         return self._history
-
-    @property
-    def acyclic(self) -> bool:
-        """Whether the maintained prefix RSG is acyclic (always true
-        until the first ``push_uncertified``)."""
-        return self._uncertified_from is None
 
     @property
     def witness(self) -> list[Operation] | None:
@@ -598,6 +626,16 @@ class IncrementalRsg:
     def last_rejected_cycle(self) -> list[Operation] | None:
         """Witness from the most recent refused ``try_push``."""
         return self._rejection
+
+    @property
+    def node_capacity(self) -> int:
+        """Total node-id slots ever allocated (live + freelisted).
+
+        Diagnostic for the boundedness claim: declare/remove churn must
+        reuse freelisted ids, so capacity tracks the peak live set, not
+        the cumulative number of declarations.
+        """
+        return self._flat.node_capacity
 
     def labelled_rejection(
         self,
@@ -614,24 +652,25 @@ class IncrementalRsg:
         event and once for the Outcome's reason, and the labelling must
         reflect the graph at rejection time either way.
         """
-        cycle = self._rejection
-        if cycle is None:
+        cycle_ids = self._rejection_ids
+        if cycle_ids is None:
             return None
         if self._labelled_rejection_cache is not None:
             return self._labelled_rejection_cache
-        tentative: dict[
-            tuple[Operation, Operation], set[ArcKind]
-        ] = {}
-        for source, target, kind in self._rejection_arcs or ():
-            tentative.setdefault((source, target), set()).add(kind)
-        graph = self._graph
+        tentative: dict[int, int] = {}
+        arcs = self._rejection_arcs or []
+        for i in range(0, len(arcs), 3):
+            key = (arcs[i] << 32) | arcs[i + 1]
+            tentative[key] = tentative.get(key, 0) | arcs[i + 2]
+        flat = self._flat
+        ops_of = self._ops_of
         labelled = []
-        for source, target in zip(cycle, cycle[1:]):
-            kinds: set[ArcKind] = set()
-            if graph.has_edge(source, target):
-                kinds.update(graph.edge_labels(source, target))
-            kinds.update(tentative.get((source, target), ()))
-            labelled.append((source, target, frozenset(kinds)))
+        for u, v in zip(cycle_ids, cycle_ids[1:]):
+            mask = flat.edge_mask(u, v) | tentative.get((u << 32) | v, 0)
+            kinds = frozenset(
+                kind for bit, kind in _BIT_KINDS if mask & bit
+            )
+            labelled.append((ops_of[u], ops_of[v], kinds))
         self._labelled_rejection_cache = labelled
         return labelled
 
@@ -642,13 +681,84 @@ class IncrementalRsg:
     # Growing
     # ------------------------------------------------------------------
     def add_transaction(self, transaction: Transaction) -> None:
-        """Add a transaction's vertices and I-arcs to the graph."""
-        ops = transaction.operations
-        graph = self._graph
-        for op in ops:
-            graph.add_node(op)
-        for first, second in zip(ops, ops[1:]):
-            graph.add_edge(first, second, label=ArcKind.INTERNAL)
+        """Add a transaction's vertices and I-arcs to the graph.
+
+        Idempotent for an already-declared transaction.  Node ids come
+        from the flat graph's freelist, so declare/remove cycles reuse
+        id slots instead of growing the arrays.
+        """
+        tx_id = transaction.tx_id
+        if tx_id in self._ids:
+            return
+        flat = self._flat
+        ops_of = self._ops_of
+        ids: list[int] = []
+        for op in transaction.operations:
+            nid = flat.acquire_node()
+            if nid == len(ops_of):
+                ops_of.append(op)
+            else:
+                ops_of[nid] = op
+            ids.append(nid)
+        self._ids[tx_id] = ids
+        self._tx_order.append(tx_id)
+        if len(ids) > 1:
+            buf = self._arc_buf
+            del buf[:]
+            for u, v in zip(ids, ids[1:]):
+                buf.append(u)
+                buf.append(v)
+                buf.append(_I_BIT)
+            batch = self._take_batch()
+            if not flat.try_add_batch(buf, len(ids) - 1, batch):
+                raise GraphError(  # pragma: no cover - fresh chain
+                    "program-order arcs closed a cycle"
+                )
+            # I-arcs are permanent (never undone by pop), so the undo
+            # batch goes straight back to the pool.
+            self._batch_pool.append(batch)
+        self._mutations += 1
+
+    def remove_transaction(self, tx_id: int) -> None:
+        """Undeclare a transaction with no operations in the history.
+
+        Removes its vertices and I-arcs and returns the node ids to the
+        flat graph's freelist (the next :meth:`add_transaction` reuses
+        them).  D/F/B arcs always have both endpoints in transactions
+        with history operations, so only I-arcs can be incident here.
+
+        Raises:
+            GraphError: when the transaction was never declared or
+                still has pushed operations (pop or forget them first).
+        """
+        ids = self._ids.get(tx_id)
+        if ids is None:
+            raise GraphError(f"T{tx_id} was never declared")
+        if tx_id in self._last_of_tx:
+            raise GraphError(
+                f"T{tx_id} still has operations in the history"
+            )
+        flat = self._flat
+        for u, v in zip(ids, ids[1:]):
+            flat.remove_edge(u, v)
+        ops_of = self._ops_of
+        for nid in ids:
+            flat.release_node(nid)
+            ops_of[nid] = None
+        del self._ids[tx_id]
+        self._tx_order.remove(tx_id)
+        self._push_rows.pop(tx_id, None)
+        for by_observer in self._push_rows.values():
+            by_observer.pop(tx_id, None)
+        self._pull_rows.pop(tx_id, None)
+        for by_observer in self._pull_rows.values():
+            by_observer.pop(tx_id, None)
+        # Rejection diagnostics may reference the released ids.
+        self._rejection = None
+        self._rejection_ids = None
+        self._rejection_arcs = None
+        self._labelled_rejection_cache = None
+        self._mutations += 1
 
     def try_push(self, op: Operation) -> bool:
         """Append ``op`` iff its arcs keep the RSG acyclic.
@@ -661,14 +771,20 @@ class IncrementalRsg:
                 "try_push on a cyclic prefix — use push_uncertified"
             )
         anc = self._ancestors_of(op)
-        arcs = self._arcs_for(op, anc)
-        batch = self._graph.try_add_edges(arcs)
-        if batch is None:
-            self._rejection = self._graph.last_rejected_cycle
-            self._rejection_arcs = arcs
+        oid = self._ids[op.tx][op.index]
+        buf = self._arc_buf
+        count = self._fill_arcs(op, oid, anc, buf)
+        batch = self._take_batch()
+        if not self._flat.try_add_batch(buf, count, batch):
+            self._batch_pool.append(batch)
+            cycle_ids = self._flat.last_rejected_cycle or []
+            ops_of = self._ops_of
+            self._rejection_ids = cycle_ids
+            self._rejection = [ops_of[i] for i in cycle_ids]
+            self._rejection_arcs = buf[: 3 * count]
             self._labelled_rejection_cache = None
             return False
-        self._record(op, anc, batch)
+        self._record(op, oid, anc, batch)
         return True
 
     def push_uncertified(self, op: Operation) -> None:
@@ -678,43 +794,102 @@ class IncrementalRsg:
         right after a refused :meth:`try_push`, whose witness is kept:
         arcs only accumulate as the prefix grows, so the refused
         operation's cycle exists in the full RSG of every extension).
-        The dependency closure and per-object trackers keep growing so
-        that materialized views stay exact.
+        The per-object trackers keep growing so that a later
+        :meth:`pop` restores exact state; the dependency closure only
+        grows under ``maintain_reach=True`` (which materialized views
+        require).  Without it, cyclic-era closure rows are sentinel
+        zeros: they are provably never read — :meth:`try_push` raises
+        while the prefix is cyclic, and pops are LIFO, so by the time
+        the prefix is acyclic again every zero row (and every tracker
+        entry pointing at one) has been removed.
         """
         if self._uncertified_from is None:
             self._uncertified_from = len(self._history)
+            self.acyclic = False
             self._witness = self._rejection
-        self._record(op, self._ancestors_of(op), batch=None)
+        # Manually inlined _ancestors_of + _record: once a prefix goes
+        # cyclic every remaining operation lands here, so this is as
+        # hot as try_push and the two call frames are worth eliding.
+        n = len(self._history)
+        tx = op.tx
+        obj = op.obj
+        last_of_tx = self._last_of_tx
+        reads_since_write = self._reads_since_write
+        prev_tx_pos = last_of_tx.get(tx)
+        last_of_tx[tx] = n
+        w = self._last_write.get(obj)
+        write_undo = None
+        if op.op_type is OpType.WRITE:
+            reads = reads_since_write.get(obj)
+            write_undo = (w, reads)
+            self._last_write[obj] = n
+            reads_since_write[obj] = []
+        else:
+            reads = None
+            since = reads_since_write.get(obj)
+            if since is None:
+                reads_since_write[obj] = [n]
+            else:
+                since.append(n)
+        if self._maintain_reach:
+            closed = self._closed
+            anc = 0
+            if prev_tx_pos is not None:
+                anc = closed[prev_tx_pos]
+            if w is not None:
+                anc |= closed[w]
+            if reads:
+                for r in reads:
+                    anc |= closed[r]
+            reach = self._reach
+            bit = 1 << n
+            bits = anc
+            while bits:
+                low = bits & -bits
+                reach[low.bit_length() - 1] |= bit
+                bits ^= low
+            reach.append(0)
+            row = anc | bit
+        else:
+            row = 0
+        self._hist_append(op)
+        self._hist_ids_append(self._ids[tx][op.index])
+        self._closed_append(row)
+        self._log_append((None, prev_tx_pos, write_undo))
+        self._mutations += 1
 
     def pop(self) -> Operation:
         """Undo the most recent push and return its operation."""
         if not self._history:
             raise GraphError("pop from an empty prefix")
-        record = self._log.pop()
         op = self._history.pop()
+        self._hist_ids.pop()
         n = len(self._history)
-        anc = self._anc.pop()
-        if record.batch is not None:
-            self._graph.undo_batch(record.batch)
+        closed = self._closed.pop()
+        batch, prev_tx_pos, write_undo = self._log.pop()
+        if batch is not None:
+            self._flat.undo_batch(batch)
+            self._batch_pool.append(batch)
         if self._uncertified_from is not None and self._uncertified_from >= n:
             self._uncertified_from = None
+            self.acyclic = True
             self._witness = None
         if self._maintain_reach:
             self._reach.pop()
             mask = ~(1 << n)
             reach = self._reach
-            bits = anc
+            bits = closed ^ (1 << n)
             while bits:
                 low = bits & -bits
                 reach[low.bit_length() - 1] &= mask
                 bits ^= low
         # Per-object trackers.
-        if record.prev_tx_pos is None:
+        if prev_tx_pos is None:
             del self._last_of_tx[op.tx]
         else:
-            self._last_of_tx[op.tx] = record.prev_tx_pos
-        if record.write_undo is not None:
-            prev_write, prev_reads = record.write_undo
+            self._last_of_tx[op.tx] = prev_tx_pos
+        if write_undo is not None:
+            prev_write, prev_reads = write_undo
             if prev_write is None:
                 del self._last_write[op.obj]
             else:
@@ -725,6 +900,7 @@ class IncrementalRsg:
                 self._reads_since_write[op.obj] = prev_reads
         else:
             self._reads_since_write[op.obj].pop()
+        self._mutations += 1
         return op
 
     # ------------------------------------------------------------------
@@ -750,22 +926,27 @@ class IncrementalRsg:
     ) -> RelativeSerializationGraph:
         """A :class:`RelativeSerializationGraph` view of the prefix.
 
-        With ``copy_graph=False`` the view *borrows* this engine's live
-        graph — valid only until the next push/pop, which is exactly
-        the lifetime the prefix-sharing enumerators need.  For cyclic
+        With ``copy_graph=False`` the view defers adjacency
+        materialization entirely: the graph is only built (from this
+        engine's state *at access time*) if the consumer touches
+        ``.graph``, so it is valid until the next push/pop — exactly
+        the lifetime the prefix-sharing enumerators need — and costs
+        nothing for consumers that only test acyclicity.  For cyclic
         prefixes the view's graph carries the arcs up to the first
         uncertified operation plus the stored witness; acyclicity and
         the witness are exact, the remaining arcs are not materialized.
         """
-        graph = self._graph.copy() if copy_graph else self._graph
-        cycle: list[Operation] | None | _Unset
+        cycle: list[Operation] | None
         cycle = None if self._uncertified_from is None else self._witness
+        dependency = self.dependency_for(schedule)
+        if copy_graph:
+            return RelativeSerializationGraph._from_parts(
+                schedule, self._spec, dependency,
+                self._materialized_graph(), cycle,
+            )
         return RelativeSerializationGraph._from_parts(
-            schedule,
-            self._spec,
-            self.dependency_for(schedule),
-            graph,
-            cycle,
+            schedule, self._spec, dependency, None, cycle,
+            graph_factory=self._materialized_view,
         )
 
     # ------------------------------------------------------------------
@@ -773,73 +954,118 @@ class IncrementalRsg:
     # ------------------------------------------------------------------
     def _ancestors_of(self, op: Operation) -> int:
         """Bitset of history positions ``op`` depends on."""
+        closed = self._closed
         anc = 0
-        hist_anc = self._anc
         p = self._last_of_tx.get(op.tx)
         if p is not None:
-            anc |= (1 << p) | hist_anc[p]
+            anc = closed[p]
         w = self._last_write.get(op.obj)
         if w is not None:
-            anc |= (1 << w) | hist_anc[w]
+            anc |= closed[w]
         if op.op_type is OpType.WRITE:
-            for r in self._reads_since_write.get(op.obj, ()):
-                anc |= (1 << r) | hist_anc[r]
+            reads = self._reads_since_write.get(op.obj)
+            if reads:
+                for r in reads:
+                    anc |= closed[r]
         return anc
 
-    def _arcs_for(
-        self, op: Operation, anc: int
-    ) -> list[tuple[Operation, Operation, ArcKind]]:
-        """The new D/F/B arcs for appending ``op``, one triple per
-        cross-transaction ancestor (Definition 3 items 2-4)."""
-        arcs: list[tuple[Operation, Operation, ArcKind]] = []
-        append = arcs.append
+    def _fill_arcs(
+        self, op: Operation, oid: int, anc: int, buf: list[int]
+    ) -> int:
+        """Write ``op``'s new D/F/B arcs into ``buf`` as flat
+        ``(source id, target id, kind bit)`` triples — three per
+        cross-transaction ancestor (Definition 3 items 2-4) — and
+        return the triple count.  ``buf`` is the engine's reusable
+        scratch buffer; nothing is allocated on the steady-state path
+        (the PushForward/PullBackward id rows are computed once per
+        transaction pair and cached)."""
+        del buf[:]
+        append = buf.append
         history = self._history
-        push_tables = self._push_tables
-        pull_tables = self._pull_tables
-        spec = self._spec
-        transactions = spec.transactions
+        hist_ids = self._hist_ids
+        push_rows = self._push_rows
+        pull_rows = self._pull_rows
         op_tx = op.tx
         op_index = op.index
-        d_kind = ArcKind.DEPENDENCY
-        f_kind = ArcKind.PUSH_FORWARD
-        b_kind = ArcKind.PULL_BACKWARD
+        count = 0
         bits = anc
         while bits:
             low = bits & -bits
             bits ^= low
-            earlier = history[low.bit_length() - 1]
+            p = low.bit_length() - 1
+            earlier = history[p]
             etx = earlier.tx
             if etx == op_tx:
                 continue
-            append((earlier, op, d_kind))
-            key = (etx, op_tx)
-            row = push_tables.get(key)
+            eid = hist_ids[p]
+            append(eid)
+            append(oid)
+            append(_D_BIT)
+            by_observer = push_rows.get(etx)
+            if by_observer is None:
+                by_observer = push_rows[etx] = {}
+            row = by_observer.get(op_tx)
             if row is None:
-                row = _push_table(spec, transactions[etx], op_tx)
-                push_tables[key] = row
-            append((row[earlier.index], op, f_kind))
-            key = (op_tx, etx)
-            row = pull_tables.get(key)
+                row = by_observer[op_tx] = self._push_ids(etx, op_tx)
+            append(row[earlier.index])
+            append(oid)
+            append(_F_BIT)
+            by_observer = pull_rows.get(op_tx)
+            if by_observer is None:
+                by_observer = pull_rows[op_tx] = {}
+            row = by_observer.get(etx)
             if row is None:
-                row = _pull_table(spec, transactions[op_tx], etx)
-                pull_tables[key] = row
-            append((earlier, row[op_index], b_kind))
-        return arcs
+                row = by_observer[etx] = self._pull_ids(op_tx, etx)
+            append(eid)
+            append(row[op_index])
+            append(_B_BIT)
+            count += 3
+        return count
 
-    def _record(self, op: Operation, anc: int, batch) -> None:
+    def _push_ids(self, tx_id: int, observer: int) -> list[int]:
+        """``PushForward(op, observer)`` for every operation of
+        ``tx_id``, as an index-addressed node-id row."""
+        view = self._spec.atomicity(tx_id, observer)
+        ids = self._ids[tx_id]
+        row: list[int] = []
+        for unit in view.units:
+            row.extend([ids[unit.end]] * unit.size)
+        return row
+
+    def _pull_ids(self, tx_id: int, observer: int) -> list[int]:
+        """``PullBackward(op, observer)`` in node-id space."""
+        view = self._spec.atomicity(tx_id, observer)
+        ids = self._ids[tx_id]
+        row: list[int] = []
+        for unit in view.units:
+            row.extend([ids[unit.start]] * unit.size)
+        return row
+
+    def _take_batch(self) -> FlatBatch:
+        pool = self._batch_pool
+        return pool.pop() if pool else FlatBatch([], [])
+
+    def _record(self, op: Operation, oid: int, anc: int, batch) -> None:
         n = len(self._history)
-        prev_tx_pos = self._last_of_tx.get(op.tx)
-        self._last_of_tx[op.tx] = n
+        last_of_tx = self._last_of_tx
+        tx = op.tx
+        obj = op.obj
+        prev_tx_pos = last_of_tx.get(tx)
+        last_of_tx[tx] = n
         write_undo = None
         if op.op_type is OpType.WRITE:
             write_undo = (
-                self._last_write.get(op.obj),
-                self._reads_since_write.get(op.obj),
+                self._last_write.get(obj),
+                self._reads_since_write.get(obj),
             )
-            self._last_write[op.obj] = n
-            self._reads_since_write[op.obj] = []
+            self._last_write[obj] = n
+            self._reads_since_write[obj] = []
         else:
-            self._reads_since_write.setdefault(op.obj, []).append(n)
+            reads = self._reads_since_write.get(obj)
+            if reads is None:
+                self._reads_since_write[obj] = [n]
+            else:
+                reads.append(n)
         if self._maintain_reach:
             reach = self._reach
             bit = 1 << n
@@ -849,9 +1075,48 @@ class IncrementalRsg:
                 reach[low.bit_length() - 1] |= bit
                 bits ^= low
             reach.append(0)
-        self._history.append(op)
-        self._anc.append(anc)
-        self._log.append(_PushRecord(op, batch, prev_tx_pos, write_undo))
+        self._hist_append(op)
+        self._hist_ids_append(oid)
+        self._closed_append(anc | (1 << n))
+        self._log_append((batch, prev_tx_pos, write_undo))
+        self._mutations += 1
+
+    # ------------------------------------------------------------------
+    # Materialized view
+    # ------------------------------------------------------------------
+    def _materialized_graph(self) -> IncrementalDiGraph:
+        """Expand the flat engine into a labelled
+        :class:`IncrementalDiGraph` (fresh object, safe to adopt or
+        mutate), preserving the flat graph's topological order."""
+        graph = IncrementalDiGraph()
+        succ = graph._succ
+        pred = graph._pred
+        order = graph._ord
+        labels = graph._labels
+        flat = self._flat
+        order_of = flat.order_index
+        ops_of = self._ops_of
+        for tx_id in self._tx_order:
+            for nid in self._ids[tx_id]:
+                op = ops_of[nid]
+                succ[op] = set()
+                pred[op] = set()
+                order[op] = order_of(nid)
+        graph._next_index = flat._next_index
+        for key, mask in flat.edge_items():
+            source = ops_of[key >> 32]
+            target = ops_of[key & 0xFFFFFFFF]
+            succ[source].add(target)
+            pred[target].add(source)
+            labels[(source, target)] = {
+                kind for bit, kind in _BIT_KINDS if mask & bit
+            }
+        return graph
+
+    def _materialized_view(self) -> IncrementalDiGraph:
+        """Graph factory handed to borrowed RSG views (uses the
+        per-epoch cache, so sibling views within one epoch share)."""
+        return self.graph
 
 
 def is_relatively_serializable(

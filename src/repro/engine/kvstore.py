@@ -1,13 +1,22 @@
 """An in-memory key-value store with transactional undo and crash recovery.
 
 Minimal but honest: reads and writes are routed through open transactions,
-each write appends a before-image record to a write-ahead undo log (WAL),
+each write buffers a before-image record into its transaction's undo log
+(the write-ahead log is the union of the open transactions' buffers),
 commit discards the transaction's records and abort splices them back out.
 Per-object version counters let callers observe "who wrote last" without
 inspecting values.  There is no internal concurrency control — ordering
 decisions belong to the schedulers in :mod:`repro.protocols`; the store
 just applies whatever order it is handed (which is exactly the separation
 the paper's theory assumes).
+
+The hot path is :meth:`KVStore.write`: one plain tuple ``(seq, obj,
+before)`` appended to the writer's own buffer — no record objects, no
+second global-log append, no per-write encoding.  Global WAL views
+(:meth:`KVStore.wal_records`, recovery order) are derived on demand by
+merging the per-transaction buffers on the globally monotone sequence
+number, so batching the bookkeeping per transaction changes none of the
+observable semantics.
 
 Two failure paths are supported:
 
@@ -31,6 +40,7 @@ Two failure paths are supported:
 from __future__ import annotations
 
 from collections.abc import Mapping
+from itertools import count
 from typing import Any
 
 from repro.errors import CrashedStoreError, EngineError
@@ -42,6 +52,10 @@ _MISSING = object()
 
 class UndoRecord:
     """One WAL entry: a before-image for a single write.
+
+    The store's internal logs hold plain ``(seq, obj, before)`` tuples;
+    this object view is assembled on demand by :meth:`KVStore.
+    wal_records` for diagnostics and tests.
 
     Attributes:
         seq: global log sequence number (monotone across the store).
@@ -79,13 +93,14 @@ class KVStore:
     def __init__(self, initial: Mapping[str, Any] | None = None) -> None:
         self._data: dict[str, Any] = dict(initial or {})
         self._versions: dict[str, int] = {obj: 0 for obj in self._data}
-        # tx id -> that transaction's WAL records, in write order (the
-        # same record objects the global WAL holds).
-        self._undo: dict[int, list[UndoRecord]] = {}
-        # Global write-ahead undo log: records of *open* transactions in
-        # write order.  Commit truncates a transaction's records out.
-        self._wal: list[UndoRecord] = []
-        self._next_seq = 0
+        # tx id -> that transaction's undo buffer: (seq, obj, before)
+        # tuples in write order.  The global WAL is the seq-ordered
+        # merge of these buffers (sequence numbers are globally
+        # monotone), derived only when a failure path needs it.
+        self._undo: dict[int, list[tuple[int, str, Any]]] = {}
+        # Globally monotone sequence numbers (an iterator: one C-level
+        # ``next`` on the write path instead of a load-add-store).
+        self._seq = count()
         self._crashed = False
 
     # ------------------------------------------------------------------
@@ -104,29 +119,38 @@ class KVStore:
         A committed write also *supersedes* any earlier still-open write
         to the same object: once the commit lands, rolling the earlier
         writer back must not resurface a pre-commit value.  Those stale
-        undo records are dropped from the WAL (and from their owners'
-        logs) here — without this, a non-strict history in which T2
-        overwrites T1's dirty value and commits first would see T1's
-        later abort (or a crash recovery) clobber T2's committed write.
+        undo records are dropped from their owners' buffers here —
+        without this, a non-strict history in which T2 overwrites T1's
+        dirty value and commits first would see T1's later abort (or a
+        crash recovery) clobber T2's committed write.
+
+        With no other transaction open this is O(1): the whole buffer
+        is discarded in one step.
         """
         self._require_up()
-        log = self._require_open(tx_id)
-        if log:
-            drop = set(id(record) for record in log)
+        undo = self._undo
+        log = undo.get(tx_id)
+        if log is None:
+            raise EngineError(f"transaction T{tx_id} is not open")
+        if log and len(undo) > 1:
             # Newest committed write per object; anything older on the
             # same object (whoever wrote it) is superseded.
-            newest = {record.obj: record.seq for record in log}
-            for earlier in self._wal:
-                cutoff = newest.get(earlier.obj)
-                if cutoff is not None and earlier.seq < cutoff:
-                    drop.add(id(earlier))
-            for other_log in self._undo.values():
-                if other_log is not log:
-                    other_log[:] = [
-                        r for r in other_log if id(r) not in drop
-                    ]
-            self._wal = [r for r in self._wal if id(r) not in drop]
-        del self._undo[tx_id]
+            newest: dict[str, int] = {}
+            for seq, obj, _before in log:
+                newest[obj] = seq
+            get_cutoff = newest.get
+            for other_id, other_log in undo.items():
+                if other_id == tx_id:
+                    continue
+                kept = [
+                    rec
+                    for rec in other_log
+                    if (cutoff := get_cutoff(rec[1])) is None
+                    or rec[0] > cutoff
+                ]
+                if len(kept) != len(other_log):
+                    other_log[:] = kept
+        del undo[tx_id]
 
     def abort(self, tx_id: int) -> None:
         """Abort: splice the transaction's writes out, newest first.
@@ -136,38 +160,77 @@ class KVStore:
         has overwritten it, patches that overwriter's before-image — the
         dirty intermediate value must not resurface if the overwriter
         aborts afterwards.
+
+        With no other transaction open there is nothing to splice: the
+        buffer is replayed backwards directly.
         """
         self._require_up()
-        log = self._require_open(tx_id)
+        undo = self._undo
+        log = undo.get(tx_id)
+        if log is None:
+            raise EngineError(f"transaction T{tx_id} is not open")
         if log:
-            by_obj: dict[str, list[UndoRecord]] = {}
-            for record in self._wal:
-                by_obj.setdefault(record.obj, []).append(record)
-            dropped: set[int] = set()
-            for record in reversed(log):
-                chain = by_obj[record.obj]
-                position = len(chain) - 1
-                while chain[position] is not record:
-                    position -= 1
-                successor = (
-                    chain[position + 1]
-                    if position + 1 < len(chain)
-                    else None
+            if len(undo) == 1:
+                self._replay_backwards(log)
+            else:
+                self._abort_splice(tx_id, log)
+        del undo[tx_id]
+
+    def _abort_splice(
+        self, tx_id: int, log: list[tuple[int, str, Any]]
+    ) -> None:
+        """The general abort path with concurrent open writers.
+
+        Builds each written object's undo chain across *all* open
+        buffers (seq-ordered, remembering the owning buffer and the
+        record's position in it, so a successor's before-image can be
+        patched in place) and walks the victim's records newest first.
+        """
+        undo = self._undo
+        chains: dict[str, list[tuple[int, int, int]]] = {}
+        for owner, other_log in undo.items():
+            for position, rec in enumerate(other_log):
+                chains.setdefault(rec[1], []).append(
+                    (rec[0], owner, position)
                 )
-                if successor is None:
-                    if record.created:
-                        self._data.pop(record.obj, None)
-                        self._versions.pop(record.obj, None)
-                    else:
-                        self._data[record.obj] = record.before
-                        self._versions[record.obj] -= 1
-                else:
-                    successor.before = record.before
-                    self._versions[record.obj] -= 1
-                del chain[position]
-                dropped.add(id(record))
-            self._wal = [r for r in self._wal if id(r) not in dropped]
-        del self._undo[tx_id]
+        for chain in chains.values():
+            chain.sort()
+        data = self._data
+        versions = self._versions
+        for seq, obj, before in reversed(log):
+            chain = chains[obj]
+            position = len(chain) - 1
+            while chain[position][0] != seq:
+                position -= 1
+            if position + 1 < len(chain):
+                # A later open write buried this one: its saved
+                # before-image is our dirty value, patch it to ours.
+                _s_seq, s_owner, s_position = chain[position + 1]
+                s_log = undo[s_owner]
+                s_rec = s_log[s_position]
+                s_log[s_position] = (s_rec[0], s_rec[1], before)
+                versions[obj] -= 1
+            elif before is _MISSING:
+                data.pop(obj, None)
+                versions.pop(obj, None)
+            else:
+                data[obj] = before
+                versions[obj] -= 1
+            del chain[position]
+
+    def _replay_backwards(
+        self, records: list[tuple[int, str, Any]]
+    ) -> None:
+        """Undo ``records`` (seq-ordered) newest first."""
+        data = self._data
+        versions = self._versions
+        for _seq, obj, before in reversed(records):
+            if before is _MISSING:
+                data.pop(obj, None)
+                versions.pop(obj, None)
+            else:
+                data[obj] = before
+                versions[obj] -= 1
 
     @property
     def open_transactions(self) -> frozenset[int]:
@@ -196,9 +259,10 @@ class KVStore:
     def recover(self) -> frozenset[int]:
         """Roll back every in-flight transaction from the WAL.
 
-        Replays the write-ahead undo log backwards, restoring each
-        record's before-image in reverse global write order (correct even
-        when open transactions interleaved writes to the same object),
+        Merges the open transactions' undo buffers into global sequence
+        order and replays them backwards, restoring each record's
+        before-image in reverse global write order (correct even when
+        open transactions interleaved writes to the same object),
         closes all open transactions, and brings the store back up.
 
         Returns:
@@ -207,16 +271,14 @@ class KVStore:
         Idempotent and also callable on a healthy store (restart
         recovery): with an empty WAL it is a no-op.
         """
-        rolled_back = frozenset(self._undo)
-        for record in reversed(self._wal):
-            if record.created:
-                self._data.pop(record.obj, None)
-                self._versions.pop(record.obj, None)
-            else:
-                self._data[record.obj] = record.before
-                self._versions[record.obj] -= 1
-        self._wal.clear()
-        self._undo.clear()
+        undo = self._undo
+        rolled_back = frozenset(undo)
+        records = [rec for log in undo.values() for rec in log]
+        # Sequence numbers are unique, so tuple sort never compares the
+        # (arbitrary) before-image values.
+        records.sort()
+        self._replay_backwards(records)
+        undo.clear()
         self._crashed = False
         return rolled_back
 
@@ -238,20 +300,21 @@ class KVStore:
     def write(self, tx_id: int, obj: str, value: Any) -> None:
         """Write ``value`` to ``obj`` on behalf of transaction ``tx_id``.
 
-        The before-image is appended to the write-ahead undo log before
-        the in-place update, so abort and crash recovery can always roll
-        the write back.
+        The before-image is buffered into the transaction's undo log
+        before the in-place update, so abort and crash recovery can
+        always roll the write back.  One tuple append — commit and
+        abort amortize all remaining bookkeeping per transaction.
         """
-        self._require_up()
-        log = self._require_open(tx_id)
-        record = UndoRecord(
-            self._next_seq, tx_id, obj, self._data.get(obj, _MISSING)
-        )
-        self._next_seq += 1
-        log.append(record)
-        self._wal.append(record)
-        self._data[obj] = value
-        self._versions[obj] = self._versions.get(obj, -1) + 1
+        if self._crashed:
+            self._require_up()
+        log = self._undo.get(tx_id)
+        if log is None:
+            raise EngineError(f"transaction T{tx_id} is not open")
+        data = self._data
+        log.append((next(self._seq), obj, data.get(obj, _MISSING)))
+        data[obj] = value
+        versions = self._versions
+        versions[obj] = versions.get(obj, -1) + 1
 
     def peek(self, obj: str, default: Any = None) -> Any:
         """Non-transactional read (diagnostics and assertions only)."""
@@ -270,10 +333,22 @@ class KVStore:
         return frozenset(self._data)
 
     def wal_records(self) -> tuple[UndoRecord, ...]:
-        """The live write-ahead undo log, oldest first (open txs only)."""
-        return tuple(self._wal)
+        """The live write-ahead undo log, oldest first (open txs only).
 
-    def _require_open(self, tx_id: int) -> list[UndoRecord]:
+        Assembled on demand from the per-transaction buffers.
+        """
+        entries = [
+            (seq, obj, before, owner)
+            for owner, log in self._undo.items()
+            for seq, obj, before in log
+        ]
+        entries.sort(key=lambda entry: entry[0])
+        return tuple(
+            UndoRecord(seq, owner, obj, before)
+            for seq, obj, before, owner in entries
+        )
+
+    def _require_open(self, tx_id: int) -> list[tuple[int, str, Any]]:
         try:
             return self._undo[tx_id]
         except KeyError:
@@ -293,8 +368,9 @@ class KVStore:
 
     def __repr__(self) -> str:
         state = "crashed, " if self._crashed else ""
+        wal = sum(len(log) for log in self._undo.values())
         return (
             f"KVStore({state}{len(self._data)} objects, "
             f"{len(self._undo)} open transactions, "
-            f"{len(self._wal)} WAL records)"
+            f"{wal} WAL records)"
         )

@@ -22,13 +22,20 @@ algorithms the rest of the library needs:
 from repro.graphs.closure import descendants, transitive_closure
 from repro.graphs.cycles import find_cycle, is_acyclic
 from repro.graphs.digraph import DiGraph
-from repro.graphs.incremental import EdgeBatch, IncrementalDiGraph
+from repro.graphs.incremental import (
+    EdgeBatch,
+    FlatBatch,
+    FlatPkGraph,
+    IncrementalDiGraph,
+)
 from repro.graphs.scc import condensation, strongly_connected_components
 from repro.graphs.toposort import all_topological_sorts, topological_sort
 
 __all__ = [
     "DiGraph",
     "EdgeBatch",
+    "FlatBatch",
+    "FlatPkGraph",
     "IncrementalDiGraph",
     "find_cycle",
     "is_acyclic",

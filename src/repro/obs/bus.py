@@ -15,8 +15,16 @@ Sinks:
   post-mortem inspection;
 * :class:`JsonlSink` — one JSON object per line to any text stream;
 * :class:`NullSink` — counts events and drops them; keeps the full
-  emission path (event construction included) live so its overhead is
-  exactly what ``benchmarks/bench_obs.py`` gates.
+  emission path live so its overhead is exactly what
+  ``benchmarks/bench_obs.py`` gates.
+
+Emission is lazy: the bus hands sinks the *raw field tuple* of an event
+(same layout as :class:`~repro.obs.events.TraceEvent`, which is a tuple
+subclass), and the typed view is only materialized when a consumer
+actually reads events back — :attr:`RingBufferSink.events`, ``text()``,
+or a JSONL render.  Buffering an event therefore costs one plain tuple
+plus a C-level ``deque.append``; no ``NamedTuple.__new__`` frame runs on
+the hot path.
 
 A bus with no sinks (the module-level :data:`NULL_BUS` default) skips
 event construction entirely, so un-traced runs pay one attribute check
@@ -40,6 +48,10 @@ __all__ = [
     "NULL_BUS",
 ]
 
+#: Materialize the typed view of a raw event tuple (lazy — read side
+#: only; the emission hot path ships plain tuples).
+_new_event = tuple.__new__
+
 
 class NullSink:
     """Swallow events, counting them (the overhead-measurement sink)."""
@@ -47,7 +59,7 @@ class NullSink:
     def __init__(self) -> None:
         self.count = 0
 
-    def write(self, event: TraceEvent) -> None:
+    def write(self, event: tuple) -> None:
         self.count += 1
 
     def close(self) -> None:
@@ -55,18 +67,23 @@ class NullSink:
 
 
 class RingBufferSink:
-    """Keep the most recent ``capacity`` events in memory."""
+    """Keep the most recent ``capacity`` events in memory.
+
+    Raw event tuples go straight into the deque: ``write`` *is* the
+    bound C-level ``deque.append``, so buffering costs no Python frame.
+    The typed :class:`TraceEvent` view is materialized on read.
+    """
 
     def __init__(self, capacity: int | None = None) -> None:
-        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._events: deque[tuple] = deque(maxlen=capacity)
+        self.write = self._events.append
 
     @property
     def events(self) -> tuple[TraceEvent, ...]:
         """The buffered events, oldest first."""
-        return tuple(self._events)
-
-    def write(self, event: TraceEvent) -> None:
-        self._events.append(event)
+        return tuple(
+            _new_event(TraceEvent, raw) for raw in self._events
+        )
 
     def close(self) -> None:
         """Nothing to release (the buffer stays readable)."""
@@ -74,7 +91,8 @@ class RingBufferSink:
     def text(self) -> str:
         """The buffered events as JSONL (one line per event)."""
         return "".join(
-            event.to_json_line() + "\n" for event in self._events
+            _new_event(TraceEvent, raw).to_json_line() + "\n"
+            for raw in self._events
         )
 
 
@@ -89,8 +107,10 @@ class JsonlSink:
             self._stream = target
             self._owns_stream = False
 
-    def write(self, event: TraceEvent) -> None:
-        self._stream.write(event.to_json_line() + "\n")
+    def write(self, event: tuple) -> None:
+        self._stream.write(
+            _new_event(TraceEvent, event).to_json_line() + "\n"
+        )
 
     def close(self) -> None:
         if self._owns_stream:
@@ -110,7 +130,7 @@ class TraceBus:
         *sinks: initial sinks (more can be attached later).
     """
 
-    __slots__ = ("_sinks", "_seq", "_tick", "active")
+    __slots__ = ("_sinks", "_dispatch", "_seq", "_tick", "active")
 
     def __init__(self, *sinks) -> None:
         self._sinks = list(sinks)
@@ -121,10 +141,33 @@ class TraceBus:
         #: request on the hot path, and the attribute lookup is what
         #: keeps the un-traced cost to a single dictionary-free check.
         self.active = bool(sinks)
+        self._rebuild_dispatch()
 
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
+    def _rebuild_dispatch(self) -> None:
+        """Bind ``_dispatch`` to the cheapest delivery for the sink set.
+
+        ``None`` with no sinks (emitters test this), the sink's own
+        prebound ``write`` with exactly one (the common case: a traced
+        event costs a single call, no fan-out loop), and a fan-out
+        closure with several.
+        """
+        sinks = self._sinks
+        if not sinks:
+            self._dispatch = None
+        elif len(sinks) == 1:
+            self._dispatch = sinks[0].write
+        else:
+            writes = [sink.write for sink in sinks]
+
+            def fan_out(event, _writes=writes):
+                for write in _writes:
+                    write(event)
+
+            self._dispatch = fan_out
+
     @property
     def sinks(self) -> tuple:
         return tuple(self._sinks)
@@ -133,6 +176,7 @@ class TraceBus:
         """Add a sink (receives events from now on)."""
         self._sinks.append(sink)
         self.active = True
+        self._rebuild_dispatch()
 
     def close(self) -> None:
         """Close every sink (flushes file-backed JSONL sinks)."""
@@ -168,15 +212,21 @@ class TraceBus:
         reason: Reason | None = None,
         extra: tuple[tuple[str, object], ...] = (),
     ) -> None:
-        """Record one event (no-op when no sink is attached)."""
-        if not self._sinks:
+        """Record one event (no-op when no sink is attached).
+
+        The per-request hot sites in :meth:`repro.protocols.base.
+        Scheduler.request` inline this body (raw-tuple layout included)
+        to skip the call frame; keep them in sync with any change here.
+        """
+        dispatch = self._dispatch
+        if dispatch is None:
             return
-        event = TraceEvent(
-            self._seq, self._tick, kind, tx, op, protocol, reason, extra
-        )
-        self._seq += 1
-        for sink in self._sinks:
-            sink.write(event)
+        seq = self._seq
+        self._seq = seq + 1
+        # A plain tuple in TraceEvent field order, not a TraceEvent: the
+        # typed view is materialized lazily on the read side, so the hot
+        # path skips the NamedTuple construction frame entirely.
+        dispatch((seq, self._tick, kind, tx, op, protocol, reason, extra))
 
 
 #: Shared inert bus: the default for every scheduler/certifier, so the

@@ -91,10 +91,11 @@ class Reason:
 class TraceEvent(NamedTuple):
     """One observable step, stamped with logical time only.
 
-    A ``NamedTuple`` rather than a frozen dataclass: events are created
-    on the hot path (several per granted operation when a sink is
-    attached), and tuple construction is ~3x cheaper than the frozen
-    dataclass ``__init__`` — the difference is what keeps the null-sink
+    A ``NamedTuple`` rather than a frozen dataclass: the trace bus ships
+    *plain tuples* in this field order on the emission hot path and only
+    materializes the typed view on the read side (``tuple.__new__`` on
+    the raw tuple — possible precisely because a NamedTuple is a tuple
+    with named slots).  That lazy split is what keeps the null-sink
     tracing overhead inside the <10% budget ``benchmarks/bench_obs.py``
     gates.  Still typed, immutable, and equality-comparable.
 

@@ -42,6 +42,11 @@ from repro.obs.explain import RejectionWitness, witness_from_certifier
 
 __all__ = ["CertifierStats", "RsgCertifier"]
 
+#: Interned verdict extras: one of these rides on every certification
+#: event, so building the nested tuple per call is pure hot-path waste.
+_OK_EXTRA = (("ok", True),)
+_REJECT_EXTRA = (("ok", False),)
+
 
 @dataclass
 class CertifierStats:
@@ -72,6 +77,11 @@ class RsgCertifier:
         self._engine = IncrementalRsg(spec)
         self._declared: dict[int, Transaction] = {}
         self._stats = CertifierStats()
+        # Memoized (rejection count, Reason) of the last rejection: the
+        # reason is read at least twice per rejection (once for the
+        # verdict event, once for the abort Outcome), and building the
+        # labelled witness is the expensive part of a rejection.
+        self._reason_cache: tuple[int, Reason | None] = (0, None)
         #: Trace bus certification events are emitted to (owning
         #: schedulers propagate theirs through ``_on_bus_change``).
         self.bus: TraceBus = NULL_BUS
@@ -96,6 +106,15 @@ class RsgCertifier:
         """Witness cycle from the most recent refused certification."""
         return self._engine.last_rejected_cycle
 
+    @property
+    def node_capacity(self) -> int:
+        """Node-id slots the engine ever allocated (live + freelisted).
+
+        Bounded by the peak concurrently-declared operation count under
+        declare/undeclare churn — the freelist reuses released ids.
+        """
+        return self._engine.node_capacity
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -103,6 +122,19 @@ class RsgCertifier:
         """Add a transaction's vertices and I-arcs to the graph."""
         self._declared[transaction.tx_id] = transaction
         self._engine.add_transaction(transaction)
+
+    def undeclare(self, tx_id: int) -> None:
+        """Remove a declared transaction's vertices and I-arcs entirely.
+
+        The inverse of :meth:`declare`, for callers that retire a
+        transaction for good (permanent abort) rather than restarting
+        it.  The transaction must hold no certified operations — call
+        :meth:`forget` first.  The engine returns the freed node ids to
+        its freelist, so long campaigns with transaction churn keep the
+        graph's node arrays bounded by the live set.
+        """
+        self._engine.remove_transaction(tx_id)
+        del self._declared[tx_id]
 
     def try_certify(self, op: Operation) -> bool:
         """Tentatively append ``op``; commit the arcs iff still acyclic.
@@ -125,7 +157,7 @@ class RsgCertifier:
                     op.label,
                     "certifier",
                     None,
-                    (("ok", True),),
+                    _OK_EXTRA,
                 )
             return True
         self._stats.rejected += 1
@@ -136,7 +168,7 @@ class RsgCertifier:
                 op=op.label,
                 protocol="certifier",
                 reason=self.rejection_reason(),
-                extra=(("ok", False),),
+                extra=_REJECT_EXTRA,
             )
         return False
 
@@ -157,14 +189,19 @@ class RsgCertifier:
         Carries the implicated transaction ids (ascending) and the
         labelled witness cycle; ``None`` when no rejection has happened.
         """
+        key, cached = self._reason_cache
+        if key == self._stats.rejected:
+            return cached
         witness = self.last_rejected_witness
         if witness is None:
             return None
         cycle = self._engine.last_rejected_cycle or []
         blockers = tuple(sorted({op.tx for op in cycle}))
-        return Reason(
+        reason = Reason(
             "rsg-cycle", blockers=blockers, cycle=witness.reason_cycle()
         )
+        self._reason_cache = (self._stats.rejected, reason)
+        return reason
 
     @property
     def last_rejected_witness(self) -> RejectionWitness | None:
@@ -216,6 +253,7 @@ class RsgCertifier:
         """
         self._engine = IncrementalRsg(self._spec)
         self._declared = {}
+        self._reason_cache = (-1, None)
         for transaction in transactions:
             self.declare(transaction)
         for op in history:

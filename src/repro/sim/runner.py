@@ -149,6 +149,20 @@ def simulate(
     by_id = {tx.tx_id: tx for tx in transactions}
     arrival = {tx_id: arrivals.get(tx_id, 0) for tx_id in order}
 
+    # Write tags are a pure function of the operation, so render them
+    # once instead of per grant (victims re-execute their writes on
+    # every incarnation).
+    write_tags = (
+        {
+            op: f"T{op.tx}.{op.index}"
+            for tx in transactions
+            for op in tx.operations
+            if op.is_write
+        }
+        if store is not None
+        else {}
+    )
+
     cursor = {tx_id: 0 for tx_id in order}
     blocked_until = {tx_id: arrival[tx_id] for tx_id in order}
     admitted: set[int] = set()
@@ -178,7 +192,9 @@ def simulate(
                 f"{len(missing)} transactions uncommitted: {missing}"
             )
         if bus is not None:
-            bus.clock(tick)
+            # Inlined bus.clock(tick): once per tick on the traced hot
+            # loop, and the logical clock is a plain slot.
+            bus._tick = tick
         # Rotate the service order each tick for fairness.
         service_order = order[rotation:] + order[:rotation]
         rotation = (rotation + 1) % len(order)
@@ -208,7 +224,7 @@ def simulate(
                     if op.is_read:
                         store.read(tx_id, op.obj)
                     else:
-                        store.write(tx_id, op.obj, f"T{op.tx}.{op.index}")
+                        store.write(tx_id, op.obj, write_tags[op])
                 cursor[tx_id] += 1
                 if cursor[tx_id] == len(by_id[tx_id]):
                     scheduler.finish(tx_id)

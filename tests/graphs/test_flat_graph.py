@@ -1,0 +1,280 @@
+"""FlatPkGraph: unit coverage plus a from-scratch oracle property.
+
+The flat engine is the certification hot path's graph, so its promises
+are pinned directly:
+
+* node ids come from a freelist — a release/acquire cycle reuses the
+  slot and ``node_capacity`` tracks the peak live set, not cumulative
+  allocations;
+* ``try_add_batch`` is all-or-nothing — a refused batch leaves the
+  graph byte-identical (arcs, masks, order invariant) and reports a
+  genuine witness cycle;
+* ``undo_batch`` removes exactly what the batch added, including
+  restoring kind masks it merely widened;
+* decisions agree with a from-scratch acyclicity oracle over any
+  random interleaving of batches, undos, releases, and re-acquires.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+from pytest import raises
+
+from repro.errors import GraphError
+from repro.graphs.incremental import FlatBatch, FlatPkGraph
+
+
+def _batch():
+    return FlatBatch([], [])
+
+
+def _add(graph, arcs):
+    """Insert ``[(u, v, bits), ...]`` as one batch; return (ok, batch)."""
+    buf = []
+    for u, v, bits in arcs:
+        buf.extend((u, v, bits))
+    batch = _batch()
+    return graph.try_add_batch(buf, len(arcs), batch), batch
+
+
+def _arc_set(graph):
+    return dict(graph.edge_items())
+
+
+# ----------------------------------------------------------------------
+# Units
+# ----------------------------------------------------------------------
+def test_acquire_release_reuses_ids():
+    graph = FlatPkGraph()
+    a = graph.acquire_node()
+    b = graph.acquire_node()
+    assert (a, b) == (0, 1)
+    assert graph.node_capacity == 2
+    graph.release_node(b)
+    graph.release_node(a)
+    # LIFO freelist: the most recently released id comes back first,
+    # and capacity does not grow while the freelist is non-empty.
+    assert graph.acquire_node() == a
+    assert graph.acquire_node() == b
+    assert graph.node_capacity == 2
+    assert graph.acquire_node() == 2
+    assert graph.node_capacity == 3
+
+
+def test_release_refuses_nodes_with_edges():
+    graph = FlatPkGraph()
+    a = graph.acquire_node()
+    b = graph.acquire_node()
+    ok, batch = _add(graph, [(a, b, 1)])
+    assert ok
+    with raises(GraphError):
+        graph.release_node(a)
+    with raises(GraphError):
+        graph.release_node(b)
+    graph.undo_batch(batch)
+    graph.release_node(a)
+    graph.release_node(b)
+
+
+def test_reacquired_id_starts_clean():
+    graph = FlatPkGraph()
+    a = graph.acquire_node()
+    b = graph.acquire_node()
+    ok, batch = _add(graph, [(a, b, 1)])
+    assert ok
+    graph.undo_batch(batch)
+    graph.release_node(a)
+    reused = graph.acquire_node()
+    assert reused == a
+    # No stale adjacency or masks; the reused id sits at the largest
+    # order so a fresh arc from the survivor is the cheap O(1) case.
+    assert graph.edge_mask(reused, b) == 0
+    assert graph.edge_mask(b, reused) == 0
+    assert graph.order_index(reused) > graph.order_index(b)
+
+
+def test_mask_merging_and_undo_restores_previous_mask():
+    graph = FlatPkGraph()
+    a = graph.acquire_node()
+    b = graph.acquire_node()
+    ok, _ = _add(graph, [(a, b, 0b001)])
+    assert ok
+    # Widening an existing arc records the previous mask for undo; a
+    # subset mask is a no-op the batch does not even record.
+    ok, widen = _add(graph, [(a, b, 0b110), (a, b, 0b001)])
+    assert ok
+    assert graph.edge_mask(a, b) == 0b111
+    assert widen.new_edges == []
+    assert widen.mask_undo == [(a << 32) | b, 0b001]
+    graph.undo_batch(widen)
+    assert graph.edge_mask(a, b) == 0b001
+    assert graph.edge_count == 1
+
+
+def test_cycle_refusal_rolls_back_whole_batch():
+    graph = FlatPkGraph()
+    a = graph.acquire_node()
+    b = graph.acquire_node()
+    c = graph.acquire_node()
+    ok, _ = _add(graph, [(a, b, 1), (b, c, 1)])
+    assert ok
+    before = dict(_arc_set(graph))
+    # The batch's first arc is fine, the second closes a -> b -> c -> a.
+    ok, _ = _add(graph, [(a, c, 2), (c, a, 1)])
+    assert not ok
+    assert _arc_set(graph) == before
+    assert graph.check_order_invariant()
+    witness = graph.last_rejected_cycle
+    assert witness is not None and witness[0] == witness[-1]
+    # Every witness arc is live or came from the rolled-back batch
+    # itself (a -> c here: inserted before c -> a was refused).
+    batch_arcs = {(a, c), (c, a)}
+    for u, v in zip(witness, witness[1:]):
+        assert graph.edge_mask(u, v) != 0 or (u, v) in batch_arcs
+
+
+def test_remove_edge_requires_presence():
+    graph = FlatPkGraph()
+    a = graph.acquire_node()
+    b = graph.acquire_node()
+    with raises(GraphError):
+        graph.remove_edge(a, b)
+    ok, _ = _add(graph, [(a, b, 1)])
+    assert ok
+    graph.remove_edge(a, b)
+    assert graph.edge_count == 0
+    graph.release_node(a)
+    graph.release_node(b)
+
+
+# ----------------------------------------------------------------------
+# From-scratch oracle property
+# ----------------------------------------------------------------------
+def _oracle_acyclic(arcs):
+    """DFS acyclicity over a set of (u, v) arcs — the from-scratch oracle."""
+    succ = {}
+    for u, v in arcs:
+        succ.setdefault(u, []).append(v)
+    state = {}  # 1 = on stack, 2 = done
+    for root in list(succ):
+        if state.get(root):
+            continue
+        stack = [(root, iter(succ.get(root, ())))]
+        state[root] = 1
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                mark = state.get(child)
+                if mark == 1:
+                    return False
+                if mark is None:
+                    state[child] = 1
+                    stack.append((child, iter(succ.get(child, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                state[node] = 2
+                stack.pop()
+    return True
+
+
+@st.composite
+def scripts(draw):
+    """A command script over a small churning node pool."""
+    commands = []
+    for _ in range(draw(st.integers(10, 40))):
+        kind = draw(st.sampled_from(("acquire", "release", "batch", "undo")))
+        if kind == "batch":
+            arcs = draw(
+                st.lists(
+                    st.tuples(
+                        st.integers(0, 7),
+                        st.integers(0, 7),
+                        st.integers(1, 7),
+                    ),
+                    min_size=1,
+                    max_size=4,
+                )
+            )
+            commands.append(("batch", arcs))
+        elif kind == "release":
+            commands.append(("release", draw(st.integers(0, 7))))
+        else:
+            commands.append((kind, None))
+    return commands
+
+
+@given(scripts())
+@settings(max_examples=60, deadline=None)
+def test_flat_graph_matches_from_scratch_oracle(script):
+    graph = FlatPkGraph()
+    live = []  # node ids currently acquired
+    released = set()
+    arcs = {}  # packed key -> mask, the oracle's mirror
+    undo_stack = []  # (batch, arcs snapshot) — LIFO undo only
+
+    for kind, payload in script:
+        if kind == "acquire":
+            capacity = graph.node_capacity
+            nid = graph.acquire_node()
+            if released:
+                # Freelist reuse: no growth while released ids exist.
+                assert nid in released
+                assert graph.node_capacity == capacity
+                released.discard(nid)
+            else:
+                assert nid == capacity
+                assert graph.node_capacity == capacity + 1
+            live.append(nid)
+        elif kind == "release":
+            if not live:
+                continue
+            nid = live[payload % len(live)]
+            if any(
+                key >> 32 == nid or key & 0xFFFFFFFF == nid
+                for key in arcs
+            ):
+                with raises(GraphError):
+                    graph.release_node(nid)
+                continue
+            graph.release_node(nid)
+            live.remove(nid)
+            released.add(nid)
+            undo_stack.clear()  # reuse may invalidate old undo records
+        elif kind == "batch":
+            if len(live) < 2:
+                continue
+            triples = [
+                (live[u % len(live)], live[v % len(live)], bits)
+                for u, v, bits in payload
+                if live[u % len(live)] != live[v % len(live)]
+            ]
+            if not triples:
+                continue
+            structural = {
+                (u, v) for u, v, _ in triples if (u << 32) | v not in arcs
+            }
+            expected = _oracle_acyclic(
+                {(key >> 32, key & 0xFFFFFFFF) for key in arcs}
+                | structural
+            )
+            snapshot = dict(arcs)
+            ok, batch = _add(graph, triples)
+            assert ok == expected
+            if ok:
+                for u, v, bits in triples:
+                    key = (u << 32) | v
+                    arcs[key] = arcs.get(key, 0) | bits
+                undo_stack.append((batch, snapshot))
+            else:
+                witness = graph.last_rejected_cycle
+                assert witness is not None and witness[0] == witness[-1]
+        elif kind == "undo":
+            if not undo_stack:
+                continue
+            batch, snapshot = undo_stack.pop()
+            graph.undo_batch(batch)
+            arcs = snapshot
+
+        assert _arc_set(graph) == arcs
+        assert graph.check_order_invariant()
