@@ -42,6 +42,12 @@ CHECKS = (
     # gate, so this check only catches order-of-magnitude blowups.
     ("BENCH_obs.json", "obs_overhead", ("*", "overhead_pct"), 9.0, "pct-points"),
     ("BENCH_obs.json", "obs_emit", ("per_event_ns",), 150.0, "ns"),
+    # Flat chunk tasks are a couple dozen bytes of pickled integers;
+    # growth here means object graphs crept back into the per-chunk
+    # payloads.  The epsilon absorbs pickle-framing jitter between the
+    # quick-mode and full-mode sweep configurations.
+    ("BENCH_parallel.json", "payload_bytes", ("census", "flat_chunk_bytes"), 16.0, "bytes"),
+    ("BENCH_parallel.json", "payload_bytes", ("simulation", "flat_chunk_bytes"), 16.0, "bytes"),
 )
 
 

@@ -120,6 +120,20 @@ def check_containments(
             (schedule, RelativeSerializationGraph(schedule, spec))
             for schedule in schedules
         )
+    return _containment_pairs(pairs, spec, consistency_budget)
+
+
+def _containment_pairs(
+    pairs: Iterable[tuple[Schedule, RelativeSerializationGraph]],
+    spec: RelativeAtomicitySpec,
+    consistency_budget: int | None,
+) -> ContainmentReport:
+    """Check the containments over prepared ``(schedule, rsg)`` pairs.
+
+    The inner loop of :func:`check_containments`, split out so the
+    parallel sweep workers can drive it with a warm per-process engine
+    (see :mod:`repro.parallel.sweeps`).
+    """
     report = ContainmentReport()
     for schedule, rsg in pairs:
         report.checked += 1

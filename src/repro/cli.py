@@ -72,6 +72,15 @@ def _make_protocol(name, spec):
     return make_scheduler(name, spec)
 
 
+def _jobs_arg(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be non-negative (0 = one per CPU core), got {jobs}"
+        )
+    return jobs
+
+
 _PROTOCOLS = ("2pl", "sgt", "altruistic", "rel-locking", "rsgt")
 
 
@@ -135,7 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     census_cmd.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_arg,
         default=1,
         help=(
             "worker processes for the sweep (0 = one per CPU core; "
@@ -204,7 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults_cmd.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_arg,
         default=1,
         help=(
             "worker processes (0 = one per CPU core; reports are "

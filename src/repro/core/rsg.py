@@ -858,6 +858,22 @@ class IncrementalRsg:
         self._log_append((None, prev_tx_pos, write_undo))
         self._mutations += 1
 
+    def reset(self) -> None:
+        """Pop the entire history, keeping every declared transaction.
+
+        The warm-worker hook: a pooled engine is reset between tasks
+        instead of rebuilt, so its flat graph's node ids, freelists,
+        undo-batch pools, and arc buffers are reused across a whole
+        sweep.  Equivalent to calling :meth:`pop` until empty, plus
+        clearing rejection diagnostics from the previous task.
+        """
+        while self._history:
+            self.pop()
+        self._rejection = None
+        self._rejection_ids = None
+        self._rejection_arcs = None
+        self._labelled_rejection_cache = None
+
     def pop(self) -> Operation:
         """Undo the most recent push and return its operation."""
         if not self._history:

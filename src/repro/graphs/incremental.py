@@ -521,7 +521,9 @@ class FlatPkGraph:
         """
         masks = self._masks
         mask_undo = batch.mask_undo
-        for i in range(0, len(mask_undo), 2):
+        # Replay newest-first: an edge widened twice in one batch has two
+        # snapshots, and only the oldest is its true pre-batch mask.
+        for i in range(len(mask_undo) - 2, -2, -2):
             masks[mask_undo[i]] = mask_undo[i + 1]
         new_edges = batch.new_edges
         for i in range(0, len(new_edges), 2):

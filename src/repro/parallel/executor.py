@@ -7,20 +7,26 @@ every task is a pure function of picklable inputs, and the merged result
 must not depend on worker timing.  :class:`ParallelExecutor` provides
 exactly that discipline:
 
+* **warm persistent pools** — worker processes are started once per
+  worker count and kept alive across maps, chunks, and whole sweeps;
+  each pool build installs the :mod:`repro.parallel.registry` context
+  snapshot through the initializer, so sweep inputs cross the process
+  boundary once per pool, never per task.  A pool is rebuilt only when
+  the registry gained contexts its workers have not seen;
 * **chunked work queue** — tasks are submitted in fixed-size chunks
-  (several per worker, so stragglers rebalance) to a
-  :class:`concurrent.futures.ProcessPoolExecutor`;
+  (several per worker, so stragglers rebalance) to the pool;
 * **ordered reduce** — results are folded in *task order* no matter
   which worker finished first, so a parallel run is a reassociation of
   the serial fold, not a reordering;
 * **bounded crash retry** — a worker that dies without reporting (hard
-  crash, OOM kill) no longer aborts the sweep: the partial results are
-  discarded and the whole map is retried on a fresh pool up to
-  ``max_retries`` times (tasks are pure, so a rerun is bit-identical).
-  Only when the retry budget is exhausted does
-  :class:`~repro.errors.ParallelExecutionError` surface; exceptions
-  *raised* by worker code propagate unchanged and immediately, exactly
-  as they would serially;
+  crash, OOM kill) no longer aborts the sweep: the broken pool is
+  discarded, the partial results with it, and the whole map is retried
+  on a fresh pool up to ``max_retries`` times (tasks are pure, so a
+  rerun is bit-identical).  Only when the retry budget is exhausted
+  does :class:`~repro.errors.ParallelExecutionError` surface;
+  exceptions *raised* by worker code propagate unchanged and
+  immediately, exactly as they would serially (and leave the warm pool
+  healthy);
 * **serial fallback** — ``jobs=1`` (the default) never touches
   :mod:`multiprocessing`: the worker runs inline in submission order,
   so results are bit-identical and debuggers/profilers/coverage see
@@ -32,6 +38,7 @@ the same constraint :mod:`multiprocessing` always imposes.
 
 from __future__ import annotations
 
+import atexit
 import os
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
@@ -39,8 +46,14 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import TypeVar
 
 from repro.errors import ParallelExecutionError
+from repro.parallel import registry
 
-__all__ = ["ParallelExecutor", "resolve_jobs"]
+__all__ = [
+    "ParallelExecutor",
+    "plan_block_count",
+    "resolve_jobs",
+    "shutdown_pools",
+]
 
 Task = TypeVar("Task")
 Result = TypeVar("Result")
@@ -48,13 +61,25 @@ Merged = TypeVar("Merged")
 
 #: Chunks submitted per worker: enough that an uneven chunk costs only
 #: ``1/chunks_per_worker`` of a worker's share, few enough that
-#: per-chunk pickling overhead stays negligible.
+#: per-chunk submission overhead stays negligible.
 _CHUNKS_PER_WORKER = 4
 
 #: Pool rebuilds tolerated after worker deaths before giving up.  A
 #: deterministic crash (a bug in the worker) re-crashes immediately, so
 #: a small budget suffices for the transient cases (OOM kill, signal).
 _MAX_RETRIES = 2
+
+#: Minimum per-block task count for rank-space sweeps.  A rank costs
+#: ~0.2 ms to classify, so a 256-rank block (~50 ms) comfortably
+#: amortizes chunk submission; sweeps smaller than one block run
+#: inline and never pay pool overhead at all.
+MIN_RANK_BLOCK = 256
+
+#: Test-only fault hook: when this environment variable names a path,
+#: a starting worker whose marker file does not exist yet creates it
+#: and dies immediately — one injected crash per marker, letting tests
+#: drive the retry path deterministically through a real pool.
+CRASH_ONCE_ENV = "REPRO_PARALLEL_CRASH_ONCE"
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -66,8 +91,89 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+def plan_block_count(
+    population: int,
+    workers: int,
+    *,
+    min_block: int = MIN_RANK_BLOCK,
+    chunks_per_worker: int = _CHUNKS_PER_WORKER,
+) -> int:
+    """Number of contiguous blocks to split ``population`` tasks into.
+
+    Blocks per worker are capped (load balancing needs slack, not
+    confetti) and every block keeps at least ``min_block`` tasks so
+    tiny sweeps collapse to one block — the caller's signal to run
+    inline and skip the pool entirely.
+    """
+    if population <= 0:
+        return 0
+    if min_block < 1:
+        raise ValueError("min_block must be at least 1")
+    by_size = -(-population // min_block)  # ceil
+    return max(1, min(workers * chunks_per_worker, by_size))
+
+
+# ----------------------------------------------------------------------
+# Warm pool cache
+# ----------------------------------------------------------------------
+#: worker count -> (pool, registry version it was initialized with).
+_POOLS: dict[int, tuple[ProcessPoolExecutor, int]] = {}
+
+
+def _worker_init(blob: bytes) -> None:
+    """Per-process pool initializer: crash hook, then context install."""
+    marker = os.environ.get(CRASH_ONCE_ENV)
+    if marker and not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("crashed")
+        os._exit(23)
+    registry.install(blob)
+
+
+def _warm_pool(workers: int) -> ProcessPoolExecutor:
+    """The persistent pool for ``workers``, rebuilt only when stale.
+
+    Stale means the context registry changed since the pool's workers
+    were initialized — the one case where state must cross the process
+    boundary again.  Rebuilds ship the full snapshot once; maps never
+    ship contexts.
+    """
+    current = registry.version()
+    entry = _POOLS.get(workers)
+    if entry is not None:
+        pool, seen = entry
+        if seen == current:
+            return pool
+        pool.shutdown(wait=False, cancel_futures=True)
+        del _POOLS[workers]
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_worker_init,
+        initargs=(registry.snapshot(),),
+    )
+    _POOLS[workers] = (pool, current)
+    return pool
+
+
+def _discard_pool(workers: int) -> None:
+    """Drop a broken pool so the next map builds a fresh one."""
+    entry = _POOLS.pop(workers, None)
+    if entry is not None:
+        entry[0].shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_pools() -> None:
+    """Shut down every warm pool (tests, interpreter exit)."""
+    for pool, _ in _POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
 class ParallelExecutor:
-    """Run pure tasks over a process pool with deterministic merging.
+    """Run pure tasks over a warm process pool with deterministic merging.
 
     Args:
         jobs: worker process count; ``1`` runs everything inline (no
@@ -106,7 +212,7 @@ class ParallelExecutor:
 
         Results are returned in task order.  With ``jobs=1`` this *is*
         the list comprehension; with more jobs the tasks are spread over
-        a process pool and any worker exception re-raises here.
+        the warm process pool and any worker exception re-raises here.
         """
         tasks = list(tasks)
         workers = min(self.jobs, len(tasks))
@@ -117,13 +223,14 @@ class ParallelExecutor:
         )
         crashes = 0
         while True:
+            pool = _warm_pool(self.jobs)
             try:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    return list(pool.map(worker, tasks, chunksize=chunksize))
+                return list(pool.map(worker, tasks, chunksize=chunksize))
             except BrokenProcessPool as exc:
-                # Partial results are discarded and the whole map reruns:
-                # tasks are pure, so the retry is a bit-identical redo,
-                # never a reordering.
+                # Partial results are discarded and the whole map reruns
+                # on a fresh pool: tasks are pure, so the retry is a
+                # bit-identical redo, never a reordering.
+                _discard_pool(self.jobs)
                 crashes += 1
                 if crashes > self._max_retries:
                     raise ParallelExecutionError(

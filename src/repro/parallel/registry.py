@@ -1,0 +1,207 @@
+"""Process-local context registry for shared-nothing parallel sweeps.
+
+The old parallel engine shipped pickled object graphs — transaction
+lists, specs, whole sorted schedule populations — inside *every* chunk
+task, so a 4-worker sweep spent more time serializing than sweeping
+(BENCH_parallel.json recorded slowdowns).  This module inverts the
+flow:
+
+* the parent **registers** each sweep's shared inputs once
+  (:func:`register`), content-addressed by the SHA-256 of their pickle
+  so repeated sweeps over the same inputs reuse the same context id;
+* the warm worker pool (:mod:`repro.parallel.executor`) ships the
+  registered blobs **once per pool build** through the pool
+  initializer (:func:`install`), never per task;
+* tasks become flat integer tuples — ``(ctx_id, rank_lo, rank_hi)`` —
+  that workers resolve against their process-local copy
+  (:func:`resolve`);
+* workers keep **warm per-context engines** (:func:`cached`) — e.g. an
+  :class:`~repro.core.rsg.IncrementalRsg` with the sweep's
+  transactions already declared — reset and reused across chunks
+  instead of rebuilt per chunk.
+
+Everything here is deliberately process-local state plus pure
+functions: there is no shared memory, no manager process, and no
+channel other than the one-shot initializer blob — the shared-nothing
+discipline that keeps parallel results byte-identical to serial ones.
+
+The inline (``jobs=1``) path never pickles anything: :func:`resolve`
+falls back to the parent-side payload object directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from collections.abc import Callable
+from typing import Any
+
+__all__ = [
+    "cached",
+    "clear",
+    "install",
+    "payload_size",
+    "register",
+    "resolve",
+    "snapshot",
+    "version",
+]
+
+#: Contexts kept before the oldest is evicted.  Sweeps register their
+#: context immediately before mapping tasks that reference it, so only
+#: pathological interleavings of 60+ concurrent sweeps could observe an
+#: eviction; the cap exists to bound parent memory across long sessions
+#: (each population context can hold thousands of schedules).
+MAX_CONTEXTS = 64
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+#: ctx_id -> (payload object, pickled payload).  Insertion-ordered, so
+#: eviction drops the oldest context first.
+_PARENT: dict[int, tuple[Any, bytes]] = {}
+#: content digest -> ctx_id (the dedup index).
+_BY_DIGEST: dict[str, int] = {}
+_NEXT_ID = 0
+#: Bumped whenever the registered context set changes; the warm pool
+#: compares it against the version its workers were initialized with
+#: and rebuilds (re-shipping the snapshot once) on mismatch.
+_VERSION = 0
+
+
+def register(payload: Any) -> int:
+    """Register a sweep context, returning its id.
+
+    Content-addressed: registering an equal-pickling payload again
+    returns the existing id without bumping the registry version, so a
+    repeated sweep reuses both the shipped blob and the workers' warm
+    engines.  The payload must be picklable (it crosses the process
+    boundary exactly once, in the pool initializer).
+    """
+    global _NEXT_ID, _VERSION
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(blob).hexdigest()
+    ctx_id = _BY_DIGEST.get(digest)
+    if ctx_id is not None:
+        return ctx_id
+    ctx_id = _NEXT_ID
+    _NEXT_ID += 1
+    _PARENT[ctx_id] = (payload, blob)
+    _BY_DIGEST[digest] = ctx_id
+    if len(_PARENT) > MAX_CONTEXTS:
+        oldest = next(iter(_PARENT))
+        del _PARENT[oldest]
+        for key, value in list(_BY_DIGEST.items()):
+            if value == oldest:
+                del _BY_DIGEST[key]
+    _VERSION += 1
+    return ctx_id
+
+
+def version() -> int:
+    """The registry's mutation counter (pool staleness check)."""
+    return _VERSION
+
+
+def payload_size(ctx_id: int) -> int:
+    """Pickled byte size of a registered context (bench accounting)."""
+    return len(_PARENT[ctx_id][1])
+
+
+def snapshot() -> bytes:
+    """One blob holding every registered context, for the initializer.
+
+    Inner payloads stay as their already-pickled bytes: the snapshot is
+    a cheap concatenation, and workers unpickle a context lazily on
+    first :func:`resolve`.
+    """
+    return pickle.dumps(
+        (_VERSION, {ctx_id: blob for ctx_id, (_, blob) in _PARENT.items()}),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def clear() -> None:
+    """Drop every context (tests; also invalidates warm pools).
+
+    Context ids are never reused (the id counter survives), so worker
+    caches keyed by a cleared id can never serve a stale hit; they are
+    dropped here anyway to release the memory in the inline path.
+    """
+    global _VERSION, _WORKER_BLOBS
+    _PARENT.clear()
+    _BY_DIGEST.clear()
+    _WORKER_BLOBS = None
+    _WORKER_PAYLOADS.clear()
+    _WORKER_CACHE.clear()
+    _VERSION += 1
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+#: ctx_id -> pickled payload, installed by the pool initializer.
+#: ``None`` distinguishes "never installed" (the inline path) from an
+#: installed-but-empty registry.
+_WORKER_BLOBS: dict[int, bytes] | None = None
+#: ctx_id -> unpickled payload (lazy).
+_WORKER_PAYLOADS: dict[int, Any] = {}
+#: (ctx_id, tag) -> warm per-process object (engines, certifiers).
+_WORKER_CACHE: dict[tuple[int, str], Any] = {}
+
+
+def install(blob: bytes) -> None:
+    """Pool initializer: adopt the parent's context snapshot.
+
+    Runs once per worker process per pool build.  Clears the warm
+    object cache — context ids are content-addressed, so a surviving
+    id would still match, but a rebuilt pool starts from fresh
+    processes anyway and the inline path must not leak engines across
+    :func:`clear` boundaries.
+    """
+    global _WORKER_BLOBS
+    _, blobs = pickle.loads(blob)
+    _WORKER_BLOBS = blobs
+    _WORKER_PAYLOADS.clear()
+    _WORKER_CACHE.clear()
+
+
+def resolve(ctx_id: int) -> Any:
+    """The payload registered under ``ctx_id``.
+
+    In a worker process this unpickles the installed blob on first use
+    and caches the object; in the parent (the ``jobs=1`` inline path,
+    or a forked child that inherited parent memory before ``install``
+    ran) it returns the registered object directly — zero pickling.
+    """
+    payload = _WORKER_PAYLOADS.get(ctx_id)
+    if payload is not None:
+        return payload
+    if _WORKER_BLOBS is not None and ctx_id in _WORKER_BLOBS:
+        payload = pickle.loads(_WORKER_BLOBS[ctx_id])
+        _WORKER_PAYLOADS[ctx_id] = payload
+        return payload
+    entry = _PARENT.get(ctx_id)
+    if entry is None:
+        raise KeyError(
+            f"context {ctx_id} is not installed in this process "
+            "(stale pool or evicted context)"
+        )
+    return entry[0]
+
+
+def cached(ctx_id: int, tag: str, factory: Callable[[], Any]) -> Any:
+    """A warm per-process object for ``(ctx_id, tag)``.
+
+    Built by ``factory`` on first use and reused for every later task
+    of the same context in this process — the hook that keeps one
+    :class:`~repro.core.rsg.IncrementalRsg` (with its flat graph's
+    node ids, freelists, and buffers) alive across chunks.  Callers
+    reset the object per task; the registry only stores it.
+    """
+    key = (ctx_id, tag)
+    obj = _WORKER_CACHE.get(key)
+    if obj is None:
+        obj = factory()
+        _WORKER_CACHE[key] = obj
+    return obj

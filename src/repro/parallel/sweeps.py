@@ -3,23 +3,28 @@
 The census, acceptance, and containment sweeps are all left folds over
 an ordered stream of classified schedules.  This module splits those
 streams into contiguous blocks, classifies each block in a worker
-process (each block riding its own shared-prefix
-:class:`~repro.core.rsg.IncrementalRsg` engine seeded at the block
-start), and merges the partial results in block order — so the parallel
-result is the *same fold*, just reassociated, and counts, violations,
-and first-found witnesses come out identical to the serial sweep.
+process, and merges the partial results in block order — so the
+parallel result is the *same fold*, just reassociated, and counts,
+violations, and first-found witnesses come out identical to the serial
+sweep.
 
-Two partitioning strategies:
+Shared-nothing discipline (see :mod:`repro.parallel.registry`):
 
-* **exhaustive sweeps** split the lexicographic *rank space* of the
-  interleavings (:func:`~repro.workloads.enumerate.interleaving_blocks`)
-  — workers never materialize schedules outside their block, entering
-  the enumeration tree directly at their start rank;
-* **population sweeps** (random schedule lists) sort once and split the
-  sorted list into contiguous slices, preserving the prefix sharing the
-  serial path gets from sorting.
+* the sweep's shared inputs — transactions, spec, budget, or the whole
+  sorted population — are registered once and shipped to the warm
+  worker pool once per pool build, never per task;
+* tasks are flat integer tuples ``(ctx_id, lo, hi)``: a rank window
+  into the interleaving space for exhaustive sweeps, an index window
+  into the registered sorted population for population sweeps;
+* each worker keeps one :class:`~repro.core.rsg.IncrementalRsg` per
+  context warm across chunks (reset between tasks, node ids and
+  buffers reused), and folds its block locally — one small
+  :class:`~repro.analysis.classes.ClassCensus` /
+  :class:`~repro.analysis.containment.ContainmentReport` summary
+  crosses the boundary per chunk, not per schedule.
 
-Workers are module-level functions over picklable tuples, as
+Sweeps smaller than one minimum block run inline and never touch the
+pool.  Workers are module-level functions over picklable tuples, as
 :mod:`multiprocessing` requires.
 """
 
@@ -28,12 +33,19 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.analysis.classes import ClassCensus, _census_pairs, _lex_key, census
-from repro.analysis.containment import ContainmentReport, check_containments
+from repro.analysis.containment import (
+    ContainmentReport,
+    _containment_pairs,
+    check_containments,
+)
 from repro.core.atomicity import RelativeAtomicitySpec
+from repro.core.rsg import IncrementalRsg
 from repro.core.schedules import Schedule
 from repro.core.transactions import Transaction
-from repro.parallel.executor import ParallelExecutor
+from repro.parallel import registry
+from repro.parallel.executor import ParallelExecutor, plan_block_count
 from repro.workloads.enumerate import (
+    count_interleavings,
     interleaving_blocks,
     interleavings_block,
     shared_prefix_rsgs,
@@ -45,26 +57,38 @@ __all__ = [
     "check_containments_parallel",
 ]
 
-#: Rank blocks per worker.  More blocks than workers lets the pool
-#: rebalance (block costs vary with the NP-complete consistency test),
-#: while each block stays large enough to amortize its engine seeding.
-_BLOCKS_PER_WORKER = 4
+#: Minimum schedules per block for population sweeps.  Populations are
+#: classified with the NP-complete consistency test in the loop, so a
+#: block amortizes its overhead at a fraction of the rank-sweep
+#: minimum.
+MIN_POPULATION_BLOCK = 32
 
 
-def _chunk_count(jobs: int, tasks_hint: int) -> int:
-    return max(1, min(jobs * _BLOCKS_PER_WORKER, tasks_hint))
+def _warm_engine(ctx_id: int, spec: RelativeAtomicitySpec) -> IncrementalRsg:
+    """This worker's reusable engine for ``ctx_id``, reset for a task."""
+
+    def build() -> IncrementalRsg:
+        engine = IncrementalRsg(spec, maintain_reach=True)
+        for transaction in spec.transaction_list:
+            engine.add_transaction(transaction)
+        return engine
+
+    engine = registry.cached(ctx_id, "rsg", build)
+    engine.reset()
+    return engine
 
 
 # ----------------------------------------------------------------------
 # Exhaustive census over the ranked schedule space
 # ----------------------------------------------------------------------
-def _census_rank_block(
-    task: tuple[list[Transaction], RelativeAtomicitySpec, int, int, int | None],
-) -> ClassCensus:
-    """Worker: census the interleavings with ranks in ``[start, stop)``."""
-    transactions, spec, start, stop, budget = task
+def _census_rank_block(task: tuple[int, int, int]) -> ClassCensus:
+    """Worker: census the interleavings with ranks in ``[lo, hi)``."""
+    ctx_id, lo, hi = task
+    transactions, spec, budget = registry.resolve(ctx_id)
     pairs = shared_prefix_rsgs(
-        spec, interleavings_block(transactions, start, stop)
+        spec,
+        interleavings_block(transactions, lo, hi),
+        engine=_warm_engine(ctx_id, spec),
     )
     return _census_pairs(pairs, spec, budget)
 
@@ -75,21 +99,29 @@ def census_exhaustive_parallel(
     consistency_budget: int | None = 200_000,
     *,
     jobs: int | None = 1,
+    min_block: int | None = None,
 ) -> ClassCensus:
     """Exhaustive class census, fanned out over rank blocks.
 
     Identical to :func:`repro.analysis.classes.census_exhaustive` —
     same counts *and* same witnesses, because blocks partition the
     lexicographic enumeration contiguously and merge in rank order.
+    ``min_block`` overrides the per-block rank floor (tests force small
+    blocks through the pool; the default keeps tiny sweeps inline).
     """
     executor = ParallelExecutor(jobs)
     transactions = list(transactions)
-    blocks = interleaving_blocks(
-        transactions, _chunk_count(executor.jobs, 1 << 30)
-    )
+    total = count_interleavings(transactions)
+    kwargs = {} if min_block is None else {"min_block": min_block}
+    blocks = plan_block_count(total, executor.jobs, **kwargs)
+    if executor.jobs <= 1 or blocks <= 1:
+        from repro.analysis.classes import census_exhaustive
+
+        return census_exhaustive(transactions, spec, consistency_budget)
+    ctx_id = registry.register((transactions, spec, consistency_budget))
     tasks = [
-        (transactions, spec, start, stop, consistency_budget)
-        for start, stop in blocks
+        (ctx_id, lo, hi)
+        for lo, hi in interleaving_blocks(transactions, blocks)
     ]
     return executor.map_reduce(
         _census_rank_block, tasks, ClassCensus.merge, ClassCensus()
@@ -99,12 +131,14 @@ def census_exhaustive_parallel(
 # ----------------------------------------------------------------------
 # Population sweeps (random schedule lists)
 # ----------------------------------------------------------------------
-def _census_slice(
-    task: tuple[list[Schedule], RelativeAtomicitySpec, int | None],
-) -> ClassCensus:
-    """Worker: census one already-sorted contiguous population slice."""
-    schedules, spec, budget = task
-    return census(schedules, spec, budget, shared_prefixes=True)
+def _census_slice(task: tuple[int, int, int]) -> ClassCensus:
+    """Worker: census one window of the registered sorted population."""
+    ctx_id, lo, hi = task
+    ordered, spec, budget = registry.resolve(ctx_id)
+    pairs = shared_prefix_rsgs(
+        spec, ordered[lo:hi], engine=_warm_engine(ctx_id, spec)
+    )
+    return _census_pairs(pairs, spec, budget)
 
 
 def census_schedules(
@@ -113,31 +147,37 @@ def census_schedules(
     consistency_budget: int | None = 200_000,
     *,
     jobs: int | None = 1,
+    min_block: int | None = None,
 ) -> ClassCensus:
     """Census a schedule population across worker processes.
 
     The population is sorted once (the prefix-sharing order the serial
-    path uses) and split into contiguous slices; the ordered merge
-    makes the result identical to
-    ``census(schedules, spec, shared_prefixes=True)``.
+    path uses), registered as one shared context, and split into
+    contiguous index windows; the ordered merge makes the result
+    identical to ``census(schedules, spec, shared_prefixes=True)``.
     """
     executor = ParallelExecutor(jobs)
     ordered = sorted(schedules, key=_lex_key)
-    tasks = [
-        (chunk, spec, consistency_budget)
-        for chunk in _slices(ordered, _chunk_count(executor.jobs, len(ordered)))
-    ]
+    tasks = _population_tasks(
+        ordered, spec, consistency_budget, executor.jobs, min_block
+    )
+    if tasks is None:
+        return census(
+            ordered, spec, consistency_budget, shared_prefixes=True
+        )
     return executor.map_reduce(
         _census_slice, tasks, ClassCensus.merge, ClassCensus()
     )
 
 
-def _containment_slice(
-    task: tuple[list[Schedule], RelativeAtomicitySpec, int | None],
-) -> ContainmentReport:
-    """Worker: containment-check one sorted contiguous slice."""
-    schedules, spec, budget = task
-    return check_containments(schedules, spec, budget, shared_prefixes=True)
+def _containment_slice(task: tuple[int, int, int]) -> ContainmentReport:
+    """Worker: containment-check one window of the sorted population."""
+    ctx_id, lo, hi = task
+    ordered, spec, budget = registry.resolve(ctx_id)
+    pairs = shared_prefix_rsgs(
+        spec, ordered[lo:hi], engine=_warm_engine(ctx_id, spec)
+    )
+    return _containment_pairs(pairs, spec, budget)
 
 
 def check_containments_parallel(
@@ -146,32 +186,57 @@ def check_containments_parallel(
     consistency_budget: int | None = 200_000,
     *,
     jobs: int | None = 1,
+    min_block: int | None = None,
 ) -> ContainmentReport:
-    """Containment check across worker processes (sorted, contiguous
-    slices, ordered merge) — identical to the ``shared_prefixes=True``
-    serial report."""
+    """Containment check across worker processes (sorted population
+    registered once, contiguous index windows, ordered merge) —
+    identical to the ``shared_prefixes=True`` serial report."""
     executor = ParallelExecutor(jobs)
     ordered = sorted(schedules, key=_lex_key)
-    tasks = [
-        (chunk, spec, consistency_budget)
-        for chunk in _slices(ordered, _chunk_count(executor.jobs, len(ordered)))
-    ]
+    tasks = _population_tasks(
+        ordered, spec, consistency_budget, executor.jobs, min_block
+    )
+    if tasks is None:
+        return check_containments(
+            ordered, spec, consistency_budget, shared_prefixes=True
+        )
     return executor.map_reduce(
         _containment_slice, tasks, ContainmentReport.merge, ContainmentReport()
     )
 
 
-def _slices(items: list, chunks: int) -> list[list]:
-    """Split ``items`` into ``chunks`` contiguous near-equal slices."""
-    if not items:
-        return []
-    base, extra = divmod(len(items), chunks)
+def _population_tasks(
+    ordered: list[Schedule],
+    spec: RelativeAtomicitySpec,
+    budget: int | None,
+    workers: int,
+    min_block: int | None,
+) -> list[tuple[int, int, int]] | None:
+    """Flat ``(ctx_id, lo, hi)`` tasks over a sorted population.
+
+    ``None`` signals the caller to run inline: one block (or one
+    worker) means the pool would only add overhead.
+    """
+    floor = MIN_POPULATION_BLOCK if min_block is None else min_block
+    blocks = plan_block_count(len(ordered), workers, min_block=floor)
+    if workers <= 1 or blocks <= 1:
+        return None
+    ctx_id = registry.register((tuple(ordered), spec, budget))
+    return [
+        (ctx_id, lo, hi)
+        for lo, hi in _windows(len(ordered), blocks)
+    ]
+
+
+def _windows(total: int, blocks: int) -> list[tuple[int, int]]:
+    """Split ``[0, total)`` into contiguous near-equal index windows."""
+    base, extra = divmod(total, blocks)
     out = []
     start = 0
-    for i in range(chunks):
+    for i in range(blocks):
         size = base + (1 if i < extra else 0)
         if size == 0:
             break
-        out.append(items[start:start + size])
+        out.append((start, start + size))
         start += size
     return out

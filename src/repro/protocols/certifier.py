@@ -208,6 +208,20 @@ class RsgCertifier:
         """Labelled witness of the most recent refused certification."""
         return witness_from_certifier(self)
 
+    def reset(self) -> None:
+        """Forget the entire certified history, keeping declarations.
+
+        The warm-worker reuse hook: a pooled certifier serving repeated
+        runs over the same transaction set is reset between runs
+        instead of rebuilt, so the engine's allocated node ids and
+        buffers survive (see :meth:`IncrementalRsg.reset
+        <repro.core.rsg.IncrementalRsg.reset>`).  Counters restart at
+        zero — a reset certifier reports the new run's stats only.
+        """
+        self._engine.reset()
+        self._stats = CertifierStats()
+        self._reason_cache = (0, None)
+
     def forget(self, tx_id: int) -> None:
         """Drop a victim's granted operations, keeping everyone else's.
 

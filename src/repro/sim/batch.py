@@ -3,30 +3,57 @@
 Protocol comparisons and randomized campaigns run hundreds of
 independent simulations (one per seed x protocol x workload).  Each run
 is a pure function of its inputs, so the batch fans out over the
-:class:`~repro.parallel.ParallelExecutor` process pool and returns
+:class:`~repro.parallel.ParallelExecutor` warm process pool and returns
 results in task order — a ``jobs=1`` batch is exactly the loop it
 replaces.
 
-Tasks carry the *materialized* inputs (transactions, spec, protocol
-name) rather than factories or scheduler instances: names and value
-objects pickle across process boundaries, closures do not.  Schedulers
-are reconstructed inside the worker via
-:func:`repro.protocols.make_scheduler`.
+Shared-nothing transport: the full task list is registered once with
+:mod:`repro.parallel.registry` and ships to the pool through the
+initializer; what crosses the boundary per chunk is a flat
+``(ctx_id, lo, hi)`` index window.  Schedulers are reconstructed inside
+the worker via :func:`repro.protocols.make_scheduler` (names and value
+objects pickle; closures and live schedulers do not).
+
+Two result shapes:
+
+* :func:`run_batch` / :func:`simulate_batch` return every
+  :class:`~repro.sim.metrics.SimulationResult` — O(population) result
+  traffic, for callers that verify each committed history;
+* :func:`summarize_batch` folds each chunk *inside the worker* into
+  one mergeable :class:`BatchSummary` (counters on a deterministic
+  :class:`~repro.obs.metrics.MetricsRegistry`, plus a per-run digest
+  stream), so result traffic is O(chunks) + 32 bytes per run — the
+  load path for large campaigns where only aggregates matter.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.atomicity import RelativeAtomicitySpec
 from repro.core.transactions import Transaction
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import registry
 from repro.parallel.executor import ParallelExecutor
 from repro.protocols import make_scheduler
 from repro.sim.metrics import SimulationResult
 from repro.sim.runner import simulate
 
-__all__ = ["SimulationTask", "run_batch", "simulate_batch"]
+__all__ = [
+    "BatchSummary",
+    "SimulationTask",
+    "run_batch",
+    "simulate_batch",
+    "summarize_batch",
+]
+
+#: Chunks per worker for batched runs: simulations are heavy relative
+#: to a rank classification, so chunks stay small for load balancing
+#: and there is no minimum chunk size beyond one run.
+_CHUNKS_PER_WORKER = 4
 
 
 @dataclass(frozen=True)
@@ -71,24 +98,69 @@ def run_task(task: SimulationTask) -> SimulationResult:
     return result
 
 
+# ----------------------------------------------------------------------
+# Flat-window transport
+# ----------------------------------------------------------------------
+def _batch_windows(
+    n_tasks: int, workers: int
+) -> list[tuple[int, int]] | None:
+    """Contiguous index windows over a batch, or ``None`` to run inline."""
+    if workers <= 1 or n_tasks <= 1:
+        return None
+    blocks = min(workers * _CHUNKS_PER_WORKER, n_tasks)
+    base, extra = divmod(n_tasks, blocks)
+    out = []
+    start = 0
+    for i in range(blocks):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            break
+        out.append((start, start + size))
+        start += size
+    return out
+
+
+def _run_range(task: tuple[int, int, int]) -> list[SimulationResult]:
+    """Worker: run one index window of the registered task list."""
+    ctx_id, lo, hi = task
+    tasks = registry.resolve(ctx_id)
+    return [run_task(t) for t in tasks[lo:hi]]
+
+
 def run_batch(
     tasks: Sequence[SimulationTask], *, jobs: int | None = 1
 ) -> list[SimulationResult]:
     """Run every task, returning results in task order.
 
     ``jobs=1`` runs the loop inline; more jobs spread the independent
-    simulations over a process pool.  A :class:`~repro.errors.
+    simulations over the warm process pool (the task list ships once,
+    chunks are flat index windows).  A :class:`~repro.errors.
     SimulationError` in any run propagates (same as the serial loop);
     campaigns that tolerate failed runs should use
     :func:`simulate_batch`, which yields ``None`` per failed slot.
     """
-    return ParallelExecutor(jobs).map(run_task, list(tasks))
+    tasks = list(tasks)
+    executor = ParallelExecutor(jobs)
+    windows = _batch_windows(len(tasks), executor.jobs)
+    if windows is None:
+        return [run_task(task) for task in tasks]
+    ctx_id = registry.register(tuple(tasks))
+    chunks = executor.map(
+        _run_range, [(ctx_id, lo, hi) for lo, hi in windows]
+    )
+    return [result for chunk in chunks for result in chunk]
 
 
-def _run_task_guarded(
-    task: SimulationTask,
-) -> SimulationResult | tuple[str, str]:
+def _run_range_guarded(
+    task: tuple[int, int, int],
+) -> list[SimulationResult | tuple[str, str]]:
     """Worker that converts simulation failures into markers."""
+    ctx_id, lo, hi = task
+    tasks = registry.resolve(ctx_id)
+    return [_guarded(t) for t in tasks[lo:hi]]
+
+
+def _guarded(task: SimulationTask) -> SimulationResult | tuple[str, str]:
     from repro.errors import SimulationError
 
     try:
@@ -103,7 +175,144 @@ def simulate_batch(
     """Like :func:`run_batch`, but a failed run yields ``None`` in its
     slot instead of aborting the whole batch (protocol-comparison
     campaigns count failures rather than crash)."""
-    out: list[SimulationResult | None] = []
-    for result in ParallelExecutor(jobs).map(_run_task_guarded, list(tasks)):
-        out.append(None if isinstance(result, tuple) else result)
-    return out
+    tasks = list(tasks)
+    executor = ParallelExecutor(jobs)
+    windows = _batch_windows(len(tasks), executor.jobs)
+    if windows is None:
+        flat = [_guarded(task) for task in tasks]
+    else:
+        ctx_id = registry.register(tuple(tasks))
+        chunks = executor.map(
+            _run_range_guarded, [(ctx_id, lo, hi) for lo, hi in windows]
+        )
+        flat = [result for chunk in chunks for result in chunk]
+    return [None if isinstance(r, tuple) else r for r in flat]
+
+
+# ----------------------------------------------------------------------
+# In-worker reduction
+# ----------------------------------------------------------------------
+@dataclass
+class BatchSummary:
+    """Mergeable aggregate of a simulation batch.
+
+    Counts and distributions live on a deterministic
+    :class:`~repro.obs.metrics.MetricsRegistry` (labelled per
+    protocol); ``run_digests`` carries one SHA-256 per run, in task
+    order, so :attr:`digest` is a chunking-invariant fingerprint of
+    every committed history and outcome table — parallel summaries are
+    asserted byte-identical to serial ones through it.
+    """
+
+    runs: int = 0
+    errors: int = 0
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    run_digests: list[str] = field(default_factory=list)
+
+    def add(self, result: SimulationResult | tuple[str, str]) -> None:
+        """Fold one run (or its error marker) into the summary."""
+        self.runs += 1
+        if isinstance(result, tuple):
+            self.errors += 1
+            line = json.dumps(["error", result[1]]).encode()
+            self.run_digests.append(hashlib.sha256(line).hexdigest())
+            return
+        metrics = self.metrics
+        protocol = result.protocol
+        metrics.inc("sim.runs", protocol=protocol)
+        metrics.inc("sim.committed", result.committed, protocol=protocol)
+        metrics.inc("sim.aborted", result.aborted, protocol=protocol)
+        metrics.inc("sim.restarts", result.total_restarts, protocol=protocol)
+        metrics.inc("sim.waits", result.total_waits, protocol=protocol)
+        metrics.observe("sim.makespan", result.makespan, protocol=protocol)
+        self.run_digests.append(_run_digest(result))
+
+    def merge(self, other: "BatchSummary") -> "BatchSummary":
+        """Fold a *later* chunk's summary in (ordered reduce)."""
+        self.runs += other.runs
+        self.errors += other.errors
+        self.metrics.merge(other.metrics)
+        self.run_digests.extend(other.run_digests)
+        return self
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 over the ordered per-run digest stream."""
+        h = hashlib.sha256()
+        for item in self.run_digests:
+            h.update(bytes.fromhex(item))
+        return h.hexdigest()
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON-ready form (byte-stable at any jobs=)."""
+        return {
+            "runs": self.runs,
+            "errors": self.errors,
+            "digest": self.digest,
+            "metrics": self.metrics.to_dict(),
+        }
+
+
+def _run_digest(result: SimulationResult) -> str:
+    """Canonical SHA-256 of one run's full observable outcome."""
+    payload = [
+        result.protocol,
+        result.makespan,
+        [
+            [op.tx, op.index, op.op_type.value, op.obj]
+            for op in result.schedule.operations
+        ],
+        [
+            [
+                tx_id,
+                outcome.arrival,
+                outcome.commit_tick,
+                outcome.restarts,
+                outcome.waits,
+                outcome.status,
+            ]
+            for tx_id, outcome in sorted(result.outcomes.items())
+        ],
+    ]
+    line = json.dumps(payload, separators=(",", ":")).encode()
+    return hashlib.sha256(line).hexdigest()
+
+
+def _summarize_range(task: tuple[int, int, int]) -> BatchSummary:
+    """Worker: fold one index window into a single summary locally."""
+    ctx_id, lo, hi = task
+    tasks = registry.resolve(ctx_id)
+    summary = BatchSummary()
+    for t in tasks[lo:hi]:
+        summary.add(_guarded(t))
+    return summary
+
+
+def summarize_batch(
+    tasks: Sequence[SimulationTask], *, jobs: int | None = 1
+) -> BatchSummary:
+    """Run the batch and reduce it to one :class:`BatchSummary`.
+
+    Each chunk folds its runs *inside the worker* and ships one
+    summary, so result traffic is O(chunks), not O(runs) — the paper's
+    protocol-comparison sweeps only need these aggregates.  The
+    ordered merge plus per-key associativity of
+    :meth:`MetricsRegistry.merge <repro.obs.metrics.MetricsRegistry
+    .merge>` make the summary byte-identical at any job count; failed
+    runs are counted in ``errors`` rather than propagated.
+    """
+    tasks = list(tasks)
+    executor = ParallelExecutor(jobs)
+    windows = _batch_windows(len(tasks), executor.jobs)
+    if windows is None:
+        summary = BatchSummary()
+        for task in tasks:
+            summary.add(_guarded(task))
+        return summary
+    ctx_id = registry.register(tuple(tasks))
+    return executor.map_reduce(
+        _summarize_range,
+        [(ctx_id, lo, hi) for lo, hi in windows],
+        BatchSummary.merge,
+        BatchSummary(),
+    )

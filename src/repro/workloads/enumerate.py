@@ -243,6 +243,8 @@ def interleaving_blocks(
 def shared_prefix_rsgs(
     spec: RelativeAtomicitySpec,
     schedules: Iterable[Schedule],
+    *,
+    engine: IncrementalRsg | None = None,
 ) -> Iterator[tuple[Schedule, RelativeSerializationGraph]]:
     """Yield ``(schedule, RSG(schedule))`` pairs, sharing prefix work.
 
@@ -255,6 +257,11 @@ def shared_prefix_rsgs(
     (:func:`rsg_interleavings`) or a sorted random population — and the
     semantics are unchanged (each pair is a faithful RSG) for any order.
 
+    ``engine`` lets warm workers reuse one engine across many streams:
+    it must have been built for ``spec`` with ``maintain_reach=True``
+    and have the spec's transactions declared; it is reset (history
+    popped, declarations and allocated buffers kept) before streaming.
+
     The yielded RSG *borrows* the engine's live graph: its ``graph``
     (and anything derived from it) is only valid until the next
     iteration step, which is exactly the census/containment access
@@ -264,10 +271,12 @@ def shared_prefix_rsgs(
     cycle-closing one; the reported witness is still a genuine cycle of
     the full RSG (monotonicity: arcs only accumulate along a prefix).
     """
-    transactions = list(spec.transaction_list)
-    engine = IncrementalRsg(spec, maintain_reach=True)
-    for transaction in transactions:
-        engine.add_transaction(transaction)
+    if engine is None:
+        engine = IncrementalRsg(spec, maintain_reach=True)
+        for transaction in spec.transaction_list:
+            engine.add_transaction(transaction)
+    else:
+        engine.reset()
     current: list[Operation] = []
     for schedule in schedules:
         ops = schedule.operations

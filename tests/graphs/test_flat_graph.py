@@ -16,7 +16,7 @@ are pinned directly:
 """
 
 import hypothesis.strategies as st
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from pytest import raises
 
 from repro.errors import GraphError
@@ -206,6 +206,18 @@ def scripts(draw):
 
 @given(scripts())
 @settings(max_examples=60, deadline=None)
+@example(
+    script=[('acquire', None),
+     ('acquire', None),
+     ('acquire', None),
+     ('acquire', None),
+     ('acquire', None),
+     ('acquire', None),
+     ('acquire', None),
+     ('batch', [(1, 0, 4)]),
+     ('batch', [(1, 0, 1), (1, 0, 2)]),
+     ('undo', None)],
+).via('discovered failure')
 def test_flat_graph_matches_from_scratch_oracle(script):
     graph = FlatPkGraph()
     live = []  # node ids currently acquired

@@ -5,7 +5,16 @@ import os
 import pytest
 
 from repro.errors import ParallelExecutionError
-from repro.parallel.executor import ParallelExecutor, resolve_jobs
+from repro.parallel import registry
+from repro.parallel.executor import (
+    CRASH_ONCE_ENV,
+    MIN_RANK_BLOCK,
+    ParallelExecutor,
+    _POOLS,
+    plan_block_count,
+    resolve_jobs,
+    shutdown_pools,
+)
 
 
 # Workers must be module-level so they pickle across process boundaries.
@@ -37,6 +46,74 @@ class TestResolveJobs:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             resolve_jobs(-2)
+
+
+class TestPlanBlockCount:
+    def test_empty_population_plans_nothing(self):
+        assert plan_block_count(0, 4) == 0
+
+    def test_large_population_caps_at_chunks_per_worker(self):
+        assert plan_block_count(1_000_000, 4, chunks_per_worker=4) == 16
+
+    def test_small_population_collapses_to_one_block(self):
+        # Below one minimum block: the caller should run inline.
+        assert plan_block_count(MIN_RANK_BLOCK - 1, 8) == 1
+        assert plan_block_count(MIN_RANK_BLOCK, 8) == 1
+
+    def test_min_block_floor_bounds_block_count(self):
+        # 1000 tasks at a 256 floor supports at most ceil(1000/256)=4
+        # blocks, however many workers are available.
+        assert plan_block_count(1000, 16) == 4
+
+    def test_min_block_override(self):
+        assert plan_block_count(10, 2, min_block=1, chunks_per_worker=4) == 8
+        assert plan_block_count(10, 2, min_block=5) == 2
+
+    def test_bad_min_block_rejected(self):
+        with pytest.raises(ValueError):
+            plan_block_count(10, 2, min_block=0)
+
+
+class TestWarmPool:
+    def test_pool_persists_across_maps(self):
+        executor = ParallelExecutor(2)
+        executor.map(_square, list(range(8)))
+        pool, version = _POOLS[2]
+        executor.map(_square, list(range(8)))
+        assert _POOLS[2] == (pool, version)
+
+    def test_pool_rebuilt_when_registry_changes(self):
+        executor = ParallelExecutor(2)
+        executor.map(_square, list(range(8)))
+        stale, _ = _POOLS[2]
+        registry.register(("new-context", object()))
+        try:
+            executor.map(_square, list(range(8)))
+            assert _POOLS[2][0] is not stale
+        finally:
+            registry.clear()
+
+    def test_shutdown_pools_empties_the_cache(self):
+        ParallelExecutor(2).map(_square, list(range(8)))
+        assert _POOLS
+        shutdown_pools()
+        assert not _POOLS
+
+    def test_injected_crash_is_retried_through_a_real_pool(
+        self, tmp_path, monkeypatch
+    ):
+        # The CRASH_ONCE_ENV hook kills the first worker process that
+        # starts after the marker path is set; the executor must
+        # discard the broken pool and rerun the map bit-identically.
+        shutdown_pools()
+        marker = tmp_path / "crash-once"
+        monkeypatch.setenv(CRASH_ONCE_ENV, str(marker))
+        try:
+            result = ParallelExecutor(2).map(_square, list(range(12)))
+        finally:
+            shutdown_pools()
+        assert result == [value * value for value in range(12)]
+        assert marker.exists()
 
 
 class TestMap:

@@ -1,12 +1,19 @@
 """Parallel sweeps must be indistinguishable from the serial sweeps."""
 
 import dataclasses
+import pickle
 import random
 
 from repro.analysis.acceptance import acceptance_for_spec, acceptance_sweep
 from repro.analysis.classes import census, census_exhaustive
 from repro.analysis.containment import check_containments
 from repro.core.transactions import Transaction
+from repro.parallel.executor import CRASH_ONCE_ENV, shutdown_pools
+from repro.parallel.sweeps import (
+    census_exhaustive_parallel,
+    census_schedules,
+    check_containments_parallel,
+)
 from repro.specs.builders import uniform_spec
 from repro.workloads.random_schedules import random_schedules
 
@@ -53,6 +60,67 @@ class TestCensusParallel:
         serial = census(population, spec, shared_prefixes=True)
         parallel = census(population, spec, jobs=16)
         assert _census_fields(parallel) == _census_fields(serial)
+
+
+class TestByteEquality:
+    """jobs=4 output must be byte-for-byte the jobs=1 output.
+
+    ``min_block=1`` forces these small populations through the real
+    warm pool (the default floors would run them inline); pickled
+    bytes compare everything — counts, witness schedules, dict
+    insertion order — at once.
+    """
+
+    def test_exhaustive_census_bytes(self):
+        txs = _txs()
+        spec = uniform_spec(txs, 1)
+        serial = census_exhaustive_parallel(txs, spec, jobs=1)
+        parallel = census_exhaustive_parallel(
+            txs, spec, jobs=4, min_block=1
+        )
+        assert pickle.dumps(parallel) == pickle.dumps(serial)
+
+    def test_population_census_bytes(self):
+        txs = _txs()
+        spec = uniform_spec(txs, 1)
+        population = random_schedules(txs, 40, random.Random(3))
+        serial = census(population, spec, shared_prefixes=True)
+        parallel = census_schedules(
+            population, spec, jobs=4, min_block=1
+        )
+        assert pickle.dumps(parallel) == pickle.dumps(serial)
+
+    def test_containment_report_bytes(self):
+        txs = _txs()
+        spec = uniform_spec(txs, 1)
+        population = random_schedules(txs, 40, random.Random(9))
+        serial = check_containments(population, spec, shared_prefixes=True)
+        parallel = check_containments_parallel(
+            population, spec, jobs=4, min_block=1
+        )
+        assert pickle.dumps(parallel) == pickle.dumps(serial)
+
+    def test_census_bytes_survive_one_worker_crash(
+        self, tmp_path, monkeypatch
+    ):
+        # Inject one real worker death mid-sweep: the executor discards
+        # the broken pool, reruns on a fresh one, and the merged census
+        # must still be byte-identical to serial.
+        txs = _txs()
+        spec = uniform_spec(txs, 1)
+        serial = census_exhaustive_parallel(txs, spec, jobs=1)
+        shutdown_pools()
+        monkeypatch.setenv(
+            CRASH_ONCE_ENV, str(tmp_path / "sweep-crash-once")
+        )
+        try:
+            parallel = census_exhaustive_parallel(
+                txs, spec, jobs=4, min_block=1
+            )
+        finally:
+            shutdown_pools()
+        assert (tmp_path / "sweep-crash-once").exists()
+        assert pickle.dumps(parallel) == pickle.dumps(serial)
 
 
 class TestContainmentParallel:

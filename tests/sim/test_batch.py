@@ -5,7 +5,15 @@ import pytest
 from repro.core.transactions import Transaction
 from repro.errors import SimulationError
 from repro.protocols import PROTOCOL_NAMES, make_scheduler
-from repro.sim.batch import SimulationTask, run_batch, run_task, simulate_batch
+from repro.parallel.executor import CRASH_ONCE_ENV, shutdown_pools
+from repro.sim.batch import (
+    BatchSummary,
+    SimulationTask,
+    run_batch,
+    run_task,
+    simulate_batch,
+    summarize_batch,
+)
 from repro.sim.runner import simulate
 from repro.specs.builders import uniform_spec
 
@@ -119,3 +127,60 @@ class TestSimulateBatch:
         assert [r.schedule for r in serial] == [
             r.schedule for r in parallel
         ]
+
+
+class TestSummarizeBatch:
+    def test_counts_every_run(self):
+        tasks = _tasks()
+        summary = summarize_batch(tasks)
+        assert summary.runs == len(tasks)
+        assert summary.errors == 0
+        assert len(summary.run_digests) == len(tasks)
+
+    def test_failed_run_counted_not_raised(self):
+        task = _tasks()[0]
+        doomed = SimulationTask(
+            transactions=task.transactions,
+            protocol=task.protocol,
+            spec=task.spec,
+            max_ticks=1,
+        )
+        summary = summarize_batch([task, doomed, task])
+        assert summary.runs == 3
+        assert summary.errors == 1
+
+    def test_parallel_summary_byte_identical_to_serial(self):
+        import json
+
+        tasks = _tasks(protocols=("2pl", "sgt", "rsgt"), seeds=(0, 1, 2))
+        serial = summarize_batch(tasks)
+        for jobs in (2, 4):
+            parallel = summarize_batch(tasks, jobs=jobs)
+            assert json.dumps(
+                parallel.to_dict(), sort_keys=True
+            ) == json.dumps(serial.to_dict(), sort_keys=True)
+
+    def test_digest_is_chunking_invariant(self):
+        tasks = _tasks(protocols=("2pl", "sgt"), seeds=(0, 1, 2))
+        whole = BatchSummary()
+        for task in tasks:
+            whole.add(run_task(task))
+        left, right = BatchSummary(), BatchSummary()
+        for task in tasks[:2]:
+            left.add(run_task(task))
+        for task in tasks[2:]:
+            right.add(run_task(task))
+        assert left.merge(right).digest == whole.digest
+
+    def test_summary_survives_one_worker_crash(self, tmp_path, monkeypatch):
+        tasks = _tasks(protocols=("2pl", "sgt", "rsgt"), seeds=(0, 1, 2))
+        serial = summarize_batch(tasks)
+        shutdown_pools()
+        marker = tmp_path / "batch-crash-once"
+        monkeypatch.setenv(CRASH_ONCE_ENV, str(marker))
+        try:
+            parallel = summarize_batch(tasks, jobs=4)
+        finally:
+            shutdown_pools()
+        assert marker.exists()
+        assert parallel.to_dict() == serial.to_dict()

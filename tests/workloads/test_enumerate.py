@@ -190,3 +190,22 @@ class TestBlocks:
         stop = data.draw(st.integers(start, total), label="stop")
         window = list(interleavings_block(txs, start, stop))
         assert window == list(all_interleavings(txs))[start:stop]
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_block_iteration_equals_per_rank_unranking(self, data):
+        # The parallel sweep contract: a worker entering the
+        # enumeration tree at its block-start rank sees exactly the
+        # schedules unrank_interleaving produces rank by rank.
+        lengths = data.draw(
+            st.lists(st.integers(1, 3), min_size=2, max_size=4),
+            label="lengths",
+        )
+        txs = _txs(*lengths)
+        total = count_interleavings(txs)
+        start = data.draw(st.integers(0, total), label="start")
+        stop = data.draw(st.integers(start, total), label="stop")
+        window = list(interleavings_block(txs, start, stop))
+        assert window == [
+            unrank_interleaving(txs, rank) for rank in range(start, stop)
+        ]
