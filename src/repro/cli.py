@@ -34,7 +34,13 @@ Subcommands:
 * ``explain FILE --schedule NAME [--json | --dot]`` — replay a schedule
   against the file's spec and explain the verdict: the labelled RSG
   witness cycle on rejection, the equivalent relatively serial schedule
-  on admission.
+  on admission;
+* ``serve [--port N] [--protocol NAME] [--chaos]`` — run the
+  long-running transaction service (NDJSON over TCP, multi-tenant,
+  admission-controlled, SIGTERM-drained; see :mod:`repro.service`);
+* ``chaos [--connect HOST PORT] --clients N --seed S`` — act out a
+  seeded fault plan against a live server (or a self-hosted one) and
+  certify the survivor invariant; exits 0 only if it holds.
 
 ``simulate`` and ``faults`` additionally accept ``--trace FILE`` and
 ``--metrics FILE`` (``census``: ``--metrics FILE``) to write the
@@ -300,6 +306,107 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the witness cycle as Graphviz DOT (rejections only)",
     )
 
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="run the long-running RSR transaction service",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (0 = OS-assigned; see --port-file)",
+    )
+    serve_cmd.add_argument(
+        "--protocol",
+        choices=sorted(_PROTOCOLS),
+        default="rsgt",
+        help="protocol for implicitly created tenants",
+    )
+    serve_cmd.add_argument(
+        "--max-sessions",
+        type=int,
+        default=256,
+        help="in-flight session budget (begins beyond it are shed)",
+    )
+    serve_cmd.add_argument(
+        "--session-timeout",
+        type=float,
+        default=30.0,
+        help="per-session deadline in seconds",
+    )
+    serve_cmd.add_argument(
+        "--op-timeout",
+        type=float,
+        default=10.0,
+        help="per-operation deadline in seconds (includes WAIT retries)",
+    )
+    serve_cmd.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="grace window for in-flight sessions on SIGTERM",
+    )
+    serve_cmd.add_argument(
+        "--chaos",
+        action="store_true",
+        help="enable the destructive crash verb (chaos testing only)",
+    )
+    serve_cmd.add_argument(
+        "--seed", type=int, default=0, help="jitter seed"
+    )
+    serve_cmd.add_argument(
+        "--port-file",
+        type=Path,
+        default=None,
+        help="write 'host port' here once the listener is bound",
+    )
+    serve_cmd.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        help="write the final metrics report to this file on drain",
+    )
+
+    chaos_cmd = commands.add_parser(
+        "chaos",
+        help="replay a seeded fault plan against a live server and "
+        "certify the survivor invariant",
+    )
+    chaos_cmd.add_argument(
+        "--connect",
+        nargs=2,
+        metavar=("HOST", "PORT"),
+        default=None,
+        help="target a running server; omit to self-host one in-process",
+    )
+    chaos_cmd.add_argument("--clients", type=int, default=50)
+    chaos_cmd.add_argument("--seed", type=int, default=0)
+    chaos_cmd.add_argument(
+        "--protocol", choices=sorted(_PROTOCOLS), default="rsgt"
+    )
+    chaos_cmd.add_argument("--objects", type=int, default=8)
+    chaos_cmd.add_argument("--abort-rate", type=float, default=0.05)
+    chaos_cmd.add_argument("--stall-rate", type=float, default=0.10)
+    chaos_cmd.add_argument("--kill-rate", type=float, default=0.05)
+    chaos_cmd.add_argument(
+        "--crash-at",
+        type=int,
+        default=None,
+        help="store-crash trigger (global granted-op count)",
+    )
+    chaos_cmd.add_argument(
+        "--max-sessions",
+        type=int,
+        default=256,
+        help="admission budget of the self-hosted server",
+    )
+    chaos_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the chaos report as JSON",
+    )
+
     return parser
 
 
@@ -330,6 +437,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "explain":
             return _cmd_explain(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -642,6 +753,94 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     print(f"schedule {args.schedule}: {schedule}")
     print(explanation.format())
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import RsrServer, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        default_protocol=args.protocol,
+        max_sessions=args.max_sessions,
+        session_timeout_s=args.session_timeout,
+        op_timeout_s=args.op_timeout,
+        drain_timeout_s=args.drain_timeout,
+        jitter_seed=args.seed,
+        chaos=args.chaos,
+    )
+
+    async def _serve() -> int:
+        server = RsrServer(config)
+        host, port = await server.start()
+        if args.port_file is not None:
+            args.port_file.write_text(f"{host} {port}\n")
+        server.install_signal_handlers()
+        print(f"serving on {host}:{port} (protocol {args.protocol})")
+        sys.stdout.flush()
+        await server._stopped.wait()
+        exit_code = server.exit_code
+        report = server.drain_report or {}
+        print(
+            f"drained ({report.get('cause', '?')}): "
+            f"forced_aborts={report.get('forced_aborts', 0)} "
+            f"ok={report.get('ok')}"
+        )
+        if args.metrics is not None:
+            args.metrics.write_text(server.metrics.to_json() + "\n")
+        return exit_code
+
+    return asyncio.run(_serve())
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.service import ChaosConfig, run_chaos
+
+    chaos_config = ChaosConfig(
+        clients=args.clients,
+        seed=args.seed,
+        protocol=args.protocol,
+        n_objects=args.objects,
+        abort_rate=args.abort_rate,
+        stall_rate=args.stall_rate,
+        kill_rate=args.kill_rate,
+        crash_at=args.crash_at,
+    )
+
+    async def _run() -> int:
+        if args.connect is not None:
+            host, port = args.connect[0], int(args.connect[1])
+            report = await run_chaos(chaos_config, host, port)
+        else:
+            from repro.service import RsrServer, ServiceConfig
+
+            server = RsrServer(
+                ServiceConfig(
+                    max_sessions=args.max_sessions,
+                    chaos=True,
+                    jitter_seed=args.seed,
+                )
+            )
+            host, port = await server.start()
+            try:
+                report = await run_chaos(chaos_config, host, port)
+            finally:
+                drain = await server.drain("chaos-done")
+            if not drain.get("ok", False):
+                print("error: drain certification failed", file=sys.stderr)
+                return 1
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.describe())
+        return 0 if report.ok else 1
+
+    return asyncio.run(_run())
 
 
 if __name__ == "__main__":  # pragma: no cover - module CLI shim

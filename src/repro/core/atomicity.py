@@ -253,8 +253,58 @@ class RelativeAtomicitySpec:
     ) -> None:
         self._transactions = as_transaction_map(transactions)
         self._views: dict[tuple[int, int], Atomicity] = {}
+        # Per-transaction breakpoint sets recorded by declare_transaction
+        # (the service's interactive growth path); used to materialize
+        # views against observers that arrive later.
+        self._declared_cuts: dict[int, tuple[int, ...]] = {}
         for (tx, observer), value in (views or {}).items():
             self._set_view(tx, observer, value)
+
+    def declare_transaction(
+        self, transaction: Transaction, cuts: Iterable[int] = ()
+    ) -> None:
+        """Grow the spec with one transaction arriving interactively.
+
+        This is the transaction service's admission path: clients declare
+        their program (and optionally the breakpoints they expose) at
+        ``begin`` time, long after the spec object was created.  The new
+        transaction's ``cuts`` become its atomicity relative to *every*
+        other transaction — current and future: cut sets recorded here
+        are replayed against observers declared later, so the pairwise
+        views are independent of arrival order.
+
+        Pairs left untouched keep the lazy default (absolute atomicity),
+        exactly as with construction-time views.
+
+        Raises:
+            InvalidSpecError: on a duplicate id or an out-of-range cut.
+        """
+        tx_id = transaction.tx_id
+        if tx_id in self._transactions:
+            raise InvalidSpecError(
+                f"transaction T{tx_id} is already declared in the spec"
+            )
+        cut_list = tuple(sorted(set(cuts)))
+        for cut in cut_list:
+            if not 1 <= cut <= len(transaction) - 1:
+                raise InvalidSpecError(
+                    f"breakpoint {cut} of T{tx_id} is outside "
+                    f"1..{len(transaction) - 1}"
+                )
+        others = list(self._transactions)
+        self._transactions[tx_id] = transaction
+        self._declared_cuts[tx_id] = cut_list
+        for other in others:
+            if cut_list:
+                self._set_view(tx_id, other, cut_list)
+            other_cuts = self._declared_cuts.get(other)
+            if other_cuts:
+                self._set_view(other, tx_id, other_cuts)
+
+    def declared_cuts(self, tx_id: int) -> tuple[int, ...]:
+        """The breakpoints recorded for ``T{tx_id}`` at declaration
+        (empty for construction-time or absolute transactions)."""
+        return self._declared_cuts.get(tx_id, ())
 
     def _set_view(
         self, tx: int, observer: int, value: "Atomicity | Iterable[int] | str"

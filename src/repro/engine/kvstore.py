@@ -332,6 +332,14 @@ class KVStore:
         """All existing object names."""
         return frozenset(self._data)
 
+    def wal_size(self) -> int:
+        """Number of live WAL records across all open transactions.
+
+        O(open transactions); cheap enough for a health endpoint to poll
+        without assembling the record objects :meth:`wal_records` builds.
+        """
+        return sum(len(log) for log in self._undo.values())
+
     def wal_records(self) -> tuple[UndoRecord, ...]:
         """The live write-ahead undo log, oldest first (open txs only).
 
@@ -368,7 +376,7 @@ class KVStore:
 
     def __repr__(self) -> str:
         state = "crashed, " if self._crashed else ""
-        wal = sum(len(log) for log in self._undo.values())
+        wal = self.wal_size()
         return (
             f"KVStore({state}{len(self._data)} objects, "
             f"{len(self._undo)} open transactions, "

@@ -83,6 +83,13 @@ class FaultEvent:
                 f"stall duration must be >= 1, got {self.duration}"
             )
 
+    @property
+    def targets_store(self) -> bool:
+        """Whether the event hits the whole store rather than one
+        transaction (the split the live chaos harness drives on: store
+        faults go to the server, per-transaction faults to clients)."""
+        return self.kind is FaultKind.CRASH
+
     def describe(self) -> str:
         """One-line human-readable rendering."""
         if self.kind is FaultKind.CRASH:

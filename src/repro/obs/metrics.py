@@ -106,6 +106,21 @@ class MetricsRegistry:
         """The gauge's current value (``None`` if never set)."""
         return self._gauges.get(_key(name, labels))
 
+    def observation_stats(
+        self, name: str, **labels: object
+    ) -> dict[str, int] | None:
+        """The ``{sum, count, min, max}`` of one observation key, or
+        ``None`` if nothing was recorded under it."""
+        stats = self._observations.get(_key(name, labels))
+        if stats is None:
+            return None
+        return {
+            "sum": stats[0],
+            "count": stats[1],
+            "min": stats[2],
+            "max": stats[3],
+        }
+
     # ------------------------------------------------------------------
     # Merging
     # ------------------------------------------------------------------

@@ -163,10 +163,22 @@ def _discard_pool(workers: int) -> None:
 
 
 def shutdown_pools() -> None:
-    """Shut down every warm pool (tests, interpreter exit)."""
-    for pool, _ in _POOLS.values():
+    """Shut down every warm pool (tests, drain paths, interpreter exit).
+
+    Idempotent and safe to call from signal handlers: each pool is
+    atomically *removed* from the cache (``dict.popitem`` is a single
+    bytecode-level operation under the GIL) before being shut down, so a
+    reentrant call — a SIGTERM handler firing while atexit is already
+    mid-shutdown, or two drain paths racing — sees an empty cache or a
+    disjoint remainder, never the same pool twice.  Repeated calls are
+    no-ops.
+    """
+    while _POOLS:
+        try:
+            _workers, (pool, _version) = _POOLS.popitem()
+        except KeyError:  # pragma: no cover - reentrant caller drained it
+            break
         pool.shutdown(wait=False, cancel_futures=True)
-    _POOLS.clear()
 
 
 atexit.register(shutdown_pools)

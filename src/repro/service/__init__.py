@@ -1,0 +1,56 @@
+"""The long-running RSR transaction service.
+
+This package turns the batch scheduler/certifier stack into a system
+that serves traffic: an asyncio front-end speaking newline-delimited
+JSON over TCP, exposing ``begin / read / write / commit / abort``
+sessions against WAL-backed :class:`~repro.engine.kvstore.KVStore`
+instances through any existing protocol scheduler, with per-client
+relative-atomicity specs and multi-tenant namespaces.
+
+Robustness is the headline, not a feature flag:
+
+* **admission control** — a bounded in-flight session budget; ``begin``
+  beyond it is load-shed with a structured ``retry_after_ms`` hint
+  (:mod:`~repro.service.admission`);
+* **deadlines** — per-session and per-operation deadlines that
+  abort-and-undo on expiry (a reaper task plus in-request checks);
+* **WAIT retries** — blocking protocols' WAIT outcomes are retried
+  server-side with exponential backoff and seeded jitter, bounded by
+  the op deadline;
+* **graceful drain** — SIGTERM stops admission, finishes or aborts
+  in-flight sessions, recovers the stores to a clean WAL, certifies
+  every tenant, and exits 0;
+* **crash recovery** — store crashes (chaos-injected or real) roll back
+  every in-flight transaction through the WAL via
+  :meth:`~repro.engine.kvstore.KVStore.crash` /
+  :meth:`~repro.engine.kvstore.KVStore.recover`;
+* **live chaos certification** — :mod:`~repro.service.chaos` replays
+  :mod:`repro.faults`-style seeded plans against the *live* server
+  (client kills, stalls, store crashes mid-session) and certifies the
+  survivor invariant the fault campaigns established: the committed
+  projection is relatively serializable under
+  ``spec.restricted_to(survivors)`` and the recovered state equals a
+  fault-free execution of exactly the survivors.
+"""
+
+from repro.service.admission import AdmissionController
+from repro.service.chaos import ChaosConfig, ChaosReport, run_chaos
+from repro.service.client import ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.server import RsrServer
+from repro.service.session import Session, SessionState
+from repro.service.tenant import CertificationResult, Tenant
+
+__all__ = [
+    "AdmissionController",
+    "CertificationResult",
+    "ChaosConfig",
+    "ChaosReport",
+    "RsrServer",
+    "ServiceClient",
+    "ServiceConfig",
+    "Session",
+    "SessionState",
+    "Tenant",
+    "run_chaos",
+]

@@ -1,0 +1,97 @@
+"""Bounded in-flight admission with structured load-shedding.
+
+The controller is a counting semaphore that *refuses* instead of
+queueing: a ``begin`` past the budget is shed immediately with a
+``retry_after_ms`` hint, because parking unbounded begins server-side
+is exactly the queue-of-death this service exists to avoid.  The hint
+scales with how far over budget demand is and carries seeded jitter so
+a herd of shed clients does not reconverge on the same millisecond —
+the same dispersal argument as the simulator's restart jitter.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Load-shedding admission gate for in-flight sessions.
+
+    Args:
+        limit: maximum concurrently open sessions.
+        retry_after_base_ms: base of the shed retry hint.
+        rng: jitter source (seeded by the server for replayable hints);
+            defaults to an unseeded stream.
+    """
+
+    def __init__(
+        self,
+        limit: int,
+        retry_after_base_ms: int = 50,
+        rng: random.Random | None = None,
+    ) -> None:
+        if limit < 1:
+            raise ValueError(f"admission limit must be >= 1, got {limit}")
+        self._limit = limit
+        self._base_ms = max(1, retry_after_base_ms)
+        self._rng = rng or random.Random()
+        self._inflight = 0
+        self._shed = 0
+        self._peak = 0
+        self._draining = False
+
+    @property
+    def limit(self) -> int:
+        return self._limit
+
+    @property
+    def inflight(self) -> int:
+        """Currently admitted (open) sessions."""
+        return self._inflight
+
+    @property
+    def shed(self) -> int:
+        """Total begins refused for load since startup."""
+        return self._shed
+
+    @property
+    def peak(self) -> int:
+        """High-water mark of concurrently open sessions."""
+        return self._peak
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def start_drain(self) -> None:
+        """Refuse all future admissions (SIGTERM path); idempotent."""
+        self._draining = True
+
+    def try_admit(self) -> bool:
+        """Claim one in-flight slot; False means shed (or draining)."""
+        if self._draining or self._inflight >= self._limit:
+            self._shed += 1
+            return False
+        self._inflight += 1
+        if self._inflight > self._peak:
+            self._peak = self._inflight
+        return True
+
+    def release(self) -> None:
+        """Return one slot (session closed, any cause)."""
+        if self._inflight <= 0:
+            raise RuntimeError("admission release without matching admit")
+        self._inflight -= 1
+
+    def retry_after_ms(self) -> int:
+        """Structured backpressure hint for a shed ``begin``.
+
+        Grows with instantaneous pressure (inflight over limit) and is
+        jittered across ``[base, 2*base)`` of its scaled value so shed
+        clients disperse instead of herding.
+        """
+        pressure = 1.0 + (self._inflight / self._limit)
+        scaled = int(self._base_ms * pressure)
+        return scaled + self._rng.randint(0, scaled)

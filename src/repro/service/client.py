@@ -1,0 +1,191 @@
+"""A minimal asyncio client for the NDJSON wire protocol.
+
+One :class:`ServiceClient` owns one TCP connection and issues strictly
+one request at a time (the protocol is request/response per
+connection).  It is deliberately thin — retries, backoff, and fault
+injection are the *caller's* policy (see
+:mod:`~repro.service.chaos` for the policy-rich consumer) — but it does
+honour ``retry_after_ms`` hints in :meth:`begin_with_retry` because
+every well-behaved client of a load-shedding server must.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.errors import ReproError
+from repro.service import wire
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """A structured error response from the server.
+
+    Attributes:
+        code: the wire error code (see :mod:`~repro.service.wire`).
+        response: the full response payload.
+    """
+
+    def __init__(self, response: dict) -> None:
+        super().__init__(
+            f"{response.get('error', wire.ERR_INTERNAL)}: "
+            f"{response.get('message', '')}"
+        )
+        self.code: str = response.get("error", wire.ERR_INTERNAL)
+        self.response = response
+
+    @property
+    def retry_after_ms(self) -> int | None:
+        value = self.response.get("retry_after_ms")
+        return int(value) if isinstance(value, (int, float)) else None
+
+
+class ServiceClient:
+    """One connection to an :class:`~repro.service.server.RsrServer`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 1
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def call(self, do: str, **fields: Any) -> dict:
+        """One round-trip; raises :class:`ServiceError` on ``ok: false``."""
+        request = {"do": do, "id": self._next_id, **fields}
+        self._next_id += 1
+        self._writer.write(json.dumps(request).encode() + b"\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ServiceError(response)
+        return response
+
+    # -- convenience verbs --------------------------------------------
+    async def tenant(
+        self,
+        name: str,
+        protocol: str | None = None,
+        objects: dict[str, Any] | None = None,
+    ) -> dict:
+        fields: dict[str, Any] = {"tenant": name}
+        if protocol is not None:
+            fields["protocol"] = protocol
+        if objects is not None:
+            fields["objects"] = objects
+        return await self.call("tenant", **fields)
+
+    async def begin(
+        self,
+        program: str,
+        *,
+        tenant: str = "default",
+        cuts: tuple[int, ...] | list[int] = (),
+        deadline_ms: int | None = None,
+    ) -> dict:
+        fields: dict[str, Any] = {
+            "program": program,
+            "tenant": tenant,
+            "cuts": list(cuts),
+        }
+        if deadline_ms is not None:
+            fields["deadline_ms"] = deadline_ms
+        return await self.call("begin", **fields)
+
+    async def begin_with_retry(
+        self,
+        program: str,
+        *,
+        tenant: str = "default",
+        cuts: tuple[int, ...] | list[int] = (),
+        deadline_ms: int | None = None,
+        max_sheds: int = 50,
+    ) -> dict:
+        """``begin``, honouring ``retry_after_ms`` when load-shed."""
+        sheds = 0
+        while True:
+            try:
+                return await self.begin(
+                    program,
+                    tenant=tenant,
+                    cuts=cuts,
+                    deadline_ms=deadline_ms,
+                )
+            except ServiceError as exc:
+                if exc.code != wire.ERR_OVERLOADED or sheds >= max_sheds:
+                    raise
+                sheds += 1
+                await asyncio.sleep((exc.retry_after_ms or 50) / 1000.0)
+
+    async def read(self, txn: int, key: str | None = None) -> dict:
+        fields: dict[str, Any] = {"txn": txn}
+        if key is not None:
+            fields["key"] = key
+        return await self.call("read", **fields)
+
+    async def write(
+        self, txn: int, key: str | None = None, value: Any = None
+    ) -> dict:
+        fields: dict[str, Any] = {"txn": txn}
+        if key is not None:
+            fields["key"] = key
+        if value is not None:
+            fields["value"] = value
+        return await self.call("write", **fields)
+
+    async def step(self, txn: int, value: Any = None) -> dict:
+        fields: dict[str, Any] = {"txn": txn}
+        if value is not None:
+            fields["value"] = value
+        return await self.call("step", **fields)
+
+    async def commit(self, txn: int) -> dict:
+        return await self.call("commit", txn=txn)
+
+    async def abort(self, txn: int) -> dict:
+        return await self.call("abort", txn=txn)
+
+    async def health(self) -> dict:
+        return await self.call("health")
+
+    async def metrics(self) -> dict:
+        return await self.call("metrics")
+
+    async def certify(self, tenant: str | None = None) -> dict:
+        fields: dict[str, Any] = {}
+        if tenant is not None:
+            fields["tenant"] = tenant
+        return await self.call("certify", **fields)
+
+    async def crash(self, tenant: str = "default") -> dict:
+        return await self.call("crash", tenant=tenant)
+
+    # -- teardown ------------------------------------------------------
+    async def close(self) -> None:
+        """Orderly close (open sessions are aborted server-side)."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    def kill(self) -> None:
+        """Abrupt close with no goodbye — the chaos KILL primitive.
+
+        The transport is torn down without flushing, so the server sees
+        a mid-session disconnect and must abort-and-undo on its own.
+        """
+        transport = self._writer.transport
+        if transport is not None:
+            transport.abort()

@@ -1,0 +1,95 @@
+"""Service configuration: one frozen value object, test-friendly.
+
+Every timing knob is explicit so tests can shrink deadlines to tens of
+milliseconds and the chaos harness can stretch them under load; the
+defaults suit an interactive localhost deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.protocols import PROTOCOL_NAMES
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything the server derives its behaviour from.
+
+    Attributes:
+        host / port: listen address (``port=0`` asks the OS for one).
+        default_protocol: scheduler for tenants created implicitly by a
+            ``begin`` (explicit ``tenant`` requests choose their own).
+        max_sessions: global in-flight session budget; ``begin`` beyond
+            it is load-shed with a structured retry hint.
+        max_program_ops: longest declarable per-session program.
+        session_timeout_s: default wall-clock budget of one session,
+            begin to commit (clients may request less, never more).
+        op_timeout_s: wall-clock budget of one operation including its
+            server-side WAIT retries.
+        drain_timeout_s: grace window in-flight sessions get to finish
+            after SIGTERM before being aborted.
+        wait_retry_initial_ms / wait_retry_cap_ms: exponential backoff
+            envelope for retrying WAIT outcomes server-side.
+        retry_after_base_ms: base of the ``retry_after_ms`` hint shed
+            ``begin`` requests carry.
+        jitter_seed: seed of the server's jitter stream (backoff and
+            retry-after hints), so a test run's delays are replayable.
+        watchdog_threshold: per-scheduler stall watchdog setting
+            (``None`` disables; see :class:`repro.protocols.base.
+            Scheduler`).
+        chaos: enable the destructive ``crash`` verb (chaos harness and
+            tests only; off by default so a stray client cannot crash a
+            production store).
+        certify_on_drain: run the survivor-invariant certification on
+            every tenant during drain and fold the verdict into the
+            exit code.
+        reap_interval_s: period of the deadline reaper task.
+        max_line_bytes: hard cap on one request line.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    default_protocol: str = "rsgt"
+    max_sessions: int = 256
+    max_program_ops: int = 64
+    session_timeout_s: float = 30.0
+    op_timeout_s: float = 10.0
+    drain_timeout_s: float = 5.0
+    wait_retry_initial_ms: float = 4.0
+    wait_retry_cap_ms: float = 128.0
+    retry_after_base_ms: int = 50
+    jitter_seed: int = 0
+    watchdog_threshold: int | None = 64
+    chaos: bool = False
+    certify_on_drain: bool = True
+    reap_interval_s: float = 0.25
+    max_line_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.default_protocol not in PROTOCOL_NAMES:
+            raise ReproError(
+                f"unknown protocol {self.default_protocol!r}; expected "
+                f"one of {PROTOCOL_NAMES}"
+            )
+        if self.max_sessions < 1:
+            raise ReproError(
+                f"max_sessions must be >= 1, got {self.max_sessions}"
+            )
+        if self.max_program_ops < 1:
+            raise ReproError(
+                f"max_program_ops must be >= 1, got {self.max_program_ops}"
+            )
+        for name in (
+            "session_timeout_s",
+            "op_timeout_s",
+            "drain_timeout_s",
+            "wait_retry_initial_ms",
+            "wait_retry_cap_ms",
+            "reap_interval_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise ReproError(f"{name} must be positive")

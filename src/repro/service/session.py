@@ -1,0 +1,91 @@
+"""One client transaction in flight: declared program, cursor, deadlines.
+
+A session is born by ``begin`` (program pre-declared, matching the
+paper's transaction model), advances one operation per ``read`` /
+``write`` / ``step`` request in program order, and dies by ``commit``,
+``abort``, a protocol victim decision, a deadline, a store crash, a
+disconnect, or drain.  Once closed it never reopens — a retrying client
+begins a fresh session with a fresh txn id, which is what keeps the
+scheduler's pre-declaration invariant honest.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.transactions import Transaction
+
+__all__ = ["Session", "SessionState"]
+
+
+class SessionState(enum.Enum):
+    """Lifecycle of a session (OPEN is the only live state)."""
+
+    OPEN = "open"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class Session:
+    """Mutable per-transaction service state (guarded by the tenant lock).
+
+    Attributes:
+        tx_id: the tenant-assigned transaction id.
+        tenant: owning tenant name.
+        transaction: the pre-declared program, bound to ``tx_id``.
+        deadline: monotonic loop time after which the session is undone.
+        started: monotonic loop time of the ``begin``.
+        cursor: index of the next operation to execute.
+        state: lifecycle state.
+        abort_reason: why the session died, when it died unhappy.
+        begun_in_store: whether ``KVStore.begin`` ran (deferred to the
+            first *granted* operation, so an early abort needs no undo).
+    """
+
+    tx_id: int
+    tenant: str
+    transaction: Transaction
+    deadline: float
+    started: float
+    cursor: int = 0
+    state: SessionState = SessionState.OPEN
+    abort_reason: str | None = None
+    begun_in_store: bool = False
+    #: whether the server already returned this session's admission slot
+    #: (sessions close from many paths; the slot must be freed once).
+    slot_released: bool = False
+    _waiters: list = field(default_factory=list, repr=False)
+
+    @property
+    def remaining_ops(self) -> int:
+        """Operations not yet granted."""
+        return len(self.transaction) - self.cursor
+
+    @property
+    def is_open(self) -> bool:
+        return self.state is SessionState.OPEN
+
+    def close(self, state: SessionState, reason: str | None = None) -> None:
+        """Transition to a terminal state and wake any WAIT-retry loops
+        parked on this session so they observe the death promptly."""
+        self.state = state
+        if reason is not None and self.abort_reason is None:
+            self.abort_reason = reason
+        for event in self._waiters:
+            event.set()
+        self._waiters.clear()
+
+    def add_waiter(self, event) -> None:
+        """Register an ``asyncio.Event`` set when the session closes."""
+        self._waiters.append(event)
+
+    def discard_waiter(self, event) -> None:
+        try:
+            self._waiters.remove(event)
+        except ValueError:
+            pass

@@ -1,0 +1,90 @@
+"""The NDJSON wire protocol: one request line in, one response line out.
+
+Requests are JSON objects with a ``do`` verb plus verb-specific fields
+and an optional client-chosen ``id`` that the response echoes.
+Responses carry ``ok: true`` plus result fields, or ``ok: false`` with a
+stable machine-readable ``error`` code, a human-readable ``message``,
+and — for load-shed and draining rejections — a structured
+``retry_after_ms`` hint so well-behaved clients back off instead of
+hammering.
+
+Codes are part of the protocol contract; clients switch on them, so
+they only ever grow, never change meaning.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "ERR_ABORTED",
+    "ERR_BAD_REQUEST",
+    "ERR_DEADLINE",
+    "ERR_DRAINING",
+    "ERR_FORBIDDEN",
+    "ERR_INTERNAL",
+    "ERR_OVERLOADED",
+    "ERR_UNKNOWN_TXN",
+    "VERBS",
+    "encode",
+    "err",
+    "ok",
+]
+
+#: The server is at its in-flight session budget; retry after the hint.
+ERR_OVERLOADED = "overloaded"
+#: The server is draining (SIGTERM received); find another replica.
+ERR_DRAINING = "draining"
+#: The session or operation deadline expired; the txn was undone.
+ERR_DEADLINE = "deadline"
+#: The transaction was aborted (protocol victim, store crash, explicit
+#: abort, disconnect); ``reason`` says why.  Begin a fresh session.
+ERR_ABORTED = "txn-aborted"
+#: Malformed request: unknown verb, bad program, op out of order, ...
+ERR_BAD_REQUEST = "bad-request"
+#: No open session with that txn id (never existed, or long closed).
+ERR_UNKNOWN_TXN = "unknown-txn"
+#: The verb exists but is disabled (e.g. ``crash`` without chaos mode).
+ERR_FORBIDDEN = "forbidden"
+#: The server hit an unexpected error; the request had no effect.
+ERR_INTERNAL = "internal"
+
+#: Every verb the dispatcher accepts.
+VERBS = (
+    "begin",
+    "read",
+    "write",
+    "step",
+    "commit",
+    "abort",
+    "tenant",
+    "health",
+    "metrics",
+    "certify",
+    "crash",
+)
+
+
+def ok(req_id: object = None, **fields: object) -> dict:
+    """A success response, echoing the request id when one was given."""
+    payload: dict = {"ok": True}
+    if req_id is not None:
+        payload["id"] = req_id
+    payload.update(fields)
+    return payload
+
+
+def err(
+    code: str, message: str, req_id: object = None, **fields: object
+) -> dict:
+    """A failure response with a stable machine-readable code."""
+    payload: dict = {"ok": False, "error": code, "message": message}
+    if req_id is not None:
+        payload["id"] = req_id
+    payload.update(fields)
+    return payload
+
+
+def encode(payload: dict) -> bytes:
+    """One response line, newline-terminated UTF-8 JSON."""
+    return json.dumps(payload, separators=(",", ":")).encode() + b"\n"

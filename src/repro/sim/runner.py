@@ -43,6 +43,7 @@ every run — including the committed projection of a faulty one.
 
 from __future__ import annotations
 
+import random
 from collections.abc import Mapping, Sequence
 
 from repro.core.schedules import Schedule
@@ -72,16 +73,35 @@ _MAX_BACKOFF_DOUBLINGS = 16
 _DEFAULT_MAX_STALLED_TICKS = 1_000
 
 
-def _restart_delay(policy: str, backoff: int, restarts: int) -> int:
-    """Ticks a victim stays blocked after its ``restarts``-th restart."""
+def _restart_delay(
+    policy: str,
+    backoff: int,
+    restarts: int,
+    rng: random.Random | None = None,
+) -> int:
+    """Ticks a victim stays blocked after its ``restarts``-th restart.
+
+    With ``rng`` supplied, a jitter term drawn uniformly from
+    ``[0, base delay]`` is added (decorrelated "full jitter").  Without
+    it the delay is the pure policy value — which means transactions
+    co-aborted in the same tick (a store crash, a multi-victim deadlock
+    resolution) restart in lockstep and re-collide on the same objects,
+    round after round.  Seeded jitter breaks the herd while keeping the
+    run a pure function of ``(inputs, seed)``: the rng is consulted once
+    per restart in the simulator's deterministic victim order.
+    """
     if policy == "linear":
-        return backoff * restarts
-    if policy == "exponential":
-        return backoff * (2 ** min(restarts - 1, _MAX_BACKOFF_DOUBLINGS))
-    raise SimulationError(
-        f"unknown restart policy {policy!r}; expected 'linear' or "
-        "'exponential'"
-    )
+        delay = backoff * restarts
+    elif policy == "exponential":
+        delay = backoff * (2 ** min(restarts - 1, _MAX_BACKOFF_DOUBLINGS))
+    else:
+        raise SimulationError(
+            f"unknown restart policy {policy!r}; expected 'linear' or "
+            "'exponential'"
+        )
+    if rng is not None:
+        delay += rng.randint(0, delay)
+    return delay
 
 
 def simulate(
@@ -94,6 +114,7 @@ def simulate(
     max_attempts: int | None = None,
     max_stalled_ticks: int | None = _DEFAULT_MAX_STALLED_TICKS,
     restart_policy: str = "linear",
+    restart_jitter: int | None = None,
     store: KVStore | None = None,
     bus: TraceBus | None = None,
     metrics: MetricsRegistry | None = None,
@@ -117,6 +138,12 @@ def simulate(
         restart_policy: ``"linear"`` (delay ``backoff * n`` after the
             *n*-th restart) or ``"exponential"`` (``backoff * 2**(n-1)``,
             capped).
+        restart_jitter: seed for decorrelated restart jitter; when set,
+            each restart delay gains a uniform ``[0, delay]`` term drawn
+            from a ``random.Random(restart_jitter)`` stream, so
+            co-aborted victims disperse instead of restarting in
+            lockstep.  ``None`` (the default) keeps the historical pure
+            policy delays — existing golden campaigns are unaffected.
         store: optional key-value store to execute granted operations
             against live (see the module docstring).
         bus: optional trace bus; when given it is installed on the
@@ -144,6 +171,9 @@ def simulate(
         if metrics is not None:
             metrics.inc(name, amount, protocol=protocol)
 
+    jitter_rng = (
+        random.Random(restart_jitter) if restart_jitter is not None else None
+    )
     arrivals = dict(arrivals or {})
     order = sorted(tx.tx_id for tx in transactions)
     by_id = {tx.tx_id: tx for tx in transactions}
@@ -259,7 +289,10 @@ def simulate(
                         count("sim.permanent_aborts")
                     else:
                         blocked_until[victim] = tick + _restart_delay(
-                            restart_policy, backoff, restarts[victim]
+                            restart_policy,
+                            backoff,
+                            restarts[victim],
+                            jitter_rng,
                         )
                         count("sim.restarts")
                         if bus is not None and bus.active:

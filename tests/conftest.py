@@ -1,11 +1,49 @@
-"""Shared fixtures: the paper's figures and a few small instances."""
+"""Shared fixtures: the paper's figures and a few small instances.
+
+Also installs a global per-test wall-clock timeout (SIGALRM based, no
+external plugin): the service tests drive a live asyncio server, and a
+hung drain or a lost wakeup must fail the test with a traceback at the
+blocking line instead of wedging the whole suite.  Override with
+``REPRO_TEST_TIMEOUT`` (seconds; ``0`` disables).
+"""
 
 from __future__ import annotations
+
+import os
+import signal
+import threading
 
 import pytest
 
 from repro.core.transactions import Transaction
 from repro.paper import figure1, figure2, figure3, figure4
+
+_TEST_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if (
+        _TEST_TIMEOUT_S <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded the global {_TEST_TIMEOUT_S:g}s "
+            "test timeout (REPRO_TEST_TIMEOUT)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

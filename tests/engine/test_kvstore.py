@@ -266,3 +266,74 @@ class TestCrashRecovery:
         store.write(1, "x", "kept")
         store.commit(1)
         assert store.peek("x") == "kept"
+
+
+class TestRecoveryEdgeCases:
+    """Corner cases the service drain/chaos paths lean on."""
+
+    def test_double_crash_recover_cycles(self):
+        store = KVStore({"x": "init"})
+        for generation in range(1, 4):
+            store.begin(generation)
+            store.write(generation, "x", f"dirty-{generation}")
+            store.crash()
+            assert store.recover() == frozenset({generation})
+            assert store.peek("x") == "init"
+        assert store.wal_size() == 0
+        assert not store.crashed
+
+    def test_crash_while_already_crashed_is_idempotent(self):
+        store = KVStore({"x": 1})
+        store.begin(1)
+        store.write(1, "x", 2)
+        store.crash()
+        store.crash()  # a second failure while down changes nothing
+        assert store.crashed
+        assert store.recover() == frozenset({1})
+        assert store.peek("x") == 1
+
+    def test_recover_with_an_empty_undo_log(self):
+        # A transaction that began but never wrote leaves no WAL
+        # records; recovery must still close it out.
+        store = KVStore({"x": 1})
+        store.begin(1)
+        store.crash()
+        assert store.recover() == frozenset({1})
+        assert store.open_transactions == frozenset()
+        assert store.snapshot() == {"x": 1}
+
+    def test_recover_on_an_absent_undo_log(self):
+        # No open transactions at all: recover clears the crash flag
+        # and reports nothing rolled back.
+        store = KVStore({"x": 1})
+        store.crash()
+        assert store.recover() == frozenset()
+        assert not store.crashed
+        store.begin(1)
+        store.write(1, "x", 2)
+        store.commit(1)
+        assert store.peek("x") == 2
+
+    def test_wal_size_tracks_live_records(self):
+        store = KVStore({"x": 0, "y": 0})
+        assert store.wal_size() == 0
+        store.begin(1)
+        assert store.wal_size() == 0  # begin alone writes nothing
+        store.write(1, "x", 1)
+        store.write(1, "y", 1)
+        store.begin(2)
+        store.write(2, "x", 2)
+        assert store.wal_size() == 3
+        store.commit(1)
+        assert store.wal_size() == 1  # only T2's record remains
+        store.abort(2)
+        assert store.wal_size() == 0
+
+    def test_wal_size_zero_after_recovery(self):
+        store = KVStore({"x": 0})
+        store.begin(1)
+        store.write(1, "x", 1)
+        store.write(1, "x", 2)
+        store.crash()
+        store.recover()
+        assert store.wal_size() == 0

@@ -215,3 +215,56 @@ class TestBoundedCrashRetry:
     def test_negative_budget_rejected(self):
         with pytest.raises(ValueError):
             ParallelExecutor(1, max_retries=-1)
+
+
+class TestShutdownPools:
+    def test_repeated_shutdown_is_idempotent(self):
+        ParallelExecutor(2).map(_square, list(range(8)))
+        assert _POOLS
+        shutdown_pools()
+        shutdown_pools()  # second call sees an empty cache
+        assert not _POOLS
+
+    def test_shutdown_on_a_cold_cache_is_a_noop(self):
+        shutdown_pools()
+        assert not _POOLS
+        shutdown_pools()
+        assert not _POOLS
+
+    def test_pools_rebuild_after_shutdown(self):
+        executor = ParallelExecutor(2)
+        assert executor.map(_square, list(range(8))) == [
+            v * v for v in range(8)
+        ]
+        shutdown_pools()
+        # Next map transparently warms a fresh pool.
+        assert executor.map(_square, list(range(8))) == [
+            v * v for v in range(8)
+        ]
+        assert _POOLS
+
+    def test_reentrant_shutdown_from_within_shutdown(self):
+        # A signal handler firing mid-drain re-enters shutdown_pools;
+        # popitem-before-shutdown means the inner call sees a disjoint
+        # remainder and both return cleanly.
+        ParallelExecutor(2).map(_square, list(range(4)))
+        ParallelExecutor(3).map(_square, list(range(4)))
+        assert len(_POOLS) == 2
+
+        real_shutdown = type(next(iter(_POOLS.values()))[0]).shutdown
+        calls = []
+
+        class _Reenter:
+            def __init__(self, pool):
+                self._pool = pool
+
+            def __call__(self, **kwargs):
+                calls.append(kwargs)
+                shutdown_pools()  # reentrant: must not double-shutdown
+                real_shutdown(self._pool, **kwargs)
+
+        for pool, _version in list(_POOLS.values()):
+            pool.shutdown = _Reenter(pool)
+        shutdown_pools()
+        assert not _POOLS
+        assert len(calls) == 2  # each pool shut down exactly once

@@ -1,0 +1,76 @@
+"""Unit tests for the load-shedding admission controller."""
+
+import random
+
+import pytest
+
+from repro.service import AdmissionController
+
+
+class TestBudget:
+    def test_admits_up_to_the_limit_then_sheds(self):
+        gate = AdmissionController(3)
+        assert [gate.try_admit() for _ in range(3)] == [True] * 3
+        assert gate.try_admit() is False
+        assert gate.inflight == 3
+        assert gate.shed == 1
+        assert gate.peak == 3
+
+    def test_release_reopens_a_slot(self):
+        gate = AdmissionController(1)
+        assert gate.try_admit()
+        assert not gate.try_admit()
+        gate.release()
+        assert gate.try_admit()
+
+    def test_release_without_admit_is_a_bug(self):
+        with pytest.raises(RuntimeError):
+            AdmissionController(1).release()
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+
+
+class TestDrain:
+    def test_draining_refuses_everything(self):
+        gate = AdmissionController(10)
+        gate.start_drain()
+        assert not gate.try_admit()
+        assert gate.draining
+        # Releases still work for the in-flight tail.
+        gate._inflight = 1
+        gate.release()
+        assert gate.inflight == 0
+
+
+class TestRetryAfter:
+    def test_hint_is_jittered_within_its_envelope(self):
+        gate = AdmissionController(
+            10, retry_after_base_ms=100, rng=random.Random(0)
+        )
+        for _ in range(10):
+            gate.try_admit()
+        hints = [gate.retry_after_ms() for _ in range(200)]
+        # Pressure 1 + 10/10 = 2 -> scaled base 200, jitter [0, 200].
+        assert all(200 <= h <= 400 for h in hints)
+        assert len(set(hints)) > 10  # actually jittered
+
+    def test_hint_grows_with_pressure(self):
+        rng = random.Random(1)
+        empty = AdmissionController(10, retry_after_base_ms=100, rng=rng)
+        full = AdmissionController(10, retry_after_base_ms=100, rng=rng)
+        for _ in range(10):
+            full.try_admit()
+        floor_empty = 100  # pressure 1.0
+        floor_full = 200  # pressure 2.0
+        assert min(full.retry_after_ms() for _ in range(50)) >= floor_full
+        assert min(empty.retry_after_ms() for _ in range(50)) >= floor_empty
+        assert min(empty.retry_after_ms() for _ in range(50)) < floor_full
+
+    def test_seeded_hints_replay(self):
+        a = AdmissionController(4, rng=random.Random(42))
+        b = AdmissionController(4, rng=random.Random(42))
+        assert [a.retry_after_ms() for _ in range(20)] == [
+            b.retry_after_ms() for _ in range(20)
+        ]

@@ -1,0 +1,99 @@
+"""Live chaos-harness tests: seeded fault plans against a real server.
+
+The interleavings are wall-clock dependent by design — the survivor
+invariant must hold on every one of them, so each run is a fresh
+sample.  The workload and the fault plan themselves stay pinned by the
+seed.
+"""
+
+import asyncio
+
+from repro.service import ChaosConfig, run_chaos
+from tests.service.util import running_server
+
+
+class TestChaosCertification:
+    def test_kills_aborts_stalls_and_a_crash_certify(self):
+        async def scenario():
+            async with running_server(
+                chaos=True, max_sessions=64
+            ) as server:
+                report = await run_chaos(
+                    ChaosConfig(
+                        clients=16,
+                        seed=7,
+                        kill_rate=0.2,
+                        abort_rate=0.15,
+                        stall_rate=0.2,
+                        crash_at=12,
+                        stall_ms=2,
+                    ),
+                    server.host,
+                    server.port,
+                )
+                assert report.ok, report.describe()
+                assert report.committed > 0
+                assert report.killed >= 1
+                assert report.crashes == 1
+                assert report.quiesced
+                assert report.survivors_match
+            assert server.exit_code == 0
+
+        asyncio.run(scenario())
+
+    def test_blocking_protocol_under_chaos(self):
+        async def scenario():
+            async with running_server(
+                chaos=True, max_sessions=64
+            ) as server:
+                report = await run_chaos(
+                    ChaosConfig(
+                        clients=12,
+                        seed=11,
+                        protocol="2pl",
+                        tenant="two-phase",
+                        kill_rate=0.15,
+                        abort_rate=0.1,
+                        crash_at=10,
+                    ),
+                    server.host,
+                    server.port,
+                )
+                assert report.ok, report.describe()
+                assert report.committed > 0
+            assert server.exit_code == 0
+
+        asyncio.run(scenario())
+
+    def test_load_shedding_under_a_tiny_admission_budget(self):
+        async def scenario():
+            async with running_server(
+                chaos=True, max_sessions=3
+            ) as server:
+                report = await run_chaos(
+                    ChaosConfig(clients=12, seed=3),
+                    server.host,
+                    server.port,
+                )
+                # Shed begins are retried per the structured hint, so
+                # the fleet still makes it through.
+                assert report.ok, report.describe()
+                assert report.committed > 0
+            assert server.exit_code == 0
+
+        asyncio.run(scenario())
+
+    def test_report_shape_round_trips(self):
+        async def scenario():
+            async with running_server(chaos=True) as server:
+                report = await run_chaos(
+                    ChaosConfig(clients=4, seed=1),
+                    server.host,
+                    server.port,
+                )
+                payload = report.to_dict()
+                assert payload["ok"] == report.ok
+                assert payload["clients"] == 4
+                assert isinstance(report.describe(), str)
+
+        asyncio.run(scenario())

@@ -1,0 +1,41 @@
+"""Unit tests for the NDJSON wire helpers."""
+
+import json
+
+from repro.service import wire
+
+
+class TestEncoding:
+    def test_ok_is_one_json_line(self):
+        raw = wire.encode(wire.ok(7, txn=3))
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1
+        assert json.loads(raw) == {"ok": True, "id": 7, "txn": 3}
+
+    def test_ok_without_id_omits_the_field(self):
+        assert "id" not in wire.ok(None, value=1)
+
+    def test_err_carries_code_message_and_extras(self):
+        payload = wire.err(
+            wire.ERR_OVERLOADED, "busy", 9, retry_after_ms=120
+        )
+        assert payload == {
+            "ok": False,
+            "error": "overloaded",
+            "message": "busy",
+            "id": 9,
+            "retry_after_ms": 120,
+        }
+
+    def test_error_codes_are_distinct(self):
+        codes = {
+            wire.ERR_OVERLOADED,
+            wire.ERR_DRAINING,
+            wire.ERR_DEADLINE,
+            wire.ERR_ABORTED,
+            wire.ERR_BAD_REQUEST,
+            wire.ERR_UNKNOWN_TXN,
+            wire.ERR_FORBIDDEN,
+            wire.ERR_INTERNAL,
+        }
+        assert len(codes) == 8

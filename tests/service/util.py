@@ -1,0 +1,26 @@
+"""Async helpers shared by the service tests.
+
+There is no async test plugin in the toolchain, so tests drive their
+scenarios with ``asyncio.run`` and use this context manager to get a
+bound server that is always drained on the way out (which also
+exercises the drain-certification path in every test teardown).
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.service import RsrServer, ServiceConfig
+
+
+@contextlib.asynccontextmanager
+async def running_server(**overrides):
+    overrides.setdefault("host", "127.0.0.1")
+    overrides.setdefault("port", 0)
+    server = RsrServer(ServiceConfig(**overrides))
+    await server.start()
+    try:
+        yield server
+    finally:
+        if not server._stopped.is_set():
+            await server.drain("test-teardown")

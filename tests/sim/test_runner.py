@@ -284,3 +284,80 @@ class TestBundleRunner:
         assert result.mean_response_time_of("long") is not None
         assert result.mean_response_time_of("short") is not None
         assert result.mean_response_time_of("absent-role") is None
+
+
+class _MassAbortOnce(Scheduler):
+    """Waits for ``herd`` admissions, aborts them all at once, then grants.
+
+    Models the multi-victim events (store crash, deadlock-cycle
+    resolution) that put a whole cohort on the same restart clock.
+    """
+
+    name = "mass-abort"
+
+    def __init__(self, herd):
+        super().__init__()
+        self._herd = herd
+        self._fired = False
+
+    def _decide(self, op):
+        if self._fired:
+            return Outcome.grant()
+        if len(self.admitted_ids) < self._herd:
+            return Outcome.wait()
+        self._fired = True
+        return Outcome.abort(*sorted(self.admitted_ids))
+
+
+class TestRestartJitter:
+    """Decorrelated restart jitter must break co-aborted herds."""
+
+    N_VICTIMS = 6
+
+    def _herd(self):
+        return [
+            Transaction.from_notation(i, "r[x] w[x]")
+            for i in range(1, self.N_VICTIMS + 1)
+        ]
+
+    def _restart_horizons(self, **kwargs):
+        from repro.obs.bus import RingBufferSink, TraceBus
+        from repro.obs.events import EventKind
+
+        sink = RingBufferSink()
+        result = simulate(
+            self._herd(),
+            _MassAbortOnce(self.N_VICTIMS),
+            bus=TraceBus(sink),
+            **kwargs,
+        )
+        assert result.committed == self.N_VICTIMS
+        return [
+            dict(event.extra)["blocked_until"]
+            for event in sink.events
+            if event.kind is EventKind.RESTART
+        ]
+
+    def test_without_jitter_coaborted_victims_restart_in_lockstep(self):
+        horizons = self._restart_horizons(backoff=8)
+        assert len(horizons) == self.N_VICTIMS
+        # The herd: every victim wakes on the same tick and re-collides.
+        assert len(set(horizons)) == 1
+
+    def test_seeded_jitter_disperses_the_herd(self):
+        pure = self._restart_horizons(backoff=8)[0]
+        horizons = self._restart_horizons(backoff=8, restart_jitter=123)
+        assert len(horizons) == self.N_VICTIMS
+        assert len(set(horizons)) > 1
+        # Full jitter adds [0, base] on top of the pure policy delay.
+        assert all(pure <= h <= 2 * pure for h in horizons)
+
+    def test_same_seed_replays_identically(self):
+        first = self._restart_horizons(backoff=8, restart_jitter=42)
+        second = self._restart_horizons(backoff=8, restart_jitter=42)
+        assert first == second
+
+    def test_different_seeds_draw_different_spreads(self):
+        a = self._restart_horizons(backoff=64, restart_jitter=1)
+        b = self._restart_horizons(backoff=64, restart_jitter=2)
+        assert a != b
