@@ -102,6 +102,18 @@ async def _run_fleet(n_clients, objects_for):
         await asyncio.gather(*(client.close() for client in clients))
         committed = sum(outcomes)
         shed = server.admission.shed
+        # How hard shed clients were pushed back: the server records
+        # every retry_after_ms hint it hands out as a distribution.
+        hints = server.metrics.histogram("service.retry_after_ms")
+        retry_hints = {"count": 0, "min": 0, "max": 0, "p50": 0, "p99": 0}
+        if hints is not None and hints.count:
+            retry_hints = {
+                "count": hints.count,
+                "min": hints.min,
+                "max": hints.max,
+                "p50": hints.percentile(50),
+                "p99": hints.percentile(99),
+            }
     finally:
         await server.drain("bench-complete")
     assert server.exit_code == 0, "drain certification failed"
@@ -110,6 +122,7 @@ async def _run_fleet(n_clients, objects_for):
         "committed": committed,
         "gave_up": n_clients - committed,
         "shed_begins": shed,
+        "retry_after_ms": retry_hints,
         "tx_per_s": round(committed / wall, 1) if wall else 0.0,
         "p50_ms": round(nearest_rank(latencies, 50), 2),
         "p99_ms": round(nearest_rank(latencies, 99), 2),
@@ -161,6 +174,13 @@ def test_report_service_fleet(benchmark):
                 "p99 (ms)",
             ],
             rows,
+        )
+        + "".join(
+            f"\n{regime}: shed retry_after_ms hints "
+            f"count={stats['retry_after_ms']['count']} "
+            f"p50={stats['retry_after_ms']['p50']} "
+            f"p99={stats['retry_after_ms']['p99']}"
+            for regime, stats in results.items()
         ),
     )
     # Disjoint traffic must not give up: there is nothing to abort for.

@@ -42,6 +42,10 @@ CHECKS = (
     # gate, so this check only catches order-of-magnitude blowups.
     ("BENCH_obs.json", "obs_overhead", ("*", "overhead_pct"), 9.0, "pct-points"),
     ("BENCH_obs.json", "obs_emit", ("per_event_ns",), 150.0, "ns"),
+    # Same load-swing caveat as obs_overhead: the span-collector's own
+    # <10% assertion is the primary gate.
+    ("BENCH_obs.json", "obs_span", ("*", "overhead_pct"), 9.0, "pct-points"),
+    ("BENCH_obs.json", "obs_hist", ("per_record_ns",), 150.0, "ns"),
     # Flat chunk tasks are a couple dozen bytes of pickled integers;
     # growth here means object graphs crept back into the per-chunk
     # payloads.  The epsilon absorbs pickle-framing jitter between the

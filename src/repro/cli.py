@@ -28,16 +28,23 @@ Subcommands:
   exits 0 only if each committed projection certifies relatively
   serializable and the recovered store state matches a fault-free
   execution of exactly the committed transactions;
-* ``trace FILE --protocol NAME [--format jsonl|chrome]`` — simulate with
-  tracing enabled and emit the run's event trace (native JSONL or the
-  ``chrome://tracing`` timeline format);
+* ``trace FILE --protocol NAME [--format jsonl|chrome|spans|spans-chrome]``
+  — simulate with tracing enabled and emit the run's event trace
+  (native JSONL, the ``chrome://tracing`` timeline format, or the
+  folded request-lifecycle spans in either flavour);
 * ``explain FILE --schedule NAME [--json | --dot]`` — replay a schedule
   against the file's spec and explain the verdict: the labelled RSG
   witness cycle on rejection, the equivalent relatively serial schedule
   on admission;
-* ``serve [--port N] [--protocol NAME] [--chaos]`` — run the
-  long-running transaction service (NDJSON over TCP, multi-tenant,
-  admission-controlled, SIGTERM-drained; see :mod:`repro.service`);
+* ``serve [--port N] [--protocol NAME] [--chaos]
+  [--flight-recorder DIR]`` — run the long-running transaction service
+  (NDJSON over TCP, multi-tenant, admission-controlled,
+  SIGTERM-drained; see :mod:`repro.service`);
+* ``top --connect HOST PORT [--tenant NAME] [--interval S | --once]``
+  — live wait-for/donation/RSG view of a running server, refreshed
+  from the ``inspect`` verb;
+* ``dump --connect HOST PORT [-o FILE]`` — fetch a flight-recorder
+  dump (last-N events per tenant) from a running server as JSONL;
 * ``chaos [--connect HOST PORT] --clients N --seed S`` — act out a
   seeded fault plan against a live server (or a self-hosted one) and
   certify the survivor invariant; exits 0 only if it holds.
@@ -45,7 +52,8 @@ Subcommands:
 ``simulate`` and ``faults`` additionally accept ``--trace FILE`` and
 ``--metrics FILE`` (``census``: ``--metrics FILE``) to write the
 deterministic JSONL trace / metrics report alongside their normal
-output.
+output; ``faults --flight-recorder DIR`` replays every run's trace
+through a flight recorder and writes the triggered dumps there.
 
 The problem-file format is documented in :mod:`repro.io.notation`.
 """
@@ -261,6 +269,17 @@ def build_parser() -> argparse.ArgumentParser:
             "report to this file"
         ),
     )
+    faults_cmd.add_argument(
+        "--flight-recorder",
+        type=Path,
+        default=None,
+        dest="flight_recorder",
+        help=(
+            "replay every run's trace through a flight recorder keyed "
+            "per run and write the triggered dumps (crash/watchdog/"
+            "livelock) plus a final campaign dump into this directory"
+        ),
+    )
 
     trace_cmd = commands.add_parser(
         "trace",
@@ -277,9 +296,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_cmd.add_argument(
         "--format",
-        choices=("jsonl", "chrome"),
+        choices=("jsonl", "chrome", "spans", "spans-chrome"),
         default="jsonl",
-        help="native JSONL or the chrome://tracing timeline format",
+        help=(
+            "native JSONL, the chrome://tracing timeline format, or "
+            "the folded request-lifecycle spans (JSONL / chrome slices)"
+        ),
     )
     trace_cmd.add_argument(
         "-o",
@@ -367,6 +389,73 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the final metrics report to this file on drain",
     )
+    serve_cmd.add_argument(
+        "--flight-recorder",
+        type=Path,
+        default=None,
+        dest="flight_recorder",
+        help=(
+            "directory for flight-recorder dumps (written automatically "
+            "on store crash / watchdog / livelock and on drain)"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=256,
+        dest="flight_capacity",
+        help="events kept per tenant ring in the flight recorder",
+    )
+
+    top_cmd = commands.add_parser(
+        "top",
+        help="live wait-for/donation/RSG view of a running server",
+    )
+    top_cmd.add_argument(
+        "--connect",
+        nargs=2,
+        metavar=("HOST", "PORT"),
+        required=True,
+        help="target server (see serve --port-file)",
+    )
+    top_cmd.add_argument(
+        "--tenant", default=None, help="show only this tenant"
+    )
+    top_cmd.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="refresh period in seconds",
+    )
+    top_cmd.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit (no refresh loop)",
+    )
+
+    dump_cmd = commands.add_parser(
+        "dump",
+        help="fetch a flight-recorder dump from a running server",
+    )
+    dump_cmd.add_argument(
+        "--connect",
+        nargs=2,
+        metavar=("HOST", "PORT"),
+        required=True,
+        help="target server",
+    )
+    dump_cmd.add_argument(
+        "--cause",
+        default=None,
+        help="cause label stamped into the dump header",
+    )
+    dump_cmd.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=None,
+        help="write the JSONL dump here instead of stdout",
+    )
 
     chaos_cmd = commands.add_parser(
         "chaos",
@@ -439,6 +528,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_explain(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "top":
+            return _cmd_top(args)
+        if args.command == "dump":
+            return _cmd_dump(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
     except ReproError as exc:
@@ -679,9 +772,24 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         stall_rate=args.stall_rate,
         kill_rate=args.kill_rate,
         crash_rate=args.crash_rate,
-        trace=args.trace is not None or args.metrics is not None,
+        trace=(
+            args.trace is not None
+            or args.metrics is not None
+            or args.flight_recorder is not None
+        ),
     )
     report = run_campaign(config, jobs=args.jobs)
+    if args.flight_recorder is not None:
+        from repro.obs.recorder import FlightRecorder
+
+        recorder = FlightRecorder(directory=args.flight_recorder)
+        for record in report.records:
+            recorder.replay_jsonl(record.trace, key=f"run{record.index}")
+        final = recorder.dump("campaign-end")
+        print(
+            f"flight recorder: {len(recorder.dumped)} dump(s) in "
+            f"{args.flight_recorder} (final: {final.name})"
+        )
     if args.trace is not None:
         args.trace.write_text(report.trace_jsonl(), encoding="utf-8")
     if args.metrics is not None:
@@ -720,6 +828,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
     if args.format == "chrome":
         text = chrome_trace_json(sink.events) + "\n"
+    elif args.format in ("spans", "spans-chrome"):
+        import json
+
+        from repro.obs.spans import (
+            spans_from_events,
+            spans_jsonl,
+            spans_to_chrome,
+        )
+
+        spans = spans_from_events(sink.events)
+        if args.format == "spans":
+            text = spans_jsonl(spans)
+        else:
+            text = json.dumps(spans_to_chrome(spans), sort_keys=True) + "\n"
     else:
         text = sink.text()
     if args.output is not None:
@@ -770,6 +892,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain_timeout_s=args.drain_timeout,
         jitter_seed=args.seed,
         chaos=args.chaos,
+        flight_dir=args.flight_recorder,
+        flight_capacity=args.flight_capacity,
     )
 
     async def _serve() -> int:
@@ -793,6 +917,127 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return exit_code
 
     return asyncio.run(_serve())
+
+
+def _render_top(response: dict) -> str:
+    """One ``inspect`` snapshot as a compact text screen.
+
+    Pure function of the response payload, so the rendering is as
+    deterministic as the snapshot itself (handy for --once in tests).
+    """
+    rings = response.get("flight_rings") or {}
+    ring_txt = ",".join(f"{k}:{v}" for k, v in sorted(rings.items()))
+    lines = [
+        f"rsr service: {response.get('status')}  "
+        f"inflight={response.get('inflight')} shed={response.get('shed')}  "
+        f"open-spans={response.get('open_spans')}  "
+        f"flight-rings[{ring_txt}]"
+    ]
+    for name, snap in sorted((response.get("tenants") or {}).items()):
+        lines.append(
+            f"tenant {name} ({snap.get('protocol')}): "
+            f"admitted={snap.get('admitted')} live={snap.get('live')} "
+            f"committed={snap.get('committed')} "
+            f"watchdog={snap.get('watchdog_fires')}"
+        )
+        lines.append(
+            f"  sessions open={snap.get('open_sessions')} "
+            f"waiting={snap.get('waiting_sessions')}"
+        )
+        waits = snap.get("waits_for") or {}
+        if waits:
+            edges = "; ".join(
+                f"T{waiter} -> " + ",".join(f"T{b}" for b in blockers)
+                for waiter, blockers in sorted(
+                    waits.items(), key=lambda kv: int(kv[0])
+                )
+            )
+            lines.append(f"  waits-for {edges}")
+        donations = snap.get("donations") or []
+        if donations:
+            rendered = "; ".join(
+                f"T{d['donor']} gives {d['obj']}"
+                + (f" to T{d['to']}" if d.get("to") is not None else "")
+                for d in donations
+            )
+            lines.append(f"  donations {rendered}")
+        rsg = snap.get("rsg")
+        if rsg:
+            arcs = rsg.get("arcs") or {}
+            arc_txt = " ".join(
+                f"{kind}={arcs.get(kind, 0)}" for kind in ("I", "D", "F", "B")
+            )
+            lines.append(
+                f"  rsg nodes={rsg.get('nodes')} arcs[{arc_txt}] "
+                f"history={rsg.get('history')} "
+                f"certified={rsg.get('certified')} "
+                f"rejected={rsg.get('rejected')}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.client import ServiceClient
+
+    host, port = args.connect[0], int(args.connect[1])
+
+    async def _run() -> int:
+        client = await ServiceClient.connect(host, port)
+        try:
+            while True:
+                response = await client.inspect(args.tenant)
+                if not args.once:
+                    sys.stdout.write("\x1b[2J\x1b[H")
+                print(_render_top(response))
+                sys.stdout.flush()
+                if args.once:
+                    return 0
+                await asyncio.sleep(args.interval)
+        finally:
+            await client.close()
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        print()
+        return 0
+    except OSError as exc:
+        print(f"error: cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.client import ServiceClient
+
+    host, port = args.connect[0], int(args.connect[1])
+
+    async def _run() -> int:
+        client = await ServiceClient.connect(host, port)
+        try:
+            response = await client.dump(args.cause)
+        finally:
+            await client.close()
+        text = response.get("dump", "")
+        if args.output is not None:
+            args.output.write_text(text, encoding="utf-8")
+            rings = response.get("rings") or {}
+            print(
+                f"wrote {sum(rings.values())} event(s) across "
+                f"{len(rings)} ring(s) to {args.output}"
+            )
+        else:
+            print(text, end="")
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    except OSError as exc:
+        print(f"error: cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:

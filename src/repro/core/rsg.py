@@ -637,6 +637,26 @@ class IncrementalRsg:
         """
         return self._flat.node_capacity
 
+    @property
+    def node_count(self) -> int:
+        """Live node count (operations of currently-declared txs)."""
+        return sum(len(ids) for ids in self._ids.values())
+
+    def arc_census(self) -> dict[str, int]:
+        """Live arc counts by kind, ``{"I": ..., "D": ..., ...}``.
+
+        Walks the flat engine's collapsed arc masks (O(arcs), no graph
+        materialization), counting each kind bit separately — an arc
+        carrying both D and B counts once under each.  Sized for the
+        ``inspect`` service verb, not the certification hot path.
+        """
+        census = dict.fromkeys(("I", "D", "F", "B"), 0)
+        for _, mask in self._flat.edge_items():
+            for bit, kind in _BIT_KINDS:
+                if mask & bit:
+                    census[kind.value] += 1
+        return census
+
     def labelled_rejection(
         self,
     ) -> list[tuple[Operation, Operation, frozenset[ArcKind]]] | None:

@@ -13,9 +13,15 @@ makes that explainability operational for the whole stack:
 * :class:`Reason` — structured decision provenance attached to every
   non-grant :class:`~repro.protocols.base.Outcome`: which lock conflict,
   which donor debt, which atomic-unit containment, or which RSG cycle.
-* :class:`MetricsRegistry` — counters, gauges, and observations keyed by
-  name + labels, merged deterministically across parallel workers and
-  exported as stable JSON.
+* :class:`MetricsRegistry` — counters, gauges, observations, and
+  :class:`Histogram` distributions keyed by name + labels, merged
+  deterministically across parallel workers and exported as stable JSON
+  or Prometheus text exposition.
+* :class:`SpanCollector` — request-lifecycle spans folded from the raw
+  event stream (admission → grant/WAIT → certification → commit), all
+  logical-time stamped and byte-deterministic at any ``--jobs``.
+* :class:`FlightRecorder` — bounded per-tenant rings of raw events,
+  dumped to JSONL on crash, watchdog, livelock, or drain.
 * :func:`explain_schedule` / :class:`RejectionWitness` — the offline
   explanation API: replay a schedule against a spec and, on rejection,
   return the offending cycle as labelled arcs (I/D/F/B), renderable as
@@ -30,6 +36,15 @@ from repro.obs.bus import (
     TraceBus,
 )
 from repro.obs.events import EventKind, Reason, TraceEvent
+from repro.obs.hist import Histogram
+from repro.obs.recorder import FlightRecorder
+from repro.obs.spans import (
+    Span,
+    SpanCollector,
+    spans_from_events,
+    spans_jsonl,
+    spans_to_chrome,
+)
 from repro.obs.explain import (
     Explanation,
     RejectionWitness,
@@ -51,6 +66,13 @@ __all__ = [
     "JsonlSink",
     "NULL_BUS",
     "MetricsRegistry",
+    "Histogram",
+    "Span",
+    "SpanCollector",
+    "spans_from_events",
+    "spans_jsonl",
+    "spans_to_chrome",
+    "FlightRecorder",
     "Explanation",
     "RejectionWitness",
     "WitnessStep",

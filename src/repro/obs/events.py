@@ -46,6 +46,10 @@ class EventKind(enum.Enum):
     CERTIFY_ATTEMPT = "certify-attempt"
     CERTIFY_VERDICT = "certify-verdict"
     LIVELOCK = "livelock"
+    # Service-lifecycle kinds (emitted by the tenant layer only, so
+    # simulator traces and their golden files are unaffected).
+    ADMIT = "session-admit"
+    APPLY = "wal-apply"
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
@@ -148,3 +152,36 @@ class TraceEvent(NamedTuple):
         platforms for equal events.
         """
         return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceEvent":
+        """Rebuild an event from its :meth:`to_dict` form.
+
+        The exact inverse on every payload :meth:`to_dict` produces
+        (``event.from_dict(event.to_dict()) == event`` up to list/tuple
+        normalisation in ``extra`` values), which lets offline tools —
+        the flight recorder replaying a campaign trace — reconstruct raw
+        event tuples from JSONL without having observed the live bus.
+        """
+        fields = dict(payload)
+        reason_payload = fields.pop("reason", None)
+        reason = None
+        if reason_payload is not None:
+            reason = Reason(
+                code=reason_payload["code"],
+                blockers=tuple(reason_payload.get("blockers", ())),
+                cycle=tuple(
+                    tuple(step) for step in reason_payload.get("cycle", ())
+                ),
+                detail=reason_payload.get("detail", ""),
+            )
+        return cls(
+            seq=fields.pop("seq"),
+            tick=fields.pop("tick"),
+            kind=EventKind(fields.pop("kind")),
+            tx=fields.pop("tx", None),
+            op=fields.pop("op", None),
+            protocol=fields.pop("protocol", ""),
+            reason=reason,
+            extra=tuple(fields.items()),
+        )

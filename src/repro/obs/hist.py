@@ -1,0 +1,166 @@
+"""Fixed-boundary latency histograms with deterministic merge.
+
+Percentile reporting used to sort raw sample lists; that is exact but
+unmergeable — two workers' sorted lists cannot be combined without
+shipping every sample.  A :class:`Histogram` trades bounded resolution
+for O(1) recording and an associative, commutative merge: buckets are
+**fixed powers of two** (bucket ``i`` covers ``[2^(i-1), 2^i - 1]``,
+bucket 0 is exactly ``{0}``), so every worker bins identically and
+merging is element-wise integer addition.  Reports derived from merged
+histograms are therefore byte-identical at any ``--jobs`` count, the
+same guarantee the rest of the metrics registry gives.
+
+Percentiles are nearest-rank over the cumulative bucket counts and
+report the containing bucket's **upper bound**, clamped to the observed
+maximum — a conservative (never under-reporting) estimate with at most
+2x relative error, exact for 0, 1, and the sample maximum.  All values
+are non-negative integers; wall-clock consumers record integer
+microseconds/milliseconds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+__all__ = ["Histogram"]
+
+#: Bucket index of value ``v`` is ``v.bit_length()``; 64 buckets cover
+#: every value below ``2**63`` (and the top bucket absorbs the rest).
+_BUCKETS = 64
+
+
+def _bucket_upper(index: int) -> int:
+    """The largest value bucket ``index`` covers (0 for bucket 0)."""
+    return 0 if index == 0 else (1 << index) - 1
+
+
+class Histogram:
+    """A power-of-two-bucket histogram over non-negative integers.
+
+    Recording is O(1) (one ``bit_length`` plus a list increment), and
+    :meth:`merge` is element-wise addition, so folding per-run
+    histograms in task order yields the same result at any worker
+    count.
+    """
+
+    __slots__ = ("_counts", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self._counts = [0] * _BUCKETS
+        self.count = 0
+        self.total = 0
+        self.min: int | None = None
+        self.max: int | None = None
+
+    @classmethod
+    def from_values(cls, values: Iterable[int]) -> "Histogram":
+        """A histogram over ``values`` (convenience constructor)."""
+        hist = cls()
+        for value in values:
+            hist.record(value)
+        return hist
+
+    # ------------------------------------------------------------------
+    # Recording and merging
+    # ------------------------------------------------------------------
+    def record(self, value: int) -> None:
+        """Record one sample (a non-negative integer)."""
+        if value < 0:
+            raise ValueError(f"histogram values must be >= 0, got {value}")
+        index = value.bit_length()
+        if index >= _BUCKETS:
+            index = _BUCKETS - 1
+        self._counts[index] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram (returns self).
+
+        Element-wise bucket addition: associative and commutative, so
+        the merged result is independent of worker partitioning.
+        """
+        counts = self._counts
+        for index, extra in enumerate(other._counts):
+            if extra:
+                counts[index] += extra
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def percentile(self, percentile: float) -> int:
+        """Nearest-rank percentile, reported at bucket resolution.
+
+        The rank'th sample's bucket upper bound, clamped to the observed
+        maximum (so ``percentile(100)`` is exactly the maximum, and 0/1
+        are always exact — they occupy single-value buckets).
+
+        Raises:
+            ValueError: on an empty histogram or a percentile outside
+                ``(0, 100]`` (nearest-rank is undefined at 0).
+        """
+        if not self.count:
+            raise ValueError("percentile of an empty histogram")
+        if not 0 < percentile <= 100:
+            raise ValueError(
+                f"percentile must be in (0, 100], got {percentile}"
+            )
+        rank = max(1, -(-self.count * percentile // 100))
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                upper = _bucket_upper(index)
+                return upper if self.max is None else min(upper, self.max)
+        raise AssertionError("rank exceeds recorded count")  # pragma: no cover
+
+    def percentiles(
+        self, percentiles: tuple[float, ...] = (50, 90, 99)
+    ) -> dict[str, int]:
+        """``{"p50": ..., ...}`` labels over :meth:`percentile`.
+
+        An empty histogram yields zeros under the same keys, so report
+        shapes stay constant.
+        """
+        if not self.count:
+            return {f"p{p:g}": 0 for p in percentiles}
+        return {f"p{p:g}": self.percentile(p) for p in percentiles}
+
+    def buckets(self) -> dict[int, int]:
+        """Non-empty ``{bucket upper bound: count}``, ascending."""
+        return {
+            _bucket_upper(index): bucket_count
+            for index, bucket_count in enumerate(self._counts)
+            if bucket_count
+        }
+
+    def to_dict(self) -> dict:
+        """Plain-data form: totals, p50/p99, and the sparse buckets."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": 0 if self.min is None else self.min,
+            "max": 0 if self.max is None else self.max,
+            "p50": self.percentile(50) if self.count else 0,
+            "p99": self.percentile(99) if self.count else 0,
+            "buckets": {
+                str(upper): count for upper, count in self.buckets().items()
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(count={self.count}, min={self.min}, "
+            f"max={self.max})"
+        )

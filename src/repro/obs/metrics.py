@@ -24,6 +24,8 @@ import json
 import time
 from contextlib import contextmanager
 
+from repro.obs.hist import Histogram
+
 __all__ = ["MetricsRegistry"]
 
 Key = tuple[str, tuple[tuple[str, str], ...]]
@@ -49,6 +51,8 @@ class MetricsRegistry:
         self._gauges: dict[Key, int] = {}
         # key -> [sum, count, min, max]
         self._observations: dict[Key, list[int]] = {}
+        # key -> fixed power-of-two bucket histogram
+        self._histograms: dict[Key, Histogram] = {}
         # key -> [total_seconds, calls]
         self._timers: dict[Key, list[float]] = {}
 
@@ -77,6 +81,19 @@ class MetricsRegistry:
                 stats[2] = value
             if value > stats[3]:
                 stats[3] = value
+
+    def hist(self, name: str, value: int, **labels: object) -> None:
+        """Record one sample into the histogram ``name{labels}``.
+
+        Fixed power-of-two buckets (:class:`~repro.obs.hist.Histogram`),
+        so p50/p99 come out of the report without keeping raw samples,
+        and merging across workers is exact.
+        """
+        key = _key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram()
+        histogram.record(value)
 
     @contextmanager
     def timer(self, name: str, **labels: object):
@@ -121,6 +138,36 @@ class MetricsRegistry:
             "max": stats[3],
         }
 
+    def histogram(self, name: str, **labels: object) -> Histogram | None:
+        """The histogram under ``name{labels}``, or ``None`` if empty."""
+        return self._histograms.get(_key(name, labels))
+
+    def filtered(self, **labels: object) -> "MetricsRegistry":
+        """A new registry holding only keys carrying all of ``labels``.
+
+        The service's per-tenant ``metrics`` view: every metric labelled
+        ``tenant=<name>`` survives, globally-labelled metrics do not.
+        The returned registry shares no state with this one.
+        """
+        want = set(_key("", labels)[1])
+        picked = MetricsRegistry()
+        for key, value in self._counters.items():
+            if want <= set(key[1]):
+                picked._counters[key] = value
+        for key, value in self._gauges.items():
+            if want <= set(key[1]):
+                picked._gauges[key] = value
+        for key, stats in self._observations.items():
+            if want <= set(key[1]):
+                picked._observations[key] = list(stats)
+        for key, histogram in self._histograms.items():
+            if want <= set(key[1]):
+                picked._histograms[key] = Histogram().merge(histogram)
+        for key, stats in self._timers.items():
+            if want <= set(key[1]):
+                picked._timers[key] = list(stats)
+        return picked
+
     # ------------------------------------------------------------------
     # Merging
     # ------------------------------------------------------------------
@@ -148,6 +195,12 @@ class MetricsRegistry:
                     mine[2] = stats[2]
                 if stats[3] > mine[3]:
                     mine[3] = stats[3]
+        for key, histogram in other._histograms.items():
+            mine_hist = self._histograms.get(key)
+            if mine_hist is None:
+                self._histograms[key] = Histogram().merge(histogram)
+            else:
+                mine_hist.merge(histogram)
         for key, stats in other._timers.items():
             mine = self._timers.setdefault(key, [0.0, 0])
             mine[0] += stats[0]
@@ -181,6 +234,10 @@ class MetricsRegistry:
                 }
                 for key, stats in sorted(self._observations.items())
             },
+            "histograms": {
+                _render(key): histogram.to_dict()
+                for key, histogram in sorted(self._histograms.items())
+            },
         }
         if include_timers:
             report["timers"] = {
@@ -199,6 +256,60 @@ class MetricsRegistry:
             indent=2,
             sort_keys=True,
         )
+
+    def to_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format.
+
+        Metric names are sanitized to ``[a-zA-Z0-9_:]`` (dots become
+        underscores), label values are quoted, and histograms render as
+        cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``,
+        the exposition-format convention.  Output is sorted by key, so
+        equal registries render byte-identically.
+        """
+        lines: list[str] = []
+        typed: set[str] = set()
+
+        def _metric(key: Key, extra_labels: tuple = ()) -> tuple[str, str]:
+            name, labels = key
+            flat = "".join(
+                c if c.isalnum() or c == ":" else "_" for c in name
+            )
+            pairs = labels + extra_labels
+            body = ",".join(f'{k}="{v}"' for k, v in pairs)
+            return flat, f"{{{body}}}" if body else ""
+
+        def _type_line(flat: str, kind: str) -> None:
+            if flat not in typed:
+                typed.add(flat)
+                lines.append(f"# TYPE {flat} {kind}")
+
+        for key in sorted(self._counters):
+            flat, labels = _metric(key)
+            _type_line(flat, "counter")
+            lines.append(f"{flat}{labels} {self._counters[key]}")
+        for key in sorted(self._gauges):
+            flat, labels = _metric(key)
+            _type_line(flat, "gauge")
+            lines.append(f"{flat}{labels} {self._gauges[key]}")
+        for key, stats in sorted(self._observations.items()):
+            flat, labels = _metric(key)
+            _type_line(flat, "summary")
+            lines.append(f"{flat}_sum{labels} {stats[0]}")
+            lines.append(f"{flat}_count{labels} {stats[1]}")
+        for key, histogram in sorted(self._histograms.items()):
+            flat, _ = _metric(key)
+            _type_line(flat, "histogram")
+            cumulative = 0
+            for upper, count in histogram.buckets().items():
+                cumulative += count
+                _, labels = _metric(key, (("le", str(upper)),))
+                lines.append(f"{flat}_bucket{labels} {cumulative}")
+            _, labels = _metric(key, (("le", "+Inf"),))
+            lines.append(f"{flat}_bucket{labels} {histogram.count}")
+            _, labels = _metric(key)
+            lines.append(f"{flat}_sum{labels} {histogram.total}")
+            lines.append(f"{flat}_count{labels} {histogram.count}")
+        return "\n".join(lines) + "\n" if lines else ""
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,182 @@
+"""The flight recorder: last-N raw events per tenant, dumped on disaster.
+
+Post-mortem debugging of a long-running service needs the trace
+*leading up to* a failure, not the whole history.  A
+:class:`FlightRecorder` is a trace-bus sink keeping a bounded ring of
+raw event tuples per ring key (the service keys rings by tenant via a
+resolver callback), costing one key lookup plus a deque append per
+event.  When a trigger event arrives — a crash, a watchdog firing, a
+livelock diagnosis — and a dump directory is configured, the recorder
+writes every ring to a JSONL file automatically; the service adds
+explicit dumps on SIGTERM drain and on the ``dump`` wire verb.
+
+Dump format: one header line naming the cause, then one line per event
+in ring order (oldest first, rings in sorted key order), each event's
+native JSONL payload prefixed with its ``ring`` key.  The content is a
+pure function of the observed events, so dumps of deterministic event
+streams are byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from collections.abc import Callable
+from pathlib import Path
+
+from repro.obs.events import EventKind, TraceEvent
+
+__all__ = ["FlightRecorder"]
+
+#: Event kinds that auto-dump when a directory is configured.
+DEFAULT_TRIGGERS = frozenset(
+    {EventKind.CRASH, EventKind.WATCHDOG, EventKind.LIVELOCK}
+)
+
+_new_event = tuple.__new__
+
+
+def _safe(cause: str) -> str:
+    """A filesystem-safe rendering of a dump cause."""
+    return "".join(c if c.isalnum() or c in "-_." else "-" for c in cause)
+
+
+class FlightRecorder:
+    """Bounded per-key rings of raw trace events, dumpable as JSONL.
+
+    Args:
+        capacity: events kept per ring (oldest evicted first).
+        resolve: maps a raw event tuple to its ring key (the service
+            passes a txn-to-tenant resolver; default: one global ring).
+        triggers: event kinds that trigger an automatic dump when
+            ``directory`` is set.
+        directory: where automatic and default explicit dumps land
+            (``None`` disables file output; in-memory text dumps still
+            work).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        resolve: Callable[[tuple], str] | None = None,
+        triggers: frozenset[EventKind] = DEFAULT_TRIGGERS,
+        directory: str | Path | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._resolve = resolve
+        self._triggers = triggers
+        self.directory = Path(directory) if directory is not None else None
+        self._rings: dict[str, deque[tuple]] = {}
+        #: Paths of the dumps written so far, in dump order.
+        self.dumped: list[Path] = []
+
+    # ------------------------------------------------------------------
+    # Sink protocol
+    # ------------------------------------------------------------------
+    def write(self, raw: tuple) -> None:
+        key = "global" if self._resolve is None else self._resolve(raw)
+        ring = self._rings.get(key)
+        if ring is None:
+            ring = self._rings[key] = deque(maxlen=self._capacity)
+        ring.append(raw)
+        if self.directory is not None and raw[2] in self._triggers:
+            self.dump(raw[2].value)
+
+    def close(self) -> None:
+        """Nothing to release (the rings stay readable)."""
+
+    # ------------------------------------------------------------------
+    # Reading and dumping
+    # ------------------------------------------------------------------
+    @property
+    def ring_keys(self) -> tuple[str, ...]:
+        """The ring keys seen so far, sorted."""
+        return tuple(sorted(self._rings))
+
+    def ring_sizes(self) -> dict[str, int]:
+        """Buffered event count per ring, sorted by key."""
+        return {key: len(ring) for key, ring in sorted(self._rings.items())}
+
+    def events(self, key: str) -> tuple[TraceEvent, ...]:
+        """One ring's buffered events, oldest first (typed views)."""
+        return tuple(
+            _new_event(TraceEvent, raw) for raw in self._rings.get(key, ())
+        )
+
+    def dump_text(self, cause: str) -> str:
+        """The full dump as JSONL text (header line + event lines)."""
+        rings = {key: len(ring) for key, ring in sorted(self._rings.items())}
+        header = json.dumps(
+            {
+                "flight": cause,
+                "events": sum(rings.values()),
+                "rings": rings,
+            },
+            separators=(",", ":"),
+        )
+        lines = [header]
+        for key, ring in sorted(self._rings.items()):
+            for raw in ring:
+                payload = {"ring": key}
+                payload.update(_new_event(TraceEvent, raw).to_dict())
+                lines.append(json.dumps(payload, separators=(",", ":")))
+        return "\n".join(lines) + "\n"
+
+    def dump(self, cause: str, path: str | Path | None = None) -> Path | None:
+        """Write the dump to ``path`` (or a fresh file in the configured
+        directory); returns the written path, ``None`` with neither."""
+        if path is None:
+            if self.directory is None:
+                return None
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self.directory / (
+                f"flight-{len(self.dumped):04d}-{_safe(cause)}.jsonl"
+            )
+        else:
+            path = Path(path)
+        path.write_text(self.dump_text(cause), encoding="utf-8")
+        self.dumped.append(path)
+        return path
+
+    def replay_jsonl(self, text: str, *, key: str | None = None) -> int:
+        """Feed a native JSONL trace back through the recorder.
+
+        Reconstructs raw event tuples via :meth:`TraceEvent.from_dict`
+        and :meth:`write`s them — triggers fire exactly as they would
+        have live, so an offline campaign trace produces the same dumps
+        a live run would.  ``key`` pins every event to one ring,
+        bypassing the resolver (campaign traces are keyed per run, not
+        per transaction owner).  Returns the number of events replayed.
+        """
+        resolver = self._resolve
+        if key is not None:
+            self._resolve = lambda raw: key
+        try:
+            replayed = 0
+            for line in text.splitlines():
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                payload = json.loads(line)
+                if "kind" not in payload:
+                    # Header lines: a campaign's per-run {"run", "seed"}
+                    # markers, a dump's own {"flight", ...} preamble.
+                    continue
+                # Dumps prefix each event with its ring key; drop it so
+                # dump -> replay round trips reconstruct the original
+                # event rather than growing an extra field.
+                payload.pop("ring", None)
+                self.write(TraceEvent.from_dict(payload))
+                replayed += 1
+            return replayed
+        finally:
+            self._resolve = resolver
+
+    def __repr__(self) -> str:
+        return (
+            f"FlightRecorder(rings={len(self._rings)}, "
+            f"capacity={self._capacity}, dumps={len(self.dumped)})"
+        )

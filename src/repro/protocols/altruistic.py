@@ -275,6 +275,13 @@ class AltruisticLockingScheduler(Scheduler):
         if self._last_use[op.tx].get(op.obj) == op.index:
             self._locks.donate(op.obj, op.tx)
 
+    def donation_edges(self) -> tuple[tuple[int, str, None], ...]:
+        """Wake donations: ``(donor, object, None)`` — donated to anyone
+        in the donor's wake, so there is no single beneficiary."""
+        return tuple(
+            (donor, obj, None) for donor, obj in self._locks.donated_items()
+        )
+
     # ------------------------------------------------------------------
     # Deadlock (same shape as strict 2PL)
     # ------------------------------------------------------------------

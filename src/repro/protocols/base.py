@@ -313,6 +313,56 @@ class Scheduler(abc.ABC):
             for waiter, blockers in sorted(waiting.items())
         }
 
+    def donation_edges(self) -> tuple[tuple[int, str, int], ...]:
+        """Live donations as ``(donor, object, beneficiary)`` triples.
+
+        Only the altruistic-locking family donates; the default is
+        empty.  The beneficiary is ``None`` when the object is donated
+        to the donor's whole wake rather than a specific observer.
+        Overrides must return the triples sorted, so the ``inspect``
+        service verb renders them deterministically.
+        """
+        return ()
+
+    def _rsg_summary(self) -> dict[str, object] | None:
+        """Census of the in-flight RSG, for protocols that keep one.
+
+        Certification-backed protocols override this to forward
+        :meth:`~repro.protocols.certifier.RsgCertifier.rsg_summary`;
+        ``None`` means "no graph" and the ``inspect`` snapshot reports
+        ``rsg: null``.
+        """
+        return None
+
+    def snapshot(self) -> dict[str, object]:
+        """A point-in-time introspection view of the scheduler.
+
+        The live wait-for/donation state plus an RSG census, shaped for
+        JSON: ``waits_for`` is keyed by stringified waiter id (JSON
+        objects cannot carry integer keys), donations are rendered as
+        ``{"donor", "obj", "to"}`` records.  Read-only and O(live
+        state); the service's ``inspect`` verb calls this per tenant.
+        """
+        live = sum(
+            1 for state in self._admitted.values() if not state.committed
+        )
+        return {
+            "protocol": self.name,
+            "admitted": len(self._admitted),
+            "live": live,
+            "committed": len(self._admitted) - live,
+            "waits_for": {
+                str(waiter): list(blockers)
+                for waiter, blockers in self.wait_edges().items()
+            },
+            "donations": [
+                {"donor": donor, "obj": obj, "to": beneficiary}
+                for donor, obj, beneficiary in self.donation_edges()
+            ],
+            "watchdog_fires": self._watchdog_fires,
+            "rsg": self._rsg_summary(),
+        }
+
     def progress(self, tx_id: int) -> int:
         """How many operations of ``T{tx_id}`` have been granted."""
         return self._state_of(tx_id).executed

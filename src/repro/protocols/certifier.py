@@ -115,6 +115,25 @@ class RsgCertifier:
         """
         return self._engine.node_capacity
 
+    def rsg_summary(self) -> dict[str, object]:
+        """A compact census of the in-flight RSG for live introspection.
+
+        ``nodes``/``arcs`` describe the live graph (arc counts keyed by
+        I/D/F/B kind), ``history`` the certified-prefix length, and
+        ``certified``/``rejected`` the lifetime verdict counters.  Walks
+        the flat engine's arc masks — O(arcs), no graph materialization
+        — so the ``inspect`` service verb can call it on a busy server.
+        """
+        arcs = self._engine.arc_census()
+        return {
+            "nodes": self._engine.node_count,
+            "arcs": arcs,
+            "arc_total": sum(arcs.values()),
+            "history": len(self._engine),
+            "certified": self._stats.certified,
+            "rejected": self._stats.rejected,
+        }
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------

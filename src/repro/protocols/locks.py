@@ -52,6 +52,16 @@ class LockTable:
         """Whether ``tx_id`` holds ``obj`` but has donated it."""
         return tx_id in self._donated.get(obj, set())
 
+    def donated_items(self) -> tuple[tuple[int, str], ...]:
+        """Every live ``(donor, object)`` donation mark, sorted."""
+        return tuple(
+            sorted(
+                (tx_id, obj)
+                for obj, donors in self._donated.items()
+                for tx_id in donors
+            )
+        )
+
     def blockers(
         self,
         obj: str,

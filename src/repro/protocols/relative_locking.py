@@ -172,6 +172,19 @@ class RelativeLockingScheduler(Scheduler):
     def _on_bus_change(self, bus: TraceBus) -> None:
         self._certifier.bus = bus
 
+    def donation_edges(self) -> tuple[tuple[int, str, int], ...]:
+        """Per-observer donations: ``(donor, object, observer)``, sorted."""
+        return tuple(
+            sorted(
+                (donor, obj, observer)
+                for (donor, obj), observers in self._donated_to.items()
+                for observer in observers
+            )
+        )
+
+    def _rsg_summary(self) -> dict[str, object]:
+        return self._certifier.rsg_summary()
+
     def _lock_blockers(self, op: Operation, mode: LockMode) -> set[int]:
         """Incompatible holders, ignoring locks donated to the requester."""
         blocking: set[int] = set()

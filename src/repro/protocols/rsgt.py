@@ -87,5 +87,8 @@ class RSGTScheduler(Scheduler):
     def _on_bus_change(self, bus: TraceBus) -> None:
         self._certifier.bus = bus
 
+    def _rsg_summary(self) -> dict[str, object]:
+        return self._certifier.rsg_summary()
+
     def _on_remove(self, tx_id: int) -> None:
         self._certifier.forget(tx_id)

@@ -159,8 +159,29 @@ class ServiceClient:
     async def health(self) -> dict:
         return await self.call("health")
 
-    async def metrics(self) -> dict:
-        return await self.call("metrics")
+    async def metrics(self, tenant: str | None = None) -> dict:
+        fields: dict[str, Any] = {}
+        if tenant is not None:
+            fields["tenant"] = tenant
+        return await self.call("metrics", **fields)
+
+    async def metricsx(self) -> dict:
+        """Prometheus-style text exposition (``exposition`` field)."""
+        return await self.call("metricsx")
+
+    async def inspect(self, tenant: str | None = None) -> dict:
+        """Live wait-for/donation/RSG snapshot per tenant."""
+        fields: dict[str, Any] = {}
+        if tenant is not None:
+            fields["tenant"] = tenant
+        return await self.call("inspect", **fields)
+
+    async def dump(self, cause: str | None = None) -> dict:
+        """Flight-recorder dump (JSONL in the ``dump`` field)."""
+        fields: dict[str, Any] = {}
+        if cause is not None:
+            fields["cause"] = cause
+        return await self.call("dump", **fields)
 
     async def certify(self, tenant: str | None = None) -> dict:
         fields: dict[str, Any] = {}

@@ -8,6 +8,7 @@ defaults suit an interactive localhost deployment.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.errors import ReproError
 from repro.protocols import PROTOCOL_NAMES
@@ -49,6 +50,10 @@ class ServiceConfig:
             exit code.
         reap_interval_s: period of the deadline reaper task.
         max_line_bytes: hard cap on one request line.
+        flight_dir: directory the flight recorder dumps JSONL files to
+            on crash/watchdog/livelock/drain (``None`` keeps the rings
+            in memory only — the ``dump`` verb still works).
+        flight_capacity: events kept per flight-recorder ring.
     """
 
     host: str = "127.0.0.1"
@@ -68,6 +73,8 @@ class ServiceConfig:
     certify_on_drain: bool = True
     reap_interval_s: float = 0.25
     max_line_bytes: int = 1 << 20
+    flight_dir: str | Path | None = None
+    flight_capacity: int = 256
 
     def __post_init__(self) -> None:
         if self.default_protocol not in PROTOCOL_NAMES:
@@ -93,3 +100,7 @@ class ServiceConfig:
         ):
             if getattr(self, name) <= 0:
                 raise ReproError(f"{name} must be positive")
+        if self.flight_capacity < 1:
+            raise ReproError(
+                f"flight_capacity must be >= 1, got {self.flight_capacity}"
+            )

@@ -34,7 +34,10 @@ from typing import Any
 
 from repro.errors import ReproError
 from repro.obs.bus import RingBufferSink, TraceBus
+from repro.obs.events import EventKind
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.spans import SpanCollector
 from repro.parallel.executor import shutdown_pools
 from repro.protocols import PROTOCOL_NAMES
 from repro.service import wire
@@ -70,8 +73,20 @@ class RsrServer:
     ) -> None:
         self.config = config or ServiceConfig()
         self.metrics = metrics or MetricsRegistry()
+        #: txn id -> owning tenant (kept after close for good errors;
+        #: also the flight recorder's ring resolver input).
+        self._txn_owner: dict[int, Tenant] = {}
         self.trace_sink = RingBufferSink(trace_capacity)
-        self.bus = TraceBus(self.trace_sink)
+        #: Live request-lifecycle spans (same capacity as the raw ring).
+        self.spans = SpanCollector(trace_capacity)
+        #: Last-N events per tenant, auto-dumped on crash/watchdog/
+        #: livelock when ``flight_dir`` is configured.
+        self.recorder = FlightRecorder(
+            self.config.flight_capacity,
+            resolve=self._ring_of,
+            directory=self.config.flight_dir,
+        )
+        self.bus = TraceBus(self.trace_sink, self.spans, self.recorder)
         self.admission = AdmissionController(
             self.config.max_sessions,
             self.config.retry_after_base_ms,
@@ -79,8 +94,6 @@ class RsrServer:
         )
         self._backoff_rng = random.Random(self.config.jitter_seed + 1)
         self.tenants: dict[str, Tenant] = {}
-        #: txn id -> owning tenant (kept after close for good errors).
-        self._txn_owner: dict[int, Tenant] = {}
         self._next_txn = 1
         self._server: asyncio.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
@@ -170,6 +183,9 @@ class RsrServer:
                         f"drain left live WAL entries for {sorted(leftovers)}"
                     )
         report: dict = {"cause": cause, "forced_aborts": forced, "ok": True}
+        flight_dump = self.recorder.dump(f"drain-{cause}")
+        if flight_dump is not None:
+            report["flight_dump"] = str(flight_dump)
         if self.config.certify_on_drain:
             certs = []
             for tenant in self.tenants.values():
@@ -240,30 +256,9 @@ class RsrServer:
             return wire.err(wire.ERR_BAD_REQUEST, f"bad request line: {exc}")
         req_id = request.get("id")
         verb = request.get("do")
+        started = time.perf_counter()
         try:
-            if verb == "begin":
-                return await self._do_begin(request, owned)
-            if verb in ("read", "write", "step"):
-                return await self._do_op(request, verb)
-            if verb == "commit":
-                return await self._do_commit(request)
-            if verb == "abort":
-                return await self._do_abort(request)
-            if verb == "tenant":
-                return await self._do_tenant(request)
-            if verb == "health":
-                return self._do_health(request)
-            if verb == "metrics":
-                return wire.ok(req_id, metrics=self.metrics.to_dict())
-            if verb == "certify":
-                return await self._do_certify(request)
-            if verb == "crash":
-                return await self._do_crash(request)
-            return wire.err(
-                wire.ERR_BAD_REQUEST,
-                f"unknown verb {verb!r}; expected one of {wire.VERBS}",
-                req_id,
-            )
+            return await self._dispatch_verb(request, verb, req_id, owned)
         except RequestRefused as exc:
             return wire.err(exc.code, str(exc), req_id)
         except ReproError as exc:
@@ -273,6 +268,50 @@ class RsrServer:
             return wire.err(
                 wire.ERR_INTERNAL, f"{type(exc).__name__}: {exc}", req_id
             )
+        finally:
+            # Per-verb wall-clock latency distribution (microseconds;
+            # wall-clock, so it lives in the histogram section that the
+            # deterministic campaign reports never carry).
+            if isinstance(verb, str) and verb in wire.VERBS:
+                self.metrics.hist(
+                    "service.verb_latency_us",
+                    int((time.perf_counter() - started) * 1_000_000),
+                    verb=verb,
+                )
+
+    async def _dispatch_verb(
+        self, request: dict, verb: object, req_id: object,
+        owned: list[Session],
+    ) -> dict:
+        if verb == "begin":
+            return await self._do_begin(request, owned)
+        if verb in ("read", "write", "step"):
+            return await self._do_op(request, verb)
+        if verb == "commit":
+            return await self._do_commit(request)
+        if verb == "abort":
+            return await self._do_abort(request)
+        if verb == "tenant":
+            return await self._do_tenant(request)
+        if verb == "health":
+            return self._do_health(request)
+        if verb == "metrics":
+            return self._do_metrics(request)
+        if verb == "metricsx":
+            return wire.ok(req_id, exposition=self.metrics.to_prometheus())
+        if verb == "inspect":
+            return self._do_inspect(request)
+        if verb == "dump":
+            return self._do_dump(request)
+        if verb == "certify":
+            return await self._do_certify(request)
+        if verb == "crash":
+            return await self._do_crash(request)
+        return wire.err(
+            wire.ERR_BAD_REQUEST,
+            f"unknown verb {verb!r}; expected one of {wire.VERBS}",
+            req_id,
+        )
 
     async def _abort_owned(
         self, owned: list[Session], reason: str
@@ -304,12 +343,16 @@ class RsrServer:
             )
         if not self.admission.try_admit():
             self.metrics.inc("service.shed")
+            hint = self.admission.retry_after_ms()
+            # The hint distribution shows how hard shed clients are
+            # being pushed back (BENCH_service.json reports it).
+            self.metrics.hist("service.retry_after_ms", hint)
             return wire.err(
                 wire.ERR_OVERLOADED,
                 f"in-flight session budget ({self.admission.limit}) "
                 "exhausted",
                 req_id,
-                retry_after_ms=self.admission.retry_after_ms(),
+                retry_after_ms=hint,
             )
         try:
             tenant = self._tenant_for(request.get("tenant", "default"))
@@ -565,6 +608,75 @@ class RsrServer:
             },
         )
 
+    def _do_metrics(self, request: dict) -> dict:
+        req_id = request.get("id")
+        name = request.get("tenant")
+        if name is None:
+            return wire.ok(req_id, metrics=self.metrics.to_dict())
+        if not isinstance(name, str) or name not in self.tenants:
+            return wire.err(
+                wire.ERR_BAD_REQUEST,
+                f"no tenant {name!r}; known: {sorted(self.tenants)}",
+                req_id,
+            )
+        return wire.ok(
+            req_id,
+            tenant=name,
+            metrics=self.metrics.filtered(tenant=name).to_dict(),
+        )
+
+    def _do_inspect(self, request: dict) -> dict:
+        """Live wait-for/donation/RSG introspection (no locks: the whole
+        handler is synchronous, so no tenant mutation can interleave)."""
+        req_id = request.get("id")
+        name = request.get("tenant")
+        if name is not None and name not in self.tenants:
+            return wire.err(
+                wire.ERR_BAD_REQUEST,
+                f"no tenant {name!r}; known: {sorted(self.tenants)}",
+                req_id,
+            )
+        targets = (
+            {name: self.tenants[name]}
+            if name is not None
+            else dict(sorted(self.tenants.items()))
+        )
+        tenants = {}
+        for tenant_name, tenant in targets.items():
+            snap = tenant.scheduler.snapshot()
+            snap["open_sessions"] = sorted(tenant.sessions)
+            snap["waiting_sessions"] = sorted(
+                tx_id
+                for tx_id, session in tenant.sessions.items()
+                if session.is_waiting
+            )
+            tenants[tenant_name] = snap
+        return wire.ok(
+            req_id,
+            status="draining" if self._draining else "serving",
+            inflight=self.admission.inflight,
+            shed=self.admission.shed,
+            open_spans=list(self.spans.open_transactions),
+            flight_rings=self.recorder.ring_sizes(),
+            tenants=tenants,
+        )
+
+    def _do_dump(self, request: dict) -> dict:
+        """Flight-recorder dump: always returns the JSONL inline, and
+        additionally writes a file when ``flight_dir`` is configured.
+        The wire never chooses the path — a remote client must not pick
+        filesystem locations for the server."""
+        req_id = request.get("id")
+        cause = str(request.get("cause", "dump-verb"))
+        written = self.recorder.dump(cause)
+        fields: dict = {
+            "rings": self.recorder.ring_sizes(),
+            "dump": self.recorder.dump_text(cause),
+        }
+        if written is not None:
+            fields["path"] = str(written)
+        return wire.ok(req_id, **fields)
+
     async def _do_certify(self, request: dict) -> dict:
         req_id = request.get("id")
         name = request.get("tenant")
@@ -604,6 +716,16 @@ class RsrServer:
             closed = tenant.crash()
             for session in closed:
                 self._release_slot(session)
+        # The CRASH event routes to the tenant's flight-recorder ring
+        # and (with a flight_dir) triggers an automatic dump.
+        self.bus.emit(
+            EventKind.CRASH,
+            protocol="store",
+            extra=(
+                ("aborted", [session.tx_id for session in closed]),
+                ("tenant", name),
+            ),
+        )
         self.metrics.inc("service.crashes", tenant=name)
         for _ in closed:
             self.metrics.inc(
@@ -619,6 +741,23 @@ class RsrServer:
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
+    def _ring_of(self, raw: tuple) -> str:
+        """Flight-recorder ring key of one raw event tuple.
+
+        The event's transaction maps to its owning tenant; events
+        without one (store crashes, drains) may carry a ``tenant``
+        extra; everything else lands in the ``global`` ring.
+        """
+        tx = raw[3]
+        if tx is not None:
+            tenant = self._txn_owner.get(tx)
+            if tenant is not None:
+                return tenant.name
+        for key, value in raw[7]:
+            if key == "tenant":
+                return str(value)
+        return "global"
+
     def _tenant_for(self, name: object) -> Tenant:
         if not isinstance(name, str) or not name:
             raise RequestRefused(

@@ -70,6 +70,11 @@ class Session:
     def is_open(self) -> bool:
         return self.state is SessionState.OPEN
 
+    @property
+    def is_waiting(self) -> bool:
+        """Whether a WAIT-retry loop is currently parked on this session."""
+        return bool(self._waiters)
+
     def close(self, state: SessionState, reason: str | None = None) -> None:
         """Transition to a terminal state and wake any WAIT-retry loops
         parked on this session so they observe the death promptly."""

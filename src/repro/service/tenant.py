@@ -37,6 +37,7 @@ from repro.core.transactions import Transaction
 from repro.engine.executor import ScheduleExecutor, Semantics
 from repro.engine.kvstore import KVStore
 from repro.errors import NotationError, ReproError, SpecError
+from repro.obs.events import EventKind
 from repro.protocols import make_scheduler
 from repro.protocols.base import Decision
 from repro.service import wire
@@ -214,6 +215,17 @@ class Tenant:
                 wire.ERR_BAD_REQUEST, f"bad cuts: {exc}"
             ) from exc
         self.scheduler.admit(transaction)
+        bus = self.scheduler.bus
+        if bus.active:
+            # Service-lifecycle events carry the tenant name so the
+            # flight recorder can ring-key them; admission opens the
+            # transaction's lifecycle span.
+            bus.emit(
+                EventKind.ADMIT,
+                tx=tx_id,
+                protocol=self.protocol,
+                extra=(("tenant", self.name),),
+            )
         session = Session(
             tx_id=tx_id,
             tenant=self.name,
@@ -294,6 +306,17 @@ class Tenant:
             self.store.write(session.tx_id, op.obj, result)
             self.write_values[(session.tx_id, session.cursor)] = result
         session.cursor += 1
+        bus = self.scheduler.bus
+        if bus.active:
+            # The WAL-apply instant completes the op's lifecycle: the
+            # scheduler's GRANT said "legal", this says "done".
+            bus.emit(
+                EventKind.APPLY,
+                tx=session.tx_id,
+                op=op.label,
+                protocol=self.protocol,
+                extra=(("tenant", self.name),),
+            )
         return StepResult("granted", op_label=op.label, value=result)
 
     def commit(self, session: Session) -> None:

@@ -60,6 +60,9 @@ VERBS = (
     "tenant",
     "health",
     "metrics",
+    "metricsx",
+    "inspect",
+    "dump",
     "certify",
     "crash",
 )

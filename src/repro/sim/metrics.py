@@ -11,8 +11,12 @@ transactions that the offline correctness tests can re-verify.
 
 Fault campaigns need degradation numbers, not just pass/fail, so the
 result also exposes abort/retry/restart counters and wait-time
-percentiles (nearest-rank over per-transaction wait counts, so they are
-exact integers and byte-stable across platforms).
+percentiles.  Percentiles go through the fixed-boundary
+:class:`~repro.obs.hist.Histogram` — the same bucketed path the service
+latency metrics use — so they are exact integers, byte-stable across
+platforms, and mergeable across workers without shipping raw samples.
+The exact sorted-list :func:`nearest_rank` stays available for
+consumers holding full samples (chaos certification, benchmarks).
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from dataclasses import dataclass, field
 from statistics import mean
 
 from repro.core.schedules import Schedule
+from repro.obs.hist import Histogram
 
 __all__ = ["TransactionOutcome", "SimulationResult", "nearest_rank"]
 
@@ -160,20 +165,18 @@ class SimulationResult:
     def wait_percentiles(
         self, percentiles: tuple[float, ...] = (50, 90, 99)
     ) -> dict[str, int]:
-        """Nearest-rank percentiles of per-transaction wait counts.
+        """Bucketed percentiles of per-transaction wait counts.
 
         Keys are ``"p50"``-style labels; an empty transaction set yields
         zeros under the same keys (report shapes stay constant).
-        Integer-exact, so campaign reports comparing these are
-        byte-stable.
+        Values are power-of-two bucket upper bounds clamped to the
+        observed maximum (see :class:`~repro.obs.hist.Histogram`), so
+        campaign reports comparing these are byte-stable and two runs'
+        histograms merge exactly.
         """
-        waits = [outcome.waits for outcome in self.outcomes.values()]
-        if not waits:
-            return {f"p{percentile:g}": 0 for percentile in percentiles}
-        return {
-            f"p{percentile:g}": nearest_rank(waits, percentile)
-            for percentile in percentiles
-        }
+        return Histogram.from_values(
+            outcome.waits for outcome in self.outcomes.values()
+        ).percentiles(percentiles)
 
     def degradation(self) -> dict[str, object]:
         """Abort/retry/wait summary for fault-campaign reporting."""

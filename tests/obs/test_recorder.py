@@ -1,0 +1,149 @@
+"""Unit tests for the flight recorder (rings, triggers, dumps, replay)."""
+
+import json
+
+from repro.obs.bus import TraceBus
+from repro.obs.events import EventKind, TraceEvent
+from repro.obs.recorder import FlightRecorder
+
+
+def _emit_some(bus, n=3, tx=1):
+    for i in range(n):
+        bus.emit(EventKind.REQUEST, tx=tx, op=f"r{tx}[x{i}]")
+        bus.emit(EventKind.GRANT, tx=tx, op=f"r{tx}[x{i}]")
+
+
+class TestRings:
+    def test_default_single_global_ring(self):
+        recorder = FlightRecorder(capacity=8)
+        bus = TraceBus(recorder)
+        _emit_some(bus)
+        assert recorder.ring_keys == ("global",)
+        assert recorder.ring_sizes() == {"global": 6}
+
+    def test_resolver_routes_events_to_per_key_rings(self):
+        recorder = FlightRecorder(
+            capacity=8, resolve=lambda raw: f"tx{raw[3]}"
+        )
+        bus = TraceBus(recorder)
+        _emit_some(bus, n=1, tx=1)
+        _emit_some(bus, n=2, tx=2)
+        assert recorder.ring_sizes() == {"tx1": 2, "tx2": 4}
+
+    def test_capacity_evicts_oldest(self):
+        recorder = FlightRecorder(capacity=3)
+        bus = TraceBus(recorder)
+        _emit_some(bus, n=4)
+        events = recorder.events("global")
+        assert len(events) == 3
+        assert events[0].seq == 5  # seqs 0..7 emitted, 0..4 evicted
+
+    def test_events_are_typed_views(self):
+        recorder = FlightRecorder()
+        bus = TraceBus(recorder)
+        bus.emit(EventKind.COMMIT, tx=7, protocol="rsgt")
+        (event,) = recorder.events("global")
+        assert isinstance(event, TraceEvent)
+        assert (event.kind, event.tx) == (EventKind.COMMIT, 7)
+
+    def test_rejects_nonpositive_capacity(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestDumps:
+    def test_dump_text_header_and_ring_prefixed_lines(self):
+        recorder = FlightRecorder(resolve=lambda raw: f"t{raw[3]}")
+        bus = TraceBus(recorder)
+        _emit_some(bus, n=1, tx=2)
+        _emit_some(bus, n=1, tx=1)
+        lines = recorder.dump_text("unit-test").splitlines()
+        header = json.loads(lines[0])
+        assert header == {
+            "flight": "unit-test",
+            "events": 4,
+            "rings": {"t1": 2, "t2": 2},
+        }
+        rings = [json.loads(line)["ring"] for line in lines[1:]]
+        assert rings == ["t1", "t1", "t2", "t2"]  # sorted key order
+
+    def test_dump_without_directory_returns_none(self):
+        recorder = FlightRecorder()
+        TraceBus(recorder).emit(EventKind.COMMIT, tx=1)
+        assert recorder.dump("nowhere") is None
+        assert recorder.dumped == []
+
+    def test_dump_writes_numbered_files(self, tmp_path):
+        recorder = FlightRecorder(directory=tmp_path)
+        TraceBus(recorder).emit(EventKind.COMMIT, tx=1)
+        first = recorder.dump("alpha beta")
+        second = recorder.dump("gamma")
+        assert first.name == "flight-0000-alpha-beta.jsonl"
+        assert second.name == "flight-0001-gamma.jsonl"
+        assert recorder.dumped == [first, second]
+        assert json.loads(first.read_text().splitlines()[0])["flight"] == (
+            "alpha beta"
+        )
+
+    def test_trigger_kind_auto_dumps_when_directory_set(self, tmp_path):
+        recorder = FlightRecorder(directory=tmp_path)
+        bus = TraceBus(recorder)
+        _emit_some(bus)
+        assert recorder.dumped == []
+        bus.emit(EventKind.CRASH, protocol="store")
+        assert len(recorder.dumped) == 1
+        assert "crash" in recorder.dumped[0].name
+        # The triggering event itself is in the dump.
+        kinds = [
+            json.loads(line).get("kind")
+            for line in recorder.dumped[0].read_text().splitlines()[1:]
+        ]
+        assert "crash" in kinds
+
+    def test_no_auto_dump_without_directory(self):
+        recorder = FlightRecorder()
+        TraceBus(recorder).emit(EventKind.WATCHDOG, tx=1)
+        assert recorder.dumped == []
+
+
+class TestReplay:
+    def _trace_jsonl(self):
+        from repro.obs.bus import JsonlSink
+        import io
+
+        buffer = io.StringIO()
+        bus = TraceBus(JsonlSink(buffer))
+        _emit_some(bus, n=2)
+        bus.emit(EventKind.CRASH, protocol="store")
+        return buffer.getvalue()
+
+    def test_replay_reconstructs_events_and_fires_triggers(self, tmp_path):
+        recorder = FlightRecorder(directory=tmp_path)
+        replayed = recorder.replay_jsonl(self._trace_jsonl(), key="run0")
+        assert replayed == 5
+        assert recorder.ring_sizes() == {"run0": 5}
+        assert len(recorder.dumped) == 1  # the replayed CRASH triggered
+
+    def test_replay_skips_non_event_header_lines(self):
+        text = '{"run":0,"seed":42}\n' + self._trace_jsonl()
+        recorder = FlightRecorder()
+        assert recorder.replay_jsonl(text, key="run0") == 5
+
+    def test_dump_replay_round_trip_preserves_events(self):
+        source = FlightRecorder()
+        bus = TraceBus(source)
+        _emit_some(bus, n=2)
+        text = source.dump_text("round-trip")
+        target = FlightRecorder()
+        target.replay_jsonl(text, key="copy")
+        assert [e.to_dict() for e in target.events("copy")] == [
+            e.to_dict() for e in source.events("global")
+        ]
+
+    def test_replay_restores_resolver_after_pinning(self):
+        recorder = FlightRecorder(resolve=lambda raw: "resolved")
+        recorder.replay_jsonl(self._trace_jsonl(), key="pinned")
+        TraceBus(recorder).emit(EventKind.COMMIT, tx=1)
+        assert set(recorder.ring_keys) == {"pinned", "resolved"}

@@ -1,0 +1,213 @@
+"""Unit tests for the request-lifecycle span collector."""
+
+import json
+
+from repro.obs.bus import TraceBus
+from repro.obs.events import EventKind
+from repro.obs.spans import (
+    SpanCollector,
+    spans_from_events,
+    spans_jsonl,
+    spans_to_chrome,
+)
+
+
+def _collect(emitting):
+    """Run ``emitting(bus)`` against a fresh bus + collector pair."""
+    collector = SpanCollector()
+    bus = TraceBus(collector)
+    emitting(bus)
+    return collector
+
+
+class TestStages:
+    def test_request_grant_folds_into_an_op_span(self):
+        def scenario(bus):
+            bus.clock(0)
+            bus.emit(EventKind.REQUEST, tx=1, op="r1[x]", protocol="2pl")
+            bus.emit(EventKind.GRANT, tx=1, op="r1[x]", protocol="2pl")
+
+        spans = _collect(scenario).spans
+        assert len(spans) == 1
+        span = spans[0]
+        assert (span.stage, span.outcome) == ("op", "grant")
+        assert (span.tx, span.op, span.protocol) == (1, "r1[x]", "2pl")
+        assert (span.start_tick, span.start_seq) == (0, 0)
+        assert (span.end_tick, span.end_seq) == (0, 1)
+
+    def test_each_wait_round_is_its_own_span(self):
+        def scenario(bus):
+            bus.emit(EventKind.REQUEST, tx=1, op="w1[x]")
+            bus.emit(EventKind.WAIT, tx=1, op="w1[x]")
+            bus.emit(EventKind.REQUEST, tx=1, op="w1[x]")
+            bus.emit(EventKind.GRANT, tx=1, op="w1[x]")
+
+        spans = _collect(scenario).spans
+        assert [s.outcome for s in spans] == ["wait", "grant"]
+
+    def test_certify_verdict_outcome_from_ok_extra(self):
+        def scenario(bus):
+            bus.emit(EventKind.CERTIFY_ATTEMPT, tx=1, op="w1[x]")
+            bus.emit(
+                EventKind.CERTIFY_VERDICT,
+                tx=1,
+                op="w1[x]",
+                extra=(("ok", True),),
+            )
+            bus.emit(EventKind.CERTIFY_ATTEMPT, tx=2, op="w2[x]")
+            bus.emit(
+                EventKind.CERTIFY_VERDICT,
+                tx=2,
+                op="w2[x]",
+                extra=(("ok", False),),
+            )
+
+        spans = _collect(scenario).spans
+        assert [(s.stage, s.outcome) for s in spans] == [
+            ("certify", "ok"),
+            ("certify", "reject"),
+        ]
+
+    def test_txn_span_opens_at_admit_and_closes_at_commit(self):
+        def scenario(bus):
+            bus.emit(EventKind.ADMIT, tx=5, protocol="rsgt")
+            bus.clock(3)
+            bus.emit(EventKind.COMMIT, tx=5, protocol="rsgt")
+
+        spans = _collect(scenario).spans
+        # The ADMIT itself is also kept as an instant for the timeline.
+        assert [(s.stage, s.outcome) for s in spans] == [
+            ("event", "session-admit"),
+            ("txn", "commit"),
+        ]
+        txn = spans[1]
+        assert (txn.start_tick, txn.end_tick) == (-1, 3)
+
+    def test_txn_span_opens_at_first_request_without_admit(self):
+        def scenario(bus):
+            bus.emit(EventKind.REQUEST, tx=1, op="r1[x]")
+            bus.emit(EventKind.GRANT, tx=1, op="r1[x]")
+            bus.emit(EventKind.RESTART, tx=1)
+
+        spans = _collect(scenario).spans
+        assert spans[-1].stage == "txn"
+        assert spans[-1].outcome == "restart"
+        assert spans[-1].start_seq == 0  # the first REQUEST
+
+    def test_instants_become_zero_length_event_spans(self):
+        def scenario(bus):
+            bus.emit(EventKind.CRASH, protocol="store")
+            bus.emit(EventKind.APPLY, tx=1, op="w1[x]")
+
+        spans = _collect(scenario).spans
+        assert [(s.stage, s.outcome) for s in spans] == [
+            ("event", "crash"),
+            ("event", "wal-apply"),
+        ]
+        assert all(
+            (s.start_tick, s.start_seq) == (s.end_tick, s.end_seq)
+            for s in spans
+        )
+
+    def test_unmatched_close_is_dropped_not_crashed(self):
+        def scenario(bus):
+            bus.emit(EventKind.GRANT, tx=9, op="r9[x]")
+            bus.emit(EventKind.CERTIFY_VERDICT, tx=9, op="r9[x]")
+
+        assert _collect(scenario).spans == ()
+
+
+class TestCollectorSurface:
+    def test_open_transactions_tracks_unclosed_incarnations(self):
+        collector = SpanCollector()
+        bus = TraceBus(collector)
+        bus.emit(EventKind.ADMIT, tx=2)
+        bus.emit(EventKind.ADMIT, tx=1)
+        assert collector.open_transactions == (1, 2)
+        bus.emit(EventKind.COMMIT, tx=2)
+        assert collector.open_transactions == (1,)
+
+    def test_capacity_bounds_closed_spans(self):
+        collector = SpanCollector(capacity=2)
+        bus = TraceBus(collector)
+        for tx in (1, 2, 3):
+            bus.emit(EventKind.REQUEST, tx=tx, op=f"r{tx}[x]")
+            bus.emit(EventKind.GRANT, tx=tx, op=f"r{tx}[x]")
+        assert len(collector) == 2
+        assert [s.tx for s in collector.spans] == [2, 3]
+
+    def test_text_matches_spans_jsonl(self):
+        collector = SpanCollector()
+        bus = TraceBus(collector)
+        bus.emit(EventKind.REQUEST, tx=1, op="r1[x]")
+        bus.emit(EventKind.GRANT, tx=1, op="r1[x]")
+        assert collector.text() == spans_jsonl(collector.spans)
+
+
+class TestExports:
+    def _spans(self):
+        def scenario(bus):
+            bus.clock(0)
+            bus.emit(EventKind.REQUEST, tx=1, op="r1[x]", protocol="rsgt")
+            bus.emit(EventKind.GRANT, tx=1, op="r1[x]", protocol="rsgt")
+            bus.clock(1)
+            bus.emit(EventKind.COMMIT, tx=1, protocol="rsgt")
+
+        return _collect(scenario).spans
+
+    def test_spans_from_events_replays_raw_tuples(self):
+        from repro.obs.bus import RingBufferSink
+
+        ring = RingBufferSink()
+        collector = SpanCollector()
+        bus = TraceBus(ring, collector)
+        bus.emit(EventKind.REQUEST, tx=1, op="r1[x]")
+        bus.emit(EventKind.GRANT, tx=1, op="r1[x]")
+        assert spans_from_events(ring.events) == collector.spans
+
+    def test_chrome_export_shape(self):
+        chrome = spans_to_chrome(self._spans())
+        assert chrome["displayTimeUnit"] == "ms"
+        slices = chrome["traceEvents"]
+        assert all(event["ph"] == "X" for event in slices)
+        assert all(event["dur"] >= 1 for event in slices)
+        assert {event["tid"] for event in slices} == {1}
+
+    def test_jsonl_round_trips_via_json(self):
+        lines = spans_jsonl(self._spans()).splitlines()
+        payloads = [json.loads(line) for line in lines]
+        assert [p["stage"] for p in payloads] == ["op", "txn"]
+        assert all("start_seq" in p and "end_seq" in p for p in payloads)
+
+
+class TestSpanStreamDeterminism:
+    """The span stream is a pure fold of the event stream, so it
+    inherits the campaign trace's byte-determinism at any --jobs."""
+
+    def _span_stream(self, jobs):
+        from repro.faults.campaign import CampaignConfig, run_campaign
+        from repro.obs.events import TraceEvent
+
+        config = CampaignConfig(
+            protocol="rsgt", runs=6, seed=33, trace=True
+        )
+        report = run_campaign(config, jobs=jobs)
+        chunks = []
+        for record in report.records:
+            events = [
+                TraceEvent.from_dict(json.loads(line))
+                for line in record.trace.splitlines()
+                if line
+            ]
+            chunks.append(spans_jsonl(spans_from_events(events)))
+        return "".join(chunks)
+
+    def test_byte_identical_at_jobs_1_and_4(self):
+        assert self._span_stream(1) == self._span_stream(4)
+
+    def test_stream_is_non_trivial(self):
+        stream = self._span_stream(1)
+        stages = {
+            json.loads(line)["stage"] for line in stream.splitlines()
+        }
+        assert {"op", "txn"} <= stages

@@ -160,11 +160,30 @@ class TestWaitPercentiles:
             nearest_rank([], 50)
 
     def test_wait_percentiles_keys_and_values(self):
+        # Bucketed percentiles (repro.obs.hist.Histogram): waits of 2
+        # and 3 share the [2, 3] power-of-two bucket, whose upper bound
+        # 3 is what every percentile reports.
         result = _result()
         percentiles = result.wait_percentiles()
         assert set(percentiles) == {"p50", "p90", "p99"}
-        assert percentiles["p50"] == 2
+        assert percentiles["p50"] == 3
         assert percentiles["p99"] == 3
+
+    def test_wait_percentiles_clamp_to_observed_maximum(self):
+        txs = [Transaction.from_notation(1, "r[x]")]
+        outcomes = {
+            1: TransactionOutcome(
+                tx_id=1, arrival=0, commit_tick=4, restarts=0, waits=5
+            ),
+        }
+        result = SimulationResult(
+            protocol="test",
+            schedule=Schedule.serial(txs),
+            outcomes=outcomes,
+            makespan=5,
+        )
+        # 5 lands in the [4, 7] bucket but the clamp keeps p99 exact.
+        assert result.wait_percentiles()["p99"] == 5
 
     def test_wait_percentiles_of_empty_run(self):
         result = SimulationResult(
